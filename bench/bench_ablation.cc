@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation study of CoScale's design choices (the mechanisms
+ * Sections 3 and 3.1 argue for):
+ *
+ *  - core grouping (Fig. 3): without it, the memory step tends to
+ *    beat any single core's marginal utility, so core scaling starves
+ *    and the walk settles in local minima;
+ *  - accumulated slack: without carrying slack across epochs, the
+ *    controller cannot bank headroom from conservative epochs and
+ *    must leave savings on the table (and loses its self-correction
+ *    after over-estimates);
+ *  - warmup epoch: deciding from a cold-cache profile causes an
+ *    initial over-correction;
+ *  - safety margin: targeting the bound exactly risks small
+ *    violations from model error and workload drift.
+ *
+ * Run on the MID mixes (sensitive to both knobs, like the paper's
+ * sensitivity studies).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    CoScaleOptions opts;
+    int warmupEpochs;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+
+    benchutil::printHeader("Ablation: CoScale design choices (MID mixes)");
+    std::printf("%-18s | %-26s | %8s %8s\n", "variant",
+                "full-savings% (MID1..4)", "avg%", "worstdeg%");
+
+    CoScaleOptions full;
+    CoScaleOptions no_group = full;
+    no_group.coreGrouping = false;
+    CoScaleOptions no_carry = full;
+    no_carry.carrySlack = false;
+    CoScaleOptions no_safety = full;
+    no_safety.safetyFrac = 0.0;
+    CoScaleOptions chip_wide = full;
+    chip_wide.chipWideCpuDvfs = true;
+
+    const Variant variants[] = {
+        {"full CoScale", full, 1},
+        {"no core grouping", no_group, 1},
+        {"no slack carry", no_carry, 1},
+        {"no warmup epoch", full, 0},
+        {"no safety margin", no_safety, 1},
+        {"chip-wide CPU DVFS", chip_wide, 1},
+    };
+
+    CsvWriter csv("ablation.csv");
+    csv.header({"variant", "mix", "full_savings", "worst_degradation"});
+
+    for (const Variant &v : variants) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.warmupEpochs = v.warmupEpochs;
+        benchutil::BaselineCache baselines(cfg);
+
+        Accum fullsave;
+        double worst = 0.0;
+        std::string per_mix;
+        for (const auto &mix : mixesByClass("MID")) {
+            const RunResult &base = baselines.get(mix);
+            CoScalePolicy policy(cfg.numCores, cfg.gamma, v.opts);
+            RunResult run = runWorkload(cfg, mix, policy);
+            Comparison c = compare(base, run);
+            fullsave.sample(c.fullSystemSavings);
+            worst = std::max(worst, c.worstDegradation);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%5.1f ",
+                          c.fullSystemSavings * 100.0);
+            per_mix += buf;
+            csv.row()
+                .cell(v.name)
+                .cell(mix.name)
+                .cell(c.fullSystemSavings)
+                .cell(c.worstDegradation);
+        }
+        std::printf("%-18s | %-26s | %8.1f %8.1f%s\n", v.name,
+                    per_mix.c_str(), fullsave.mean() * 100.0,
+                    worst * 100.0,
+                    worst > cfg.gamma + 0.005 ? "  <-- violates" : "");
+    }
+    csv.endRow();
+    std::printf("\nCSV written to ablation.csv\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Section 3.1 overhead claim: CoScale's greedy search is
+ * O(M + C*N^2) and takes microseconds at 16 cores (the paper
+ * measured < 5 us at 16 cores and projected 83/360 us worst case at
+ * 64/128 cores). This google-benchmark measures our implementation
+ * of the Fig. 2/3 algorithm at 16, 32, 64, and 128 cores, plus the
+ * exhaustive-equivalent (Offline-style) search for contrast.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hh"
+#include "policy/coscale_policy.hh"
+#include "policy/search_common.hh"
+
+using namespace coscale;
+
+namespace {
+
+struct AlgoFixture
+{
+    AlgoFixture(int n)
+        : coreLadder(defaultCoreLadder()), memLadder(defaultMemLadder()),
+          profile(benchutil::syntheticProfile(n))
+    {
+        PowerParams pp;
+        pp.numCores = n;
+        power = PowerModel(pp);
+        perf = PerfModel(DramTimingParams{}, 10.0, 7.5);
+        em = EnergyModel(&perf, &power, &coreLadder, &memLadder);
+    }
+
+    FreqLadder coreLadder;
+    FreqLadder memLadder;
+    SystemProfile profile;
+    PerfModel perf;
+    PowerModel power;
+    EnergyModel em;
+};
+
+void
+BM_CoScaleSearch(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    AlgoFixture fx(n);
+    CoScalePolicy policy(n, 0.10);
+    FreqConfig current = FreqConfig::allMax(n);
+    for (auto _ : state) {
+        FreqConfig d =
+            policy.decide(fx.profile, fx.em, current, tickPerMs);
+        benchmark::DoNotOptimize(d);
+    }
+}
+
+void
+BM_ExhaustiveSearch(benchmark::State &state)
+{
+    int n = static_cast<int>(state.range(0));
+    AlgoFixture fx(n);
+    FreqConfig all_max = FreqConfig::allMax(n);
+    std::vector<double> ref = refTpis(fx.em, fx.profile, all_max);
+    SlackTracker slack(n, 0.10);
+    std::vector<double> allowed = allowedTpis(slack, ref, tickPerMs);
+    for (auto _ : state) {
+        FreqConfig d = exhaustiveBest(fx.em, fx.profile, allowed);
+        benchmark::DoNotOptimize(d);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_CoScaleSearch)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_ExhaustiveSearch)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

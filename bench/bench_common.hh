@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: synthetic profile
+ * construction (for algorithm microbenchmarks) and result printing.
+ */
+
+#ifndef COSCALE_BENCH_BENCH_COMMON_HH
+#define COSCALE_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "model/perf_model.hh"
+#include "policy/policy.hh"
+#include "sim/runner.hh"
+#include "stats/accum.hh"
+
+namespace coscale {
+namespace benchutil {
+
+/**
+ * Time scale for the harness: first positional argument, else the
+ * COSCALE_SCALE environment variable, else @p def. Scale 1.0 is the
+ * paper's full 100M-instruction setup; the default keeps a full
+ * sweep to a few minutes.
+ */
+inline double
+scaleFromArgs(int argc, char **argv, double def = 0.1)
+{
+    if (argc > 1) {
+        double v = std::atof(argv[1]);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    if (const char *env = std::getenv("COSCALE_SCALE")) {
+        double v = std::atof(env);
+        if (v > 0.0 && v <= 1.0)
+            return v;
+    }
+    return def;
+}
+
+/** Cache of baseline runs keyed by mix name (one config per bench). */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(const SystemConfig &cfg) : cfg(cfg) {}
+
+    const RunResult &
+    get(const WorkloadMix &mix)
+    {
+        auto it = cache.find(mix.name);
+        if (it == cache.end()) {
+            BaselinePolicy b;
+            it = cache.emplace(mix.name, runWorkload(cfg, mix, b)).first;
+        }
+        return it->second;
+    }
+
+  private:
+    SystemConfig cfg;
+    std::map<std::string, RunResult> cache;
+};
+
+/**
+ * A plausible mixed-intensity profiling snapshot for @p n cores,
+ * used by the selection-algorithm microbenchmarks (no simulator
+ * needed).
+ */
+inline SystemProfile
+syntheticProfile(int n, std::uint64_t seed = 99)
+{
+    Rng rng(seed);
+    SystemProfile prof;
+    prof.windowTicks = 60 * tickPerUs;
+    prof.profiledCoreIdx.assign(static_cast<size_t>(n), 0);
+    prof.profiledMemIdx = 0;
+    for (int i = 0; i < n; ++i) {
+        CoreProfile c;
+        c.cyclesPerInstr = rng.uniform(0.8, 1.8);
+        c.alpha = rng.uniform(0.002, 0.03);
+        c.tpiL2Secs = 7.5e-9;
+        c.beta = rng.uniform(0.0001, 0.02);
+        c.measuredMemStallSecs = rng.uniform(60e-9, 200e-9);
+        c.instrs = 100000;
+        c.aluPerInstr = 0.4;
+        c.fpuPerInstr = 0.1;
+        c.branchPerInstr = 0.15;
+        c.memOpPerInstr = 0.35;
+        c.llcAccessPerInstr = c.alpha + c.beta;
+        c.memReadPerInstr = c.beta;
+        prof.cores.push_back(c);
+    }
+    prof.mem.xiBank = 1.8;
+    prof.mem.xiBus = 1.4;
+    prof.mem.wBankSecs = 6e-9;
+    prof.mem.wBusSecs = 4e-9;
+    prof.mem.measuredStallSecs = 90e-9;
+    prof.mem.profiledBusFreq = 800 * MHz;
+    prof.mem.writeFrac = 0.25;
+    prof.mem.busUtil = 0.3;
+    prof.mem.rankActiveFrac = 0.4;
+    prof.mem.trafficPerSec = 2e8;
+    return prof;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("\n==== %s ====\n", title.c_str());
+}
+
+} // namespace benchutil
+} // namespace coscale
+
+#endif // COSCALE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Section 3 parameter validation: the paper profiles for 300 us of a
+ * 5 ms epoch and states this "is sufficient to predict the resource
+ * requirements for the remainder of the epoch". This bench sweeps
+ * both knobs (scaled) on the MID mixes:
+ *
+ *  - profiling window: 1/4x, 1/2x, 1x (paper), 2x of the default —
+ *    savings and bound compliance should be flat down to small
+ *    windows, degrading only when the sample gets too noisy;
+ *  - epoch length: 0.5x, 1x (paper), 2x — longer epochs amortize
+ *    transitions but react more slowly to phases.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+namespace {
+
+void
+runRow(SystemConfig cfg, const char *label, CsvWriter &csv)
+{
+    benchutil::BaselineCache baselines(cfg);
+    Accum full;
+    double worst = 0.0;
+    for (const auto &mix : mixesByClass("MID")) {
+        const RunResult &base = baselines.get(mix);
+        CoScalePolicy policy(cfg.numCores, cfg.gamma);
+        RunResult run = runWorkload(cfg, mix, policy);
+        Comparison c = compare(base, run);
+        full.sample(c.fullSystemSavings);
+        worst = std::max(worst, c.worstDegradation);
+        csv.row()
+            .cell(label)
+            .cell(mix.name)
+            .cell(c.fullSystemSavings)
+            .cell(c.worstDegradation);
+    }
+    std::printf("%-26s | %8.1f %9.1f%s\n", label, full.mean() * 100.0,
+                worst * 100.0,
+                worst > cfg.gamma + 0.006 ? "  <-- violates" : "");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+
+    benchutil::printHeader(
+        "Section 3 parameters: profiling window and epoch length");
+    std::printf("(MID mixes; 1x = the paper's 300 us / 5 ms, scaled)\n\n");
+    std::printf("%-26s | %8s %9s\n", "setting", "avg-sav%", "worstdeg%");
+
+    CsvWriter csv("epoch_profiling.csv");
+    csv.header({"setting", "mix", "full_savings", "worst_degradation"});
+
+    for (double frac : {0.25, 0.5, 1.0, 2.0}) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.profileLen = static_cast<Tick>(cfg.profileLen * frac);
+        char label[64];
+        std::snprintf(label, sizeof(label), "profiling %.0f us (%.2gx)",
+                      ticksToSeconds(cfg.profileLen) * 1e6, frac);
+        runRow(cfg, label, csv);
+    }
+    std::printf("\n");
+    for (double frac : {0.5, 1.0, 2.0}) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.epochLen = static_cast<Tick>(cfg.epochLen * frac);
+        char label[64];
+        std::snprintf(label, sizeof(label), "epoch %.2f ms (%.2gx)",
+                      ticksToSeconds(cfg.epochLen) * 1e3, frac);
+        runRow(cfg, label, csv);
+    }
+    csv.endRow();
+    std::printf("\nCSV written to epoch_profiling.csv\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 10: sensitivity to the allowable performance degradation.
+ * Runs the MID mixes under CoScale at bounds of 1%, 5%, 10%, 15%,
+ * and 20%.
+ *
+ * Paper shape to reproduce: savings grow with the bound (about 4% at
+ * a 1% bound, 9% at 5%, up to ~19% at 20%), the bound is met in every
+ * case, and percentage energy savings exceed the performance loss
+ * even at tight bounds.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+
+    benchutil::printHeader(
+        "Figure 10: impact of the performance bound (MID mixes)");
+    std::printf("%-7s | %-26s | %8s %8s\n", "bound%", "full-savings% "
+                "(MID1..MID4)", "avg%", "worstdeg%");
+
+    CsvWriter csv("fig10_bound.csv");
+    csv.header({"bound", "mix", "full_savings", "avg_degradation",
+                "worst_degradation"});
+
+    for (double gamma : {0.01, 0.05, 0.10, 0.15, 0.20}) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.gamma = gamma;
+        benchutil::BaselineCache baselines(cfg);
+
+        Accum full;
+        double worst = 0.0;
+        std::string per_mix;
+        for (const auto &mix : mixesByClass("MID")) {
+            const RunResult &base = baselines.get(mix);
+            CoScalePolicy policy(cfg.numCores, cfg.gamma);
+            RunResult run = runWorkload(cfg, mix, policy);
+            Comparison c = compare(base, run);
+            full.sample(c.fullSystemSavings);
+            worst = std::max(worst, c.worstDegradation);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%5.1f ",
+                          c.fullSystemSavings * 100.0);
+            per_mix += buf;
+            csv.row()
+                .cell(gamma)
+                .cell(mix.name)
+                .cell(c.fullSystemSavings)
+                .cell(c.avgDegradation)
+                .cell(c.worstDegradation);
+        }
+        std::printf("%-7.0f | %-26s | %8.1f %8.1f%s\n", gamma * 100.0,
+                    per_mix.c_str(), full.mean() * 100.0,
+                    worst * 100.0,
+                    worst > gamma + 0.006 ? "  <-- VIOLATES" : "");
+    }
+    csv.endRow();
+    std::printf("\nCSV written to fig10_bound.csv\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figures 12 and 13: sensitivity to the CPU:memory power ratio.
+ * Runs the MID mixes (Fig. 12) and the MEM mixes (Fig. 13) under
+ * CoScale with the memory subsystem's power scaled to model 2:1
+ * (baseline), 1:1, and 1:2 CPU:memory splits.
+ *
+ * Paper shape to reproduce: for MID mixes, savings *increase* as
+ * memory power grows (memory DVFS has more to harvest); for MEM
+ * mixes the trend *reverses* (their savings come mostly from CPU
+ * scaling, which loses weight).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+namespace {
+
+void
+sweepClass(const std::string &wl_class, double scale, CsvWriter &csv)
+{
+    std::printf("\n%s mixes:\n", wl_class.c_str());
+    std::printf("%-9s | %-26s | %8s %8s\n", "CPU:Mem",
+                "full-savings%", "avg%", "worstdeg%");
+
+    const struct
+    {
+        const char *label;
+        double multiplier;
+    } ratios[] = {{"2:1", 1.0}, {"1:1", 2.0}, {"1:2", 4.0}};
+
+    for (const auto &r : ratios) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.power.mem.memPowerMultiplier = r.multiplier;
+        benchutil::BaselineCache baselines(cfg);
+
+        Accum full;
+        double worst = 0.0;
+        std::string per_mix;
+        for (const auto &mix : mixesByClass(wl_class)) {
+            const RunResult &base = baselines.get(mix);
+            CoScalePolicy policy(cfg.numCores, cfg.gamma);
+            RunResult run = runWorkload(cfg, mix, policy);
+            Comparison c = compare(base, run);
+            full.sample(c.fullSystemSavings);
+            worst = std::max(worst, c.worstDegradation);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%5.1f ",
+                          c.fullSystemSavings * 100.0);
+            per_mix += buf;
+            csv.row()
+                .cell(wl_class)
+                .cell(r.label)
+                .cell(mix.name)
+                .cell(c.fullSystemSavings)
+                .cell(c.worstDegradation);
+        }
+        std::printf("%-9s | %-26s | %8.1f %8.1f%s\n", r.label,
+                    per_mix.c_str(), full.mean() * 100.0, worst * 100.0,
+                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    benchutil::printHeader(
+        "Figures 12 & 13: impact of the CPU:memory power ratio");
+
+    CsvWriter csv("fig12_13_ratio.csv");
+    csv.header({"class", "ratio", "mix", "full_savings",
+                "worst_degradation"});
+    sweepClass("MID", scale, csv);
+    sweepClass("MEM", scale, csv);
+    csv.endRow();
+    std::printf("\nCSV written to fig12_13_ratio.csv\n");
+    return 0;
+}

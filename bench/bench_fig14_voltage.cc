@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Figure 14: sensitivity to the CPU (and MC) voltage range. Runs the
+ * MID mixes under CoScale with the full 0.65-1.2 V range and with the
+ * half-width 0.95-1.2 V range.
+ *
+ * Paper shape to reproduce: with the narrower range the marginal
+ * utility of core scaling falls, CoScale shifts effort to the memory
+ * subsystem, and average savings drop to ~11%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+
+    benchutil::printHeader(
+        "Figure 14: impact of the CPU voltage range (MID mixes)");
+    std::printf("%-18s | %-26s | %8s %8s %8s\n", "range",
+                "full-savings%", "avg%", "mem%", "worstdeg%");
+
+    CsvWriter csv("fig14_voltage.csv");
+    csv.header({"range", "mix", "full_savings", "mem_savings",
+                "cpu_savings", "worst_degradation"});
+
+    const struct
+    {
+        const char *label;
+        bool half;
+    } ranges[] = {{"full (0.65-1.2V)", false}, {"half (0.95-1.2V)", true}};
+
+    for (const auto &r : ranges) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        if (r.half)
+            cfg.coreLadder = halfVoltageCoreLadder();
+        benchutil::BaselineCache baselines(cfg);
+
+        Accum full, mem;
+        double worst = 0.0;
+        std::string per_mix;
+        for (const auto &mix : mixesByClass("MID")) {
+            const RunResult &base = baselines.get(mix);
+            CoScalePolicy policy(cfg.numCores, cfg.gamma);
+            RunResult run = runWorkload(cfg, mix, policy);
+            Comparison c = compare(base, run);
+            full.sample(c.fullSystemSavings);
+            mem.sample(c.memSavings);
+            worst = std::max(worst, c.worstDegradation);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%5.1f ",
+                          c.fullSystemSavings * 100.0);
+            per_mix += buf;
+            csv.row()
+                .cell(r.label)
+                .cell(mix.name)
+                .cell(c.fullSystemSavings)
+                .cell(c.memSavings)
+                .cell(c.cpuSavings)
+                .cell(c.worstDegradation);
+        }
+        std::printf("%-18s | %-26s | %8.1f %8.1f %8.1f%s\n", r.label,
+                    per_mix.c_str(), full.mean() * 100.0,
+                    mem.mean() * 100.0, worst * 100.0,
+                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+    }
+    csv.endRow();
+    std::printf("\nCSV written to fig14_voltage.csv\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 15: sensitivity to the number of available frequency steps.
+ * Runs the MID mixes under CoScale with 4, 7, and 10 steps on both
+ * the core and memory ladders.
+ *
+ * Paper shape to reproduce: savings shrink only slightly with fewer
+ * steps; with 4 steps the worst-case performance loss sits a bit
+ * below the bound because the coarse ladder cannot consume all slack.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+
+    benchutil::printHeader(
+        "Figure 15: impact of the number of frequencies (MID mixes)");
+    std::printf("%-6s | %-26s | %8s %8s\n", "steps",
+                "full-savings%", "avg%", "worstdeg%");
+
+    CsvWriter csv("fig15_freqs.csv");
+    csv.header({"steps", "mix", "full_savings", "worst_degradation"});
+
+    for (int steps : {4, 7, 10}) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.coreLadder = defaultCoreLadder(steps);
+        cfg.memLadder = defaultMemLadder(steps);
+        benchutil::BaselineCache baselines(cfg);
+
+        Accum full;
+        double worst = 0.0;
+        std::string per_mix;
+        for (const auto &mix : mixesByClass("MID")) {
+            const RunResult &base = baselines.get(mix);
+            CoScalePolicy policy(cfg.numCores, cfg.gamma);
+            RunResult run = runWorkload(cfg, mix, policy);
+            Comparison c = compare(base, run);
+            full.sample(c.fullSystemSavings);
+            worst = std::max(worst, c.worstDegradation);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), "%5.1f ",
+                          c.fullSystemSavings * 100.0);
+            per_mix += buf;
+            csv.row()
+                .cell(steps)
+                .cell(mix.name)
+                .cell(c.fullSystemSavings)
+                .cell(c.worstDegradation);
+        }
+        std::printf("%-6d | %-26s | %8.1f %8.1f%s\n", steps,
+                    per_mix.c_str(), full.mean() * 100.0, worst * 100.0,
+                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+    }
+    csv.endRow();
+    std::printf("\nCSV written to fig15_freqs.csv\n");
+    return 0;
+}

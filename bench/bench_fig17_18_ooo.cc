@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figures 17 and 18: in-order versus out-of-order emulation. For each
+ * workload class, reports average CPI (Fig. 17) and full-system
+ * energy per instruction (Fig. 18), both normalized to the in-order
+ * baseline, for: In-order, OoO, In-order+CoScale, OoO+CoScale.
+ *
+ * Paper shape to reproduce: the 128-instruction MLP window helps MEM
+ * drastically (overlapped misses) and ILP not at all; CoScale stays
+ * within 10% of the matching non-CoScale design; energy-per-
+ * instruction gains from CoScale are similar for in-order and OoO.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+namespace {
+
+/** Average time-per-instruction over the mix's applications. */
+double
+avgTpi(const RunResult &r, std::uint64_t budget)
+{
+    double sum = 0.0;
+    for (Tick t : r.appCompletion)
+        sum += ticksToSeconds(t) / static_cast<double>(budget);
+    return sum / static_cast<double>(r.appCompletion.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+
+    benchutil::printHeader(
+        "Figures 17 & 18: in-order vs out-of-order (128-instr window)");
+    std::printf("CPI and energy/instr normalized to In-order\n\n");
+    std::printf("%-5s | %-31s | %-31s | %7s\n", "",
+                "CPI (IO / OoO / IO+CS / OoO+CS)",
+                "EPI (IO / OoO / IO+CS / OoO+CS)", "CS-deg%");
+
+    CsvWriter csv("fig17_18_ooo.csv");
+    csv.header({"class", "design", "cpi_norm", "epi_norm"});
+
+    for (const std::string cls : {"MEM", "MID", "ILP", "MIX"}) {
+        Accum cpi_io, cpi_ooo, cpi_io_cs, cpi_ooo_cs;
+        Accum epi_io, epi_ooo, epi_io_cs, epi_ooo_cs;
+        Accum cs_deg;
+        for (const auto &mix : mixesByClass(cls)) {
+            SystemConfig in_order = makeScaledConfig(scale);
+            SystemConfig ooo = in_order;
+            ooo.ooo = true;
+
+            BaselinePolicy b1, b2;
+            RunResult io = runWorkload(in_order, mix, b1);
+            RunResult oo = runWorkload(ooo, mix, b2);
+            CoScalePolicy p1(16, in_order.gamma);
+            RunResult io_cs = runWorkload(in_order, mix, p1);
+            CoScalePolicy p2(16, ooo.gamma);
+            RunResult oo_cs = runWorkload(ooo, mix, p2);
+
+            std::uint64_t budget = in_order.instrBudget;
+            double t0 = avgTpi(io, budget);
+            cpi_io.sample(1.0);
+            cpi_ooo.sample(avgTpi(oo, budget) / t0);
+            cpi_io_cs.sample(avgTpi(io_cs, budget) / t0);
+            cpi_ooo_cs.sample(avgTpi(oo_cs, budget) / t0);
+
+            double e0 = io.energyPerInstrNj();
+            epi_io.sample(1.0);
+            epi_ooo.sample(oo.energyPerInstrNj() / e0);
+            epi_io_cs.sample(io_cs.energyPerInstrNj() / e0);
+            epi_ooo_cs.sample(oo_cs.energyPerInstrNj() / e0);
+
+            // CoScale-on-OoO degradation vs the OoO baseline.
+            Comparison c = compare(oo, oo_cs);
+            cs_deg.sample(c.worstDegradation);
+        }
+        std::printf("%-5s | %6.2f %6.2f %8.2f %8.2f | %6.2f %6.2f "
+                    "%8.2f %8.2f | %7.1f\n",
+                    cls.c_str(), cpi_io.mean(), cpi_ooo.mean(),
+                    cpi_io_cs.mean(), cpi_ooo_cs.mean(), epi_io.mean(),
+                    epi_ooo.mean(), epi_io_cs.mean(),
+                    epi_ooo_cs.mean(), cs_deg.mean() * 100.0);
+        const char *designs[] = {"In-order", "OoO", "In-order+CoScale",
+                                 "OoO+CoScale"};
+        double cpis[] = {cpi_io.mean(), cpi_ooo.mean(),
+                         cpi_io_cs.mean(), cpi_ooo_cs.mean()};
+        double epis[] = {epi_io.mean(), epi_ooo.mean(),
+                         epi_io_cs.mean(), epi_ooo_cs.mean()};
+        for (int d = 0; d < 4; ++d)
+            csv.row().cell(cls).cell(designs[d]).cell(cpis[d]).cell(
+                epis[d]);
+    }
+    csv.endRow();
+    std::printf("\nCSV written to fig17_18_ooo.csv\n");
+    return 0;
+}

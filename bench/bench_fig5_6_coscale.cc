@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figures 5 and 6: CoScale's per-mix full-system / memory / CPU
+ * energy savings versus the no-DVFS baseline (Fig. 5) and the
+ * per-mix average and worst-program performance degradation against
+ * the 10% bound (Fig. 6).
+ *
+ * Paper shape to reproduce: 13-24% full-system savings (16% average);
+ * ILP mixes show the highest memory and lowest CPU savings, MEM the
+ * reverse; the bound is never violated and average degradation sits
+ * just under the 10% target.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+
+using namespace coscale;
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    SystemConfig cfg = makeScaledConfig(scale);
+    benchutil::BaselineCache baselines(cfg);
+
+    benchutil::printHeader(
+        "Figures 5 & 6: CoScale energy savings and performance");
+    std::printf("scale %.2f, bound %.0f%%\n\n", scale,
+                cfg.gamma * 100.0);
+    std::printf("%-6s | %8s %8s %8s | %8s %8s\n", "mix", "full%",
+                "mem%", "cpu%", "avg-deg%", "worst%");
+
+    CsvWriter csv("fig5_6_coscale.csv");
+    csv.header({"mix", "class", "full_savings", "mem_savings",
+                "cpu_savings", "avg_degradation", "worst_degradation"});
+
+    Accum full, mem, cpu, avg_deg, worst_deg;
+    bool violated = false;
+    for (const auto &mix : table1Mixes()) {
+        const RunResult &base = baselines.get(mix);
+        CoScalePolicy policy(cfg.numCores, cfg.gamma);
+        RunResult run = runWorkload(cfg, mix, policy);
+        Comparison c = compare(base, run);
+
+        std::printf("%-6s | %8.1f %8.1f %8.1f | %8.1f %8.1f\n",
+                    mix.name.c_str(), c.fullSystemSavings * 100.0,
+                    c.memSavings * 100.0, c.cpuSavings * 100.0,
+                    c.avgDegradation * 100.0,
+                    c.worstDegradation * 100.0);
+        csv.row()
+            .cell(mix.name)
+            .cell(mix.wlClass)
+            .cell(c.fullSystemSavings)
+            .cell(c.memSavings)
+            .cell(c.cpuSavings)
+            .cell(c.avgDegradation)
+            .cell(c.worstDegradation);
+
+        full.sample(c.fullSystemSavings);
+        mem.sample(c.memSavings);
+        cpu.sample(c.cpuSavings);
+        avg_deg.sample(c.avgDegradation);
+        worst_deg.sample(c.worstDegradation);
+        violated = violated || c.worstDegradation > cfg.gamma + 0.005;
+    }
+    csv.endRow();
+
+    std::printf("%-6s | %8.1f %8.1f %8.1f | %8.1f %8.1f\n", "AVG",
+                full.mean() * 100.0, mem.mean() * 100.0,
+                cpu.mean() * 100.0, avg_deg.mean() * 100.0,
+                worst_deg.mean() * 100.0);
+    std::printf("\nfull-system savings range: %.1f%% .. %.1f%% "
+                "(paper: 13%% .. 24%%, avg 16%%)\n",
+                full.min() * 100.0, full.max() * 100.0);
+    std::printf("bound violations: %s (paper: never)\n",
+                violated ? "YES" : "none");
+    std::printf("CSV written to fig5_6_coscale.csv\n");
+    return violated ? 1 : 0;
+}

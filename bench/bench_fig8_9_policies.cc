@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figures 8 and 9: average energy savings (full-system / memory /
+ * CPU) and average / worst-case performance degradation for all six
+ * policies over the sixteen Table 1 mixes.
+ *
+ * Paper shape to reproduce:
+ *  - MemScale and CPUOnly conserve their own component (~30% memory
+ *    / ~26% CPU) but at most ~10% full-system energy, with the
+ *    unmanaged component's energy rising;
+ *  - Uncoordinated achieves the highest raw savings but violates the
+ *    bound (up to ~19% degradation, nearly 2x the 10% target);
+ *  - Semi-coordinated meets the bound but saves ~2.6% less system
+ *    energy than CoScale (oscillation + local minima);
+ *  - CoScale meets the bound and comes close to Offline.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "policy/coscale_policy.hh"
+#include "policy/offline.hh"
+#include "policy/simple_policies.hh"
+#include "policy/uncoordinated.hh"
+
+using namespace coscale;
+
+namespace {
+
+std::unique_ptr<Policy>
+makePolicy(const std::string &name, int cores, double gamma)
+{
+    if (name == "MemScale")
+        return std::make_unique<MemScalePolicy>(cores, gamma);
+    if (name == "CPUOnly")
+        return std::make_unique<CpuOnlyPolicy>(cores, gamma);
+    if (name == "Uncoordinated")
+        return std::make_unique<UncoordinatedPolicy>(cores, gamma);
+    if (name == "Semi-coordinated")
+        return std::make_unique<SemiCoordinatedPolicy>(cores, gamma);
+    if (name == "CoScale")
+        return std::make_unique<CoScalePolicy>(cores, gamma);
+    if (name == "Offline")
+        return std::make_unique<OfflinePolicy>(cores, gamma);
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    SystemConfig cfg = makeScaledConfig(scale);
+    benchutil::BaselineCache baselines(cfg);
+
+    benchutil::printHeader(
+        "Figures 8 & 9: policy comparison over all 16 mixes");
+    std::printf("scale %.2f, bound %.0f%%\n\n", scale,
+                cfg.gamma * 100.0);
+
+    const std::vector<std::string> policies = {
+        "MemScale", "CPUOnly", "Uncoordinated", "Semi-coordinated",
+        "CoScale", "Offline",
+    };
+
+    CsvWriter csv("fig8_9_policies.csv");
+    csv.header({"policy", "mix", "full_savings", "mem_savings",
+                "cpu_savings", "avg_degradation", "worst_degradation"});
+
+    std::printf("%-17s | %7s %7s %7s | %8s %8s\n", "policy", "full%",
+                "mem%", "cpu%", "avg-deg%", "worst%");
+
+    double coscale_full = 0.0;
+    for (const auto &pname : policies) {
+        Accum full, mem, cpu, avg_deg;
+        double worst = 0.0;
+        for (const auto &mix : table1Mixes()) {
+            const RunResult &base = baselines.get(mix);
+            auto policy = makePolicy(pname, cfg.numCores, cfg.gamma);
+            RunResult run = runWorkload(cfg, mix, *policy);
+            Comparison c = compare(base, run);
+            full.sample(c.fullSystemSavings);
+            mem.sample(c.memSavings);
+            cpu.sample(c.cpuSavings);
+            avg_deg.sample(c.avgDegradation);
+            worst = std::max(worst, c.worstDegradation);
+            csv.row()
+                .cell(pname)
+                .cell(mix.name)
+                .cell(c.fullSystemSavings)
+                .cell(c.memSavings)
+                .cell(c.cpuSavings)
+                .cell(c.avgDegradation)
+                .cell(c.worstDegradation);
+        }
+        std::printf("%-17s | %7.1f %7.1f %7.1f | %8.1f %8.1f%s\n",
+                    pname.c_str(), full.mean() * 100.0,
+                    mem.mean() * 100.0, cpu.mean() * 100.0,
+                    avg_deg.mean() * 100.0, worst * 100.0,
+                    worst > cfg.gamma + 0.005 ? "  <-- VIOLATES" : "");
+        if (pname == "CoScale")
+            coscale_full = full.mean();
+    }
+    csv.endRow();
+
+    std::printf("\nCoScale average full-system savings: %.1f%% "
+                "(paper: 16%%)\n",
+                coscale_full * 100.0);
+    std::printf("CSV written to fig8_9_policies.csv\n");
+    return 0;
+}

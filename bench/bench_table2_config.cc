@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Table 2 reproduction: dump the simulated system's configuration in
+ * the paper's layout, straight from the live config structs (so any
+ * drift between documentation and implementation is visible).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "sim/system.hh"
+
+using namespace coscale;
+
+int
+main(int argc, char **argv)
+{
+    double scale = benchutil::scaleFromArgs(argc, argv, 1.0);
+    SystemConfig cfg = makeScaledConfig(scale);
+
+    benchutil::printHeader("Table 2: main system settings");
+
+    std::printf("CPU cores            : %d in-order, single thread, "
+                "%.1f GHz max\n",
+                cfg.numCores, cfg.coreLadder.fMax() / GHz);
+    std::printf("Core DVFS            : %d steps, %.1f-%.1f GHz, "
+                "%.2f-%.2f V\n",
+                cfg.coreLadder.size(), cfg.coreLadder.fMin() / GHz,
+                cfg.coreLadder.fMax() / GHz, cfg.coreLadder.vMin(),
+                cfg.coreLadder.vMax());
+    std::printf("L2 cache (shared)    : %llu MB, %d-way, %.1f ns hit "
+                "(30 cycles at 4 GHz, fixed domain)\n",
+                static_cast<unsigned long long>(cfg.llc.sizeBytes >> 20),
+                cfg.llc.ways, cfg.llc.hitLatencyNs);
+    std::printf("Cache block size     : %u bytes\n", blockBytes);
+    std::printf("Memory configuration : %d DDR3 channels, %d DIMMs, "
+                "%d ranks x %d banks, %d devices/rank\n",
+                cfg.geom.channels,
+                cfg.geom.channels * cfg.geom.dimmsPerChannel,
+                cfg.geom.totalRanks(), cfg.geom.banksPerRank,
+                cfg.geom.devicesPerRank);
+    std::printf("Memory DVFS          : %d steps, %.0f-%.0f MHz bus "
+                "(MC at 2x)\n",
+                cfg.memLadder.size(), cfg.memLadder.fMin() / MHz,
+                cfg.memLadder.fMax() / MHz);
+
+    std::printf("\nTiming:\n");
+    const DramTimingParams &t = cfg.timing;
+    std::printf("  tRCD, tRP, tCL     : %.0f ns, %.0f ns, %.0f ns\n",
+                t.tRCDns, t.tRPns, t.tCLns);
+    std::printf("  tFAW               : %d cycles\n", t.tFAWcycles);
+    std::printf("  tRTP               : %d cycles\n", t.tRTPcycles);
+    std::printf("  tRAS               : %d cycles\n", t.tRAScycles);
+    std::printf("  tRRD               : %d cycles\n", t.tRRDcycles);
+    std::printf("  refresh period     : 64 ms (tREFI %.1f us, tRFC "
+                "%.0f ns)\n",
+                t.tREFIus, t.tRFCns);
+    std::printf("  recalibration      : %d cycles + %.0f ns\n",
+                t.recalCycles, t.recalExtraNs);
+
+    std::printf("\nCurrents (mA):\n");
+    const DramCurrentParams &c = cfg.power.mem.currents;
+    std::printf("  row buffer read, write        : %.0f, %.0f\n",
+                c.iRowRead, c.iRowWrite);
+    std::printf("  activation-precharge          : %.0f\n", c.iActPre);
+    std::printf("  active standby                : %.0f\n",
+                c.iActiveStandby);
+    std::printf("  active powerdown              : %.0f\n",
+                c.iActivePowerdown);
+    std::printf("  precharge standby             : %.0f\n",
+                c.iPrechargeStandby);
+    std::printf("  precharge powerdown           : %.0f\n",
+                c.iPrechargePowerdown);
+    std::printf("  refresh                       : %.0f\n", c.iRefresh);
+
+    std::printf("\nPolicy:\n");
+    std::printf("  epoch length       : %.2f ms  (profiling %.0f us)\n",
+                ticksToSeconds(cfg.epochLen) * 1e3,
+                ticksToSeconds(cfg.profileLen) * 1e6);
+    std::printf("  performance bound  : %.0f%%\n", cfg.gamma * 100.0);
+    std::printf("  core transition    : %.0f us\n",
+                ticksToSeconds(cfg.coreTransitionTicks) * 1e6);
+    std::printf("  rest-of-system     : %.0f%% of peak power\n",
+                cfg.power.otherFrac * 100.0);
+    std::printf("  time scale         : %.2f "
+                "(1.0 = paper's 100M instructions / 5 ms epochs)\n",
+                cfg.timeScale);
+    return 0;
+}

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * coscale_sim — the command-line front end to the whole library.
+ * Runs any workload mix under any policy at any configuration, and
+ * prints (or CSVs) the result. This is the "driver binary" a
+ * downstream user scripts their own experiments with.
+ *
+ * Usage:
+ *   coscale_sim [options]
+ *     --mix NAME         workload mix (default MID1; 'all' sweeps)
+ *     --policy NAME      baseline|memscale|cpuonly|uncoordinated|
+ *                        semi|semi-alt|coscale|offline|multiscale|reactive|
+ *                        powercap
+ *                        (default coscale)
+ *     --scale S          time scale in (0,1] (default 0.1)
+ *     --bound PCT        performance bound in percent (default 10)
+ *     --cap WATTS        power cap (powercap policy only)
+ *     --cores N          number of cores (default 16)
+ *     --ooo              enable the OoO/MLP window
+ *     --prefetch         enable the next-line prefetcher
+ *     --open-page        open-page row-buffer policy
+ *     --region-map       region-per-channel placement (MultiScale)
+ *     --freq-steps N     ladder steps for both domains (default 10)
+ *     --half-voltage     use the 0.95-1.2 V core range
+ *     --mem-power-mult M memory power multiplier (Fig. 12/13)
+ *     --other-frac F     rest-of-system power fraction (default 0.1)
+ *     --seed S           workload RNG seed
+ *     --csv PATH         append one result row per run to a CSV
+ *     --json PATH        write a full JSON report of the (last) run
+ *     --epochs           print the per-epoch frequency log
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/csv.hh"
+#include "common/log.hh"
+#include "policy/coscale_policy.hh"
+#include "policy/offline.hh"
+#include "policy/multiscale.hh"
+#include "policy/power_cap.hh"
+#include "policy/simple_policies.hh"
+#include "policy/uncoordinated.hh"
+#include "sim/runner.hh"
+
+using namespace coscale;
+
+namespace {
+
+struct Options
+{
+    std::string mix = "MID1";
+    std::string policy = "coscale";
+    double scale = 0.1;
+    double bound = 10.0;
+    double cap = 120.0;
+    int cores = 16;
+    bool ooo = false;
+    bool prefetch = false;
+    bool openPage = false;
+    bool regionMap = false;
+    int freqSteps = 10;
+    bool halfVoltage = false;
+    double memPowerMult = 1.0;
+    double otherFrac = 0.10;
+    std::uint64_t seed = 1;
+    std::string csvPath;
+    std::string jsonPath;
+    bool printEpochs = false;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            fatal("missing value for %s", argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--mix") {
+            opt.mix = need(i);
+        } else if (a == "--policy") {
+            opt.policy = need(i);
+        } else if (a == "--scale") {
+            opt.scale = std::atof(need(i));
+        } else if (a == "--bound") {
+            opt.bound = std::atof(need(i));
+        } else if (a == "--cap") {
+            opt.cap = std::atof(need(i));
+        } else if (a == "--cores") {
+            opt.cores = std::atoi(need(i));
+        } else if (a == "--ooo") {
+            opt.ooo = true;
+        } else if (a == "--prefetch") {
+            opt.prefetch = true;
+        } else if (a == "--open-page") {
+            opt.openPage = true;
+        } else if (a == "--region-map") {
+            opt.regionMap = true;
+        } else if (a == "--freq-steps") {
+            opt.freqSteps = std::atoi(need(i));
+        } else if (a == "--half-voltage") {
+            opt.halfVoltage = true;
+        } else if (a == "--mem-power-mult") {
+            opt.memPowerMult = std::atof(need(i));
+        } else if (a == "--other-frac") {
+            opt.otherFrac = std::atof(need(i));
+        } else if (a == "--seed") {
+            opt.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+        } else if (a == "--csv") {
+            opt.csvPath = need(i);
+        } else if (a == "--json") {
+            opt.jsonPath = need(i);
+        } else if (a == "--epochs") {
+            opt.printEpochs = true;
+        } else if (a == "--help" || a == "-h") {
+            std::printf("see the header comment of "
+                        "examples/coscale_sim.cc for options\n");
+            std::exit(0);
+        } else {
+            fatal("unknown option '%s' (try --help)", a.c_str());
+        }
+    }
+    return opt;
+}
+
+SystemConfig
+makeConfig(const Options &opt)
+{
+    SystemConfig cfg = makeScaledConfig(opt.scale);
+    cfg.numCores = opt.cores;
+    cfg.gamma = opt.bound / 100.0;
+    cfg.ooo = opt.ooo;
+    cfg.llc.prefetchNextLine = opt.prefetch;
+    cfg.openPage = opt.openPage;
+    if (opt.regionMap || opt.policy == "multiscale") {
+        cfg.geom.addrMap = AddrMap::RegionPerChannel;
+        cfg.power.geom = cfg.geom;
+    }
+    cfg.seed = opt.seed;
+    if (opt.freqSteps != 10) {
+        cfg.coreLadder = defaultCoreLadder(opt.freqSteps);
+        cfg.memLadder = defaultMemLadder(opt.freqSteps);
+    }
+    if (opt.halfVoltage)
+        cfg.coreLadder = halfVoltageCoreLadder(opt.freqSteps);
+    cfg.power.mem.memPowerMultiplier = opt.memPowerMult;
+    cfg.power.otherFrac = opt.otherFrac;
+    cfg.power.numCores = opt.cores;
+    return cfg;
+}
+
+std::unique_ptr<Policy>
+makePolicy(const Options &opt, const SystemConfig &cfg)
+{
+    const std::string &p = opt.policy;
+    if (p == "baseline")
+        return std::make_unique<BaselinePolicy>();
+    if (p == "reactive")
+        return std::make_unique<ReactivePolicy>(cfg.numCores, cfg.gamma);
+    if (p == "memscale")
+        return std::make_unique<MemScalePolicy>(cfg.numCores, cfg.gamma);
+    if (p == "cpuonly")
+        return std::make_unique<CpuOnlyPolicy>(cfg.numCores, cfg.gamma);
+    if (p == "uncoordinated") {
+        return std::make_unique<UncoordinatedPolicy>(cfg.numCores,
+                                                     cfg.gamma);
+    }
+    if (p == "semi") {
+        return std::make_unique<SemiCoordinatedPolicy>(cfg.numCores,
+                                                       cfg.gamma);
+    }
+    if (p == "semi-alt") {
+        return std::make_unique<SemiCoordinatedPolicy>(
+            cfg.numCores, cfg.gamma,
+            SemiCoordinatedPolicy::Phase::Alternate);
+    }
+    if (p == "coscale")
+        return std::make_unique<CoScalePolicy>(cfg.numCores, cfg.gamma);
+    if (p == "coscale-chipwide") {
+        CoScaleOptions o;
+        o.chipWideCpuDvfs = true;
+        return std::make_unique<CoScalePolicy>(cfg.numCores, cfg.gamma,
+                                               o);
+    }
+    if (p == "offline")
+        return std::make_unique<OfflinePolicy>(cfg.numCores, cfg.gamma);
+    if (p == "multiscale") {
+        return std::make_unique<MultiScalePolicy>(cfg.numCores,
+                                                  cfg.gamma);
+    }
+    if (p == "powercap")
+        return std::make_unique<PowerCapPolicy>(opt.cap);
+    fatal("unknown policy '%s'", p.c_str());
+}
+
+void
+runOne(const Options &opt, const WorkloadMix &mix, CsvWriter *csv)
+{
+
+    SystemConfig cfg = makeConfig(opt);
+    BaselinePolicy baseline;
+    RunResult base = runWorkload(cfg, mix, baseline);
+    auto policy = makePolicy(opt, cfg);
+    RunResult run = runWorkload(cfg, mix, *policy);
+    Comparison c = compare(base, run);
+
+    std::printf("%-6s %-16s | full %5.1f%% mem %5.1f%% cpu %5.1f%% | "
+                "deg %4.1f/%4.1f%% | %6.2f ms %6.1f J\n",
+                mix.name.c_str(), policy->name().c_str(),
+                c.fullSystemSavings * 100.0, c.memSavings * 100.0,
+                c.cpuSavings * 100.0, c.avgDegradation * 100.0,
+                c.worstDegradation * 100.0,
+                ticksToSeconds(run.finishTick) * 1e3,
+                run.totalEnergyJ());
+
+    if (opt.printEpochs) {
+        for (size_t e = 0; e < run.epochs.size(); ++e) {
+            const EpochLog &log = run.epochs[e];
+            double avg_core = 0.0;
+            for (int idx : log.applied.coreIdx)
+                avg_core += cfg.coreLadder.freq(idx) / GHz;
+            avg_core /= static_cast<double>(log.applied.coreIdx.size());
+            std::printf("  epoch %3zu: mem %.0f MHz, cores avg "
+                        "%.2f GHz, power %.1f W\n",
+                        e + 1,
+                        cfg.memLadder.freq(log.applied.memIdx) / MHz,
+                        avg_core, log.avgPower.totalW());
+        }
+    }
+
+    if (!opt.jsonPath.empty()) {
+        std::ofstream jf(opt.jsonPath);
+        if (!jf)
+            fatal("cannot open '%s'", opt.jsonPath.c_str());
+        writeJsonReport(run, &c, jf);
+    }
+
+    if (csv) {
+        csv->row()
+            .cell(mix.name)
+            .cell(policy->name())
+            .cell(opt.scale)
+            .cell(cfg.gamma)
+            .cell(c.fullSystemSavings)
+            .cell(c.memSavings)
+            .cell(c.cpuSavings)
+            .cell(c.avgDegradation)
+            .cell(c.worstDegradation)
+            .cell(run.totalEnergyJ());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+
+    std::unique_ptr<CsvWriter> csv;
+    if (!opt.csvPath.empty()) {
+        csv = std::make_unique<CsvWriter>(opt.csvPath);
+        csv->header({"mix", "policy", "scale", "bound", "full_savings",
+                     "mem_savings", "cpu_savings", "avg_degradation",
+                     "worst_degradation", "energy_j"});
+    }
+
+    if (opt.mix == "all") {
+        for (const auto &mix : table1Mixes())
+            runOne(opt, mix, csv.get());
+    } else {
+        runOne(opt, mixByName(opt.mix), csv.get());
+    }
+    if (csv)
+        csv->endRow();
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * trace_dump — inspect a CoScale binary trace file: header summary,
+ * per-stream statistics (rates, mixes, address footprint), and
+ * optionally the first N records. Also doubles as a generator: with
+ * --make APP it records a fresh trace for a catalogue application.
+ *
+ * Usage:
+ *   trace_dump FILE [--records N]
+ *   trace_dump --make APP --out FILE [--instructions M]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "common/log.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+#include "workloads/spec_catalogue.hh"
+
+using namespace coscale;
+
+namespace {
+
+void
+summarize(const std::string &path, int show_records)
+{
+    auto buf = loadTraceFile(path);
+    const auto &recs = *buf;
+
+    std::uint64_t instrs = 0, cycles = 0, writes = 0;
+    std::uint64_t alu = 0, fpu = 0, br = 0, mem = 0;
+    std::set<BlockAddr> unique;
+    BlockAddr lo = ~BlockAddr(0), hi = 0;
+    for (const auto &r : recs) {
+        instrs += r.gapInstrs;
+        cycles += r.gapCycles;
+        writes += r.isWrite;
+        alu += r.aluOps;
+        fpu += r.fpuOps;
+        br += r.branchOps;
+        mem += r.memOps;
+        if (unique.size() < 1'000'000)
+            unique.insert(r.addr);
+        lo = std::min(lo, r.addr);
+        hi = std::max(hi, r.addr);
+    }
+    double n = static_cast<double>(recs.size());
+    double di = static_cast<double>(instrs);
+
+    std::printf("%s:\n", path.c_str());
+    std::printf("  records            : %zu\n", recs.size());
+    std::printf("  instructions       : %llu\n",
+                static_cast<unsigned long long>(instrs));
+    std::printf("  base CPI           : %.3f\n", cycles / di);
+    std::printf("  LLC accesses / ki  : %.2f\n", 1000.0 * n / di);
+    std::printf("  write fraction     : %.3f\n", writes / n);
+    std::printf("  mix (alu/fpu/br/mem): %.2f / %.2f / %.2f / %.2f\n",
+                alu / di, fpu / di, br / di, mem / di);
+    std::printf("  unique blocks      : %zu%s\n", unique.size(),
+                unique.size() >= 1'000'000 ? "+" : "");
+    std::printf("  address span       : [%#llx, %#llx]\n",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+
+    for (int i = 0; i < show_records && i < static_cast<int>(n); ++i) {
+        const TraceRecord &r = recs[static_cast<size_t>(i)];
+        std::printf("  [%4d] gap=%u instr / %u cyc  addr=%#llx %s\n",
+                    i, r.gapInstrs, r.gapCycles,
+                    static_cast<unsigned long long>(r.addr),
+                    r.isWrite ? "W" : "R");
+    }
+}
+
+void
+makeTrace(const std::string &app_name, const std::string &out,
+          std::uint64_t instructions)
+{
+    AppSpec spec = appByName(app_name);
+    double weight = 0.0;
+    for (const auto &p : spec.phases)
+        weight += static_cast<double>(p.instructions);
+    spec = scalePhaseLengths(spec,
+                             static_cast<double>(instructions) / weight);
+
+    SyntheticTraceSource src(spec, 0, 12345);
+    TraceFileWriter writer(out);
+    std::uint64_t done = 0;
+    while (done < instructions) {
+        TraceRecord r = src.next();
+        done += r.gapInstrs;
+        writer.append(r);
+    }
+    writer.close();
+    std::printf("wrote %llu records (%llu instructions) of '%s' to %s\n",
+                static_cast<unsigned long long>(writer.recordsWritten()),
+                static_cast<unsigned long long>(done),
+                app_name.c_str(), out.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string file;
+    std::string make_app;
+    std::string out;
+    std::uint64_t instructions = 2'000'000;
+    int show_records = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--records") {
+            show_records = std::atoi(need());
+        } else if (a == "--make") {
+            make_app = need();
+        } else if (a == "--out") {
+            out = need();
+        } else if (a == "--instructions") {
+            instructions =
+                static_cast<std::uint64_t>(std::atoll(need()));
+        } else if (a[0] != '-') {
+            file = a;
+        } else {
+            fatal("unknown option '%s'", a.c_str());
+        }
+    }
+
+    if (!make_app.empty()) {
+        if (out.empty())
+            fatal("--make requires --out FILE");
+        makeTrace(make_app, out, instructions);
+        return 0;
+    }
+    if (file.empty()) {
+        std::printf("usage: trace_dump FILE [--records N]\n"
+                    "       trace_dump --make APP --out FILE "
+                    "[--instructions M]\n\navailable applications:\n");
+        for (const auto &name : catalogueNames())
+            std::printf("  %s\n", name.c_str());
+        return 1;
+    }
+    summarize(file, show_records);
+    return 0;
+}

@@ -1,0 +1,128 @@
+#include "cache/llc.hh"
+
+#include "common/log.hh"
+
+namespace coscale {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Llc::Llc(const LlcConfig &cfg)
+    : config(cfg)
+{
+    std::uint64_t blocks = cfg.sizeBytes / blockBytes;
+    coscale_assert(cfg.ways > 0, "LLC needs at least one way");
+    std::uint64_t set_count = blocks / static_cast<std::uint64_t>(cfg.ways);
+    coscale_assert(isPowerOfTwo(set_count),
+                   "LLC set count must be a power of two, got %llu",
+                   static_cast<unsigned long long>(set_count));
+    sets = static_cast<int>(set_count);
+    setMask = set_count - 1;
+    lines.resize(set_count * static_cast<std::uint64_t>(cfg.ways));
+}
+
+Llc::Line *
+Llc::findLine(BlockAddr addr)
+{
+    std::uint64_t set = addr & setMask;
+    Line *base = &lines[set * static_cast<std::uint64_t>(config.ways)];
+    for (int w = 0; w < config.ways; ++w) {
+        if (base[w].valid && base[w].tag == addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Llc::Line *
+Llc::findLine(BlockAddr addr) const
+{
+    return const_cast<Llc *>(this)->findLine(addr);
+}
+
+bool
+Llc::probe(BlockAddr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+bool
+Llc::insert(BlockAddr addr, bool dirty, bool prefetched, BlockAddr &victim)
+{
+    std::uint64_t set = addr & setMask;
+    Line *base = &lines[set * static_cast<std::uint64_t>(config.ways)];
+    Line *slot = nullptr;
+    for (int w = 0; w < config.ways; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+    bool dirty_evict = false;
+    if (!slot) {
+        slot = base;
+        for (int w = 1; w < config.ways; ++w) {
+            if (base[w].stamp < slot->stamp)
+                slot = &base[w];
+        }
+        if (slot->dirty) {
+            dirty_evict = true;
+            victim = slot->tag;
+            stats.writebacks += 1;
+        }
+    }
+    slot->tag = addr;
+    slot->valid = true;
+    slot->dirty = dirty;
+    slot->prefetched = prefetched;
+    slot->stamp = ++clock;
+    return dirty_evict;
+}
+
+LlcAccessResult
+Llc::access(BlockAddr addr, bool write)
+{
+    LlcAccessResult res;
+    stats.accesses += 1;
+
+    bool want_prefetch = false;
+    if (Line *line = findLine(addr)) {
+        stats.hits += 1;
+        res.hit = true;
+        if (line->prefetched) {
+            // Tagged next-line prefetching: the first demand use of a
+            // prefetched line re-arms the prefetcher, so sequential
+            // streams stay covered after the initial miss.
+            line->prefetched = false;
+            res.hitOnPrefetch = true;
+            stats.prefetchUseful += 1;
+            want_prefetch = true;
+        }
+        line->dirty = line->dirty || write;
+        line->stamp = ++clock;
+    } else {
+        stats.misses += 1;
+        res.writeback = insert(addr, write, false, res.writebackAddr);
+        want_prefetch = true;
+    }
+
+    if (config.prefetchNextLine && want_prefetch) {
+        BlockAddr next = addr + 1;
+        if (!probe(next)) {
+            res.prefetchIssued = true;
+            res.prefetchAddr = next;
+            stats.prefetchIssued += 1;
+            res.prefetchWriteback =
+                insert(next, false, true, res.prefetchWritebackAddr);
+        }
+    }
+    return res;
+}
+
+} // namespace coscale

@@ -1,0 +1,106 @@
+#include "common/csv.hh"
+
+#include <cstdio>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+CsvWriter::CsvWriter(const std::string &path)
+    : toStdout(path.empty())
+{
+    if (!toStdout) {
+        file.open(path);
+        if (!file)
+            fatal("cannot open CSV output file '%s'", path.c_str());
+    }
+}
+
+CsvWriter::~CsvWriter()
+{
+    endRow();
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    endRow();
+    std::ostringstream line;
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            line << ',';
+        line << columns[i];
+    }
+    writeLine(line.str());
+}
+
+CsvWriter &
+CsvWriter::row()
+{
+    endRow();
+    rowOpen = true;
+    current.str("");
+    current.clear();
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &value)
+{
+    if (current.tellp() > 0)
+        current << ',';
+    current << value;
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+CsvWriter &
+CsvWriter::cell(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return cell(std::string(buf));
+}
+
+CsvWriter &
+CsvWriter::cell(long long value)
+{
+    return cell(std::to_string(value));
+}
+
+CsvWriter &
+CsvWriter::cell(unsigned long long value)
+{
+    return cell(std::to_string(value));
+}
+
+CsvWriter &
+CsvWriter::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!rowOpen)
+        return;
+    writeLine(current.str());
+    rowOpen = false;
+}
+
+void
+CsvWriter::writeLine(const std::string &line)
+{
+    if (toStdout)
+        std::fprintf(stdout, "%s\n", line.c_str());
+    else
+        file << line << '\n';
+}
+
+} // namespace coscale

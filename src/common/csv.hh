@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal CSV writer used by the benchmark harnesses to emit the rows
+ * and series of each paper table/figure.
+ */
+
+#ifndef COSCALE_COMMON_CSV_HH
+#define COSCALE_COMMON_CSV_HH
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace coscale {
+
+/** Streams rows of comma-separated values to a file or stdout. */
+class CsvWriter
+{
+  public:
+    /** Write to @p path; an empty path writes to stdout. */
+    explicit CsvWriter(const std::string &path = "");
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Emit a header row. */
+    void header(const std::vector<std::string> &columns);
+
+    /** Begin a new row. */
+    CsvWriter &row();
+
+    /** Append one cell to the current row. */
+    CsvWriter &cell(const std::string &value);
+    CsvWriter &cell(const char *value);
+    CsvWriter &cell(double value);
+    CsvWriter &cell(long long value);
+    CsvWriter &cell(unsigned long long value);
+    CsvWriter &cell(int value);
+
+    /** Flush the current row, if any. */
+    void endRow();
+
+  private:
+    void writeLine(const std::string &line);
+
+    std::ofstream file;
+    bool toStdout;
+    bool rowOpen = false;
+    std::ostringstream current;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_CSV_HH

@@ -1,0 +1,81 @@
+#include "common/dvfs.hh"
+
+#include "common/log.hh"
+
+namespace coscale {
+
+FreqLadder
+FreqLadder::linear(Freq f_max, Freq f_min, int steps,
+                   double v_max, double v_min)
+{
+    coscale_assert(steps >= 2, "a ladder needs at least two steps");
+    coscale_assert(f_max > f_min, "fMax must exceed fMin");
+    std::vector<Freq> fs;
+    fs.reserve(static_cast<size_t>(steps));
+    for (int i = 0; i < steps; ++i) {
+        double frac = static_cast<double>(i) / (steps - 1);
+        fs.push_back(f_max - frac * (f_max - f_min));
+    }
+    return explicitFreqs(std::move(fs), v_max, v_min);
+}
+
+FreqLadder
+FreqLadder::explicitFreqs(std::vector<Freq> freqs_high_to_low,
+                          double v_max, double v_min)
+{
+    coscale_assert(freqs_high_to_low.size() >= 2, "need >= 2 frequencies");
+    for (size_t i = 1; i < freqs_high_to_low.size(); ++i) {
+        coscale_assert(freqs_high_to_low[i] < freqs_high_to_low[i - 1],
+                       "ladder must be strictly descending");
+    }
+    FreqLadder ladder;
+    ladder.freqs = std::move(freqs_high_to_low);
+    ladder.vHigh = v_max;
+    ladder.vLow = v_min;
+    ladder.volts.reserve(ladder.freqs.size());
+    for (Freq f : ladder.freqs)
+        ladder.volts.push_back(ladder.voltageAt(f));
+    return ladder;
+}
+
+double
+FreqLadder::voltageAt(Freq f) const
+{
+    double f_max = freqs.front();
+    double f_min = freqs.back();
+    double frac = (f - f_min) / (f_max - f_min);
+    if (frac < 0.0)
+        frac = 0.0;
+    if (frac > 1.0)
+        frac = 1.0;
+    return vLow + frac * (vHigh - vLow);
+}
+
+FreqLadder
+defaultCoreLadder(int steps)
+{
+    return FreqLadder::linear(4.0 * GHz, 2.2 * GHz, steps, 1.20, 0.65);
+}
+
+FreqLadder
+halfVoltageCoreLadder(int steps)
+{
+    return FreqLadder::linear(4.0 * GHz, 2.2 * GHz, steps, 1.20, 0.95);
+}
+
+FreqLadder
+defaultMemLadder(int steps)
+{
+    if (steps == 10) {
+        // 800 MHz down in 66 MHz steps, matching Section 4.1.
+        std::vector<Freq> fs = {
+            800 * MHz, 734 * MHz, 668 * MHz, 602 * MHz, 536 * MHz,
+            470 * MHz, 404 * MHz, 338 * MHz, 272 * MHz, 200 * MHz,
+        };
+        // MC voltage range matches the cores (Section 4.1).
+        return FreqLadder::explicitFreqs(std::move(fs), 1.20, 0.65);
+    }
+    return FreqLadder::linear(800 * MHz, 200 * MHz, steps, 1.20, 0.65);
+}
+
+} // namespace coscale

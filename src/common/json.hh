@@ -1,0 +1,222 @@
+/**
+ * @file
+ * A minimal streaming JSON writer (objects, arrays, scalars, correct
+ * string escaping) for machine-readable experiment reports. Not a
+ * parser; output only.
+ */
+
+#ifndef COSCALE_COMMON_JSON_HH
+#define COSCALE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coscale {
+
+/** Streams syntactically valid JSON to an std::ostream. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os(os) {}
+
+    /** Begin an object; in an object context, with a key. */
+    void
+    beginObject()
+    {
+        comma();
+        os << '{';
+        push(true);
+    }
+
+    void
+    beginObject(const std::string &key)
+    {
+        writeKey(key);
+        os << '{';
+        push(true);
+    }
+
+    void
+    endObject()
+    {
+        os << '}';
+        pop();
+    }
+
+    void
+    beginArray(const std::string &key)
+    {
+        writeKey(key);
+        os << '[';
+        push(false);
+    }
+
+    void
+    beginArray()
+    {
+        comma();
+        os << '[';
+        push(false);
+    }
+
+    void
+    endArray()
+    {
+        os << ']';
+        pop();
+    }
+
+    void
+    field(const std::string &key, const std::string &value)
+    {
+        writeKey(key);
+        writeString(value);
+    }
+
+    void
+    field(const std::string &key, const char *value)
+    {
+        field(key, std::string(value));
+    }
+
+    void
+    field(const std::string &key, double value)
+    {
+        writeKey(key);
+        writeNumber(value);
+    }
+
+    void
+    field(const std::string &key, std::uint64_t value)
+    {
+        writeKey(key);
+        os << value;
+    }
+
+    void
+    field(const std::string &key, int value)
+    {
+        writeKey(key);
+        os << value;
+    }
+
+    void
+    field(const std::string &key, bool value)
+    {
+        writeKey(key);
+        os << (value ? "true" : "false");
+    }
+
+    /** Array elements. */
+    void
+    value(double v)
+    {
+        comma();
+        writeNumber(v);
+    }
+
+    void
+    value(int v)
+    {
+        comma();
+        os << v;
+    }
+
+    void
+    value(const std::string &v)
+    {
+        comma();
+        writeString(v);
+    }
+
+  private:
+    struct Frame
+    {
+        bool isObject;
+        bool first = true;
+    };
+
+    void
+    push(bool is_object)
+    {
+        stack.push_back(Frame{is_object, true});
+    }
+
+    void
+    pop()
+    {
+        stack.pop_back();
+        if (!stack.empty())
+            stack.back().first = false;
+    }
+
+    void
+    comma()
+    {
+        if (stack.empty())
+            return;
+        if (!stack.back().first)
+            os << ',';
+        stack.back().first = false;
+    }
+
+    void
+    writeKey(const std::string &key)
+    {
+        comma();
+        writeString(key);
+        os << ':';
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"':
+                os << "\\\"";
+                break;
+              case '\\':
+                os << "\\\\";
+                break;
+              case '\n':
+                os << "\\n";
+                break;
+              case '\t':
+                os << "\\t";
+                break;
+              case '\r':
+                os << "\\r";
+                break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
+        }
+        os << '"';
+    }
+
+    void
+    writeNumber(double v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        os << buf;
+    }
+
+    std::ostream &os;
+    std::vector<Frame> stack;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_JSON_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * gem5-style status/error reporting: inform(), warn(), fatal(), panic().
+ *
+ * fatal() is for user errors (bad configuration); it exits with code 1.
+ * panic() is for internal invariant violations; it aborts.
+ */
+
+#ifndef COSCALE_COMMON_LOG_HH
+#define COSCALE_COMMON_LOG_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace coscale {
+
+namespace detail {
+
+[[noreturn]] void logFatal(const std::string &msg);
+[[noreturn]] void logPanic(const std::string &msg,
+                           const char *file, int line);
+void logInform(const std::string &msg);
+void logWarn(const std::string &msg);
+
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Print an informational message to stderr. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::logInform(detail::formatString(fmt, args...));
+}
+
+/** Print a warning to stderr. Simulation continues. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::logWarn(detail::formatString(fmt, args...));
+}
+
+/** Terminate due to a user error (bad config, bad arguments). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::logFatal(detail::formatString(fmt, args...));
+}
+
+/** Terminate due to an internal bug. */
+#define coscale_panic(...)                                                 \
+    ::coscale::detail::logPanic(                                           \
+        ::coscale::detail::formatString(__VA_ARGS__), __FILE__, __LINE__)
+
+/** Like assert, but always compiled in and reported via panic. */
+#define coscale_assert(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::coscale::detail::logPanic(                                   \
+                ::coscale::detail::formatString(                           \
+                    "assertion '%s' failed: %s", #cond,                    \
+                    ::coscale::detail::formatString(__VA_ARGS__).c_str()), \
+                __FILE__, __LINE__);                                       \
+        }                                                                  \
+    } while (0)
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_LOG_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A small, fast, value-type pseudo-random number generator
+ * (xoshiro256** seeded via splitmix64) plus the distributions the
+ * synthetic trace generator needs.
+ *
+ * Being a plain value type (trivially copyable state) is essential:
+ * the Offline policy deep-copies the whole simulator, including every
+ * trace generator, to obtain oracle profiles.
+ */
+
+#ifndef COSCALE_COMMON_RNG_HH
+#define COSCALE_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace coscale {
+
+/** xoshiro256** generator with value semantics. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : s) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t
+    range(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponentially distributed value with mean @p mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return -mean * std::log(1.0 - u);
+    }
+
+    /**
+     * Geometric number of trials until first success (>= 1) with
+     * success probability @p p.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 1;
+        if (p <= 0.0)
+            return 1;
+        double u = uniform();
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        double v = std::log(1.0 - u) / std::log(1.0 - p);
+        std::uint64_t n = static_cast<std::uint64_t>(v) + 1;
+        return n == 0 ? 1 : n;
+    }
+
+    /** Normal sample via Box-Muller (one value, no caching). */
+    double
+    normal(double mean, double stddev)
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        return mean + stddev * r * std::cos(6.283185307179586 * u2);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_RNG_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks (picoseconds), frequencies, and
+ * unit-conversion helpers shared by every module.
+ */
+
+#ifndef COSCALE_COMMON_TYPES_HH
+#define COSCALE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace coscale {
+
+/** Simulation time unit: one tick equals one picosecond. */
+using Tick = std::uint64_t;
+
+/** A (possibly negative) span of simulation time, in picoseconds. */
+using TickDelta = std::int64_t;
+
+/** Sentinel meaning "no event scheduled". */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Ticks per common SI time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * 1000;
+constexpr Tick tickPerMs = Tick(1000) * 1000 * 1000;
+constexpr Tick tickPerSec = Tick(1000) * 1000 * 1000 * 1000;
+
+/** Frequency in hertz. Stored as double: the ladders are small. */
+using Freq = double;
+
+constexpr Freq kHz = 1e3;
+constexpr Freq MHz = 1e6;
+constexpr Freq GHz = 1e9;
+
+/** Clock period of @p f in ticks (rounded to the nearest picosecond). */
+constexpr Tick
+periodTicks(Freq f)
+{
+    return static_cast<Tick>(static_cast<double>(tickPerSec) / f + 0.5);
+}
+
+/** Convert @p cycles at frequency @p f to ticks. */
+constexpr Tick
+cyclesToTicks(double cycles, Freq f)
+{
+    return static_cast<Tick>(
+        cycles * static_cast<double>(tickPerSec) / f + 0.5);
+}
+
+/** Convert a tick count to (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerSec);
+}
+
+/** Convert (double) seconds to ticks. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(tickPerSec) + 0.5);
+}
+
+/** Convert nanoseconds (double) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tickPerNs) + 0.5);
+}
+
+/** Convert ticks to nanoseconds (double). */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tickPerNs);
+}
+
+/** Identifier types. */
+using CoreId = int;
+using ChannelId = int;
+using AppId = int;
+
+/** A 64-byte cache-block address (block index, not byte address). */
+using BlockAddr = std::uint64_t;
+
+/** Cache block size in bytes; fixed at 64 per Table 2. */
+constexpr unsigned blockBytes = 64;
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_TYPES_HH

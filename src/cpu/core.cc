@@ -1,0 +1,230 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+Core::Core(CoreId id, const CoreConfig *cfg, TraceHandle trace_in,
+           Tick start)
+    : coreId(id), cfg(cfg), trace(std::move(trace_in))
+{
+    coscale_assert(static_cast<bool>(trace), "core %d has no trace", id);
+    freqIdx = 0;
+    period = periodTicks(cfg->ladder.freq(0));
+    current = trace->next();
+    computeStart = start;
+    gapCyclesLeft = current.gapCycles;
+    computeEndAt = computeStart + gapCyclesLeft * period;
+    state = State::Compute;
+    wakeAt = computeEndAt;
+}
+
+void
+Core::retireGap(Tick now)
+{
+    stats.tic += current.gapInstrs;
+    stats.computeTicks += now - computeStart;
+    stats.aluOps += current.aluOps;
+    stats.fpuOps += current.fpuOps;
+    stats.branchOps += current.branchOps;
+    stats.memOps += current.memOps;
+    if (completionAt == maxTick && stats.tic >= cfg->instrBudget)
+        completionAt = now;
+    if (budgetMarkerAt == maxTick && stats.tic >= budgetMarkerTic)
+        budgetMarkerAt = now;
+}
+
+void
+Core::drainResolved(Tick now)
+{
+    while (!outstanding.empty() && outstanding.front().resolveAt <= now)
+        outstanding.pop_front();
+}
+
+bool
+Core::mustStallForMisses() const
+{
+    if (outstanding.empty())
+        return false;
+    if (static_cast<int>(outstanding.size()) >= cfg->maxOutstanding)
+        return true;
+    std::uint64_t dist = stats.tic - outstanding.front().atInstr;
+    return dist >= static_cast<std::uint64_t>(cfg->oooWindow);
+}
+
+void
+Core::loadNextRecord(Tick now)
+{
+    drainResolved(now);
+    if (cfg->ooo && mustStallForMisses()) {
+        state = State::StallMem;
+        stallStart = now;
+        stalledOnFront = true;
+        stats.tls += 1;
+        Tick resolve = outstanding.front().resolveAt;
+        wakeAt = resolve == maxTick
+                     ? maxTick
+                     : std::max(resolve, transitionUntil);
+        return;
+    }
+    stalledOnFront = false;
+    current = trace->next();
+    computeStart = std::max(now, transitionUntil);
+    gapCyclesLeft = current.gapCycles;
+    computeEndAt = computeStart + gapCyclesLeft * period;
+    state = State::Compute;
+    wakeAt = computeEndAt;
+}
+
+CoreEvent
+Core::step(Tick now)
+{
+    CoreEvent ev;
+    switch (state) {
+      case State::Compute:
+        retireGap(now);
+        stats.tla += 1;
+        state = State::NeedLlc;
+        wakeAt = maxTick;
+        ev.wantsLlc = true;
+        ev.addr = current.addr;
+        ev.write = current.isWrite != 0;
+        return ev;
+
+      case State::StallL2:
+        stats.l2StallTicks += now - stallStart;
+        loadNextRecord(now);
+        return ev;
+
+      case State::StallMem:
+        stats.memStallTicks += now - stallStart;
+        loadNextRecord(now);
+        return ev;
+
+      case State::NeedLlc:
+        coscale_panic("core %d stepped while awaiting LLC result",
+                      coreId);
+    }
+    return ev;
+}
+
+void
+Core::completeHit(Tick now, Tick hit_latency)
+{
+    coscale_assert(state == State::NeedLlc,
+                   "completeHit in wrong state on core %d", coreId);
+    stats.tms += 1;
+    state = State::StallL2;
+    stallStart = now;
+    wakeAt = std::max(now + hit_latency, transitionUntil);
+}
+
+std::uint64_t
+Core::sendToMemory(Tick now)
+{
+    coscale_assert(state == State::NeedLlc,
+                   "sendToMemory in wrong state on core %d", coreId);
+    std::uint64_t token = nextToken++;
+    stats.tlm += 1;
+    outstanding.push_back(OutMiss{token, stats.tic, maxTick});
+
+    if (!cfg->ooo) {
+        stats.tls += 1;
+        state = State::StallMem;
+        stallStart = now;
+        stalledOnFront = true;
+        wakeAt = maxTick;
+    } else {
+        loadNextRecord(now);
+    }
+    return token;
+}
+
+void
+Core::memCompleted(std::uint64_t token, Tick finish_at)
+{
+    for (auto &m : outstanding) {
+        if (m.token == token) {
+            m.resolveAt = finish_at;
+            break;
+        }
+    }
+    if (state == State::StallMem && stalledOnFront
+        && !outstanding.empty()
+        && outstanding.front().resolveAt != maxTick) {
+        wakeAt = std::max(outstanding.front().resolveAt, transitionUntil);
+    }
+}
+
+TraceHandle
+Core::swapTrace(TraceHandle incoming, Tick now, Tick switch_penalty)
+{
+    coscale_assert(state != State::NeedLlc,
+                   "context switch during an LLC access on core %d",
+                   coreId);
+    TraceHandle outgoing = std::move(trace);
+    trace = std::move(incoming);
+
+    // Flush: abandon in-flight misses (their completions are matched
+    // by token and simply never looked up again) and charge the
+    // switch penalty as transition time.
+    outstanding.clear();
+    stalledOnFront = false;
+    transitionUntil = std::max(transitionUntil, now + switch_penalty);
+    stats.transitionTicks += switch_penalty;
+
+    current = trace->next();
+    computeStart = std::max(now, transitionUntil);
+    gapCyclesLeft = current.gapCycles;
+    computeEndAt = computeStart + gapCyclesLeft * period;
+    state = State::Compute;
+    wakeAt = computeEndAt;
+    return outgoing;
+}
+
+void
+Core::setFrequencyIndex(int idx, Tick now)
+{
+    coscale_assert(idx >= 0 && idx < cfg->ladder.size(),
+                   "bad core frequency index %d", idx);
+    if (idx == freqIdx)
+        return;
+    coscale_assert(state != State::NeedLlc,
+                   "frequency change during an LLC access on core %d",
+                   coreId);
+
+    freqIdx = idx;
+    Tick new_period = periodTicks(cfg->ladder.freq(idx));
+    transitionUntil = now + cfg->transitionTicks;
+    stats.transitionTicks += cfg->transitionTicks;
+
+    switch (state) {
+      case State::Compute: {
+        Tick executed = now - computeStart;
+        stats.computeTicks += executed;
+        std::uint64_t cycles_done = executed / period;
+        gapCyclesLeft =
+            gapCyclesLeft > cycles_done ? gapCyclesLeft - cycles_done : 0;
+        period = new_period;
+        computeStart = transitionUntil;
+        computeEndAt = computeStart + gapCyclesLeft * period;
+        wakeAt = computeEndAt;
+        break;
+      }
+      case State::StallL2:
+        period = new_period;
+        wakeAt = std::max(wakeAt, transitionUntil);
+        break;
+      case State::StallMem:
+        period = new_period;
+        if (wakeAt != maxTick)
+            wakeAt = std::max(wakeAt, transitionUntil);
+        break;
+      case State::NeedLlc:
+        break;  // unreachable; asserted above
+    }
+}
+
+} // namespace coscale

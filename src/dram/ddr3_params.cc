@@ -1,0 +1,58 @@
+#include "dram/ddr3_params.hh"
+
+namespace coscale {
+
+ResolvedTiming
+ResolvedTiming::resolve(const DramTimingParams &p, Freq bus_freq)
+{
+    ResolvedTiming t;
+    t.tCK = periodTicks(bus_freq);
+    t.tRCD = nsToTicks(p.tRCDns);
+    t.tRP = nsToTicks(p.tRPns);
+    t.tCL = nsToTicks(p.tCLns);
+    t.tCWL = nsToTicks(p.tCWLns);
+    t.tWR = nsToTicks(p.tWRns);
+    t.tRFC = nsToTicks(p.tRFCns);
+    // Cycle-quoted DRAM-core timing is fixed in wall-clock terms;
+    // resolve it at the reference clock, not the operating clock.
+    Tick t_ref = periodTicks(p.refClock);
+    t.tFAW = t_ref * static_cast<Tick>(p.tFAWcycles);
+    t.tRTP = t_ref * static_cast<Tick>(p.tRTPcycles);
+    t.tRAS = t_ref * static_cast<Tick>(p.tRAScycles);
+    t.tRRD = t_ref * static_cast<Tick>(p.tRRDcycles);
+    // The data burst occupies real cycles of the operating clock.
+    t.tBURST = t.tCK * static_cast<Tick>(p.burstCycles);
+    t.tREFI = static_cast<Tick>(p.tREFIus * tickPerUs);
+    return t;
+}
+
+DramCoord
+mapAddress(BlockAddr addr, const MemGeometry &g)
+{
+    DramCoord c;
+    std::uint64_t a = addr;
+    if (g.addrMap == AddrMap::RegionPerChannel) {
+        // Bits above the per-application region (see
+        // SyntheticTraceSource: regions are 2^34 blocks) select the
+        // channel; the offset within the region spreads over banks.
+        c.channel = static_cast<int>(
+            (a >> 34) % static_cast<std::uint64_t>(g.channels));
+        a &= (std::uint64_t(1) << 34) - 1;
+    } else {
+        c.channel = static_cast<int>(
+            a % static_cast<std::uint64_t>(g.channels));
+        a /= static_cast<std::uint64_t>(g.channels);
+    }
+    c.bank = static_cast<int>(a % static_cast<std::uint64_t>(g.banksPerRank));
+    a /= static_cast<std::uint64_t>(g.banksPerRank);
+    int ranks = g.ranksPerChannel();
+    c.rank = static_cast<int>(a % static_cast<std::uint64_t>(ranks));
+    a /= static_cast<std::uint64_t>(ranks);
+    c.column = static_cast<int>(
+        a % static_cast<std::uint64_t>(g.blocksPerRow));
+    a /= static_cast<std::uint64_t>(g.blocksPerRow);
+    c.row = a % g.rowsPerBank;
+    return c;
+}
+
+} // namespace coscale

@@ -1,0 +1,378 @@
+#include "memctrl/mem_ctrl.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+Channel::Channel(const MemCtrlConfig *cfg, int freq_idx, Tick start)
+    : cfg(cfg), freqIdx(freq_idx)
+{
+    t = ResolvedTiming::resolve(cfg->timing, cfg->ladder.freq(freq_idx));
+    banks.resize(static_cast<size_t>(cfg->geom.totalBanksPerChannel()));
+    ranks.resize(static_cast<size_t>(cfg->geom.ranksPerChannel()));
+    // Stagger initial refresh due times across ranks.
+    for (size_t r = 0; r < ranks.size(); ++r) {
+        ranks[r].nextRefreshDue =
+            start + (t.tREFI * (r + 1)) / (ranks.size() + 1);
+    }
+    lastCommitAt = start;
+}
+
+void
+Channel::enqueue(const MemReq &req)
+{
+    if (req.kind == ReqKind::Writeback) {
+        writeQ.push_back(req);
+    } else {
+        stats.queueLenSum += readQ.size();
+        stats.queueSamples += 1;
+        readQ.push_back(req);
+    }
+    haveCand = false;
+}
+
+bool
+Channel::selectCandidate()
+{
+    if (readQ.empty() && writeQ.empty()) {
+        haveCand = false;
+        return false;
+    }
+    // Write-drain hysteresis: reads have priority until the writeback
+    // queue reaches the high watermark; drain until the low watermark.
+    if (static_cast<int>(writeQ.size()) >= cfg->writeHighWater)
+        drainMode = true;
+    else if (static_cast<int>(writeQ.size()) <= cfg->writeLowWater)
+        drainMode = false;
+
+    candIsWrite = (drainMode || readQ.empty()) && !writeQ.empty();
+    const MemReq &req = candIsWrite ? writeQ.front() : readQ.front();
+    candIssueAt = std::max(computeIssueTick(req), lastCommitAt);
+    haveCand = true;
+    return true;
+}
+
+Tick
+Channel::nextEventTick()
+{
+    if (!haveCand && !selectCandidate())
+        return maxTick;
+    return candIssueAt;
+}
+
+Tick
+Channel::applyRefreshes(RankState &rank, Tick tick)
+{
+    while (rank.nextRefreshDue <= tick) {
+        Tick begin = std::max(rank.nextRefreshDue, rank.refreshUntil);
+        rank.refreshUntil = begin + t.tRFC;
+        rank.nextRefreshDue += t.tREFI;
+        stats.refreshes += 1;
+        tick = std::max(tick, rank.refreshUntil);
+    }
+    return std::max(tick, rank.refreshUntil);
+}
+
+Tick
+Channel::computeIssueTick(const MemReq &req)
+{
+    DramCoord c = mapAddress(req.addr, cfg->geom);
+    const BankState &bank =
+        banks[static_cast<size_t>(c.rank * cfg->geom.banksPerRank + c.bank)];
+    RankState rank_probe = ranks[static_cast<size_t>(c.rank)];
+
+    if (cfg->openPage && bank.rowOpen && bank.openRow == c.row) {
+        // Row hit: next CAS, no ACT required.
+        Tick cas = std::max({req.arrival, bank.casReadyAt, haltUntil});
+        return applyRefreshes(rank_probe, cas);
+    }
+
+    Tick rrd_ready =
+        rank_probe.actCount ? rank_probe.lastActAt + t.tRRD : 0;
+    Tick faw_ready =
+        rank_probe.actCount >= 4
+            ? rank_probe.actWindow[rank_probe.actCursor] + t.tFAW
+            : 0;
+    // Open-page row conflict: the precharge is only issued once the
+    // conflicting request shows up, so it pays tRP on the critical
+    // path (the cost of gambling on row reuse and losing).
+    Tick bank_ready =
+        cfg->openPage && bank.rowOpen
+            ? std::max(req.arrival, bank.preReadyAt) + t.tRP
+            : bank.readyAt;
+    Tick act = std::max({req.arrival, bank_ready, haltUntil,
+                         rrd_ready, faw_ready});
+    return applyRefreshes(rank_probe, act);
+}
+
+void
+Channel::accountActive(RankState &rank, Tick from, Tick to)
+{
+    Tick begin = std::max(from, rank.activeUntil);
+    if (to > begin) {
+        stats.rankActiveTicks += to - begin;
+        rank.activeUntil = to;
+    }
+}
+
+std::optional<MemCompletion>
+Channel::step()
+{
+    coscale_assert(haveCand, "step() without a pending candidate");
+
+    std::deque<MemReq> &q = candIsWrite ? writeQ : readQ;
+    MemReq req = q.front();
+    q.pop_front();
+    haveCand = false;
+
+    DramCoord c = mapAddress(req.addr, cfg->geom);
+    BankState &bank =
+        banks[static_cast<size_t>(c.rank * cfg->geom.banksPerRank + c.bank)];
+    RankState &rank = ranks[static_cast<size_t>(c.rank)];
+
+    bool row_hit =
+        cfg->openPage && bank.rowOpen && bank.openRow == c.row;
+
+    // Re-run the issue computation against the *live* rank state so
+    // refresh bookkeeping mutates for real this time.
+    Tick issue;
+    if (row_hit) {
+        Tick cas = std::max({req.arrival, bank.casReadyAt, haltUntil});
+        issue = applyRefreshes(rank, cas);
+    } else {
+        Tick rrd_ready = rank.actCount ? rank.lastActAt + t.tRRD : 0;
+        Tick faw_ready =
+            rank.actCount >= 4
+                ? rank.actWindow[rank.actCursor] + t.tFAW
+                : 0;
+        Tick bank_ready =
+            cfg->openPage && bank.rowOpen
+                ? std::max(req.arrival, bank.preReadyAt) + t.tRP
+                : bank.readyAt;
+        Tick act = std::max({req.arrival, bank_ready, haltUntil,
+                             rrd_ready, faw_ready});
+        issue = applyRefreshes(rank, act);
+    }
+    issue = std::max(issue, lastCommitAt);
+    lastCommitAt = issue;
+
+    bool is_write = req.kind == ReqKind::Writeback;
+    Tick cas_lat = is_write ? t.tCWL : t.tCL;
+
+    Tick data_start;
+    Tick bank_ready;
+    if (row_hit) {
+        Tick cas = issue;
+        data_start = std::max(cas + cas_lat, busFreeAt);
+        stats.rowHits += 1;
+        bank.casReadyAt = data_start - cas_lat + t.tBURST;
+        bank.lastCasEnd = data_start + t.tBURST;
+        // The open row may be precharged tRTP/tWR after this CAS.
+        Tick cas_eff = data_start - cas_lat;
+        bank.preReadyAt = std::max(bank.lastActAt + t.tRAS,
+                                   is_write
+                                       ? cas_eff + t.tCWL + t.tBURST
+                                             + t.tWR
+                                       : cas_eff + t.tRTP);
+        bank_ready = bank.preReadyAt + t.tRP;
+    } else {
+        Tick act = issue;
+        data_start = std::max(act + t.tRCD + cas_lat, busFreeAt);
+        Tick cas_eff = data_start - cas_lat;
+        if (is_write) {
+            bank_ready = std::max(act + t.tRAS,
+                                  cas_eff + t.tCWL + t.tBURST + t.tWR)
+                         + t.tRP;
+        } else {
+            bank_ready = std::max(act + t.tRAS, cas_eff + t.tRTP) + t.tRP;
+        }
+        stats.activations += 1;
+        stats.precharges += 1;
+        if (cfg->openPage) {
+            stats.rowMisses += 1;
+            bank.rowOpen = true;
+            bank.openRow = c.row;
+            bank.casReadyAt = act + t.tRCD;
+            bank.lastActAt = act;
+            bank.lastCasEnd = data_start + t.tBURST;
+            // Open page: the row stays open. A future conflict pays
+            // tRP from preReadyAt at demand time; a future hit goes
+            // through casReadyAt.
+            bank.preReadyAt = bank_ready - t.tRP;
+            bank.readyAt = bank_ready;
+        } else {
+            // Closed page: auto-precharge; bank closed afterwards.
+            bank.readyAt = bank_ready;
+            bank.lastActAt = act;
+        }
+        rank.lastActAt = act;
+        rank.actWindow[rank.actCursor] = act;
+        rank.actCursor = (rank.actCursor + 1) % 4;
+        rank.actCount += 1;
+    }
+
+    Tick data_end = data_start + t.tBURST;
+    busFreeAt = data_end;
+    accountActive(rank, issue, bank_ready);
+
+    if (is_write) {
+        stats.writeReqs += 1;
+        stats.writeBursts += 1;
+        stats.busBusyTicks += t.tBURST;
+        return std::nullopt;
+    }
+
+    // Read/prefetch accounting.
+    Tick nominal_data = issue + (row_hit ? cas_lat : t.tRCD + cas_lat);
+    stats.bankWaitTicks += issue - req.arrival;
+    if (data_start > nominal_data)
+        stats.busWaitTicks += data_start - nominal_data;
+    stats.serviceTicks += data_end - issue;
+    stats.busBusyTicks += t.tBURST;
+    stats.readBursts += 1;
+    if (req.kind == ReqKind::Prefetch)
+        stats.prefetchReqs += 1;
+    else
+        stats.readReqs += 1;
+
+    MemCompletion done;
+    done.core = req.core;
+    done.kind = req.kind;
+    done.finishAt = data_end + nsToTicks(cfg->respFixedNs);
+    done.token = req.token;
+    return done;
+}
+
+void
+Channel::changeFrequency(int freq_idx, Tick halt_until)
+{
+    freqIdx = freq_idx;
+    t = ResolvedTiming::resolve(cfg->timing, cfg->ladder.freq(freq_idx));
+    haltUntil = std::max(haltUntil, halt_until);
+    busFreeAt = std::max(busFreeAt, halt_until);
+    for (auto &bank : banks) {
+        bank.readyAt = std::max(bank.readyAt, halt_until);
+        bank.casReadyAt = std::max(bank.casReadyAt, halt_until);
+        // Re-calibration passes through precharge powerdown: open
+        // rows are closed.
+        bank.rowOpen = false;
+    }
+    haveCand = false;
+}
+
+MemCtrl::MemCtrl(MemCtrlConfig cfg, Tick start)
+    : config(std::move(cfg))
+{
+    channels.reserve(static_cast<size_t>(config.geom.channels));
+    for (int c = 0; c < config.geom.channels; ++c)
+        channels.emplace_back(&config, 0, start);
+}
+
+MemCtrl::MemCtrl(const MemCtrl &other)
+    : config(other.config), channels(other.channels),
+      freqIdx(other.freqIdx)
+{
+    reseatChannelPointers();
+}
+
+MemCtrl &
+MemCtrl::operator=(const MemCtrl &other)
+{
+    if (this != &other) {
+        config = other.config;
+        channels = other.channels;
+        freqIdx = other.freqIdx;
+        reseatChannelPointers();
+    }
+    return *this;
+}
+
+void
+MemCtrl::reseatChannelPointers()
+{
+    // Channels keep only a pointer to the shared config; fix it up
+    // after copying so it refers to *this* controller's config.
+    for (auto &ch : channels)
+        ch.reseatConfig(&config);
+}
+
+void
+MemCtrl::enqueue(const MemReq &req)
+{
+    DramCoord c = mapAddress(req.addr, config.geom);
+    channels[static_cast<size_t>(c.channel)].enqueue(req);
+}
+
+Tick
+MemCtrl::nextEventTick()
+{
+    Tick best = maxTick;
+    for (auto &ch : channels)
+        best = std::min(best, ch.nextEventTick());
+    return best;
+}
+
+std::optional<MemCompletion>
+MemCtrl::step()
+{
+    Tick best = maxTick;
+    Channel *who = nullptr;
+    for (auto &ch : channels) {
+        Tick tk = ch.nextEventTick();
+        if (tk < best) {
+            best = tk;
+            who = &ch;
+        }
+    }
+    coscale_assert(who != nullptr, "MemCtrl::step with no pending events");
+    return who->step();
+}
+
+void
+MemCtrl::setFrequencyIndex(int idx, Tick now)
+{
+    coscale_assert(idx >= 0 && idx < config.ladder.size(),
+                   "bad memory frequency index %d", idx);
+    freqIdx = idx;
+    for (int c = 0; c < numChannels(); ++c)
+        setChannelFrequencyIndex(c, idx, now);
+}
+
+void
+MemCtrl::setChannelFrequencyIndex(int ch, int idx, Tick now)
+{
+    coscale_assert(idx >= 0 && idx < config.ladder.size(),
+                   "bad memory frequency index %d", idx);
+    coscale_assert(ch >= 0 && ch < numChannels(), "bad channel %d", ch);
+    Channel &channel = channels[static_cast<size_t>(ch)];
+    if (idx == channel.freqIndex())
+        return;
+    Tick t_ck_new = periodTicks(config.ladder.freq(idx));
+    Tick halt = now
+                + t_ck_new * static_cast<Tick>(config.timing.recalCycles)
+                + nsToTicks(config.timing.recalExtraNs);
+    channel.changeFrequency(idx, halt);
+}
+
+bool
+MemCtrl::perChannelFrequencies() const
+{
+    for (size_t c = 1; c < channels.size(); ++c) {
+        if (channels[c].freqIndex() != channels[0].freqIndex())
+            return true;
+    }
+    return false;
+}
+
+ChannelCounters
+MemCtrl::totalCounters() const
+{
+    ChannelCounters sum;
+    for (const auto &ch : channels)
+        sum += ch.counters();
+    return sum;
+}
+
+} // namespace coscale

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The on-chip memory controller and per-channel DDR3 scheduling model.
+ *
+ * Scheduling follows the paper (Section 4.1): FCFS among reads, reads
+ * prioritized over writebacks until the writeback queue is half full,
+ * closed-page row-buffer management with auto-precharge, and bank
+ * interleaving. An open-page mode is provided as an extension.
+ *
+ * Timing constraints modelled per channel: bank cycle time (tRCD /
+ * tCL / tRAS / tRTP / tWR / tRP), same-rank ACT-to-ACT spacing (tRRD),
+ * the four-activate window (tFAW), shared data-bus occupancy (BL8
+ * bursts), periodic per-rank refresh (tREFI / tRFC), and
+ * frequency-recalibration halts (512 memory cycles + 28 ns).
+ *
+ * Everything is a plain value type so the whole simulator can be
+ * deep-copied (needed by the Offline oracle policy).
+ */
+
+#ifndef COSCALE_MEMCTRL_MEM_CTRL_HH
+#define COSCALE_MEMCTRL_MEM_CTRL_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/dvfs.hh"
+#include "common/types.hh"
+#include "dram/ddr3_params.hh"
+#include "stats/perf_counters.hh"
+
+namespace coscale {
+
+/** Kinds of memory transactions the LLC can issue. */
+enum class ReqKind { Read, Writeback, Prefetch };
+
+/** A memory transaction as seen by the controller. */
+struct MemReq
+{
+    BlockAddr addr = 0;
+    ReqKind kind = ReqKind::Read;
+    CoreId core = -1;  //!< requesting core for Read/Prefetch
+    Tick arrival = 0;
+    std::uint64_t token = 0; //!< matches completions to MSHRs
+};
+
+/** Notification that a read or prefetch finished. */
+struct MemCompletion
+{
+    CoreId core = -1;
+    ReqKind kind = ReqKind::Read;
+    Tick finishAt = 0;  //!< data back at the LLC
+    std::uint64_t token = 0;
+};
+
+/** Memory-controller configuration. */
+struct MemCtrlConfig
+{
+    MemGeometry geom;
+    DramTimingParams timing;
+    FreqLadder ladder;        //!< bus-frequency ladder (index 0 fastest)
+    int writeHighWater = 16;  //!< write-drain trigger (half of 32-deep)
+    int writeLowWater = 8;    //!< write-drain release
+    double respFixedNs = 10.0; //!< MC pipeline + link overhead per read
+    bool openPage = false;     //!< row-buffer policy (paper: closed)
+};
+
+/** One DDR3 channel: queues, bank/rank state, and the scheduler. */
+class Channel
+{
+  public:
+    Channel() = default;
+    Channel(const MemCtrlConfig *cfg, int freq_idx, Tick start);
+
+    /** Add a transaction to the appropriate queue. */
+    void enqueue(const MemReq &req);
+
+    /** Absolute tick of the next command issue, or maxTick if idle. */
+    Tick nextEventTick();
+
+    /**
+     * Commit the pending command. Must only be called when the
+     * simulated time has reached nextEventTick(). Returns a
+     * completion when a read or prefetch was issued.
+     */
+    std::optional<MemCompletion> step();
+
+    /** Apply a bus-frequency change taking effect after @p halt_until. */
+    void changeFrequency(int freq_idx, Tick halt_until);
+
+    /** Re-point at the owning controller's config after a copy. */
+    void reseatConfig(const MemCtrlConfig *c) { cfg = c; }
+
+    /** Cumulative counters. */
+    const ChannelCounters &counters() const { return stats; }
+
+    /** Current bus-frequency ladder index of this channel. */
+    int freqIndex() const { return freqIdx; }
+
+    /** Outstanding queue depths (for tests). */
+    size_t readQueueDepth() const { return readQ.size(); }
+    size_t writeQueueDepth() const { return writeQ.size(); }
+    bool drainingWrites() const { return drainMode; }
+
+  private:
+    struct BankState
+    {
+        Tick readyAt = 0;          //!< earliest next ACT (closed page)
+        bool rowOpen = false;      //!< open-page state
+        std::uint64_t openRow = 0;
+        Tick casReadyAt = 0;       //!< open-page: earliest next CAS
+        Tick preReadyAt = 0;       //!< open-page: earliest precharge
+        Tick lastActAt = 0;
+        Tick lastCasEnd = 0;
+    };
+
+    struct RankState
+    {
+        Tick actWindow[4] = {0, 0, 0, 0}; //!< last four ACT ticks
+        int actCursor = 0;
+        std::uint64_t actCount = 0; //!< ACTs issued so far
+        Tick lastActAt = 0;        //!< for tRRD
+        Tick nextRefreshDue = 0;
+        Tick refreshUntil = 0;
+        Tick activeUntil = 0;      //!< power accounting (union of use)
+    };
+
+    /** Pick the next request to issue; updates drainMode. */
+    bool selectCandidate();
+
+    /** Earliest ACT (or CAS for open-page hits) tick for @p req. */
+    Tick computeIssueTick(const MemReq &req);
+
+    /** Apply refreshes due on @p rank before @p t; may push t later. */
+    Tick applyRefreshes(RankState &rank, Tick t);
+
+    /** Account rank-active time for the power model. */
+    void accountActive(RankState &rank, Tick from, Tick to);
+
+    const MemCtrlConfig *cfg = nullptr;
+    ResolvedTiming t;
+    int freqIdx = 0;
+
+    std::deque<MemReq> readQ;
+    std::deque<MemReq> writeQ;
+    std::vector<BankState> banks;  //!< [rank * banksPerRank + bank]
+    std::vector<RankState> ranks;
+    Tick busFreeAt = 0;
+    Tick haltUntil = 0;
+    Tick lastCommitAt = 0;
+    bool drainMode = false;
+
+    bool haveCand = false;
+    bool candIsWrite = false;
+    Tick candIssueAt = 0;
+
+    ChannelCounters stats;
+};
+
+/** The four-channel memory controller with a shared frequency domain. */
+class MemCtrl
+{
+  public:
+    MemCtrl() = default;
+    MemCtrl(MemCtrlConfig cfg, Tick start);
+
+    // Value semantics: channels point back into our config, so the
+    // pointer must be re-seated on copy/move.
+    MemCtrl(const MemCtrl &other);
+    MemCtrl &operator=(const MemCtrl &other);
+
+    /** Route a transaction to its channel. */
+    void enqueue(const MemReq &req);
+
+    /** Earliest pending command across channels. */
+    Tick nextEventTick();
+
+    /** Issue the earliest pending command. */
+    std::optional<MemCompletion> step();
+
+    /**
+     * Change the bus frequency of every channel (Section 3: all
+     * accesses halt for the re-calibration of 512 memory cycles plus
+     * 28 ns).
+     */
+    void setFrequencyIndex(int idx, Tick now);
+
+    /**
+     * Change one channel's bus frequency independently (the
+     * MultiScale extension: per-channel frequency domains). Only that
+     * channel halts for re-calibration.
+     */
+    void setChannelFrequencyIndex(int ch, int idx, Tick now);
+
+    int frequencyIndex() const { return freqIdx; }
+    Freq busFreq() const { return config.ladder.freq(freqIdx); }
+
+    int
+    channelFrequencyIndex(int ch) const
+    {
+        return channels[static_cast<size_t>(ch)].freqIndex();
+    }
+
+    Freq
+    channelBusFreq(int ch) const
+    {
+        return config.ladder.freq(channelFrequencyIndex(ch));
+    }
+
+    /** True if any two channels run at different frequencies. */
+    bool perChannelFrequencies() const;
+    const MemCtrlConfig &cfgRef() const { return config; }
+
+    /** Sum of all per-channel counters. */
+    ChannelCounters totalCounters() const;
+
+    const ChannelCounters &
+    channelCounters(int c) const
+    {
+        return channels[static_cast<size_t>(c)].counters();
+    }
+
+    int numChannels() const { return static_cast<int>(channels.size()); }
+
+    size_t
+    totalQueueDepth() const
+    {
+        size_t n = 0;
+        for (const auto &ch : channels)
+            n += ch.readQueueDepth() + ch.writeQueueDepth();
+        return n;
+    }
+
+  private:
+    void reseatChannelPointers();
+
+    MemCtrlConfig config;
+    std::vector<Channel> channels;
+    int freqIdx = 0;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_MEMCTRL_MEM_CTRL_HH

@@ -1,0 +1,325 @@
+#include "model/energy_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+double
+EnergyModel::tpi(const SystemProfile &prof, int i,
+                 const FreqConfig &cfg) const
+{
+    const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+    return perf->tpiSecs(c,
+                         coreLadder->freq(cfg.coreIdx[static_cast<size_t>(i)]),
+                         prof.mem, memLadder->freq(cfg.memIdx));
+}
+
+double
+EnergyModel::tpiAtMax(const SystemProfile &prof, int i) const
+{
+    const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+    return perf->tpiSecs(c, coreLadder->fMax(), prof.mem,
+                         memLadder->fMax());
+}
+
+double
+EnergyModel::corePower(const SystemProfile &prof, int i,
+                       const FreqConfig &cfg) const
+{
+    const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+    double t = tpi(prof, i, cfg);
+    double ips = t > 0.0 ? 1.0 / t : 0.0;
+    CoreActivityRates r;
+    r.ips = ips;
+    r.aluPs = c.aluPerInstr * ips;
+    r.fpuPs = c.fpuPerInstr * ips;
+    r.branchPs = c.branchPerInstr * ips;
+    r.memPs = c.memOpPerInstr * ips;
+    int idx = cfg.coreIdx[static_cast<size_t>(i)];
+    return power->corePower(coreLadder->voltage(idx),
+                            coreLadder->freq(idx), r);
+}
+
+double
+EnergyModel::profiledReadRate(const SystemProfile &prof) const
+{
+    int n = static_cast<int>(prof.cores.size());
+    FreqConfig prof_cfg;
+    prof_cfg.coreIdx = prof.profiledCoreIdx;
+    prof_cfg.memIdx = prof.profiledMemIdx;
+    if (prof_cfg.coreIdx.empty())
+        prof_cfg = FreqConfig::allMax(n);
+
+    double reads_prof = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+        double t_prof = tpi(prof, i, prof_cfg);
+        if (t_prof > 0.0)
+            reads_prof += c.memReadPerInstr / t_prof;
+    }
+    return reads_prof;
+}
+
+MemActivityRates
+EnergyModel::memRates(const SystemProfile &prof, const FreqConfig &cfg,
+                      double reads_prof) const
+{
+    const MemProfile &m = prof.mem;
+    int n = static_cast<int>(prof.cores.size());
+
+    // Demand-read rate predicted by the model at the candidate versus
+    // at the profiled configuration; their ratio scales the observed
+    // total traffic (which includes prefetches and writebacks).
+    double reads_cand = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+        double t_cand = tpi(prof, i, cfg);
+        if (t_cand > 0.0)
+            reads_cand += c.memReadPerInstr / t_cand;
+    }
+    double traffic_scale =
+        reads_prof > 0.0 ? reads_cand / reads_prof : 1.0;
+
+    MemActivityRates rates;
+    double traffic = m.trafficPerSec * traffic_scale;
+    rates.readsPs = traffic * (1.0 - m.writeFrac);
+    rates.writesPs = traffic * m.writeFrac;
+
+    Freq f_cand = memLadder->freq(cfg.memIdx);
+    Freq f_prof = m.profiledBusFreq;
+    double bus_stretch = perf->busSecs(f_cand) / perf->busSecs(f_prof);
+    rates.busUtil =
+        std::min(1.0, m.busUtil * traffic_scale * bus_stretch);
+    double occ_stretch = perf->bankOccupancySecs(f_cand)
+                         / perf->bankOccupancySecs(f_prof);
+    rates.rankActiveFrac = std::min(
+        1.0, m.rankActiveFrac * traffic_scale * occ_stretch);
+    return rates;
+}
+
+double
+EnergyModel::memPower(const SystemProfile &prof,
+                      const FreqConfig &cfg) const
+{
+    return memPower(prof, cfg, profiledReadRate(prof));
+}
+
+double
+EnergyModel::memPower(const SystemProfile &prof, const FreqConfig &cfg,
+                      double reads_prof) const
+{
+    MemActivityRates rates = memRates(prof, cfg, reads_prof);
+    return power->memPower(memLadder->voltage(cfg.memIdx),
+                           memLadder->freq(cfg.memIdx), rates);
+}
+
+double
+EnergyModel::systemPower(const SystemProfile &prof,
+                         const FreqConfig &cfg) const
+{
+    int n = static_cast<int>(prof.cores.size());
+    double total = power->otherPower();
+
+    double llc_rate = 0.0;
+    for (int i = 0; i < n; ++i) {
+        total += corePower(prof, i, cfg);
+        const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+        double t = tpi(prof, i, cfg);
+        if (t > 0.0)
+            llc_rate += c.llcAccessPerInstr / t;
+    }
+    total += power->l2Power(llc_rate);
+    total += memPower(prof, cfg);
+    return total;
+}
+
+double
+EnergyModel::relativeTime(const SystemProfile &prof,
+                          const FreqConfig &cfg) const
+{
+    int n = static_cast<int>(prof.cores.size());
+    double worst = 1.0;
+    for (int i = 0; i < n; ++i) {
+        double t_max = tpiAtMax(prof, i);
+        if (t_max <= 0.0)
+            continue;
+        worst = std::max(worst, tpi(prof, i, cfg) / t_max);
+    }
+    return worst;
+}
+
+double
+EnergyModel::ser(const SystemProfile &prof, const FreqConfig &cfg) const
+{
+    FreqConfig all_max =
+        FreqConfig::allMax(static_cast<int>(prof.cores.size()));
+    double p_base = systemPower(prof, all_max);
+    if (p_base <= 0.0)
+        return 1.0;
+    return relativeTime(prof, cfg) * systemPower(prof, cfg) / p_base;
+}
+
+SerEvaluator::SerEvaluator(const EnergyModel &em_in,
+                           const SystemProfile &prof_in)
+    : em(&em_in), prof(&prof_in)
+{
+    const PerfModel &perf = *em->perf;
+    const PowerModel &power = *em->power;
+    const PowerParams &pp = power.params();
+    numCores = static_cast<int>(prof->cores.size());
+    numMem = em->memLadder->size();
+    int num_core_steps = em->coreLadder->size();
+
+    // --- per-core-frequency tables ---
+    const CorePowerParams &cp = pp.core;
+    for (int c = 0; c < num_core_steps; ++c) {
+        Freq f = em->coreLadder->freq(c);
+        double v = em->coreLadder->voltage(c);
+        double v_ratio = v / cp.vNom;
+        invCoreFreq.push_back(1.0 / f);
+        coreV2.push_back(v_ratio * v_ratio);
+        clockW.push_back(cp.clockW * v_ratio * v_ratio * (f / cp.fNom));
+        leakW.push_back(cp.leakW * v_ratio);
+    }
+
+    const MemPowerParams &mp = pp.mem;
+    const DramCurrentParams &cur = mp.currents;
+    int devices = pp.geom.devicesPerRank;
+    int total_ranks = pp.geom.totalRanks();
+    int dimms = pp.geom.channels * pp.geom.dimmsPerChannel;
+    double t_rc_s = pp.timing.tRAScycles / pp.timing.refClock
+                    + pp.timing.tRPns * 1e-9;
+    double t_burst_ref_s = pp.timing.burstCycles / mp.fRef;
+    double e_refresh = cur.vdd
+                       * (cur.iRefresh - cur.iPrechargeStandby) * 1e-3
+                       * pp.timing.tRFCns * 1e-9 * devices;
+    for (int m = 0; m < numMem; ++m) {
+        Freq f = em->memLadder->freq(m);
+        double f_ratio = f / mp.fRef;
+        double v_ratio = em->memLadder->voltage(m) / 1.20;
+        double v2f = v_ratio * v_ratio * f_ratio;
+        busStretch.push_back(perf.busSecs(f)
+                             / perf.busSecs(prof->mem.profiledBusFreq));
+        double i_act =
+            cur.iActiveStandby
+            * (1.0 - mp.standbySlope + mp.standbySlope * f_ratio);
+        double i_pd = cur.iPrechargePowerdown
+                      * (1.0 - mp.powerdownSlope
+                         + mp.powerdownSlope * f_ratio);
+        double per_dev = cur.vdd * 1e-3 * devices * total_ranks
+                         * mp.backgroundScale;
+        bgActW.push_back(per_dev * i_act);
+        bgPdW.push_back(per_dev * i_pd);
+        eActJ.push_back(cur.vdd * (cur.iActPre - cur.iPrechargeStandby)
+                        * 1e-3 * t_rc_s * devices);
+        eReadJ.push_back(cur.vdd * (cur.iRowRead - cur.iActiveStandby)
+                         * 1e-3 * t_burst_ref_s * devices
+                         * mp.ioTermScale);
+        eWriteJ.push_back(cur.vdd
+                          * (cur.iRowWrite - cur.iActiveStandby) * 1e-3
+                          * t_burst_ref_s * devices * mp.ioTermScale);
+        refreshW.push_back(e_refresh * total_ranks
+                           / (pp.timing.tREFIus * 1e-6));
+        pllW.push_back(dimms * mp.pllW * v2f);
+        regPerUtilW.push_back(dimms * mp.regMaxW * f_ratio);
+        mcMinW.push_back(mp.mcMinW * v2f);
+        mcSpanW.push_back((mp.mcMaxW - mp.mcMinW) * v2f);
+    }
+
+    // --- per-core tables ---
+    for (int i = 0; i < numCores; ++i) {
+        const CoreProfile &c = prof->cores[static_cast<size_t>(i)];
+        cyc.push_back(c.cyclesPerInstr);
+        l2Part.push_back(c.alpha * c.tpiL2Secs);
+        eventNj.push_back(cp.eInstrNj + cp.eAluNj * c.aluPerInstr
+                          + cp.eFpuNj * c.fpuPerInstr
+                          + cp.eBranchNj * c.branchPerInstr
+                          + cp.eMemNj * c.memOpPerInstr);
+        llcPerInstr.push_back(c.llcAccessPerInstr);
+        readPerInstr.push_back(c.memReadPerInstr);
+        for (int m = 0; m < numMem; ++m) {
+            stallPerInstr.push_back(perf.memStallPerInstrSecs(
+                c, prof->mem, em->memLadder->freq(m)));
+        }
+        tpiMax.push_back(tpi(i, 0, 0));
+    }
+
+    readsProf = em->profiledReadRate(*prof);
+    pBase = systemPower(FreqConfig::allMax(numCores));
+}
+
+double
+SerEvaluator::relativeTime(const FreqConfig &cfg) const
+{
+    double worst = 1.0;
+    for (int i = 0; i < numCores; ++i) {
+        double t_max = tpiMax[static_cast<size_t>(i)];
+        if (t_max <= 0.0)
+            continue;
+        double r = tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                       cfg.memIdx)
+                   / t_max;
+        if (r > worst)
+            worst = r;
+    }
+    return worst;
+}
+
+double
+SerEvaluator::memPowerFast(int m, double reads_cand) const
+{
+    const MemProfile &mprof = prof->mem;
+    size_t sm = static_cast<size_t>(m);
+    double scale = readsProf > 0.0 ? reads_cand / readsProf : 1.0;
+    double traffic = mprof.trafficPerSec * scale;
+    double reads_ps = traffic * (1.0 - mprof.writeFrac);
+    double writes_ps = traffic * mprof.writeFrac;
+    double util =
+        std::min(1.0, mprof.busUtil * scale * busStretch[sm]);
+    double rank = std::min(1.0, mprof.rankActiveFrac * scale);
+
+    double background = rank * bgActW[sm] + (1.0 - rank) * bgPdW[sm];
+    double act = eActJ[sm] * (reads_ps + writes_ps);
+    double burst = eReadJ[sm] * reads_ps + eWriteJ[sm] * writes_ps;
+    double pll_reg = pllW[sm] + regPerUtilW[sm] * util;
+    double mc = mcMinW[sm] + mcSpanW[sm] * util;
+    return (background + act + burst + refreshW[sm] + pll_reg + mc)
+           * em->power->params().mem.memPowerMultiplier;
+}
+
+double
+SerEvaluator::systemPower(const FreqConfig &cfg) const
+{
+    double total = em->power->otherPower();
+    double llc_rate = 0.0;
+    double reads_cand = 0.0;
+    int m = cfg.memIdx;
+    for (int i = 0; i < numCores; ++i) {
+        size_t si = static_cast<size_t>(i);
+        int c = cfg.coreIdx[si];
+        double t = tpi(i, c, m);
+        double ips = t > 0.0 ? 1.0 / t : 0.0;
+        total += clockW[static_cast<size_t>(c)]
+                 + eventNj[si] * 1e-9 * coreV2[static_cast<size_t>(c)]
+                       * ips
+                 + leakW[static_cast<size_t>(c)];
+        llc_rate += llcPerInstr[si] * ips;
+        reads_cand += readPerInstr[si] * ips;
+    }
+    const L2PowerParams &l2 = em->power->params().l2;
+    total += l2.leakW + l2.accessNj * 1e-9 * llc_rate;
+    total += memPowerFast(m, reads_cand);
+    return total;
+}
+
+double
+SerEvaluator::ser(const FreqConfig &cfg) const
+{
+    if (pBase <= 0.0)
+        return 1.0;
+    return relativeTime(cfg) * systemPower(cfg) / pBase;
+}
+
+} // namespace coscale

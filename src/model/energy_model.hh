@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The full-system energy model of Section 3.3 (Eq. 2-3): predicts
+ * system power and the System Energy Ratio (SER) for any candidate
+ * combination of per-core and memory frequencies, from a profiling
+ * snapshot.
+ *
+ * P(f1..fn, fmem) = P_other + P_L2 + P_mem(fmem) + sum_i P_core(fi)
+ * SER(cand)       = T_rel(cand) * P(cand) / P(all-max)
+ *
+ * where T_rel is the relative epoch time of the core with the highest
+ * predicted TPI degradation versus all-max frequencies.
+ */
+
+#ifndef COSCALE_MODEL_ENERGY_MODEL_HH
+#define COSCALE_MODEL_ENERGY_MODEL_HH
+
+#include <vector>
+
+#include "common/dvfs.hh"
+#include "model/perf_model.hh"
+#include "power/power_model.hh"
+
+namespace coscale {
+
+/** A candidate DVFS configuration. */
+struct FreqConfig
+{
+    std::vector<int> coreIdx;  //!< ladder index per core
+    int memIdx = 0;
+    /**
+     * Optional per-channel memory indices (MultiScale extension).
+     * Empty means the uniform memIdx applies to every channel.
+     */
+    std::vector<int> chanIdx;
+
+    static FreqConfig
+    allMax(int num_cores)
+    {
+        FreqConfig c;
+        c.coreIdx.assign(static_cast<size_t>(num_cores), 0);
+        c.memIdx = 0;
+        return c;
+    }
+};
+
+/** Predicts TPI, power, and SER for candidate configurations. */
+class EnergyModel
+{
+  public:
+    EnergyModel() = default;
+    EnergyModel(const PerfModel *perf, const PowerModel *power,
+                const FreqLadder *core_ladder,
+                const FreqLadder *mem_ladder)
+        : perf(perf), power(power), coreLadder(core_ladder),
+          memLadder(mem_ladder)
+    {
+    }
+
+    /** Predicted TPI (seconds) of core @p i under @p cfg. */
+    double tpi(const SystemProfile &prof, int i,
+               const FreqConfig &cfg) const;
+
+    /** Predicted TPI of core @p i with everything at max. */
+    double tpiAtMax(const SystemProfile &prof, int i) const;
+
+    /** Predicted power of core @p i alone under @p cfg. */
+    double corePower(const SystemProfile &prof, int i,
+                     const FreqConfig &cfg) const;
+
+    /** Predicted memory-subsystem power under @p cfg. */
+    double memPower(const SystemProfile &prof,
+                    const FreqConfig &cfg) const;
+
+    /** Predicted full-system power under @p cfg. */
+    double systemPower(const SystemProfile &prof,
+                       const FreqConfig &cfg) const;
+
+    /** Predicted relative epoch time (worst core) vs all-max. */
+    double relativeTime(const SystemProfile &prof,
+                        const FreqConfig &cfg) const;
+
+    /** The System Energy Ratio (Eq. 2) vs all-max. */
+    double ser(const SystemProfile &prof, const FreqConfig &cfg) const;
+
+    const FreqLadder &cores() const { return *coreLadder; }
+    const FreqLadder &mem() const { return *memLadder; }
+    const PerfModel &perfModel() const { return *perf; }
+    const PowerModel &powerModel() const { return *power; }
+
+    /**
+     * The model-predicted demand-read rate at the profiled
+     * configuration — the anchor for traffic scaling. Constant for a
+     * given profile; cache it (SerEvaluator does) when evaluating
+     * many candidates.
+     */
+    double profiledReadRate(const SystemProfile &prof) const;
+
+    /** memPower with the profiled read rate precomputed. */
+    double memPower(const SystemProfile &prof, const FreqConfig &cfg,
+                    double reads_prof) const;
+
+  private:
+    friend class SerEvaluator;
+
+    /** Memory activity rates anchored on the profile. */
+    MemActivityRates memRates(const SystemProfile &prof,
+                              const FreqConfig &cfg,
+                              double reads_prof) const;
+
+    const PerfModel *perf = nullptr;
+    const PowerModel *power = nullptr;
+    const FreqLadder *coreLadder = nullptr;
+    const FreqLadder *memLadder = nullptr;
+};
+
+/**
+ * Evaluates many candidate configurations against one profile,
+ * caching everything that does not change between candidates: the
+ * per-core all-max TPIs, the all-max system power (the SER
+ * denominator), and the traffic anchor. This is what makes the
+ * greedy walk and the cap-scan searches run in microseconds
+ * (Section 3.1's overhead claim).
+ */
+class SerEvaluator
+{
+  public:
+    SerEvaluator(const EnergyModel &em, const SystemProfile &prof);
+
+    double tpiAtMax(int i) const
+    {
+        return tpiMax[static_cast<size_t>(i)];
+    }
+
+    /** Predicted TPI of core @p i at ladder indices (c, m). O(1). */
+    double
+    tpi(int i, int c, int m) const
+    {
+        size_t si = static_cast<size_t>(i);
+        return cyc[si] * invCoreFreq[static_cast<size_t>(c)]
+               + l2Part[si]
+               + stallPerInstr[si * static_cast<size_t>(numMem)
+                               + static_cast<size_t>(m)];
+    }
+
+    /** Predicted power of core @p i at indices (c, m). O(1). */
+    double
+    corePower(int i, int c, int m) const
+    {
+        size_t si = static_cast<size_t>(i);
+        size_t sc = static_cast<size_t>(c);
+        double t = tpi(i, c, m);
+        double ips = t > 0.0 ? 1.0 / t : 0.0;
+        return clockW[sc] + eventNj[si] * 1e-9 * coreV2[sc] * ips
+               + leakW[sc];
+    }
+
+    double relativeTime(const FreqConfig &cfg) const;
+    double systemPower(const FreqConfig &cfg) const;
+    double ser(const FreqConfig &cfg) const;
+    double basePower() const { return pBase; }
+
+  private:
+    /** Memory-subsystem power at mem index m, given the predicted
+     *  demand-read rate of the candidate. Mirrors
+     *  PowerModel::memPower exactly. */
+    double memPowerFast(int m, double reads_cand) const;
+
+    const EnergyModel *em;
+    const SystemProfile *prof;
+    int numCores = 0;
+    int numMem = 0;
+
+    // Per-core constants.
+    std::vector<double> tpiMax;
+    std::vector<double> cyc;        //!< compute cycles per instr
+    std::vector<double> l2Part;     //!< alpha * Tl2 (seconds)
+    std::vector<double> stallPerInstr; //!< [core][memIdx] stall/instr
+    std::vector<double> eventNj;    //!< total event energy per instr
+    std::vector<double> llcPerInstr;
+    std::vector<double> readPerInstr;
+
+    // Per-core-frequency constants.
+    std::vector<double> invCoreFreq;
+    std::vector<double> coreV2;     //!< (V/Vnom)^2
+    std::vector<double> clockW;
+    std::vector<double> leakW;
+
+    // Per-memory-frequency constants.
+    std::vector<double> busStretch;   //!< SBus(m)/SBus(profiled)
+    std::vector<double> bgActW;       //!< background W if all active
+    std::vector<double> bgPdW;        //!< background W if all idle
+    std::vector<double> eActJ;        //!< per access
+    std::vector<double> eReadJ;
+    std::vector<double> eWriteJ;
+    std::vector<double> refreshW;
+    std::vector<double> pllW;
+    std::vector<double> regPerUtilW;
+    std::vector<double> mcMinW;
+    std::vector<double> mcSpanW;
+
+    double readsProf = 0.0;
+    double pBase = 0.0;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_MODEL_ENERGY_MODEL_HH

@@ -1,0 +1,195 @@
+#include "model/perf_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+PerfModel::PerfModel(DramTimingParams timing_in, double resp_fixed_ns,
+                     double llc_hit_ns)
+    : timing(timing_in), respFixedNs(resp_fixed_ns), llcHitNs(llc_hit_ns)
+{
+}
+
+CoreProfile
+PerfModel::coreProfile(const CoreCounters &delta, Tick elapsed,
+                       Freq f_core) const
+{
+    (void)elapsed;
+    CoreProfile p;
+    p.instrs = delta.tic;
+    if (delta.tic == 0)
+        return p;
+    double instrs = static_cast<double>(delta.tic);
+
+    p.cyclesPerInstr =
+        ticksToSeconds(delta.computeTicks) * f_core / instrs;
+    p.alpha = static_cast<double>(delta.tms) / instrs;
+    p.tpiL2Secs = delta.tms
+                      ? ticksToSeconds(delta.l2StallTicks)
+                            / static_cast<double>(delta.tms)
+                      : llcHitNs * 1e-9;
+    p.beta = static_cast<double>(delta.tls) / instrs;
+    p.measuredMemStallSecs =
+        delta.tls ? ticksToSeconds(delta.memStallTicks)
+                        / static_cast<double>(delta.tls)
+                  : 0.0;
+
+    p.aluPerInstr = static_cast<double>(delta.aluOps) / instrs;
+    p.fpuPerInstr = static_cast<double>(delta.fpuOps) / instrs;
+    p.branchPerInstr = static_cast<double>(delta.branchOps) / instrs;
+    p.memOpPerInstr = static_cast<double>(delta.memOps) / instrs;
+    p.llcAccessPerInstr = static_cast<double>(delta.tla) / instrs;
+    p.memReadPerInstr = static_cast<double>(delta.tlm) / instrs;
+    return p;
+}
+
+double
+PerfModel::serviceSecs(Freq bus_freq) const
+{
+    return (timing.tRCDns + timing.tCLns + respFixedNs) * 1e-9
+           + timing.burstCycles / bus_freq;
+}
+
+double
+PerfModel::bankServiceSecs() const
+{
+    return (timing.tRPns + timing.tRCDns + timing.tCLns) * 1e-9;
+}
+
+double
+PerfModel::bankOccupancySecs(Freq bus_freq) const
+{
+    // DRAM-core timing is wall-clock fixed (see ddr3_params.hh); the
+    // bank-occupancy tail does not stretch with the bus clock.
+    (void)bus_freq;
+    return timing.tRAScycles / timing.refClock + timing.tRPns * 1e-9;
+}
+
+double
+PerfModel::busSecs(Freq bus_freq) const
+{
+    return timing.burstCycles / bus_freq;
+}
+
+MemProfile
+PerfModel::memProfile(const ChannelCounters &delta, Tick elapsed,
+                      Freq bus_freq, int channels,
+                      int total_ranks) const
+{
+    MemProfile m;
+    m.profiledBusFreq = bus_freq;
+    std::uint64_t reads = delta.readReqs + delta.prefetchReqs;
+    std::uint64_t traffic = reads + delta.writeReqs;
+    if (elapsed > 0) {
+        double secs = ticksToSeconds(elapsed);
+        m.trafficPerSec = static_cast<double>(traffic) / secs;
+        m.busUtil = static_cast<double>(delta.busBusyTicks)
+                    / (static_cast<double>(elapsed) * channels);
+        m.rankActiveFrac = static_cast<double>(delta.rankActiveTicks)
+                           / (static_cast<double>(elapsed) * total_ranks);
+    }
+    if (traffic > 0) {
+        m.writeFrac = static_cast<double>(delta.writeReqs)
+                      / static_cast<double>(traffic);
+    }
+    if (reads == 0) {
+        // No observed traffic: queue-free model.
+        m.measuredStallSecs = serviceSecs(bus_freq);
+        m.xiBank = (m.measuredStallSecs - respFixedNs * 1e-9)
+                   / (bankServiceSecs() + busSecs(bus_freq));
+        m.xiBus = 1.0;
+        return m;
+    }
+    double nreads = static_cast<double>(reads);
+    m.wBankSecs = ticksToSeconds(delta.bankWaitTicks) / nreads;
+    m.wBusSecs = ticksToSeconds(delta.busWaitTicks) / nreads;
+    double s_nom = serviceSecs(bus_freq);
+    double s_bus = busSecs(bus_freq);
+
+    m.measuredStallSecs = s_nom + m.wBankSecs + m.wBusSecs;
+
+    // The paper's xi multipliers, derived for reporting and for the
+    // Table/Fig harnesses; prediction uses the wait split directly
+    // (see tpiMemSecs).
+    m.xiBus = 1.0 + m.wBusSecs / s_bus;
+    double resp = respFixedNs * 1e-9;
+    m.xiBank = std::max(
+        0.05, (m.measuredStallSecs - resp)
+                  / (bankServiceSecs() + m.xiBus * s_bus));
+    return m;
+}
+
+double
+PerfModel::tpiMemSecs(const MemProfile &m, Freq bus_freq) const
+{
+    // Per-miss latency decomposition (the paper's xi form refined
+    // with the measured wait split and a utilisation-aware queueing
+    // term; exact at the profiled frequency by construction):
+    //
+    //   E(f) = [fixed DRAM core + controller time]
+    //          + SBus(f)                         (the data burst)
+    //          + wBank * (0.5 + 0.5*SBus(f)/SBus(a))
+    //              (bank waits: row-cycle conflicts are wall-clock
+    //               fixed; write-drain blocking scales with bursts)
+    //          + wBus * Q(f)/Q(a)
+    //              (bus queueing: service time stretches AND the
+    //               utilisation rises, so waits grow superlinearly;
+    //               Q = SBus * u / (1 - u), M/M/1-like)
+    double s_bus_a = busSecs(m.profiledBusFreq);
+    double s_bus_f = busSecs(bus_freq);
+    double ratio = s_bus_f / s_bus_a;
+
+    double bank_scale = 0.5 + 0.5 * ratio;
+
+    double u_a = std::min(0.90, std::max(1e-4, m.busUtil));
+    double u_f = std::min(0.90, u_a * ratio);
+    double q_a = s_bus_a * u_a / (1.0 - u_a);
+    double q_f = s_bus_f * u_f / (1.0 - u_f);
+    double bus_scale = q_a > 0.0 ? q_f / q_a : ratio;
+
+    double fixed = m.measuredStallSecs - s_bus_a - m.wBankSecs
+                   - m.wBusSecs;
+    return fixed + s_bus_f + m.wBankSecs * bank_scale
+           + m.wBusSecs * bus_scale;
+}
+
+double
+PerfModel::memStallPerInstrSecs(const CoreProfile &c,
+                                const MemProfile &m,
+                                Freq bus_freq) const
+{
+    if (c.memReadPerInstr <= 0.0)
+        return 0.0;
+
+    // Hidden-latency formulation: *every* LLC miss (memReadPerInstr)
+    // pays the memory latency, but the core hides a fixed amount of
+    // it per instruction (MLP window overlap; zero for in-order
+    // cores). The hidden share is calibrated so the expression
+    // reproduces the measured stall exactly at the profiled
+    // frequency:
+    //   stall/instr (f) = mR * L(f) - hidden,
+    //   hidden = mR * L(anchor) - beta * measuredStall.
+    // When the bus slows, the full latency growth of every miss hits
+    // the pipeline — under MLP the window fills sooner and stalls
+    // more often, which a fixed stall *count* model would miss.
+    double l_anchor = tpiMemSecs(m, m.profiledBusFreq);
+    double l_target = tpiMemSecs(m, bus_freq);
+    double measured_per_instr =
+        c.measuredMemStallSecs > 0.0
+            ? c.beta * c.measuredMemStallSecs
+            : c.memReadPerInstr * l_anchor;
+    double hidden = c.memReadPerInstr * l_anchor - measured_per_instr;
+    return std::max(0.0, c.memReadPerInstr * l_target - hidden);
+}
+
+double
+PerfModel::tpiSecs(const CoreProfile &c, Freq f_core,
+                   const MemProfile &m, Freq bus_freq) const
+{
+    return c.cyclesPerInstr / f_core + c.alpha * c.tpiL2Secs
+           + memStallPerInstrSecs(c, m, bus_freq);
+}
+
+} // namespace coscale

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The analytic performance model of Section 3.3.
+ *
+ * Equation 1:
+ *   E[CPI] = (E[TPIcpu] + alpha*E[TPIl2] + beta*E[TPImem]) * Fcpu
+ *
+ * We work directly in time-per-instruction (TPI, seconds):
+ *   TPI(fc, fm) = cyclesPerInstr / fc  +  alpha * Tl2
+ *                 + beta * E[TPImem](fm)
+ *
+ * with the paper's memory-stall decomposition
+ *   E[TPImem](fm) = xiBank * (SBank + xiBus * SBus(fm))
+ * refined in two ways (both exact at the profiled frequency; see
+ * DESIGN.md section 7):
+ *  - bus queueing scales with an M/M/1-like utilisation term rather
+ *    than linearly with the burst time (measured stall-vs-frequency
+ *    curves are superlinear);
+ *  - per-core memory time uses the hidden-latency form
+ *    stall/instr = misses/instr * L(f) - hidden, which reduces to
+ *    beta * E[TPImem] for in-order cores and correctly captures the
+ *    MLP window stalling more often as the bus slows.
+ */
+
+#ifndef COSCALE_MODEL_PERF_MODEL_HH
+#define COSCALE_MODEL_PERF_MODEL_HH
+
+#include <vector>
+
+#include "common/dvfs.hh"
+#include "common/types.hh"
+#include "dram/ddr3_params.hh"
+#include "stats/perf_counters.hh"
+
+namespace coscale {
+
+/** Frequency-invariant profile of one core over a window. */
+struct CoreProfile
+{
+    double cyclesPerInstr = 1.0; //!< compute cycles per instruction
+    double alpha = 0.0;          //!< L2-hit stalls per instruction
+    double tpiL2Secs = 0.0;      //!< mean L2-hit stall (fixed domain)
+    double beta = 0.0;           //!< memory stalls per instruction
+    double measuredMemStallSecs = 0.0; //!< mean per-miss stall
+    std::uint64_t instrs = 0;
+
+    // Per-instruction rates for the power predictor.
+    double aluPerInstr = 0.0;
+    double fpuPerInstr = 0.0;
+    double branchPerInstr = 0.0;
+    double memOpPerInstr = 0.0;
+    double llcAccessPerInstr = 0.0;
+    double memReadPerInstr = 0.0; //!< DRAM reads per instruction
+
+    /**
+     * The memory channel this core's accesses land on under the
+     * RegionPerChannel mapping; -1 under interleaving (all channels).
+     */
+    int homeChannel = -1;
+};
+
+/** Memory-subsystem profile over a window (channels aggregated). */
+struct MemProfile
+{
+    double xiBank = 1.0;     //!< bank queueing multiplier (reporting)
+    double xiBus = 1.0;      //!< bus queueing multiplier (reporting)
+    double wBankSecs = 0.0;  //!< measured per-read wait before ACT
+    double wBusSecs = 0.0;   //!< measured per-read data-bus wait
+    double measuredStallSecs = 0.0; //!< anchor: measured svc+wait
+    Freq profiledBusFreq = 800 * MHz;
+    double writeFrac = 0.2;  //!< writebacks / total traffic
+    double busUtil = 0.0;    //!< at the profiled frequency
+    double rankActiveFrac = 0.0;
+    double trafficPerSec = 0.0; //!< reads+writes per second observed
+};
+
+/** A full profiling snapshot handed to the policies. */
+struct SystemProfile
+{
+    std::vector<CoreProfile> cores;
+    MemProfile mem;               //!< aggregate over all channels
+    std::vector<MemProfile> channels; //!< per-channel (MultiScale)
+    Tick windowTicks = 0;
+    std::vector<int> profiledCoreIdx; //!< DVFS state during the window
+    int profiledMemIdx = 0;
+    /**
+     * Application id per core (Section 3.3 context switching). Empty
+     * means the identity mapping (app i on core i).
+     */
+    std::vector<int> appOnCore;
+};
+
+/** Evaluates Eq. 1 and its memory decomposition. */
+class PerfModel
+{
+  public:
+    PerfModel() = default;
+    PerfModel(DramTimingParams timing, double resp_fixed_ns,
+              double llc_hit_ns);
+
+    /** Derive a core profile from a counter window. */
+    CoreProfile coreProfile(const CoreCounters &delta, Tick elapsed,
+                            Freq f_core) const;
+
+    /** Derive the memory profile from aggregated channel counters. */
+    MemProfile memProfile(const ChannelCounters &delta, Tick elapsed,
+                          Freq bus_freq, int channels,
+                          int total_ranks) const;
+
+    /** Nominal (queue-free) read service time at @p f, seconds. */
+    double serviceSecs(Freq bus_freq) const;
+
+    /**
+     * SBank of the paper's decomposition: the queue-free bank access
+     * time (precharge + row access + column read), wall-clock fixed.
+     */
+    double bankServiceSecs() const;
+
+    /** Bank-occupancy time (tRAS tail + tRP) at @p f, seconds. */
+    double bankOccupancySecs(Freq bus_freq) const;
+
+    /** Burst (bus) time at @p f, seconds. */
+    double busSecs(Freq bus_freq) const;
+
+    /** Predicted mean per-miss stall at @p f, seconds. */
+    double tpiMemSecs(const MemProfile &m, Freq bus_freq) const;
+
+    /**
+     * Predicted memory-stall time per instruction of a core at bus
+     * frequency @p f, via the hidden-latency formulation (handles
+     * both in-order and MLP-window cores; exact at the profiled
+     * frequency).
+     */
+    double memStallPerInstrSecs(const CoreProfile &c,
+                                const MemProfile &m,
+                                Freq bus_freq) const;
+
+    /** Predicted time per instruction at (fc, fm), seconds. */
+    double tpiSecs(const CoreProfile &c, Freq f_core,
+                   const MemProfile &m, Freq bus_freq) const;
+
+  private:
+    DramTimingParams timing;
+    double respFixedNs = 10.0;
+    double llcHitNs = 7.5;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_MODEL_PERF_MODEL_HH

@@ -1,0 +1,264 @@
+#include "policy/coscale_policy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+namespace {
+
+constexpr double perfEpsilon = 1e-15;
+
+/** Sorted-list entry for the Fig. 3 group-formation sub-algorithm. */
+struct CoreEntry
+{
+    int core;
+    double dPerf;   //!< relative TPI increase of one step down
+    double dPower;  //!< power reduction of one step down
+};
+
+} // namespace
+
+FreqConfig
+CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
+                      const FreqConfig &current, Tick epoch_len)
+{
+    (void)current;  // the walk restarts from all-max each epoch
+    int n = static_cast<int>(profile.cores.size());
+    walk.clear();
+
+    FreqConfig all_max = FreqConfig::allMax(n);
+    std::vector<double> ref = refTpis(em, profile, all_max);
+    std::vector<double> allowed =
+        allowedTpis(tracker, ref, epoch_len, profile.appOnCore);
+
+    // Everything walk-invariant (all-max TPIs, baseline power, the
+    // traffic anchor) is cached once; the walk then evaluates each
+    // candidate in O(N).
+    SerEvaluator ev(em, profile);
+
+    FreqConfig cfg = all_max;
+    FreqConfig best = cfg;
+    double best_ser = ev.ser(cfg);
+    if (recording)
+        walk.push_back(SearchStep{cfg, best_ser, false, 0});
+
+    // Cached per-core TPI at the current walk position and at max.
+    std::vector<double> tpi_cur(static_cast<size_t>(n));
+    std::vector<double> tpi_max(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        tpi_cur[static_cast<size_t>(i)] = ev.tpi(i, 0, 0);
+        tpi_max[static_cast<size_t>(i)] = ev.tpiAtMax(i);
+    }
+
+    // Build / maintain the sorted eligible-core list (Fig. 3, 1-2).
+    std::vector<CoreEntry> list;
+    auto make_entry = [&](int i, CoreEntry &e) -> bool {
+        int idx = cfg.coreIdx[static_cast<size_t>(i)];
+        if (idx + 1 >= em.cores().size())
+            return false;
+        double t_down = ev.tpi(i, idx + 1, cfg.memIdx);
+        if (t_down > allowed[static_cast<size_t>(i)])
+            return false;
+        e.core = i;
+        e.dPerf = (t_down - tpi_cur[static_cast<size_t>(i)])
+                  / std::max(tpi_max[static_cast<size_t>(i)], perfEpsilon);
+        e.dPower = ev.corePower(i, idx, cfg.memIdx)
+                   - ev.corePower(i, idx + 1, cfg.memIdx);
+        return true;
+    };
+    auto insert_sorted = [&](const CoreEntry &e) {
+        auto pos = std::lower_bound(
+            list.begin(), list.end(), e,
+            [](const CoreEntry &a, const CoreEntry &b) {
+                return a.dPerf < b.dPerf;
+            });
+        list.insert(pos, e);
+    };
+    for (int i = 0; i < n; ++i) {
+        CoreEntry e;
+        if (make_entry(i, e))
+            insert_sorted(e);
+    }
+
+    bool cores_dirty = true;
+    bool mem_dirty = true;
+    double marginal_mem = 0.0;
+    double d_perf_mem = 0.0;
+    double marginal_cores = 0.0;
+    int best_group = 0;
+
+    auto mem_feasible = [&]() -> bool {
+        if (cfg.memIdx + 1 >= em.mem().size())
+            return false;
+        for (int i = 0; i < n; ++i) {
+            if (ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                       cfg.memIdx + 1)
+                > allowed[static_cast<size_t>(i)]) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    auto compute_mem_marginal = [&]() {
+        FreqConfig down = cfg;
+        down.memIdx += 1;
+        d_perf_mem = perfEpsilon;
+        for (int i = 0; i < n; ++i) {
+            double d = (ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                               cfg.memIdx + 1)
+                        - tpi_cur[static_cast<size_t>(i)])
+                       / std::max(tpi_max[static_cast<size_t>(i)],
+                                  perfEpsilon);
+            d_perf_mem = std::max(d_perf_mem, d);
+        }
+        double d_power = ev.systemPower(cfg) - ev.systemPower(down);
+        marginal_mem = d_power / d_perf_mem;
+    };
+
+    // Fig. 3: prefix-sum group utilities over the sorted list. With
+    // grouping ablated, only the head of the list (the single
+    // cheapest core) competes against the memory step.
+    auto compute_group_marginal = [&]() {
+        marginal_cores = -1.0;
+        best_group = 0;
+        double power_sum = 0.0;
+        size_t limit =
+            opts.coreGrouping ? list.size()
+                              : std::min<size_t>(1, list.size());
+        for (size_t g = 0; g < limit; ++g) {
+            power_sum += list[g].dPower;
+            // A single voltage domain only offers the all-cores step.
+            if (opts.chipWideCpuDvfs && g + 1 < list.size())
+                continue;
+            double d_perf = std::max(list[g].dPerf, perfEpsilon);
+            double utility = power_sum / d_perf;
+            if (utility > marginal_cores) {
+                marginal_cores = utility;
+                best_group = static_cast<int>(g) + 1;
+            }
+        }
+    };
+
+    auto apply_mem_step = [&]() {
+        cfg.memIdx += 1;
+        for (int i = 0; i < n; ++i) {
+            tpi_cur[static_cast<size_t>(i)] =
+                ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                       cfg.memIdx);
+        }
+        mem_dirty = true;
+        // Per Fig. 2 the core marginals are not recomputed on a
+        // memory step (core delta-TPI is memory-independent in the
+        // Eq. 1 model), but entries whose *feasibility* changed must
+        // be dropped.
+        list.erase(std::remove_if(list.begin(), list.end(),
+                                  [&](const CoreEntry &e) {
+                                      CoreEntry probe;
+                                      return !make_entry(e.core, probe);
+                                  }),
+                   list.end());
+        cores_dirty = true;
+    };
+
+    auto apply_group_step = [&](int g) {
+        std::vector<int> members;
+        for (int k = 0; k < g; ++k)
+            members.push_back(list[static_cast<size_t>(k)].core);
+        list.erase(list.begin(), list.begin() + g);
+        for (int i : members) {
+            cfg.coreIdx[static_cast<size_t>(i)] += 1;
+            tpi_cur[static_cast<size_t>(i)] =
+                ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                       cfg.memIdx);
+            CoreEntry e;
+            if (make_entry(i, e))
+                insert_sorted(e);
+        }
+        cores_dirty = true;
+    };
+
+    // Main loop of Fig. 2.
+    while (true) {
+        bool mem_ok = mem_feasible();
+        bool cores_ok = !list.empty();
+        if (opts.chipWideCpuDvfs) {
+            // The chip can only step if *every* core that is not at
+            // the ladder floor is eligible (slack-feasible).
+            int scalable = 0;
+            for (int idx : cfg.coreIdx) {
+                if (idx + 1 < em.cores().size())
+                    scalable += 1;
+            }
+            cores_ok = scalable > 0
+                       && static_cast<int>(list.size()) == scalable;
+        }
+        if (!mem_ok && !cores_ok)
+            break;
+
+        bool step_is_mem;
+        int group = 1;
+        if (mem_ok && cores_ok) {
+            if (mem_dirty) {
+                compute_mem_marginal();
+                mem_dirty = false;
+            }
+            if (cores_dirty) {
+                compute_group_marginal();
+                cores_dirty = false;
+            }
+            step_is_mem = marginal_mem > marginal_cores;
+            group = best_group;
+        } else if (mem_ok) {
+            step_is_mem = true;
+        } else {
+            if (cores_dirty) {
+                compute_group_marginal();
+                cores_dirty = false;
+            }
+            step_is_mem = false;
+            group = best_group;
+        }
+
+        if (step_is_mem)
+            apply_mem_step();
+        else
+            apply_group_step(group);
+
+        double ser = ev.ser(cfg);
+        if (recording) {
+            walk.push_back(SearchStep{cfg, ser, step_is_mem,
+                                      step_is_mem ? 0 : group});
+        }
+        if (ser < best_ser) {
+            best_ser = ser;
+            best = cfg;
+        }
+    }
+
+    return best;
+}
+
+void
+CoScalePolicy::observeEpoch(const EpochObservation &obs,
+                            const EnergyModel &em)
+{
+    if (!opts.carrySlack) {
+        // Ablation: forget history; every epoch gets exactly gamma.
+        tracker = SlackTracker(tracker.size(), tracker.gamma(), 0.0);
+        return;
+    }
+    int n = static_cast<int>(obs.epochProfile.cores.size());
+    FreqConfig all_max = FreqConfig::allMax(n);
+    double secs = ticksToSeconds(obs.epochTicks);
+    for (int i = 0; i < n; ++i) {
+        double ref = em.tpi(obs.epochProfile, i, all_max);
+        tracker.update(appOf(obs.appOnCore, i), ref,
+                       obs.instrs[static_cast<size_t>(i)], secs);
+    }
+}
+
+} // namespace coscale

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Per-channel memory DVFS: the MultiScale extension (Deng et al.,
+ * ISLPED 2012 — reference [9] of the CoScale paper). With the
+ * RegionPerChannel address mapping, each application's traffic lands
+ * on one channel, so channel loads follow the applications and each
+ * channel can run at its own frequency: channels serving
+ * compute-bound applications clock down deep while channels serving
+ * memory-bound ones stay fast — savings a single uniform memory
+ * frequency cannot reach.
+ *
+ * MultiScalePolicy manages only the memory channels (cores stay at
+ * maximum, as in the MemScale/MultiScale line of work); it keeps
+ * per-application slack and picks each channel's frequency by a
+ * greedy SER walk over that channel's own profile.
+ */
+
+#ifndef COSCALE_POLICY_MULTISCALE_HH
+#define COSCALE_POLICY_MULTISCALE_HH
+
+#include "policy/policy.hh"
+#include "policy/search_common.hh"
+
+namespace coscale {
+
+/** Per-channel memory-DVFS controller. */
+class MultiScalePolicy final : public Policy
+{
+  public:
+    MultiScalePolicy(int num_apps, double gamma)
+        : tracker(num_apps, gamma)
+    {
+    }
+
+    std::string name() const override { return "MultiScale"; }
+
+    FreqConfig decide(const SystemProfile &profile, const EnergyModel &em,
+                      const FreqConfig &current, Tick epoch_len) override;
+
+    void observeEpoch(const EpochObservation &obs,
+                      const EnergyModel &em) override;
+
+    const SlackTracker &slack() const { return tracker; }
+
+  private:
+    /**
+     * Reference (all-max) TPI of core @p i, evaluated against its
+     * home channel's profile when one exists.
+     */
+    double refTpiOf(const SystemProfile &prof, const EnergyModel &em,
+                    int i) const;
+
+    SlackTracker tracker;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_POLICY_MULTISCALE_HH

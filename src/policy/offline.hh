@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The Offline upper-bound policy (Section 3.2): per epoch, it is
+ * given a *perfect* profile of the upcoming epoch (the runner clones
+ * the simulator and runs the clone ahead at maximum frequencies),
+ * and selects frequencies by exhaustive-equivalent search over all
+ * memory and core combinations. Impractical by construction; used
+ * only as an upper bound on CoScale. Like CoScale it remains
+ * epoch-by-epoch greedy: it never banks slack for future epochs.
+ */
+
+#ifndef COSCALE_POLICY_OFFLINE_HH
+#define COSCALE_POLICY_OFFLINE_HH
+
+#include "policy/policy.hh"
+#include "policy/search_common.hh"
+
+namespace coscale {
+
+/** Oracle-profiled, exhaustive-search policy. */
+class OfflinePolicy final : public Policy
+{
+  public:
+    OfflinePolicy(int num_apps, double gamma)
+        : tracker(num_apps, gamma)
+    {
+    }
+
+    std::string name() const override { return "Offline"; }
+
+    bool wantsOracleProfile() const override { return true; }
+
+    FreqConfig
+    decide(const SystemProfile &profile, const EnergyModel &em,
+           const FreqConfig &, Tick epoch_len) override
+    {
+        int n = static_cast<int>(profile.cores.size());
+        FreqConfig all_max = FreqConfig::allMax(n);
+        std::vector<double> ref = refTpis(em, profile, all_max);
+        std::vector<double> allowed =
+            allowedTpis(tracker, ref, epoch_len, profile.appOnCore);
+        return exhaustiveBest(em, profile, allowed);
+    }
+
+    void
+    observeEpoch(const EpochObservation &obs,
+                 const EnergyModel &em) override
+    {
+        int n = static_cast<int>(obs.epochProfile.cores.size());
+        FreqConfig all_max = FreqConfig::allMax(n);
+        double secs = ticksToSeconds(obs.epochTicks);
+        for (int i = 0; i < n; ++i) {
+            double ref = em.tpi(obs.epochProfile, i, all_max);
+            tracker.update(appOf(obs.appOnCore, i), ref,
+                           obs.instrs[static_cast<size_t>(i)], secs);
+        }
+    }
+
+  private:
+    SlackTracker tracker;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_POLICY_OFFLINE_HH

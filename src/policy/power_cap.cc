@@ -1,0 +1,72 @@
+#include "policy/power_cap.hh"
+
+#include <algorithm>
+
+namespace coscale {
+
+FreqConfig
+PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
+                       const FreqConfig &, Tick)
+{
+    int n = static_cast<int>(profile.cores.size());
+    FreqConfig cfg = FreqConfig::allMax(n);
+    overCap = false;
+
+    // Aim slightly below the cap: the prediction is model-based and
+    // the epoch's actual activity can run a little hotter than the
+    // profiling window suggested.
+    double target = capWatts * 0.96;
+    constexpr double eps = 1e-15;
+    while (em.systemPower(profile, cfg) > target) {
+        // Candidate steps: one memory step or one step on any core.
+        double best_utility = -1.0;
+        FreqConfig best_next = cfg;
+        bool any = false;
+
+        if (cfg.memIdx + 1 < em.mem().size()) {
+            FreqConfig next = cfg;
+            next.memIdx += 1;
+            double d_power = em.systemPower(profile, cfg)
+                             - em.systemPower(profile, next);
+            double d_perf = std::max(
+                em.relativeTime(profile, next)
+                    - em.relativeTime(profile, cfg),
+                eps);
+            double u = d_power / d_perf;
+            if (u > best_utility) {
+                best_utility = u;
+                best_next = next;
+                any = true;
+            }
+        }
+        for (int i = 0; i < n; ++i) {
+            if (cfg.coreIdx[static_cast<size_t>(i)] + 1
+                >= em.cores().size()) {
+                continue;
+            }
+            FreqConfig next = cfg;
+            next.coreIdx[static_cast<size_t>(i)] += 1;
+            double d_power = em.corePower(profile, i, cfg)
+                             - em.corePower(profile, i, next);
+            double d_perf = std::max(
+                em.relativeTime(profile, next)
+                    - em.relativeTime(profile, cfg),
+                eps);
+            double u = d_power / d_perf;
+            if (u > best_utility) {
+                best_utility = u;
+                best_next = next;
+                any = true;
+            }
+        }
+
+        if (!any) {
+            overCap = true;  // everything already at minimum
+            break;
+        }
+        cfg = best_next;
+    }
+    return cfg;
+}
+
+} // namespace coscale

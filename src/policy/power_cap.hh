@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Power-capping extension (Section 2.3: "CoScale can be readily
+ * extended to cap power with appropriate changes to its decision
+ * algorithm"). Instead of minimising SER under a performance bound,
+ * the capped variant minimises performance loss subject to a
+ * full-system power ceiling: the same greedy walk takes the
+ * highest-utility (delta power / delta performance) steps until the
+ * predicted system power fits under the cap.
+ */
+
+#ifndef COSCALE_POLICY_POWER_CAP_HH
+#define COSCALE_POLICY_POWER_CAP_HH
+
+#include "policy/policy.hh"
+
+namespace coscale {
+
+/** Greedy power-capping controller built on the CoScale machinery. */
+class PowerCapPolicy final : public Policy
+{
+  public:
+    explicit PowerCapPolicy(double cap_watts)
+        : capWatts(cap_watts)
+    {
+    }
+
+    std::string name() const override { return "PowerCap"; }
+
+    FreqConfig decide(const SystemProfile &profile, const EnergyModel &em,
+                      const FreqConfig &current, Tick epoch_len) override;
+
+    void
+    observeEpoch(const EpochObservation &, const EnergyModel &) override
+    {
+    }
+
+    double cap() const { return capWatts; }
+
+    /** True if the last decision could not fit under the cap. */
+    bool lastDecisionOverCap() const { return overCap; }
+
+  private:
+    double capWatts;
+    bool overCap = false;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_POLICY_POWER_CAP_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Search utilities shared by the policies: admissible-TPI vectors,
+ * feasibility checks, and the cap-scan exhaustive core-frequency
+ * optimizer.
+ *
+ * Cap-scan exploits a structural property of the Section 3.3 models:
+ * for a fixed memory frequency, per-core TPIs and powers are
+ * independent across cores, and the SER couples them only through
+ * max(relative slowdown) and sum(power). Scanning every achievable
+ * worst-case slowdown cap and letting each core drop to its lowest
+ * admissible frequency under that cap therefore covers the whole
+ * Pareto frontier of the exponential configuration space exactly
+ * (see DESIGN.md). CPUOnly and Offline use this.
+ */
+
+#ifndef COSCALE_POLICY_SEARCH_COMMON_HH
+#define COSCALE_POLICY_SEARCH_COMMON_HH
+
+#include <vector>
+
+#include "policy/policy.hh"
+
+namespace coscale {
+
+/**
+ * Per-core reference TPIs (predicted at configuration @p ref).
+ */
+std::vector<double> refTpis(const EnergyModel &em,
+                            const SystemProfile &profile,
+                            const FreqConfig &ref);
+
+/**
+ * Per-core admissible TPI bounds for the next epoch, combining the
+ * reference pace with accumulated slack.
+ */
+std::vector<double> allowedTpis(const SlackTracker &slack,
+                                const std::vector<double> &ref_tpi,
+                                Tick epoch_len,
+                                const std::vector<int> &app_on_core =
+                                    std::vector<int>{});
+
+/** True if every core's predicted TPI under @p cfg is admissible. */
+bool configFeasible(const EnergyModel &em, const SystemProfile &profile,
+                    const FreqConfig &cfg,
+                    const std::vector<double> &allowed);
+
+/**
+ * Exhaustive-equivalent optimizer for the core dimensions at a fixed
+ * memory index: returns the SER-minimal admissible configuration.
+ * @p out_ser receives the winning SER.
+ */
+FreqConfig capScanBestForMem(const EnergyModel &em,
+                             const SystemProfile &profile, int mem_idx,
+                             const std::vector<double> &allowed,
+                             double &out_ser);
+
+/** As above with a prebuilt evaluator (for callers scanning many
+ *  memory indices against one profile). */
+FreqConfig capScanBestForMem(const SerEvaluator &ev,
+                             const EnergyModel &em,
+                             const SystemProfile &profile, int mem_idx,
+                             const std::vector<double> &allowed,
+                             double &out_ser);
+
+/**
+ * Full exhaustive-equivalent search over memory and core frequencies
+ * (the Offline policy's selection step).
+ */
+FreqConfig exhaustiveBest(const EnergyModel &em,
+                          const SystemProfile &profile,
+                          const std::vector<double> &allowed);
+
+/**
+ * Memory-only greedy walk with cores pinned at @p core_idx: lowers
+ * the memory frequency while admissible, returns the SER-minimal
+ * memory index visited.
+ */
+int memOnlyBest(const EnergyModel &em, const SystemProfile &profile,
+                const std::vector<int> &core_idx,
+                const std::vector<double> &allowed);
+
+} // namespace coscale
+
+#endif // COSCALE_POLICY_SEARCH_COMMON_HH

@@ -1,0 +1,224 @@
+#include "power/power_model.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+namespace {
+
+double
+clamp01(double v)
+{
+    return std::min(1.0, std::max(0.0, v));
+}
+
+} // namespace
+
+PowerModel::PowerModel(PowerParams params)
+    : p(std::move(params))
+{
+    // Rest-of-system power is a fixed fraction of total peak power:
+    // other = frac * total, total = cpuMemRef + other.
+    double ref = referenceCpuMemPower();
+    otherW = p.otherFrac / (1.0 - p.otherFrac) * ref;
+}
+
+double
+PowerModel::corePower(double volt, Freq f,
+                      const CoreActivityRates &rates) const
+{
+    const CorePowerParams &c = p.core;
+    double v_ratio = volt / c.vNom;
+    double v2 = v_ratio * v_ratio;
+    double f_ratio = f / c.fNom;
+
+    double clock = c.clockW * v2 * f_ratio;
+    double events_nj = c.eInstrNj * rates.ips + c.eAluNj * rates.aluPs
+                       + c.eFpuNj * rates.fpuPs
+                       + c.eBranchNj * rates.branchPs
+                       + c.eMemNj * rates.memPs;
+    double dynamic = events_nj * 1e-9 * v2;
+    double leak = c.leakW * v_ratio;
+    return clock + dynamic + leak;
+}
+
+double
+PowerModel::corePowerFromCounters(const CoreCounters &delta, Tick elapsed,
+                                  double volt, Freq f) const
+{
+    coscale_assert(elapsed > 0, "zero-length power window");
+    double secs = ticksToSeconds(elapsed);
+    CoreActivityRates r;
+    r.ips = static_cast<double>(delta.tic) / secs;
+    r.aluPs = static_cast<double>(delta.aluOps) / secs;
+    r.fpuPs = static_cast<double>(delta.fpuOps) / secs;
+    r.branchPs = static_cast<double>(delta.branchOps) / secs;
+    r.memPs = static_cast<double>(delta.memOps) / secs;
+    return corePower(volt, f, r);
+}
+
+double
+PowerModel::l2Power(double access_rate) const
+{
+    return p.l2.leakW + p.l2.accessNj * 1e-9 * access_rate;
+}
+
+MemPowerBreakdown
+PowerModel::memPowerBreakdown(double mc_volt, Freq bus_freq,
+                              const MemActivityRates &rates,
+                              int channels_covered) const
+{
+    const MemPowerParams &m = p.mem;
+    const DramCurrentParams &cur = m.currents;
+    double f_ratio = bus_freq / m.fRef;
+    int devices = p.geom.devicesPerRank;
+    int covered =
+        channels_covered > 0 ? channels_covered : p.geom.channels;
+    double mc_share =
+        static_cast<double>(covered) / p.geom.channels;
+    int total_ranks = p.geom.ranksPerChannel() * covered;
+
+    MemPowerBreakdown out;
+
+    // Background power: active ranks sit in active standby, idle ranks
+    // drop into precharge powerdown (aggressive fast-exit powerdown,
+    // as in MemScale). Standby/powerdown current is dominated by
+    // DLL/clock distribution and derates with frequency.
+    double a = clamp01(rates.rankActiveFrac);
+    double i_act = cur.iActiveStandby
+                   * (1.0 - m.standbySlope + m.standbySlope * f_ratio);
+    double i_pd = cur.iPrechargePowerdown
+                  * (1.0 - m.powerdownSlope + m.powerdownSlope * f_ratio);
+    double bg_per_device =
+        cur.vdd * (a * i_act + (1.0 - a) * i_pd) * 1e-3;
+    out.background = bg_per_device * devices * total_ranks
+                     * m.backgroundScale;
+
+    // Activate/precharge energy: one ACT-PRE pair per (closed-page)
+    // access; the act-pre current is the added current over standby
+    // during one row cycle. Charge-based: frequency-independent.
+    double t_rc_s = p.timing.tRAScycles / p.timing.refClock
+                    + p.timing.tRPns * 1e-9;
+    double e_act = cur.vdd
+                   * (cur.iActPre - cur.iPrechargeStandby) * 1e-3
+                   * t_rc_s * devices;
+    double acts_ps = rates.readsPs + rates.writesPs;
+    out.activate = e_act * acts_ps;
+
+    // Burst energy: (I_rw - I_act_standby) over one data burst at the
+    // reference clock, with the I/O/termination multiplier. IDD4
+    // derates with frequency, so energy per burst is constant: at a
+    // slower clock the burst takes longer at proportionally lower
+    // current.
+    double t_burst_ref_s = p.timing.burstCycles / m.fRef;
+    double e_read = cur.vdd * (cur.iRowRead - cur.iActiveStandby) * 1e-3
+                    * t_burst_ref_s * devices * m.ioTermScale;
+    double e_write = cur.vdd * (cur.iRowWrite - cur.iActiveStandby)
+                     * 1e-3 * t_burst_ref_s * devices * m.ioTermScale;
+    out.burst = e_read * rates.readsPs + e_write * rates.writesPs;
+
+    // Refresh: all ranks refresh every tREFI, costing tRFC at the
+    // refresh current.
+    double e_refresh = cur.vdd
+                       * (cur.iRefresh - cur.iPrechargeStandby) * 1e-3
+                       * p.timing.tRFCns * 1e-9 * devices;
+    out.refresh = e_refresh * total_ranks / (p.timing.tREFIus * 1e-6);
+
+    // DIMM PLL (V^2*f) and register (utilisation and frequency).
+    double util = clamp01(rates.busUtil);
+    double v_ratio = mc_volt / 1.20;
+    double v2f = v_ratio * v_ratio * f_ratio;
+    int dimms = covered * p.geom.dimmsPerChannel;
+    out.pllReg = dimms * (m.pllW * v2f + m.regMaxW * util * f_ratio);
+
+    // Memory controller: runs at twice the bus frequency in the
+    // cores' voltage range; power scales with utilisation and V^2*f.
+    // Under per-channel DVFS each channel carries its share of the
+    // controller.
+    out.mc = (m.mcMinW + (m.mcMaxW - m.mcMinW) * util) * v2f * mc_share;
+
+    double mult = m.memPowerMultiplier;
+    out.background *= mult;
+    out.activate *= mult;
+    out.burst *= mult;
+    out.refresh *= mult;
+    out.pllReg *= mult;
+    out.mc *= mult;
+    return out;
+}
+
+double
+PowerModel::memPower(double mc_volt, Freq bus_freq,
+                     const MemActivityRates &rates) const
+{
+    return memPowerBreakdown(mc_volt, bus_freq, rates).total();
+}
+
+double
+PowerModel::memPowerFromCounters(const ChannelCounters &delta,
+                                 Tick elapsed, double mc_volt,
+                                 Freq bus_freq) const
+{
+    coscale_assert(elapsed > 0, "zero-length power window");
+    double secs = ticksToSeconds(elapsed);
+    MemActivityRates r;
+    r.readsPs =
+        static_cast<double>(delta.readReqs + delta.prefetchReqs) / secs;
+    r.writesPs = static_cast<double>(delta.writeReqs) / secs;
+    r.busUtil = static_cast<double>(delta.busBusyTicks)
+                / (static_cast<double>(elapsed) * p.geom.channels);
+    r.rankActiveFrac =
+        static_cast<double>(delta.rankActiveTicks)
+        / (static_cast<double>(elapsed) * p.geom.totalRanks());
+    return memPower(mc_volt, bus_freq, r);
+}
+
+double
+PowerModel::memChannelPowerFromCounters(const ChannelCounters &delta,
+                                        Tick elapsed, double mc_volt,
+                                        Freq bus_freq) const
+{
+    coscale_assert(elapsed > 0, "zero-length power window");
+    double secs = ticksToSeconds(elapsed);
+    MemActivityRates r;
+    r.readsPs =
+        static_cast<double>(delta.readReqs + delta.prefetchReqs) / secs;
+    r.writesPs = static_cast<double>(delta.writeReqs) / secs;
+    r.busUtil = static_cast<double>(delta.busBusyTicks)
+                / static_cast<double>(elapsed);
+    r.rankActiveFrac = static_cast<double>(delta.rankActiveTicks)
+                       / (static_cast<double>(elapsed)
+                          * p.geom.ranksPerChannel());
+    return memPowerBreakdown(mc_volt, bus_freq, r, 1).total();
+}
+
+double
+PowerModel::referenceCpuMemPower() const
+{
+    // Typical activity at maximum frequencies: CPI ~1.5 with the
+    // default instruction mix, 30% memory bus utilisation.
+    CoreActivityRates cr;
+    cr.ips = p.core.fNom / 1.5;
+    cr.aluPs = cr.ips * 0.40;
+    cr.fpuPs = cr.ips * 0.10;
+    cr.branchPs = cr.ips * 0.15;
+    cr.memPs = cr.ips * 0.35;
+    double cpu = p.numCores * corePower(p.core.vNom, p.core.fNom, cr);
+
+    double l2 = l2Power(p.numCores * cr.ips * 0.02);
+
+    MemActivityRates mr;
+    Freq f_max = p.mem.fRef;
+    double peak_reads = p.geom.channels * f_max * 2.0 / 8.0;
+    mr.busUtil = 0.30;
+    mr.readsPs = peak_reads * mr.busUtil * 0.75;
+    mr.writesPs = peak_reads * mr.busUtil * 0.25;
+    mr.rankActiveFrac = 0.5;
+    double mem = memPower(1.20, f_max, mr);
+
+    return cpu + l2 + mem;
+}
+
+} // namespace coscale

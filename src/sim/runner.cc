@@ -1,0 +1,230 @@
+#include "sim/runner.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/log.hh"
+
+namespace coscale {
+
+namespace {
+
+/**
+ * Accumulate the energy of the window since @p since, clipped at the
+ * workload's completion tick if it fell inside the window.
+ */
+void
+accumulateEnergy(const System &sys, const CounterSnapshot &since,
+                 RunResult &result, PowerBreakdown *avg_out = nullptr)
+{
+    Tick end = sys.now();
+    if (end <= since.tick)
+        return;
+    PowerBreakdown pb = sys.windowPower(since);
+    if (avg_out)
+        *avg_out = pb;
+
+    Tick effective_end = end;
+    if (sys.allAppsDone())
+        effective_end = std::min(end, sys.lastCompletionTick());
+    if (effective_end <= since.tick)
+        return;
+    double secs = ticksToSeconds(effective_end - since.tick);
+    result.cpuEnergyJ += pb.cpuW * secs;
+    result.memEnergyJ += pb.memW * secs;
+    result.otherEnergyJ += pb.otherW * secs;
+}
+
+} // namespace
+
+RunResult
+runApps(const SystemConfig &cfg, const std::string &label,
+        const std::vector<AppSpec> &apps, Policy &policy)
+{
+    System sys(cfg, apps);
+    EnergyModel em = sys.energyModel();
+
+    RunResult result;
+    result.mixName = label;
+    result.policyName = policy.name();
+
+    int epoch_no = 0;
+    while (!sys.allAppsDone()) {
+        // Context-switch rotation at scheduling-quantum boundaries
+        // (before profiling, so the profile reflects the incoming
+        // threads).
+        if (cfg.schedQuantumEpochs > 0 && epoch_no > 0
+            && epoch_no % cfg.schedQuantumEpochs == 0) {
+            sys.rotateApps();
+        }
+        Tick epoch_start = sys.now();
+        CounterSnapshot epoch_snap = sys.snapshot();
+
+        // Profiling phase (runs under the previous configuration).
+        sys.run(epoch_start + cfg.profileLen);
+        if (sys.allAppsDone()) {
+            accumulateEnergy(sys, epoch_snap, result);
+            break;
+        }
+
+        SystemProfile prof = policy.wantsOracleProfile()
+                                 ? sys.oracleProfile(cfg.epochLen)
+                                 : sys.makeProfile(epoch_snap);
+        FreqConfig decision =
+            epoch_no < cfg.warmupEpochs
+                ? sys.currentConfig()
+                : policy.decide(prof, em, sys.currentConfig(),
+                                cfg.epochLen);
+        epoch_no += 1;
+
+        // Account the profiling segment before frequencies change.
+        accumulateEnergy(sys, epoch_snap, result);
+        CounterSnapshot mid_snap = sys.snapshot();
+
+        sys.applyConfig(decision);
+        sys.run(epoch_start + cfg.epochLen);
+
+        EpochLog log;
+        log.startTick = epoch_start;
+        log.applied = decision;
+        accumulateEnergy(sys, mid_snap, result, &log.avgPower);
+        result.epochs.push_back(std::move(log));
+
+        EpochObservation obs;
+        obs.epochProfile = sys.makeProfile(epoch_snap);
+        obs.instrs = sys.instrsSince(epoch_snap);
+        obs.epochTicks = sys.now() - epoch_start;
+        obs.applied = decision;
+        if (sys.numApps() > sys.numCores())
+            obs.appOnCore = sys.appAssignment();
+        policy.observeEpoch(obs, em);
+    }
+
+    result.finishTick = sys.lastCompletionTick();
+    result.appCompletion = sys.appCompletionTicks();
+
+    std::uint64_t instrs = 0;
+    for (int i = 0; i < sys.numCores(); ++i)
+        instrs += sys.core(i).counters().tic;
+    result.totalInstrs = instrs;
+
+    const LlcCounters &llc = sys.llc().counters();
+    if (instrs > 0) {
+        result.measuredMpki = 1000.0 * static_cast<double>(llc.misses)
+                              / static_cast<double>(instrs);
+        result.measuredWpki =
+            1000.0 * static_cast<double>(llc.writebacks)
+            / static_cast<double>(instrs);
+    }
+    result.prefetchAccuracy = sys.llc().prefetchAccuracy();
+
+    ChannelCounters mem = sys.memCtrl().totalCounters();
+    result.dramReads = mem.readReqs;
+    result.dramPrefetches = mem.prefetchReqs;
+    result.dramWrites = mem.writeReqs;
+    return result;
+}
+
+RunResult
+runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
+            Policy &policy)
+{
+    std::vector<AppSpec> apps =
+        expandMix(mix, cfg.numCores, cfg.instrBudget);
+    return runApps(cfg, mix.name, apps, policy);
+}
+
+Comparison
+compare(const RunResult &baseline, const RunResult &run)
+{
+    Comparison c;
+    double e_base = baseline.totalEnergyJ();
+    if (e_base > 0.0)
+        c.fullSystemSavings = 1.0 - run.totalEnergyJ() / e_base;
+    if (baseline.cpuEnergyJ > 0.0)
+        c.cpuSavings = 1.0 - run.cpuEnergyJ / baseline.cpuEnergyJ;
+    if (baseline.memEnergyJ > 0.0)
+        c.memSavings = 1.0 - run.memEnergyJ / baseline.memEnergyJ;
+
+    coscale_assert(baseline.appCompletion.size()
+                       == run.appCompletion.size(),
+                   "mismatched app counts in comparison");
+    double sum = 0.0;
+    double worst = 0.0;
+    size_t n = run.appCompletion.size();
+    for (size_t i = 0; i < n; ++i) {
+        double d = static_cast<double>(run.appCompletion[i])
+                       / static_cast<double>(baseline.appCompletion[i])
+                   - 1.0;
+        sum += d;
+        worst = std::max(worst, d);
+    }
+    c.avgDegradation = n ? sum / static_cast<double>(n) : 0.0;
+    c.worstDegradation = worst;
+    return c;
+}
+
+void
+writeJsonReport(const RunResult &run, const Comparison *vs_baseline,
+                std::ostream &os)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("mix", run.mixName);
+    j.field("policy", run.policyName);
+    j.field("finish_seconds", ticksToSeconds(run.finishTick));
+    j.field("total_instructions",
+            static_cast<std::uint64_t>(run.totalInstrs));
+    j.field("energy_j", run.totalEnergyJ());
+    j.field("cpu_energy_j", run.cpuEnergyJ);
+    j.field("mem_energy_j", run.memEnergyJ);
+    j.field("other_energy_j", run.otherEnergyJ);
+    j.field("energy_per_instr_nj", run.energyPerInstrNj());
+    j.field("measured_mpki", run.measuredMpki);
+    j.field("measured_wpki", run.measuredWpki);
+    j.field("prefetch_accuracy", run.prefetchAccuracy);
+    j.field("dram_reads", static_cast<std::uint64_t>(run.dramReads));
+    j.field("dram_writes", static_cast<std::uint64_t>(run.dramWrites));
+
+    if (vs_baseline) {
+        j.beginObject("vs_baseline");
+        j.field("full_system_savings", vs_baseline->fullSystemSavings);
+        j.field("cpu_savings", vs_baseline->cpuSavings);
+        j.field("mem_savings", vs_baseline->memSavings);
+        j.field("avg_degradation", vs_baseline->avgDegradation);
+        j.field("worst_degradation", vs_baseline->worstDegradation);
+        j.endObject();
+    }
+
+    j.beginArray("app_completion_seconds");
+    for (Tick t : run.appCompletion)
+        j.value(ticksToSeconds(t));
+    j.endArray();
+
+    j.beginArray("epochs");
+    for (const auto &e : run.epochs) {
+        j.beginObject();
+        j.field("start_seconds", ticksToSeconds(e.startTick));
+        j.field("mem_idx", e.applied.memIdx);
+        j.beginArray("core_idx");
+        for (int idx : e.applied.coreIdx)
+            j.value(idx);
+        j.endArray();
+        if (!e.applied.chanIdx.empty()) {
+            j.beginArray("chan_idx");
+            for (int idx : e.applied.chanIdx)
+                j.value(idx);
+            j.endArray();
+        }
+        j.field("cpu_w", e.avgPower.cpuW);
+        j.field("mem_w", e.avgPower.memW);
+        j.field("total_w", e.avgPower.totalW());
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace coscale

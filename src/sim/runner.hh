@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The epoch-based experiment runner (Section 3, "Overall operation"):
+ * per epoch, profile for 300 us (scaled), let the policy pick
+ * frequencies, transition, run the epoch out, then update the
+ * policy's slack from whole-epoch counters.
+ *
+ * Also provides the result records and baseline-relative comparison
+ * helpers every benchmark harness uses.
+ */
+
+#ifndef COSCALE_SIM_RUNNER_HH
+#define COSCALE_SIM_RUNNER_HH
+
+#include <string>
+#include <vector>
+
+#include "policy/policy.hh"
+#include "sim/system.hh"
+#include "workloads/spec_catalogue.hh"
+
+namespace coscale {
+
+/** Per-epoch log entry (frequencies and power), for Fig. 7. */
+struct EpochLog
+{
+    Tick startTick = 0;
+    FreqConfig applied;
+    PowerBreakdown avgPower;
+};
+
+/** Outcome of one workload run under one policy. */
+struct RunResult
+{
+    std::string mixName;
+    std::string policyName;
+
+    Tick finishTick = 0;              //!< slowest app's completion
+    std::vector<Tick> appCompletion;  //!< per core
+
+    double cpuEnergyJ = 0.0;   //!< cores + L2, until finishTick
+    double memEnergyJ = 0.0;
+    double otherEnergyJ = 0.0;
+
+    std::vector<EpochLog> epochs;
+
+    std::uint64_t totalInstrs = 0;
+    double measuredMpki = 0.0;  //!< demand LLC misses per kilo-instr
+    double measuredWpki = 0.0;
+    double prefetchAccuracy = 0.0;
+
+    // DRAM traffic (for the prefetching study, Fig. 16).
+    std::uint64_t dramReads = 0;      //!< demand reads serviced
+    std::uint64_t dramPrefetches = 0; //!< prefetch fills serviced
+    std::uint64_t dramWrites = 0;     //!< writebacks serviced
+
+    std::uint64_t
+    dramTraffic() const
+    {
+        return dramReads + dramPrefetches + dramWrites;
+    }
+
+    double
+    totalEnergyJ() const
+    {
+        return cpuEnergyJ + memEnergyJ + otherEnergyJ;
+    }
+
+    /** Energy per instruction in nanojoules. */
+    double
+    energyPerInstrNj() const
+    {
+        return totalInstrs
+                   ? totalEnergyJ() * 1e9
+                         / static_cast<double>(totalInstrs)
+                   : 0.0;
+    }
+};
+
+/** Baseline-relative savings and degradations. */
+struct Comparison
+{
+    double fullSystemSavings = 0.0; //!< 1 - E/E_base
+    double cpuSavings = 0.0;
+    double memSavings = 0.0;
+    double avgDegradation = 0.0;    //!< mean per-app slowdown
+    double worstDegradation = 0.0;  //!< slowest per-app slowdown
+};
+
+/** Run @p mix under @p policy on a fresh System built from @p cfg. */
+RunResult runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
+                      Policy &policy);
+
+/** Run with explicit per-core application specs (custom workloads). */
+RunResult runApps(const SystemConfig &cfg, const std::string &label,
+                  const std::vector<AppSpec> &apps, Policy &policy);
+
+/** Compare a policy run against the matching baseline run. */
+Comparison compare(const RunResult &baseline, const RunResult &run);
+
+/**
+ * Emit a machine-readable JSON report of a run (and, when given, its
+ * baseline comparison), including the per-epoch frequency/power log.
+ */
+void writeJsonReport(const RunResult &run,
+                     const Comparison *vs_baseline, std::ostream &os);
+
+} // namespace coscale
+
+#endif // COSCALE_SIM_RUNNER_HH

@@ -1,0 +1,163 @@
+#include "sim/stats_dump.hh"
+
+#include <iomanip>
+
+namespace coscale {
+
+namespace {
+
+class Dumper
+{
+  public:
+    explicit Dumper(std::ostream &os) : os(os) {}
+
+    void
+    line(const std::string &name, double value, const char *desc)
+    {
+        os << std::left << std::setw(44) << name << std::right
+           << std::setw(16) << std::setprecision(6) << value << "  # "
+           << desc << "\n";
+    }
+
+    void
+    line(const std::string &name, std::uint64_t value, const char *desc)
+    {
+        os << std::left << std::setw(44) << name << std::right
+           << std::setw(16) << value << "  # " << desc << "\n";
+    }
+
+    void
+    section(const std::string &title)
+    {
+        os << "\n---------- " << title << " ----------\n";
+    }
+
+  private:
+    std::ostream &os;
+};
+
+double
+safeDiv(double a, double b)
+{
+    return b != 0.0 ? a / b : 0.0;
+}
+
+} // namespace
+
+void
+dumpStats(const System &sys, const CounterSnapshot &since,
+          std::ostream &os)
+{
+    Dumper d(os);
+    Tick elapsed = sys.now() - since.tick;
+    double secs = ticksToSeconds(elapsed);
+
+    d.section("sim");
+    d.line("sim.ticks", static_cast<std::uint64_t>(elapsed),
+           "window length (ps)");
+    d.line("sim.seconds", secs, "window length (s)");
+    d.line("sim.now", static_cast<std::uint64_t>(sys.now()),
+           "current tick");
+
+    d.section("cores");
+    std::uint64_t total_instrs = 0;
+    for (int i = 0; i < sys.numCores(); ++i) {
+        CoreCounters c = sys.core(i).counters()
+                         - since.cores[static_cast<size_t>(i)];
+        std::string p = "core" + std::to_string(i) + ".";
+        total_instrs += c.tic;
+        d.line(p + "instructions", c.tic, "committed (TIC)");
+        d.line(p + "ipc",
+               safeDiv(static_cast<double>(c.tic),
+                       secs * sys.core(i).freq()),
+               "instructions per core cycle");
+        d.line(p + "l2_accesses", c.tla, "LLC accesses (TLA)");
+        d.line(p + "l2_misses", c.tlm, "LLC misses (TLM)");
+        d.line(p + "l1_miss_stalls", c.tms, "L2-hit stalls (TMS)");
+        d.line(p + "mem_stalls", c.tls, "memory stalls (TLS)");
+        d.line(p + "compute_frac",
+               safeDiv(static_cast<double>(c.computeTicks),
+                       static_cast<double>(elapsed)),
+               "time executing");
+        d.line(p + "mem_stall_frac",
+               safeDiv(static_cast<double>(c.memStallTicks),
+                       static_cast<double>(elapsed)),
+               "time stalled on DRAM");
+        d.line(p + "freq_ghz", sys.core(i).freq() / 1e9,
+               "current frequency");
+    }
+    d.line("cores.total_instructions", total_instrs, "all cores");
+    d.line("cores.aggregate_mips", safeDiv(total_instrs, secs) / 1e6,
+           "million instructions per second");
+
+    d.section("llc");
+    LlcCounters l = sys.llc().counters() - since.llc;
+    d.line("llc.accesses", l.accesses, "demand accesses");
+    d.line("llc.hits", l.hits, "demand hits");
+    d.line("llc.misses", l.misses, "demand misses");
+    d.line("llc.miss_rate",
+           safeDiv(static_cast<double>(l.misses),
+                   static_cast<double>(l.accesses)),
+           "miss ratio");
+    d.line("llc.mpki",
+           1000.0 * safeDiv(static_cast<double>(l.misses),
+                            static_cast<double>(total_instrs)),
+           "misses per kilo-instruction");
+    d.line("llc.writebacks", l.writebacks, "dirty evictions");
+    d.line("llc.prefetches", l.prefetchIssued, "prefetch fills");
+    d.line("llc.prefetch_accuracy", sys.llc().prefetchAccuracy(),
+           "useful / issued (cumulative)");
+
+    d.section("memory");
+    for (int ch = 0; ch < sys.memCtrl().numChannels(); ++ch) {
+        ChannelCounters c =
+            sys.memCtrl().channelCounters(ch)
+            - since.memChannels[static_cast<size_t>(ch)];
+        std::string p = "mem.ch" + std::to_string(ch) + ".";
+        d.line(p + "reads", c.readReqs, "demand reads");
+        d.line(p + "writes", c.writeReqs, "writebacks");
+        d.line(p + "prefetches", c.prefetchReqs, "prefetch fills");
+        d.line(p + "activations", c.activations, "page opens");
+        d.line(p + "row_hits", c.rowHits, "open-page row hits");
+        d.line(p + "refreshes", c.refreshes, "rank refreshes");
+        d.line(p + "bus_util",
+               safeDiv(static_cast<double>(c.busBusyTicks),
+                       static_cast<double>(elapsed)),
+               "data-bus busy fraction");
+        double reads = static_cast<double>(c.readReqs);
+        d.line(p + "avg_read_latency_ns",
+               reads > 0.0 ? ticksToNs(c.bankWaitTicks + c.busWaitTicks
+                                       + c.serviceTicks)
+                                 / reads
+                           : 0.0,
+               "queue + service, per demand read");
+        d.line(p + "freq_mhz", sys.memCtrl().channelBusFreq(ch) / 1e6,
+               "current bus frequency");
+    }
+
+    d.section("power");
+    PowerBreakdown pb = sys.windowPower(since);
+    d.line("power.cpu_w", pb.cpuW, "cores + shared L2");
+    d.line("power.mem_w", pb.memW, "DRAM + DIMM + MC");
+    d.line("power.other_w", pb.otherW, "rest of system (fixed)");
+    d.line("power.total_w", pb.totalW(), "full system");
+    d.line("power.energy_j", pb.totalW() * secs, "window energy");
+    d.line("power.epi_nj",
+           1e9 * safeDiv(pb.totalW() * secs,
+                         static_cast<double>(total_instrs)),
+           "energy per instruction");
+}
+
+void
+dumpStats(const System &sys, std::ostream &os)
+{
+    // A zero snapshot dumps beginning-of-time totals. Note tick 0
+    // windows are rejected by the power model; require progress.
+    CounterSnapshot zero;
+    zero.cores.resize(static_cast<size_t>(sys.numCores()));
+    zero.memChannels.resize(
+        static_cast<size_t>(sys.memCtrl().numChannels()));
+    dumpStats(sys, zero, os);
+}
+
+} // namespace coscale

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Human-readable statistics dump for a System, in the spirit of
+ * gem5's stats.txt: every counter of every component, plus derived
+ * rates, formatted one per line as `name value # description`.
+ */
+
+#ifndef COSCALE_SIM_STATS_DUMP_HH
+#define COSCALE_SIM_STATS_DUMP_HH
+
+#include <ostream>
+
+#include "sim/system.hh"
+
+namespace coscale {
+
+/**
+ * Write every component's counters and headline derived statistics
+ * to @p os. @p since allows dumping a window instead of
+ * beginning-of-time totals.
+ */
+void dumpStats(const System &sys, std::ostream &os);
+void dumpStats(const System &sys, const CounterSnapshot &since,
+               std::ostream &os);
+
+} // namespace coscale
+
+#endif // COSCALE_SIM_STATS_DUMP_HH

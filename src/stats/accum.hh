@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Small statistics helpers: scalar accumulators and fixed-bucket
+ * histograms, used by tests and the benchmark harnesses.
+ */
+
+#ifndef COSCALE_STATS_ACCUM_HH
+#define COSCALE_STATS_ACCUM_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace coscale {
+
+/** Accumulates count/sum/min/max/sum-of-squares of a scalar stream. */
+class Accum
+{
+  public:
+    void
+    sample(double v)
+    {
+        n += 1;
+        total += v;
+        totalSq += v * v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+    double
+    variance() const
+    {
+        if (n < 2)
+            return 0.0;
+        double m = mean();
+        return totalSq / static_cast<double>(n) - m * m;
+    }
+
+    double stddev() const { return std::sqrt(std::max(0.0, variance())); }
+
+    void
+    reset()
+    {
+        *this = Accum();
+    }
+
+    /** Merge another accumulator into this one. */
+    Accum &
+    operator+=(const Accum &other)
+    {
+        n += other.n;
+        total += other.total;
+        totalSq += other.totalSq;
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+        return *this;
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+};
+
+/** Linear-bucket histogram over [lo, hi) with overflow buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, int buckets)
+        : lowBound(lo), highBound(hi),
+          counts(static_cast<size_t>(buckets) + 2, 0)
+    {
+    }
+
+    void
+    sample(double v)
+    {
+        size_t idx;
+        int inner = static_cast<int>(counts.size()) - 2;
+        if (v < lowBound) {
+            idx = 0;
+        } else if (v >= highBound) {
+            idx = counts.size() - 1;
+        } else {
+            double frac = (v - lowBound) / (highBound - lowBound);
+            idx = 1 + static_cast<size_t>(frac * inner);
+        }
+        counts[idx] += 1;
+        stats.sample(v);
+    }
+
+    std::uint64_t underflow() const { return counts.front(); }
+    std::uint64_t overflow() const { return counts.back(); }
+
+    std::uint64_t
+    bucket(int i) const
+    {
+        return counts[static_cast<size_t>(i) + 1];
+    }
+
+    int numBuckets() const { return static_cast<int>(counts.size()) - 2; }
+
+    const Accum &summary() const { return stats; }
+
+  private:
+    double lowBound;
+    double highBound;
+    std::vector<std::uint64_t> counts;
+    Accum stats;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_STATS_ACCUM_HH

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * The performance-counter architecture CoScale requires (Section 3.3).
+ *
+ * Per core:
+ *  - instruction counters: TIC, TMS, TLA, TLM, TLS;
+ *  - stall-time integrators for the L2 and memory components of CPI;
+ *  - four Core Activity Counters (ALU / FPU / branch / load-store)
+ *    for the core power model.
+ *
+ * Per memory channel: the MemScale queueing/row-buffer counters plus
+ * the two power counters (active-vs-idle rank cycles, page
+ * open/close events).
+ *
+ * All counter structs are cumulative plain values; epoch or profiling
+ * windows are obtained by snapshotting and subtracting (operator-).
+ */
+
+#ifndef COSCALE_STATS_PERF_COUNTERS_HH
+#define COSCALE_STATS_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace coscale {
+
+/** Per-core performance and activity counters. */
+struct CoreCounters
+{
+    // --- Instruction counters (Section 3.3) ---
+    std::uint64_t tic = 0;  //!< Total Instructions Committed
+    std::uint64_t tms = 0;  //!< Total L1 Miss Stalls (events)
+    std::uint64_t tla = 0;  //!< Total L2 Accesses
+    std::uint64_t tlm = 0;  //!< Total L2 Misses
+    std::uint64_t tls = 0;  //!< Total L2 Miss Stalls (events)
+
+    // --- Stall/compute time integrators ---
+    Tick computeTicks = 0;     //!< executing (core-frequency) time
+    Tick l2StallTicks = 0;     //!< stalled on L2 hits
+    Tick memStallTicks = 0;    //!< stalled on L2 misses (DRAM)
+    Tick transitionTicks = 0;  //!< halted for a DVFS transition
+
+    // --- Core Activity Counters (power model) ---
+    std::uint64_t aluOps = 0;
+    std::uint64_t fpuOps = 0;
+    std::uint64_t branchOps = 0;
+    std::uint64_t memOps = 0;
+
+    CoreCounters
+    operator-(const CoreCounters &o) const
+    {
+        CoreCounters d;
+        d.tic = tic - o.tic;
+        d.tms = tms - o.tms;
+        d.tla = tla - o.tla;
+        d.tlm = tlm - o.tlm;
+        d.tls = tls - o.tls;
+        d.computeTicks = computeTicks - o.computeTicks;
+        d.l2StallTicks = l2StallTicks - o.l2StallTicks;
+        d.memStallTicks = memStallTicks - o.memStallTicks;
+        d.transitionTicks = transitionTicks - o.transitionTicks;
+        d.aluOps = aluOps - o.aluOps;
+        d.fpuOps = fpuOps - o.fpuOps;
+        d.branchOps = branchOps - o.branchOps;
+        d.memOps = memOps - o.memOps;
+        return d;
+    }
+
+    CoreCounters &
+    operator+=(const CoreCounters &o)
+    {
+        tic += o.tic;
+        tms += o.tms;
+        tla += o.tla;
+        tlm += o.tlm;
+        tls += o.tls;
+        computeTicks += o.computeTicks;
+        l2StallTicks += o.l2StallTicks;
+        memStallTicks += o.memStallTicks;
+        transitionTicks += o.transitionTicks;
+        aluOps += o.aluOps;
+        fpuOps += o.fpuOps;
+        branchOps += o.branchOps;
+        memOps += o.memOps;
+        return *this;
+    }
+};
+
+/** Per-channel memory-system counters (MemScale's seven plus power). */
+struct ChannelCounters
+{
+    // --- Queueing / service statistics ---
+    std::uint64_t readReqs = 0;      //!< demand reads serviced
+    std::uint64_t writeReqs = 0;     //!< writebacks serviced
+    std::uint64_t prefetchReqs = 0;  //!< prefetch fills serviced
+    Tick bankWaitTicks = 0;   //!< read wait due to bank/rank not ready
+    Tick busWaitTicks = 0;    //!< extra read wait due to data-bus busy
+    Tick serviceTicks = 0;    //!< read ACT-to-data-end, no queueing
+    std::uint64_t queueLenSum = 0;   //!< queue length at read arrival
+    std::uint64_t queueSamples = 0;  //!< number of such samples
+
+    // --- Row-buffer statistics ---
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+
+    // --- Power counters ---
+    std::uint64_t activations = 0;   //!< page open events (ACT)
+    std::uint64_t precharges = 0;    //!< page close events
+    std::uint64_t readBursts = 0;
+    std::uint64_t writeBursts = 0;
+    std::uint64_t refreshes = 0;
+    Tick busBusyTicks = 0;    //!< data-bus transferring
+    Tick rankActiveTicks = 0; //!< sum over ranks: >= 1 bank open
+
+    ChannelCounters
+    operator-(const ChannelCounters &o) const
+    {
+        ChannelCounters d;
+        d.readReqs = readReqs - o.readReqs;
+        d.writeReqs = writeReqs - o.writeReqs;
+        d.prefetchReqs = prefetchReqs - o.prefetchReqs;
+        d.bankWaitTicks = bankWaitTicks - o.bankWaitTicks;
+        d.busWaitTicks = busWaitTicks - o.busWaitTicks;
+        d.serviceTicks = serviceTicks - o.serviceTicks;
+        d.queueLenSum = queueLenSum - o.queueLenSum;
+        d.queueSamples = queueSamples - o.queueSamples;
+        d.rowHits = rowHits - o.rowHits;
+        d.rowMisses = rowMisses - o.rowMisses;
+        d.activations = activations - o.activations;
+        d.precharges = precharges - o.precharges;
+        d.readBursts = readBursts - o.readBursts;
+        d.writeBursts = writeBursts - o.writeBursts;
+        d.refreshes = refreshes - o.refreshes;
+        d.busBusyTicks = busBusyTicks - o.busBusyTicks;
+        d.rankActiveTicks = rankActiveTicks - o.rankActiveTicks;
+        return d;
+    }
+
+    ChannelCounters &
+    operator+=(const ChannelCounters &o)
+    {
+        readReqs += o.readReqs;
+        writeReqs += o.writeReqs;
+        prefetchReqs += o.prefetchReqs;
+        bankWaitTicks += o.bankWaitTicks;
+        busWaitTicks += o.busWaitTicks;
+        serviceTicks += o.serviceTicks;
+        queueLenSum += o.queueLenSum;
+        queueSamples += o.queueSamples;
+        rowHits += o.rowHits;
+        rowMisses += o.rowMisses;
+        activations += o.activations;
+        precharges += o.precharges;
+        readBursts += o.readBursts;
+        writeBursts += o.writeBursts;
+        refreshes += o.refreshes;
+        busBusyTicks += o.busBusyTicks;
+        rankActiveTicks += o.rankActiveTicks;
+        return *this;
+    }
+};
+
+/** Shared-LLC counters (for the L2 power model and MPKI reporting). */
+struct LlcCounters
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t prefetchUseful = 0;
+
+    LlcCounters
+    operator-(const LlcCounters &o) const
+    {
+        LlcCounters d;
+        d.accesses = accesses - o.accesses;
+        d.hits = hits - o.hits;
+        d.misses = misses - o.misses;
+        d.writebacks = writebacks - o.writebacks;
+        d.prefetchIssued = prefetchIssued - o.prefetchIssued;
+        d.prefetchUseful = prefetchUseful - o.prefetchUseful;
+        return d;
+    }
+};
+
+} // namespace coscale
+
+#endif // COSCALE_STATS_PERF_COUNTERS_HH

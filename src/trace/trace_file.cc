@@ -1,0 +1,133 @@
+#include "trace/trace_file.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace coscale {
+
+namespace {
+
+constexpr char traceMagic[8] = {'C', 'O', 'S', 'C', 'T', 'R', 'C', '1'};
+
+struct PackedRecord
+{
+    std::uint64_t addr;
+    std::uint32_t gapInstrs;
+    std::uint32_t gapCycles;
+    std::uint16_t aluOps;
+    std::uint16_t fpuOps;
+    std::uint16_t branchOps;
+    std::uint16_t memOps;
+    std::uint8_t isWrite;
+    std::uint8_t pad[7];
+};
+static_assert(sizeof(PackedRecord) == 32, "packed record must be 32 B");
+
+PackedRecord
+pack(const TraceRecord &r)
+{
+    PackedRecord p{};
+    p.addr = r.addr;
+    p.gapInstrs = r.gapInstrs;
+    p.gapCycles = r.gapCycles;
+    p.aluOps = r.aluOps;
+    p.fpuOps = r.fpuOps;
+    p.branchOps = r.branchOps;
+    p.memOps = r.memOps;
+    p.isWrite = r.isWrite;
+    return p;
+}
+
+TraceRecord
+unpack(const PackedRecord &p)
+{
+    TraceRecord r;
+    r.addr = p.addr;
+    r.gapInstrs = p.gapInstrs;
+    r.gapCycles = p.gapCycles;
+    r.aluOps = p.aluOps;
+    r.fpuOps = p.fpuOps;
+    r.branchOps = p.branchOps;
+    r.memOps = p.memOps;
+    r.isWrite = p.isWrite;
+    return r;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : filePath(path)
+{
+    fp = std::fopen(path.c_str(), "wb");
+    if (!fp)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+    std::uint64_t zero = 0;
+    std::fwrite(traceMagic, 1, sizeof(traceMagic), fp);
+    std::fwrite(&zero, sizeof(zero), 1, fp);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::append(const TraceRecord &r)
+{
+    coscale_assert(fp, "append after close on '%s'", filePath.c_str());
+    PackedRecord p = pack(r);
+    if (std::fwrite(&p, sizeof(p), 1, fp) != 1)
+        fatal("short write to trace file '%s'", filePath.c_str());
+    count += 1;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (!fp)
+        return;
+    std::fseek(fp, sizeof(traceMagic), SEEK_SET);
+    std::fwrite(&count, sizeof(count), 1, fp);
+    std::fclose(fp);
+    fp = nullptr;
+}
+
+std::shared_ptr<const std::vector<TraceRecord>>
+loadTraceFile(const std::string &path)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    char magic[8];
+    std::uint64_t count = 0;
+    if (std::fread(magic, 1, sizeof(magic), fp) != sizeof(magic)
+        || std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
+        std::fclose(fp);
+        fatal("'%s' is not a CoScale trace file", path.c_str());
+    }
+    if (std::fread(&count, sizeof(count), 1, fp) != 1) {
+        std::fclose(fp);
+        fatal("'%s': truncated header", path.c_str());
+    }
+
+    auto buf = std::make_shared<std::vector<TraceRecord>>();
+    buf->reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        PackedRecord p;
+        if (std::fread(&p, sizeof(p), 1, fp) != 1) {
+            std::fclose(fp);
+            fatal("'%s': truncated at record %llu", path.c_str(),
+                  static_cast<unsigned long long>(i));
+        }
+        buf->push_back(unpack(p));
+    }
+    std::fclose(fp);
+    if (buf->empty())
+        fatal("'%s': empty trace", path.c_str());
+    return buf;
+}
+
+} // namespace coscale

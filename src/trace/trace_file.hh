@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Binary trace record/replay, mirroring the paper's two-step
+ * methodology (M5 produces traces; the detailed simulator replays
+ * them). Also gives tests a way to pin exact input sequences.
+ *
+ * File format: 16-byte header ("COSCTRC1" magic + record count),
+ * followed by packed little-endian records.
+ */
+
+#ifndef COSCALE_TRACE_TRACE_FILE_HH
+#define COSCALE_TRACE_TRACE_FILE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace coscale {
+
+/** Write a record stream to a trace file. */
+class TraceFileWriter
+{
+  public:
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter();
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void append(const TraceRecord &r);
+
+    /** Finalize the header. Called automatically on destruction. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count; }
+
+  private:
+    std::string filePath;
+    std::FILE *fp = nullptr;
+    std::uint64_t count = 0;
+};
+
+/** Load an entire trace file into memory. */
+std::shared_ptr<const std::vector<TraceRecord>>
+loadTraceFile(const std::string &path);
+
+/**
+ * Replay a loaded trace. The underlying buffer is shared and
+ * immutable, so copies are cheap and safe; position is per-source.
+ * The stream wraps at the end (applications re-execute).
+ */
+class ReplayTraceSource final : public TraceSource
+{
+  public:
+    explicit
+    ReplayTraceSource(std::shared_ptr<const std::vector<TraceRecord>> buf)
+        : records(std::move(buf))
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        const auto &v = *records;
+        TraceRecord r = v[pos];
+        pos = (pos + 1) % v.size();
+        return r;
+    }
+
+    std::unique_ptr<TraceSource>
+    clone() const override
+    {
+        return std::make_unique<ReplayTraceSource>(*this);
+    }
+
+  private:
+    std::shared_ptr<const std::vector<TraceRecord>> records;
+    size_t pos = 0;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_TRACE_TRACE_FILE_HH

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for DDR3 parameters: timing resolution across bus
+ * frequencies (ns-fixed vs cycle-scaled split), geometry, and the
+ * bank-interleaved address mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dram/ddr3_params.hh"
+
+namespace coscale {
+namespace {
+
+TEST(Ddr3Timing, ResolveAtReferenceClock)
+{
+    DramTimingParams p;
+    ResolvedTiming t = ResolvedTiming::resolve(p, 800 * MHz);
+    EXPECT_EQ(t.tCK, 1250u);
+    EXPECT_EQ(t.tRCD, 15000u);
+    EXPECT_EQ(t.tRP, 15000u);
+    EXPECT_EQ(t.tCL, 15000u);
+    // Cycle-quoted parameters at the 800 MHz reference clock.
+    EXPECT_EQ(t.tRAS, 28u * 1250u);
+    EXPECT_EQ(t.tFAW, 20u * 1250u);
+    EXPECT_EQ(t.tRTP, 5u * 1250u);
+    EXPECT_EQ(t.tRRD, 4u * 1250u);
+    EXPECT_EQ(t.tBURST, 4u * 1250u);
+    EXPECT_EQ(t.tRFC, 110u * 1000u);
+    EXPECT_EQ(t.tREFI, static_cast<Tick>(7.8 * tickPerUs));
+}
+
+TEST(Ddr3Timing, DramCoreTimingIsWallClockFixed)
+{
+    DramTimingParams p;
+    ResolvedTiming fast = ResolvedTiming::resolve(p, 800 * MHz);
+    ResolvedTiming slow = ResolvedTiming::resolve(p, 200 * MHz);
+    // Analog DRAM-core timing does not stretch.
+    EXPECT_EQ(fast.tRCD, slow.tRCD);
+    EXPECT_EQ(fast.tRAS, slow.tRAS);
+    EXPECT_EQ(fast.tFAW, slow.tFAW);
+    EXPECT_EQ(fast.tRRD, slow.tRRD);
+    EXPECT_EQ(fast.tRTP, slow.tRTP);
+    // Only the data burst occupies real cycles of the slower clock.
+    EXPECT_EQ(slow.tBURST, 4u * fast.tBURST);
+    EXPECT_EQ(slow.tCK, 4u * fast.tCK);
+}
+
+TEST(Ddr3Timing, BurstScalesInverselyWithFrequency)
+{
+    DramTimingParams p;
+    Tick prev = 0;
+    for (Freq f : {800 * MHz, 600 * MHz, 400 * MHz, 200 * MHz}) {
+        ResolvedTiming t = ResolvedTiming::resolve(p, f);
+        EXPECT_GT(t.tBURST, prev);
+        prev = t.tBURST;
+        EXPECT_NEAR(static_cast<double>(t.tBURST),
+                    4.0 * tickPerSec / f, 4.0);
+    }
+}
+
+TEST(MemGeometry, Table2Defaults)
+{
+    MemGeometry g;
+    EXPECT_EQ(g.channels, 4);
+    EXPECT_EQ(g.ranksPerChannel(), 4);   // 2 DIMMs x dual rank
+    EXPECT_EQ(g.totalRanks(), 16);
+    EXPECT_EQ(g.banksPerRank, 8);
+    EXPECT_EQ(g.totalBanksPerChannel(), 32);
+}
+
+TEST(AddressMap, ConsecutiveBlocksInterleaveChannels)
+{
+    MemGeometry g;
+    for (BlockAddr a = 0; a < 64; ++a) {
+        DramCoord c = mapAddress(a, g);
+        EXPECT_EQ(c.channel, static_cast<int>(a % 4));
+    }
+}
+
+TEST(AddressMap, ConsecutiveSameChannelBlocksInterleaveBanks)
+{
+    MemGeometry g;
+    // Blocks 0, 4, 8, ... all land on channel 0 and walk the banks.
+    for (int i = 0; i < 8; ++i) {
+        DramCoord c = mapAddress(static_cast<BlockAddr>(i) * 4, g);
+        EXPECT_EQ(c.channel, 0);
+        EXPECT_EQ(c.bank, i);
+    }
+}
+
+TEST(AddressMap, FieldsWithinBounds)
+{
+    MemGeometry g;
+    for (BlockAddr a = 0; a < 100000; a += 977) {
+        DramCoord c = mapAddress(a * 1315423911ULL, g);
+        EXPECT_GE(c.channel, 0);
+        EXPECT_LT(c.channel, g.channels);
+        EXPECT_GE(c.rank, 0);
+        EXPECT_LT(c.rank, g.ranksPerChannel());
+        EXPECT_GE(c.bank, 0);
+        EXPECT_LT(c.bank, g.banksPerRank);
+        EXPECT_GE(c.column, 0);
+        EXPECT_LT(c.column, g.blocksPerRow);
+        EXPECT_LT(c.row, g.rowsPerBank);
+    }
+}
+
+TEST(AddressMap, IsInjectiveOverSmallRange)
+{
+    MemGeometry g;
+    std::set<std::tuple<int, int, int, std::uint64_t, int>> seen;
+    for (BlockAddr a = 0; a < 4096; ++a) {
+        DramCoord c = mapAddress(a, g);
+        auto key = std::make_tuple(c.channel, c.rank, c.bank, c.row,
+                                   c.column);
+        EXPECT_TRUE(seen.insert(key).second)
+            << "duplicate mapping for block " << a;
+    }
+}
+
+TEST(DramCurrents, Table2Values)
+{
+    DramCurrentParams c;
+    EXPECT_DOUBLE_EQ(c.iRowRead, 250.0);
+    EXPECT_DOUBLE_EQ(c.iRowWrite, 250.0);
+    EXPECT_DOUBLE_EQ(c.iActPre, 120.0);
+    EXPECT_DOUBLE_EQ(c.iActiveStandby, 67.0);
+    EXPECT_DOUBLE_EQ(c.iActivePowerdown, 45.0);
+    EXPECT_DOUBLE_EQ(c.iPrechargeStandby, 70.0);
+    EXPECT_DOUBLE_EQ(c.iPrechargePowerdown, 45.0);
+    EXPECT_DOUBLE_EQ(c.iRefresh, 240.0);
+    EXPECT_DOUBLE_EQ(c.vdd, 1.5);
+}
+
+} // namespace
+} // namespace coscale

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Energy-accounting validation: the runner's total energy must equal
+ * the integral of the per-epoch logged powers (up to the clipping at
+ * workload completion), the component split must be stable across
+ * policies, and energy must respond to frequency in the right
+ * direction on a pinned system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/coscale_policy.hh"
+#include "policy/policy.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+TEST(EnergyAccounting, EpochPowersIntegrateToTotalEnergy)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    BaselinePolicy b;
+    RunResult r = runWorkload(cfg, mixByName("MID2"), b);
+
+    // Sum power x duration per epoch, clipping the final epoch at the
+    // completion tick exactly as the runner does.
+    double energy = 0.0;
+    for (size_t e = 0; e < r.epochs.size(); ++e) {
+        Tick start = r.epochs[e].startTick;
+        Tick end = e + 1 < r.epochs.size() ? r.epochs[e + 1].startTick
+                                           : r.finishTick;
+        end = std::min(end, r.finishTick);
+        if (end <= start)
+            continue;
+        energy += r.epochs[e].avgPower.totalW()
+                  * ticksToSeconds(end - start);
+    }
+    // The profiling segment of each epoch is accounted separately
+    // from the logged (post-decision) segment, so allow a small
+    // reconstruction tolerance.
+    EXPECT_NEAR(energy, r.totalEnergyJ(), r.totalEnergyJ() * 0.03);
+}
+
+TEST(EnergyAccounting, ComponentsAreAllPositiveEveryEpoch)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult r = runWorkload(cfg, mixByName("MIX1"), policy);
+    for (const auto &e : r.epochs) {
+        EXPECT_GT(e.avgPower.cpuW, 5.0);
+        EXPECT_GT(e.avgPower.memW, 2.0);
+        EXPECT_GT(e.avgPower.otherW, 5.0);
+        EXPECT_LT(e.avgPower.totalW(), 300.0);
+    }
+}
+
+TEST(EnergyAccounting, OtherPowerIsConstant)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult r = runWorkload(cfg, mixByName("MID1"), policy);
+    ASSERT_GE(r.epochs.size(), 2u);
+    for (const auto &e : r.epochs) {
+        EXPECT_DOUBLE_EQ(e.avgPower.otherW,
+                         r.epochs[0].avgPower.otherW);
+    }
+}
+
+/** Pin every knob to one index for the whole run. */
+class PinnedPolicy final : public Policy
+{
+  public:
+    PinnedPolicy(int core_idx, int mem_idx)
+        : coreIdx(core_idx), memIdx(mem_idx)
+    {
+    }
+
+    std::string name() const override { return "Pinned"; }
+
+    FreqConfig
+    decide(const SystemProfile &prof, const EnergyModel &,
+           const FreqConfig &, Tick) override
+    {
+        FreqConfig cfg;
+        cfg.coreIdx.assign(prof.cores.size(), coreIdx);
+        cfg.memIdx = memIdx;
+        return cfg;
+    }
+
+    void observeEpoch(const EpochObservation &,
+                      const EnergyModel &) override
+    {
+    }
+
+  private:
+    int coreIdx;
+    int memIdx;
+};
+
+TEST(EnergyAccounting, PinnedLowFrequencyDrawsLessPowerMoreTime)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    BaselinePolicy base_policy;
+    RunResult fast = runWorkload(cfg, mixByName("MID3"), base_policy);
+    PinnedPolicy slow_policy(6, 6);
+    RunResult slow = runWorkload(cfg, mixByName("MID3"), slow_policy);
+
+    double fast_w = fast.totalEnergyJ() / ticksToSeconds(fast.finishTick);
+    double slow_w = slow.totalEnergyJ() / ticksToSeconds(slow.finishTick);
+    EXPECT_LT(slow_w, fast_w * 0.85);
+    EXPECT_GT(slow.finishTick, fast.finishTick * 11 / 10);
+}
+
+TEST(EnergyAccounting, CpuEnergyDominatesForIlpMemoryShareForMem)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    BaselinePolicy b1, b2;
+    RunResult ilp = runWorkload(cfg, mixByName("ILP1"), b1);
+    RunResult mem = runWorkload(cfg, mixByName("MEM1"), b2);
+    double ilp_mem_share = ilp.memEnergyJ / ilp.totalEnergyJ();
+    double mem_mem_share = mem.memEnergyJ / mem.totalEnergyJ();
+    EXPECT_GT(mem_mem_share, ilp_mem_share + 0.05);
+    EXPECT_GT(ilp.cpuEnergyJ / ilp.totalEnergyJ(), 0.55);
+}
+
+} // namespace
+} // namespace coscale

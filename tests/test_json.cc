@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the JSON writer and the runner's JSON report: structural
+ * validity (balanced, correctly quoted and escaped) and content.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "policy/coscale_policy.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+/** A tiny structural validator: balanced braces outside strings. */
+bool
+structurallyValid(const std::string &s)
+{
+    int depth = 0;
+    bool in_string = false;
+    bool escaped = false;
+    for (char c : s) {
+        if (in_string) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                in_string = false;
+            continue;
+        }
+        if (c == '"')
+            in_string = true;
+        else if (c == '{' || c == '[')
+            depth += 1;
+        else if (c == '}' || c == ']') {
+            depth -= 1;
+            if (depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_string;
+}
+
+TEST(Json, ObjectWithScalars)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("name", "x");
+    j.field("count", 3);
+    j.field("ratio", 0.5);
+    j.field("flag", true);
+    j.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"name\":\"x\",\"count\":3,\"ratio\":0.5,"
+              "\"flag\":true}");
+}
+
+TEST(Json, NestedStructures)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.beginArray("xs");
+    j.value(1);
+    j.value(2);
+    j.endArray();
+    j.beginObject("inner");
+    j.field("a", 1);
+    j.endObject();
+    j.field("tail", 9);
+    j.endObject();
+    EXPECT_EQ(os.str(),
+              "{\"xs\":[1,2],\"inner\":{\"a\":1},\"tail\":9}");
+    EXPECT_TRUE(structurallyValid(os.str()));
+}
+
+TEST(Json, ArrayOfObjects)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginArray();
+    for (int i = 0; i < 3; ++i) {
+        j.beginObject();
+        j.field("i", i);
+        j.endObject();
+    }
+    j.endArray();
+    EXPECT_EQ(os.str(), "[{\"i\":0},{\"i\":1},{\"i\":2}]");
+}
+
+TEST(Json, StringEscaping)
+{
+    std::ostringstream os;
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("s", "a\"b\\c\nd\te");
+    j.endObject();
+    EXPECT_EQ(os.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, RunReportIsValidAndComplete)
+{
+    SystemConfig cfg = makeScaledConfig(0.03);
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mixByName("ILP2"), b);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult run = runWorkload(cfg, mixByName("ILP2"), policy);
+    Comparison c = compare(base, run);
+
+    std::ostringstream os;
+    writeJsonReport(run, &c, os);
+    std::string out = os.str();
+    EXPECT_TRUE(structurallyValid(out));
+    for (const char *key :
+         {"\"mix\":\"ILP2\"", "\"policy\":\"CoScale\"",
+          "\"vs_baseline\"", "\"full_system_savings\"", "\"epochs\"",
+          "\"core_idx\"", "\"app_completion_seconds\""}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Json, ReportWithoutBaselineOmitsComparison)
+{
+    SystemConfig cfg = makeScaledConfig(0.03);
+    BaselinePolicy b;
+    RunResult run = runWorkload(cfg, mixByName("ILP2"), b);
+    std::ostringstream os;
+    writeJsonReport(run, nullptr, os);
+    EXPECT_TRUE(structurallyValid(os.str()));
+    EXPECT_EQ(os.str().find("vs_baseline"), std::string::npos);
+}
+
+} // namespace
+} // namespace coscale

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Combined-feature tests: configurations that switch several options
+ * on at once (OoO + prefetching + CoScale, per-channel DVFS under
+ * context switching, coarse ladders end to end) and a few API edge
+ * cases not covered by the per-module suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/coscale_policy.hh"
+#include "policy/multiscale.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+TEST(KitchenSink, OooPlusPrefetchPlusCoScaleHoldsBound)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.ooo = true;
+    cfg.llc.prefetchNextLine = true;
+
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mixByName("MIX3"), b);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult run = runWorkload(cfg, mixByName("MIX3"), policy);
+    Comparison c = compare(base, run);
+
+    EXPECT_LE(c.worstDegradation, cfg.gamma + 0.008);
+    EXPECT_GT(c.fullSystemSavings, 0.05);
+    EXPECT_GT(run.prefetchAccuracy, 0.4);
+    EXPECT_GT(run.dramPrefetches, 0u);
+}
+
+TEST(KitchenSink, MultiScaleUnderContextSwitching)
+{
+    // Per-channel DVFS with threads migrating across cores: the
+    // channel profiles follow the *currently running* threads, and
+    // per-thread slack follows the thread.
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.numCores = 8;
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+    cfg.schedQuantumEpochs = 2;
+
+    auto apps = expandMix(mixByName("MIX2"), 12, cfg.instrBudget);
+    BaselinePolicy b;
+    RunResult base = runApps(cfg, "ms-sched", apps, b);
+    MultiScalePolicy policy(12, cfg.gamma);
+    RunResult run = runApps(cfg, "ms-sched", apps, policy);
+    Comparison c = compare(base, run);
+
+    EXPECT_LE(c.avgDegradation, cfg.gamma + 0.01);
+    EXPECT_GT(c.memSavings, 0.05);
+}
+
+TEST(KitchenSink, CoarseLaddersEndToEnd)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.coreLadder = defaultCoreLadder(4);
+    cfg.memLadder = defaultMemLadder(4);
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mixByName("MID3"), b);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult run = runWorkload(cfg, mixByName("MID3"), policy);
+    Comparison c = compare(base, run);
+    EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
+    EXPECT_GT(c.fullSystemSavings, 0.05);
+    // Applied indices must respect the 4-step ladder.
+    for (const auto &e : run.epochs) {
+        EXPECT_LT(e.applied.memIdx, 4);
+        for (int idx : e.applied.coreIdx)
+            EXPECT_LT(idx, 4);
+    }
+}
+
+TEST(KitchenSink, OpenPagePlusCoScale)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.openPage = true;
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mixByName("MID1"), b);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult run = runWorkload(cfg, mixByName("MID1"), policy);
+    Comparison c = compare(base, run);
+    EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
+    EXPECT_GT(c.fullSystemSavings, 0.05);
+}
+
+TEST(KitchenSink, HalfVoltagePlusMemHeavyRatio)
+{
+    // Fig. 14 x Fig. 12 interaction: a narrow CPU range with a
+    // memory-heavy power split pushes nearly all savings to the
+    // memory knob; the bound must still hold.
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.coreLadder = halfVoltageCoreLadder();
+    cfg.power.mem.memPowerMultiplier = 2.0;
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mixByName("MID2"), b);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult run = runWorkload(cfg, mixByName("MID2"), policy);
+    Comparison c = compare(base, run);
+    EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
+    EXPECT_GT(c.memSavings, c.cpuSavings);
+}
+
+// --- API edge cases ---
+
+TEST(ApiEdges, LadderVoltageAtClampsOutOfRange)
+{
+    FreqLadder l = defaultCoreLadder();
+    EXPECT_DOUBLE_EQ(l.voltageAt(5.0 * GHz), 1.20);
+    EXPECT_DOUBLE_EQ(l.voltageAt(1.0 * GHz), 0.65);
+}
+
+TEST(ApiEdges, DescendingLadderRequired)
+{
+    EXPECT_DEATH(
+        FreqLadder::explicitFreqs({1.0 * GHz, 2.0 * GHz}, 1.2, 0.65),
+        "descending");
+}
+
+TEST(ApiEdges, SystemRejectsWrongAppCount)
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 4;
+    auto apps = expandMix(mixByName("MID1"), 3, cfg.instrBudget);
+    EXPECT_DEATH({ System sys(cfg, apps); }, "one application per core");
+}
+
+TEST(ApiEdges, FreqConfigAllMaxShape)
+{
+    FreqConfig c = FreqConfig::allMax(5);
+    EXPECT_EQ(c.coreIdx.size(), 5u);
+    EXPECT_EQ(c.memIdx, 0);
+    EXPECT_TRUE(c.chanIdx.empty());
+    for (int idx : c.coreIdx)
+        EXPECT_EQ(idx, 0);
+}
+
+TEST(ApiEdges, ScaledConfigBounds)
+{
+    SystemConfig full = makeScaledConfig(1.0);
+    EXPECT_EQ(full.instrBudget, 100'000'000u);
+    EXPECT_EQ(full.epochLen, 5 * tickPerMs);
+    EXPECT_EQ(full.profileLen, 300 * tickPerUs);
+    EXPECT_EQ(full.timing.recalCycles, 512);
+
+    SystemConfig tiny = makeScaledConfig(0.01);
+    EXPECT_EQ(tiny.instrBudget, 1'000'000u);
+    EXPECT_GT(tiny.timing.recalCycles, 0);
+}
+
+} // namespace
+} // namespace coscale

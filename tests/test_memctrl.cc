@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the memory controller and channel scheduler: FCFS
+ * ordering, bank/bus timing constraints, write-drain hysteresis,
+ * refresh, frequency transitions, counters, and open-page hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "memctrl/mem_ctrl.hh"
+
+namespace coscale {
+namespace {
+
+MemCtrlConfig
+makeConfig(bool open_page = false)
+{
+    MemCtrlConfig cfg;
+    cfg.ladder = defaultMemLadder();
+    cfg.openPage = open_page;
+    return cfg;
+}
+
+/** Drain all pending events up to (and including) @p until. */
+std::vector<MemCompletion>
+drain(MemCtrl &mc, Tick until = maxTick)
+{
+    std::vector<MemCompletion> done;
+    while (mc.nextEventTick() <= until && mc.nextEventTick() != maxTick) {
+        auto c = mc.step();
+        if (c)
+            done.push_back(*c);
+    }
+    return done;
+}
+
+MemReq
+readReq(BlockAddr addr, Tick arrival, CoreId core = 0,
+        std::uint64_t token = 1)
+{
+    MemReq r;
+    r.addr = addr;
+    r.kind = ReqKind::Read;
+    r.core = core;
+    r.arrival = arrival;
+    r.token = token;
+    return r;
+}
+
+MemReq
+writeReq(BlockAddr addr, Tick arrival)
+{
+    MemReq r;
+    r.addr = addr;
+    r.kind = ReqKind::Writeback;
+    r.arrival = arrival;
+    return r;
+}
+
+TEST(MemCtrl, SingleReadLatencyIsServiceTime)
+{
+    MemCtrl mc(makeConfig(), 0);
+    mc.enqueue(readReq(0, 1000));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 1u);
+    // ACT at 1000, data = tRCD + tCL + burst, + fixed response.
+    Tick expect = 1000 + nsToTicks(15) + nsToTicks(15) + 4 * 1250
+                  + nsToTicks(10);
+    EXPECT_EQ(done[0].finishAt, expect);
+    EXPECT_EQ(done[0].core, 0);
+    EXPECT_EQ(done[0].token, 1u);
+}
+
+TEST(MemCtrl, SameBankReadsSerialize)
+{
+    MemCtrl mc(makeConfig(), 0);
+    // Same address -> same channel/bank/row.
+    mc.enqueue(readReq(0, 0, 0, 1));
+    mc.enqueue(readReq(0, 0, 0, 2));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 2u);
+    // Second access must wait for the closed-page bank cycle:
+    // tRAS + tRP after the first ACT at the earliest.
+    Tick bank_ready = 0 + 28 * 1250 + nsToTicks(15);
+    Tick expect2 = bank_ready + nsToTicks(30) + 4 * 1250 + nsToTicks(10);
+    EXPECT_EQ(done[1].finishAt, expect2);
+}
+
+TEST(MemCtrl, DifferentBanksOverlap)
+{
+    MemCtrl mc(makeConfig(), 0);
+    // Blocks 0 and 4 are same channel, different banks.
+    mc.enqueue(readReq(0, 0, 0, 1));
+    mc.enqueue(readReq(4, 0, 0, 2));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 2u);
+    Tick gap = done[1].finishAt - done[0].finishAt;
+    // Overlapped: only the tRRD ACT spacing + bus separates them,
+    // far less than a full bank cycle.
+    EXPECT_LE(gap, static_cast<Tick>(4 * 1250) + 4 * 1250);
+    EXPECT_GT(gap, 0u);
+}
+
+TEST(MemCtrl, DataBusSerializesBursts)
+{
+    MemCtrl mc(makeConfig(), 0);
+    // Four different banks on channel 0: bursts share one data bus.
+    for (int i = 0; i < 4; ++i)
+        mc.enqueue(readReq(static_cast<BlockAddr>(i) * 4, 0, 0,
+                           static_cast<std::uint64_t>(i + 1)));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 4u);
+    for (size_t i = 1; i < done.size(); ++i) {
+        EXPECT_GE(done[i].finishAt - done[i - 1].finishAt,
+                  static_cast<Tick>(4 * 1250));
+    }
+}
+
+TEST(MemCtrl, FcfsOrderAmongReads)
+{
+    MemCtrl mc(makeConfig(), 0);
+    for (int i = 0; i < 6; ++i)
+        mc.enqueue(readReq(static_cast<BlockAddr>(i) * 4,
+                           static_cast<Tick>(i), 0,
+                           static_cast<std::uint64_t>(i + 1)));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 6u);
+    for (size_t i = 0; i < done.size(); ++i)
+        EXPECT_EQ(done[i].token, i + 1);
+}
+
+TEST(MemCtrl, ReadsPrioritizedOverWrites)
+{
+    MemCtrl mc(makeConfig(), 0);
+    mc.enqueue(writeReq(0, 0));
+    mc.enqueue(readReq(4, 0, 0, 1));
+    // One write below the watermark: the read goes first.
+    Tick first = mc.nextEventTick();
+    (void)first;
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 1u);
+    ChannelCounters c = mc.totalCounters();
+    EXPECT_EQ(c.readReqs, 1u);
+    EXPECT_EQ(c.writeReqs, 1u);
+    // The read saw no bank wait from the write (it issued first).
+    EXPECT_EQ(c.bankWaitTicks, 0u);
+}
+
+TEST(MemCtrl, WriteDrainTriggersAtHighWatermark)
+{
+    MemCtrlConfig cfg = makeConfig();
+    cfg.writeHighWater = 4;
+    cfg.writeLowWater = 1;
+    MemCtrl mc(cfg, 0);
+    // Fill channel 0's write queue beyond the watermark.
+    for (int i = 0; i < 5; ++i)
+        mc.enqueue(writeReq(static_cast<BlockAddr>(i) * 4, 0));
+    mc.enqueue(readReq(5 * 4, 0, 0, 1));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 1u);
+    // The read had to wait behind drained writes.
+    EXPECT_GT(mc.totalCounters().bankWaitTicks, 0u);
+}
+
+TEST(MemCtrl, RequestsRouteToTheirChannel)
+{
+    MemCtrl mc(makeConfig(), 0);
+    for (BlockAddr a = 0; a < 4; ++a)
+        mc.enqueue(readReq(a, 0, 0, a + 1));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 4u);
+    // All four finish with full channel parallelism: identical time.
+    for (size_t i = 1; i < 4; ++i)
+        EXPECT_EQ(done[i].finishAt, done[0].finishAt);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(mc.channelCounters(c).readReqs, 1u);
+}
+
+TEST(MemCtrl, FrequencyChangeHaltsAccesses)
+{
+    MemCtrl mc(makeConfig(), 0);
+    mc.setFrequencyIndex(9, 0);  // to 200 MHz
+    EXPECT_EQ(mc.frequencyIndex(), 9);
+    EXPECT_DOUBLE_EQ(mc.busFreq(), 200 * MHz);
+    mc.enqueue(readReq(0, 0, 0, 1));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 1u);
+    // Recalibration: 512 cycles at 5 ns plus 28 ns, before the ACT.
+    Tick halt = 512u * 5000u + nsToTicks(28);
+    Tick expect = halt + nsToTicks(30) + 4 * 5000 + nsToTicks(10);
+    EXPECT_EQ(done[0].finishAt, expect);
+}
+
+TEST(MemCtrl, SlowerBusStretchesOnlyBurst)
+{
+    MemCtrl fast(makeConfig(), 0);
+    fast.enqueue(readReq(0, 0, 0, 1));
+    Tick t_fast = drain(fast)[0].finishAt;
+
+    MemCtrl slow(makeConfig(), 0);
+    slow.setFrequencyIndex(9, 0);
+    Tick halt = 512u * 5000u + nsToTicks(28);
+    slow.enqueue(readReq(0, halt, 0, 1));
+    Tick t_slow = drain(slow)[0].finishAt - halt;
+
+    // Difference is exactly the burst stretch: 4 cycles at (5 - 1.25) ns.
+    EXPECT_EQ(t_slow - t_fast, 4u * (5000u - 1250u));
+}
+
+TEST(MemCtrl, RefreshDelaysCollidingRequest)
+{
+    MemCtrlConfig cfg = makeConfig();
+    MemCtrl mc(cfg, 0);
+    // Find when channel 0 rank 0 first refreshes: due times are
+    // staggered across ranks at tREFI * (r+1) / (ranks+1).
+    Tick refi = static_cast<Tick>(7.8 * tickPerUs);
+    Tick due = refi * 1 / 5;
+    // A read arriving just after the due time waits out tRFC.
+    mc.enqueue(readReq(0, due + 1, 0, 1));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_GE(done[0].finishAt,
+              due + nsToTicks(110) + nsToTicks(30) + 4 * 1250);
+    EXPECT_GE(mc.totalCounters().refreshes, 1u);
+}
+
+TEST(MemCtrl, CountersTrackServiceAndBusyTime)
+{
+    MemCtrl mc(makeConfig(), 0);
+    mc.enqueue(readReq(0, 0, 0, 1));
+    mc.enqueue(writeReq(4, 0));
+    drain(mc);
+    ChannelCounters c = mc.totalCounters();
+    EXPECT_EQ(c.readReqs, 1u);
+    EXPECT_EQ(c.writeReqs, 1u);
+    EXPECT_EQ(c.activations, 2u);
+    EXPECT_EQ(c.precharges, 2u);
+    EXPECT_EQ(c.readBursts, 1u);
+    EXPECT_EQ(c.writeBursts, 1u);
+    EXPECT_EQ(c.busBusyTicks, 2u * 4u * 1250u);
+    EXPECT_GT(c.rankActiveTicks, 0u);
+    EXPECT_EQ(c.queueSamples, 1u);
+}
+
+TEST(MemCtrl, OpenPageRowHitIsFaster)
+{
+    MemCtrl mc(makeConfig(true), 0);
+    mc.enqueue(readReq(0, 0, 0, 1));
+    // Block 4*128 = 512: channel 0, bank 0... same row needs same
+    // bank and row: consecutive columns are strided by
+    // channels*banks*ranks = 128 blocks.
+    mc.enqueue(readReq(128, 0, 0, 2));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 2u);
+    ChannelCounters c = mc.totalCounters();
+    EXPECT_EQ(c.rowHits, 1u);
+    EXPECT_EQ(c.rowMisses, 1u);
+    // The row hit skips ACT+tRCD: it finishes one burst after the
+    // first read's data.
+    EXPECT_EQ(done[1].finishAt - done[0].finishAt,
+              static_cast<Tick>(4 * 1250));
+}
+
+TEST(MemCtrl, OpenPageRowConflictPaysPrecharge)
+{
+    MemCtrl mc(makeConfig(true), 0);
+    mc.enqueue(readReq(0, 0, 0, 1));
+    // Same bank, different row.
+    BlockAddr other_row = static_cast<BlockAddr>(128) * 4 * 8 * 4;
+    mc.enqueue(readReq(other_row, 0, 0, 2));
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(mc.totalCounters().rowHits, 0u);
+    // Conflict: wait for bank cycle then a fresh ACT.
+    Tick gap = done[1].finishAt - done[0].finishAt;
+    EXPECT_GT(gap, nsToTicks(30));
+}
+
+TEST(MemCtrl, CopyIsIndependent)
+{
+    MemCtrl a(makeConfig(), 0);
+    a.enqueue(readReq(0, 0, 0, 1));
+    MemCtrl b = a;
+    auto done_b = drain(b);
+    EXPECT_EQ(done_b.size(), 1u);
+    // Original still has its pending request.
+    auto done_a = drain(a);
+    EXPECT_EQ(done_a.size(), 1u);
+    EXPECT_EQ(done_a[0].finishAt, done_b[0].finishAt);
+}
+
+TEST(MemCtrl, PrefetchCompletionsKeepKind)
+{
+    MemCtrl mc(makeConfig(), 0);
+    MemReq pf;
+    pf.addr = 0;
+    pf.kind = ReqKind::Prefetch;
+    pf.core = 3;
+    pf.arrival = 0;
+    mc.enqueue(pf);
+    auto done = drain(mc);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0].kind, ReqKind::Prefetch);
+    EXPECT_EQ(done[0].core, 3);
+    EXPECT_EQ(mc.totalCounters().prefetchReqs, 1u);
+    EXPECT_EQ(mc.totalCounters().readReqs, 0u);
+}
+
+} // namespace
+} // namespace coscale

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * Unit tests for the analytic models: Eq. 1 CPI/TPI decomposition,
+ * the memory-stall frequency projection, profile extraction from
+ * counters, and the SER energy model (Eq. 2-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/dvfs.hh"
+#include "common/rng.hh"
+#include "model/energy_model.hh"
+#include "model/perf_model.hh"
+
+namespace coscale {
+namespace {
+
+PerfModel
+makePerf()
+{
+    return PerfModel(DramTimingParams{}, 10.0, 7.5);
+}
+
+CoreProfile
+computeBound()
+{
+    CoreProfile c;
+    c.cyclesPerInstr = 1.5;
+    c.alpha = 0.008;
+    c.tpiL2Secs = 7.5e-9;
+    c.beta = 0.0004;
+    c.measuredMemStallSecs = 60e-9;
+    c.instrs = 1'000'000;
+    c.aluPerInstr = 0.45;
+    c.fpuPerInstr = 0.02;
+    c.branchPerInstr = 0.18;
+    c.memOpPerInstr = 0.35;
+    c.llcAccessPerInstr = 0.0084;
+    c.memReadPerInstr = 0.0004;
+    return c;
+}
+
+CoreProfile
+memoryBound()
+{
+    CoreProfile c = computeBound();
+    c.cyclesPerInstr = 0.9;
+    c.alpha = 0.022;
+    c.beta = 0.018;
+    c.measuredMemStallSecs = 90e-9;
+    c.llcAccessPerInstr = 0.04;
+    c.memReadPerInstr = 0.018;
+    return c;
+}
+
+MemProfile
+quietMem(Freq anchor = 800 * MHz)
+{
+    MemProfile m;
+    m.profiledBusFreq = anchor;
+    m.wBankSecs = 2e-9;
+    m.wBusSecs = 1e-9;
+    PerfModel pm = makePerf();
+    m.measuredStallSecs = pm.serviceSecs(anchor) + 3e-9;
+    m.busUtil = 0.15;
+    m.rankActiveFrac = 0.2;
+    m.writeFrac = 0.25;
+    m.trafficPerSec = 1e8;
+    return m;
+}
+
+TEST(PerfModel, ServiceTimeDecomposition)
+{
+    PerfModel pm = makePerf();
+    // tRCD + tCL + resp = 40 ns fixed, plus the burst.
+    EXPECT_NEAR(pm.serviceSecs(800 * MHz), 40e-9 + 5e-9, 1e-12);
+    EXPECT_NEAR(pm.serviceSecs(200 * MHz), 40e-9 + 20e-9, 1e-12);
+    EXPECT_NEAR(pm.busSecs(800 * MHz), 5e-9, 1e-12);
+    EXPECT_NEAR(pm.bankServiceSecs(), 45e-9, 1e-12);
+}
+
+TEST(PerfModel, TpiMemExactAtAnchor)
+{
+    PerfModel pm = makePerf();
+    for (Freq anchor : {800 * MHz, 404 * MHz, 200 * MHz}) {
+        MemProfile m = quietMem(anchor);
+        EXPECT_NEAR(pm.tpiMemSecs(m, anchor), m.measuredStallSecs,
+                    1e-12);
+    }
+}
+
+TEST(PerfModel, TpiMemGrowsAsBusSlows)
+{
+    PerfModel pm = makePerf();
+    MemProfile m = quietMem();
+    double prev = 0.0;
+    for (Freq f : {800 * MHz, 600 * MHz, 400 * MHz, 200 * MHz}) {
+        double v = pm.tpiMemSecs(m, f);
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(PerfModel, QueueingGrowsSuperlinearly)
+{
+    // At high utilisation the projected wait at a lower frequency
+    // must grow faster than the pure burst stretch.
+    PerfModel pm = makePerf();
+    MemProfile busy = quietMem();
+    busy.busUtil = 0.45;
+    busy.wBusSecs = 8e-9;
+    busy.measuredStallSecs = pm.serviceSecs(800 * MHz) + 10e-9;
+
+    double at_800 = pm.tpiMemSecs(busy, 800 * MHz);
+    double at_200 = pm.tpiMemSecs(busy, 200 * MHz);
+    double burst_stretch = pm.busSecs(200 * MHz) - pm.busSecs(800 * MHz);
+    EXPECT_GT(at_200 - at_800, burst_stretch + busy.wBusSecs * 2.0);
+}
+
+TEST(PerfModel, TpiEquation1Structure)
+{
+    PerfModel pm = makePerf();
+    CoreProfile c = computeBound();
+    MemProfile m = quietMem();
+    double tpi = pm.tpiSecs(c, 4 * GHz, m, 800 * MHz);
+    // Compute part: 1.5 cycles at 4 GHz = 0.375 ns; L2 part:
+    // alpha * 7.5 ns; memory part: beta * stall.
+    EXPECT_NEAR(tpi,
+                1.5 / 4e9 + 0.008 * 7.5e-9 + 0.0004 * 60e-9,
+                2e-12);
+}
+
+TEST(PerfModel, ComputePartScalesWithCoreFrequency)
+{
+    PerfModel pm = makePerf();
+    CoreProfile c = computeBound();
+    MemProfile m = quietMem();
+    double fast = pm.tpiSecs(c, 4 * GHz, m, 800 * MHz);
+    double slow = pm.tpiSecs(c, 2.2 * GHz, m, 800 * MHz);
+    EXPECT_NEAR(slow - fast, 1.5 / 2.2e9 - 1.5 / 4e9, 1e-12);
+}
+
+TEST(PerfModel, MemoryBoundCoreBarelyCaresAboutCoreFreq)
+{
+    PerfModel pm = makePerf();
+    CoreProfile c = memoryBound();
+    MemProfile m = quietMem();
+    double fast = pm.tpiSecs(c, 4 * GHz, m, 800 * MHz);
+    double slow = pm.tpiSecs(c, 2.2 * GHz, m, 800 * MHz);
+    EXPECT_LT((slow - fast) / fast, 0.12);
+}
+
+TEST(PerfModel, CoreProfileFromCounters)
+{
+    PerfModel pm = makePerf();
+    CoreCounters d;
+    d.tic = 1'000'000;
+    d.tms = 8000;
+    d.tla = 8400;
+    d.tlm = 400;
+    d.tls = 400;
+    d.computeTicks = 375 * tickPerUs;  // 1.5e6 cycles at 4 GHz
+    d.l2StallTicks = 8000 * nsToTicks(7.5);
+    d.memStallTicks = 400 * nsToTicks(60);
+    d.aluOps = 450'000;
+    CoreProfile c = pm.coreProfile(d, 500 * tickPerUs, 4 * GHz);
+    EXPECT_NEAR(c.cyclesPerInstr, 1.5, 1e-9);
+    EXPECT_NEAR(c.alpha, 0.008, 1e-12);
+    EXPECT_NEAR(c.beta, 0.0004, 1e-12);
+    EXPECT_NEAR(c.tpiL2Secs, 7.5e-9, 1e-14);
+    EXPECT_NEAR(c.measuredMemStallSecs, 60e-9, 1e-14);
+    EXPECT_NEAR(c.aluPerInstr, 0.45, 1e-12);
+}
+
+TEST(PerfModel, EmptyWindowYieldsZeroProfile)
+{
+    PerfModel pm = makePerf();
+    CoreCounters d;
+    CoreProfile c = pm.coreProfile(d, tickPerMs, 4 * GHz);
+    EXPECT_EQ(c.instrs, 0u);
+    EXPECT_DOUBLE_EQ(c.beta, 0.0);
+}
+
+TEST(PerfModel, MemProfileFromCounters)
+{
+    PerfModel pm = makePerf();
+    ChannelCounters d;
+    d.readReqs = 1000;
+    d.writeReqs = 250;
+    d.bankWaitTicks = 1000 * nsToTicks(4);
+    d.busWaitTicks = 1000 * nsToTicks(2);
+    d.busBusyTicks = 1250 * 4 * 1250;
+    d.rankActiveTicks = 8 * tickPerUs;
+    MemProfile m =
+        pm.memProfile(d, 100 * tickPerUs, 800 * MHz, 4, 16);
+    EXPECT_NEAR(m.wBankSecs, 4e-9, 1e-13);
+    EXPECT_NEAR(m.wBusSecs, 2e-9, 1e-13);
+    EXPECT_NEAR(m.writeFrac, 0.2, 1e-9);
+    EXPECT_NEAR(m.measuredStallSecs, 45e-9 + 6e-9, 1e-12);
+    EXPECT_NEAR(m.busUtil,
+                1250.0 * 4 * 1250 / (4.0 * 100 * tickPerUs), 1e-9);
+    EXPECT_NEAR(m.trafficPerSec, 1250 / 100e-6, 1.0);
+}
+
+// --- EnergyModel ---
+
+struct EnergyFixture : ::testing::Test
+{
+    static PowerParams
+    fourCoreParams()
+    {
+        PowerParams p;
+        p.numCores = 4;
+        return p;
+    }
+
+    EnergyFixture()
+        : coreLadder(defaultCoreLadder()), memLadder(defaultMemLadder()),
+          perf(makePerf()), power(fourCoreParams()),
+          em(&perf, &power, &coreLadder, &memLadder)
+    {
+        prof.windowTicks = 300 * tickPerUs;
+        for (int i = 0; i < 4; ++i)
+            prof.cores.push_back(i % 2 ? memoryBound() : computeBound());
+        prof.mem = quietMem();
+        prof.profiledCoreIdx.assign(4, 0);
+        prof.profiledMemIdx = 0;
+    }
+
+    FreqLadder coreLadder;
+    FreqLadder memLadder;
+    PerfModel perf;
+    PowerModel power;
+    EnergyModel em;
+    SystemProfile prof;
+};
+
+TEST_F(EnergyFixture, SerAtAllMaxIsOne)
+{
+    FreqConfig all_max = FreqConfig::allMax(4);
+    EXPECT_NEAR(em.ser(prof, all_max), 1.0, 1e-9);
+    EXPECT_NEAR(em.relativeTime(prof, all_max), 1.0, 1e-9);
+}
+
+TEST_F(EnergyFixture, RelativeTimeIsWorstCore)
+{
+    FreqConfig cfg = FreqConfig::allMax(4);
+    cfg.coreIdx[0] = 9;  // compute-bound core to minimum
+    double t0 = em.tpi(prof, 0, cfg) / em.tpiAtMax(prof, 0);
+    EXPECT_NEAR(em.relativeTime(prof, cfg), t0, 1e-9);
+    EXPECT_GT(t0, 1.5);
+}
+
+TEST_F(EnergyFixture, SystemPowerDecreasesWithLowerFrequencies)
+{
+    FreqConfig all_max = FreqConfig::allMax(4);
+    FreqConfig all_min = all_max;
+    for (auto &c : all_min.coreIdx)
+        c = 9;
+    all_min.memIdx = 9;
+    EXPECT_LT(em.systemPower(prof, all_min),
+              0.6 * em.systemPower(prof, all_max));
+}
+
+TEST_F(EnergyFixture, ScalingMemoryBoundCoreIsCheaperThanComputeBound)
+{
+    // Slowing a memory-bound core hurts time far less than slowing a
+    // compute-bound one, so its SER must be strictly better — the
+    // asymmetry CoScale's marginal-utility ranking exploits.
+    FreqConfig mem_scaled = FreqConfig::allMax(4);
+    mem_scaled.coreIdx[1] = 6;  // memory-bound core
+    FreqConfig cpu_scaled = FreqConfig::allMax(4);
+    cpu_scaled.coreIdx[0] = 6;  // compute-bound core
+    EXPECT_LT(em.ser(prof, mem_scaled), em.ser(prof, cpu_scaled) - 0.02);
+    // And it is close to break-even in absolute terms.
+    EXPECT_LT(em.ser(prof, mem_scaled), 1.03);
+}
+
+TEST_F(EnergyFixture, CorePowerFallsWithItsOwnIndex)
+{
+    FreqConfig cfg = FreqConfig::allMax(4);
+    double prev = 1e9;
+    for (int idx = 0; idx < coreLadder.size(); ++idx) {
+        cfg.coreIdx[0] = idx;
+        double p = em.corePower(prof, 0, cfg);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_F(EnergyFixture, MemPowerFallsWithMemIndex)
+{
+    FreqConfig cfg = FreqConfig::allMax(4);
+    double prev = 1e9;
+    for (int idx = 0; idx < memLadder.size(); ++idx) {
+        cfg.memIdx = idx;
+        double p = em.memPower(prof, cfg);
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_F(EnergyFixture, TpiMonotoneInBothDimensions)
+{
+    FreqConfig cfg = FreqConfig::allMax(4);
+    for (int i = 0; i < 4; ++i) {
+        double base = em.tpi(prof, i, cfg);
+        FreqConfig slower_core = cfg;
+        slower_core.coreIdx[static_cast<size_t>(i)] = 5;
+        EXPECT_GT(em.tpi(prof, i, slower_core), base);
+        FreqConfig slower_mem = cfg;
+        slower_mem.memIdx = 5;
+        EXPECT_GE(em.tpi(prof, i, slower_mem), base);
+    }
+}
+
+TEST_F(EnergyFixture, SerEvaluatorMatchesEnergyModelExactly)
+{
+    // The cached fast path (used by the policies' searches) must
+    // agree with the reference implementation bit-for-bit-ish on
+    // arbitrary configurations.
+    SerEvaluator ev(em, prof);
+    Rng rng(123);
+    for (int trial = 0; trial < 200; ++trial) {
+        FreqConfig cfg;
+        for (int i = 0; i < 4; ++i) {
+            cfg.coreIdx.push_back(
+                static_cast<int>(rng.range(coreLadder.size())));
+        }
+        cfg.memIdx = static_cast<int>(rng.range(memLadder.size()));
+
+        for (int i = 0; i < 4; ++i) {
+            double ref = em.tpi(prof, i, cfg);
+            EXPECT_NEAR(ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                               cfg.memIdx),
+                        ref, ref * 1e-12);
+            double p_ref = em.corePower(prof, i, cfg);
+            EXPECT_NEAR(
+                ev.corePower(i, cfg.coreIdx[static_cast<size_t>(i)],
+                             cfg.memIdx),
+                p_ref, p_ref * 1e-12);
+        }
+        double sp = em.systemPower(prof, cfg);
+        EXPECT_NEAR(ev.systemPower(cfg), sp, sp * 1e-12);
+        double s = em.ser(prof, cfg);
+        EXPECT_NEAR(ev.ser(cfg), s, s * 1e-12);
+        EXPECT_NEAR(ev.relativeTime(cfg), em.relativeTime(prof, cfg),
+                    1e-12);
+    }
+}
+
+TEST_F(EnergyFixture, LoweringFrequencyCanRaiseSer)
+{
+    // Section 3.1: "lowering frequency can increase energy
+    // consumption if the slowdown is too high" — slowing a
+    // compute-bound core to minimum stretches the whole system's
+    // runtime while other components keep burning power.
+    FreqConfig cfg = FreqConfig::allMax(4);
+    cfg.coreIdx[0] = 9;  // compute-bound core to 2.2 GHz
+    EXPECT_GT(em.ser(prof, cfg), 1.0);
+}
+
+} // namespace
+} // namespace coscale

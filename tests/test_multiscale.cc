@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the per-channel memory-DVFS extension: the
+ * RegionPerChannel address mapping, independent channel frequency
+ * control in the memory controller, per-channel profiling and power
+ * accounting, and the MultiScalePolicy end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "policy/multiscale.hh"
+#include "policy/simple_policies.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+TEST(RegionMap, PinsRegionsToChannels)
+{
+    MemGeometry g;
+    g.addrMap = AddrMap::RegionPerChannel;
+    for (int app = 0; app < 8; ++app) {
+        BlockAddr base = static_cast<BlockAddr>(app) << 34;
+        for (BlockAddr off = 0; off < 1000; off += 37) {
+            DramCoord c = mapAddress(base + off, g);
+            EXPECT_EQ(c.channel, app % 4);
+        }
+    }
+}
+
+TEST(RegionMap, SpreadsBanksWithinRegion)
+{
+    MemGeometry g;
+    g.addrMap = AddrMap::RegionPerChannel;
+    bool banks_seen[8] = {};
+    for (BlockAddr off = 0; off < 64; ++off) {
+        DramCoord c = mapAddress(off, g);
+        banks_seen[c.bank] = true;
+    }
+    for (bool seen : banks_seen)
+        EXPECT_TRUE(seen);
+}
+
+TEST(MemCtrlPerChannel, IndependentFrequencies)
+{
+    MemCtrlConfig cfg;
+    cfg.ladder = defaultMemLadder();
+    MemCtrl mc(cfg, 0);
+    EXPECT_FALSE(mc.perChannelFrequencies());
+    mc.setChannelFrequencyIndex(2, 7, 0);
+    EXPECT_TRUE(mc.perChannelFrequencies());
+    EXPECT_EQ(mc.channelFrequencyIndex(0), 0);
+    EXPECT_EQ(mc.channelFrequencyIndex(2), 7);
+    EXPECT_DOUBLE_EQ(mc.channelBusFreq(2), cfg.ladder.freq(7));
+    // Uniform change overrides all channels.
+    mc.setFrequencyIndex(3, 1000);
+    EXPECT_FALSE(mc.perChannelFrequencies());
+    EXPECT_EQ(mc.channelFrequencyIndex(2), 3);
+}
+
+TEST(MemCtrlPerChannel, OnlyThatChannelHalts)
+{
+    MemCtrlConfig cfg;
+    cfg.ladder = defaultMemLadder();
+    MemCtrl mc(cfg, 0);
+    mc.setChannelFrequencyIndex(0, 9, 0);
+    // Block 0 -> channel 0 (interleave); block 1 -> channel 1.
+    MemReq slow_read;
+    slow_read.addr = 0;
+    slow_read.core = 0;
+    slow_read.arrival = 0;
+    slow_read.token = 1;
+    MemReq fast_read = slow_read;
+    fast_read.addr = 1;
+    fast_read.token = 2;
+    mc.enqueue(slow_read);
+    mc.enqueue(fast_read);
+    Tick t_slow = 0, t_fast = 0;
+    while (mc.nextEventTick() != maxTick) {
+        auto done = mc.step();
+        if (done && done->token == 1)
+            t_slow = done->finishAt;
+        if (done && done->token == 2)
+            t_fast = done->finishAt;
+    }
+    // Channel 1 is unaffected by channel 0's recalibration halt.
+    EXPECT_LT(t_fast, 60 * tickPerNs);
+    EXPECT_GT(t_slow, t_fast + tickPerUs);
+}
+
+TEST(SystemPerChannel, ApplyAndReportChannelConfig)
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 4;
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+    auto apps = expandMix(mixByName("MID1"), 4, cfg.instrBudget);
+    System sys(cfg, apps);
+    sys.run(50 * tickPerUs);
+
+    FreqConfig fc = FreqConfig::allMax(4);
+    fc.chanIdx = {0, 3, 6, 9};
+    sys.applyConfig(fc);
+    FreqConfig cur = sys.currentConfig();
+    ASSERT_EQ(cur.chanIdx.size(), 4u);
+    EXPECT_EQ(cur.chanIdx[1], 3);
+    EXPECT_EQ(cur.chanIdx[3], 9);
+}
+
+TEST(SystemPerChannel, ProfilesCarryChannelsAndHomes)
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 8;
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+    auto apps = expandMix(mixByName("MIX2"), 8, cfg.instrBudget);
+    System sys(cfg, apps);
+    CounterSnapshot snap = sys.snapshot();
+    sys.run(300 * tickPerUs);
+    SystemProfile prof = sys.makeProfile(snap);
+    ASSERT_EQ(prof.channels.size(), 4u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(prof.cores[static_cast<size_t>(i)].homeChannel, i % 4);
+    // Channels see different traffic (different applications).
+    double lo = 1e18, hi = 0.0;
+    for (const auto &ch : prof.channels) {
+        lo = std::min(lo, ch.trafficPerSec);
+        hi = std::max(hi, ch.trafficPerSec);
+    }
+    EXPECT_GT(hi, 1.5 * lo);
+}
+
+TEST(SystemPerChannel, PerChannelPowerSumsLikeAggregate)
+{
+    // With uniform frequencies, per-channel power accounting must
+    // agree with the aggregate formulation.
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 8;
+    auto apps = expandMix(mixByName("MID2"), 8, cfg.instrBudget);
+    System sys(cfg, apps);
+    CounterSnapshot snap = sys.snapshot();
+    sys.run(300 * tickPerUs);
+    PowerBreakdown pb = sys.windowPower(snap);
+
+    ChannelCounters total = sys.memCtrl().totalCounters() - snap.mem;
+    double aggregate = sys.powerModel().memPowerFromCounters(
+        total, sys.now() - snap.tick, cfg.memLadder.voltage(0),
+        cfg.memLadder.freq(0));
+    EXPECT_NEAR(pb.memW, aggregate, aggregate * 1e-9);
+}
+
+TEST(MultiScalePolicy, BeatsUniformOnHeterogeneousMix)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+    const WorkloadMix &mix = mixByName("MIX2");
+
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mix, b);
+    MemScalePolicy uniform(cfg.numCores, cfg.gamma);
+    Comparison cu = compare(base, runWorkload(cfg, mix, uniform));
+    MultiScalePolicy multi(cfg.numCores, cfg.gamma);
+    RunResult mul = runWorkload(cfg, mix, multi);
+    Comparison cm = compare(base, mul);
+
+    EXPECT_GT(cm.memSavings, cu.memSavings + 0.02);
+    EXPECT_LE(cm.worstDegradation, cfg.gamma + 0.005);
+}
+
+TEST(MultiScalePolicy, ChannelsDivergeUnderImbalance)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+    MultiScalePolicy multi(cfg.numCores, cfg.gamma);
+    RunResult r = runWorkload(cfg, mixByName("MIX2"), multi);
+    ASSERT_GT(r.epochs.size(), 4u);
+    const auto &e = r.epochs[r.epochs.size() / 2];
+    ASSERT_EQ(e.applied.chanIdx.size(), 4u);
+    int lo = 99, hi = -1;
+    for (int idx : e.applied.chanIdx) {
+        lo = std::min(lo, idx);
+        hi = std::max(hi, idx);
+    }
+    // The memory-bound application's channel stays several steps
+    // above the compute-bound one's.
+    EXPECT_GE(hi - lo, 3);
+}
+
+TEST(MultiScalePolicy, MatchesUniformOnBalancedMix)
+{
+    SystemConfig cfg = makeScaledConfig(0.05);
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+    const WorkloadMix &mix = mixByName("MID1");
+
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mix, b);
+    MemScalePolicy uniform(cfg.numCores, cfg.gamma);
+    Comparison cu = compare(base, runWorkload(cfg, mix, uniform));
+    MultiScalePolicy multi(cfg.numCores, cfg.gamma);
+    Comparison cm = compare(base, runWorkload(cfg, mix, multi));
+    EXPECT_NEAR(cm.memSavings, cu.memSavings, 0.05);
+}
+
+TEST(MultiScalePolicy, FallsBackWithoutChannelProfiles)
+{
+    // Hand the policy a profile without per-channel data: it should
+    // behave like uniform MemScale rather than crash.
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 4;
+    auto apps = expandMix(mixByName("MID1"), 4, cfg.instrBudget);
+    System sys(cfg, apps);
+    CounterSnapshot snap = sys.snapshot();
+    sys.run(300 * tickPerUs);
+    SystemProfile prof = sys.makeProfile(snap);
+    prof.channels.clear();
+
+    EnergyModel em = sys.energyModel();
+    MultiScalePolicy policy(4, 0.10);
+    FreqConfig pick =
+        policy.decide(prof, em, sys.currentConfig(), cfg.epochLen);
+    EXPECT_TRUE(pick.chanIdx.empty());
+    EXPECT_GE(pick.memIdx, 0);
+}
+
+} // namespace
+} // namespace coscale

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the power models: DVFS scaling laws, the 60/30/10
+ * CPU/memory/rest power split the paper assumes (Section 4.1), the
+ * Micron-style memory breakdown, and the sensitivity knobs used by
+ * Figures 11-14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/dvfs.hh"
+#include "power/power_model.hh"
+
+namespace coscale {
+namespace {
+
+PowerParams
+defaults()
+{
+    PowerParams p;
+    return p;
+}
+
+CoreActivityRates
+typicalCore(Freq f, double cpi = 1.5)
+{
+    CoreActivityRates r;
+    r.ips = f / cpi;
+    r.aluPs = r.ips * 0.40;
+    r.fpuPs = r.ips * 0.10;
+    r.branchPs = r.ips * 0.15;
+    r.memPs = r.ips * 0.35;
+    return r;
+}
+
+MemActivityRates
+typicalMem(double util = 0.3)
+{
+    MemActivityRates r;
+    r.busUtil = util;
+    double peak_reads = 4 * 800e6 * 2 / 8.0;
+    r.readsPs = peak_reads * util * 0.75;
+    r.writesPs = peak_reads * util * 0.25;
+    r.rankActiveFrac = util * 1.5;
+    return r;
+}
+
+TEST(CorePower, ScalesDownWithVoltageAndFrequency)
+{
+    PowerModel pm(defaults());
+    FreqLadder l = defaultCoreLadder();
+    double prev = 1e9;
+    for (int i = 0; i < l.size(); ++i) {
+        double p = pm.corePower(l.voltage(i), l.freq(i),
+                                typicalCore(l.freq(i)));
+        EXPECT_LT(p, prev) << "index " << i;
+        prev = p;
+    }
+}
+
+TEST(CorePower, MinFrequencyIsBigWin)
+{
+    PowerModel pm(defaults());
+    FreqLadder l = defaultCoreLadder();
+    double max_p = pm.corePower(l.voltage(0), l.freq(0),
+                                typicalCore(l.freq(0)));
+    double min_p = pm.corePower(l.voltage(9), l.freq(9),
+                                typicalCore(l.freq(9)));
+    // V^2*f scaling: the bottom of the ladder should be far below
+    // half of peak power.
+    EXPECT_LT(min_p, 0.45 * max_p);
+    EXPECT_GT(min_p, 0.05 * max_p);  // leakage floor remains
+}
+
+TEST(CorePower, IdleCoreStillBurnsClockAndLeakage)
+{
+    PowerModel pm(defaults());
+    CoreActivityRates idle;
+    double p = pm.corePower(1.2, 4 * GHz, idle);
+    EXPECT_GT(p, 2.0);
+}
+
+TEST(CorePower, CountersPathMatchesRatesPath)
+{
+    PowerModel pm(defaults());
+    CoreCounters d;
+    d.tic = 1'000'000;
+    d.aluOps = 400'000;
+    d.fpuOps = 100'000;
+    d.branchOps = 150'000;
+    d.memOps = 350'000;
+    Tick elapsed = secondsToTicks(1'000'000 / (4e9 / 1.5));
+    double from_counters =
+        pm.corePowerFromCounters(d, elapsed, 1.2, 4 * GHz);
+    double from_rates =
+        pm.corePower(1.2, 4 * GHz, typicalCore(4 * GHz));
+    EXPECT_NEAR(from_counters, from_rates, from_rates * 0.01);
+}
+
+TEST(MemPower, ScalesDownWithFrequency)
+{
+    PowerModel pm(defaults());
+    FreqLadder l = defaultMemLadder();
+    double prev = 1e9;
+    for (int i = 0; i < l.size(); ++i) {
+        double p = pm.memPower(l.voltage(i), l.freq(i), typicalMem(0.1));
+        EXPECT_LT(p, prev) << "index " << i;
+        prev = p;
+    }
+}
+
+TEST(MemPower, NearIdleMemoryAtMinFrequencyDropsHard)
+{
+    // The ILP scenario of Fig. 5: mostly idle memory scaled to
+    // 200 MHz should shed more than half its power (the paper reports
+    // up to 57% memory energy savings).
+    PowerModel pm(defaults());
+    FreqLadder l = defaultMemLadder();
+    double max_p = pm.memPower(l.voltage(0), l.freq(0), typicalMem(0.03));
+    MemActivityRates slow = typicalMem(0.03);
+    slow.busUtil *= 4.0;  // same traffic on a 4x slower bus
+    double min_p = pm.memPower(l.voltage(9), l.freq(9), slow);
+    EXPECT_LT(min_p, 0.50 * max_p);
+}
+
+TEST(MemPower, BreakdownSumsToTotal)
+{
+    PowerModel pm(defaults());
+    MemActivityRates r = typicalMem(0.4);
+    MemPowerBreakdown b = pm.memPowerBreakdown(1.2, 800 * MHz, r);
+    EXPECT_NEAR(b.total(), pm.memPower(1.2, 800 * MHz, r), 1e-9);
+    EXPECT_GT(b.background, 0.0);
+    EXPECT_GT(b.activate, 0.0);
+    EXPECT_GT(b.burst, 0.0);
+    EXPECT_GT(b.refresh, 0.0);
+    EXPECT_GT(b.pllReg, 0.0);
+    EXPECT_GT(b.mc, 0.0);
+}
+
+TEST(MemPower, McSpansPaperRange)
+{
+    // MC power: 4.5 W at idle to 15 W at full utilisation (Section
+    // 4.1), at maximum frequency and voltage.
+    PowerModel pm(defaults());
+    MemPowerBreakdown idle =
+        pm.memPowerBreakdown(1.2, 800 * MHz, MemActivityRates{});
+    MemActivityRates busy;
+    busy.busUtil = 1.0;
+    MemPowerBreakdown full = pm.memPowerBreakdown(1.2, 800 * MHz, busy);
+    EXPECT_NEAR(idle.mc, 4.5, 0.01);
+    EXPECT_NEAR(full.mc, 15.0, 0.01);
+}
+
+TEST(MemPower, BurstEnergyIsFrequencyInvariant)
+{
+    PowerModel pm(defaults());
+    MemActivityRates r;
+    r.readsPs = 1e8;
+    MemPowerBreakdown fast = pm.memPowerBreakdown(1.2, 800 * MHz, r);
+    MemPowerBreakdown slow = pm.memPowerBreakdown(0.65, 200 * MHz, r);
+    EXPECT_NEAR(fast.burst, slow.burst, 1e-9);
+}
+
+TEST(MemPower, MultiplierScalesWholeSubsystem)
+{
+    PowerParams p = defaults();
+    PowerModel pm1(p);
+    p.mem.memPowerMultiplier = 2.0;
+    PowerModel pm2(p);
+    MemActivityRates r = typicalMem(0.3);
+    EXPECT_NEAR(pm2.memPower(1.2, 800 * MHz, r),
+                2.0 * pm1.memPower(1.2, 800 * MHz, r), 1e-9);
+}
+
+TEST(SystemPower, PaperSplitAtPeak)
+{
+    // Section 4.1: CPU ~60%, memory ~30%, other ~10% at maximum
+    // frequencies under the baseline assumptions.
+    PowerModel pm(defaults());
+    double cpu = 16
+                 * pm.corePower(1.2, 4 * GHz, typicalCore(4 * GHz))
+                 + pm.l2Power(16 * (4e9 / 1.5) * 0.02);
+    double mem = pm.memPower(1.2, 800 * MHz, typicalMem(0.3));
+    double other = pm.otherPower();
+    double total = cpu + mem + other;
+    EXPECT_NEAR(cpu / total, 0.60, 0.05);
+    EXPECT_NEAR(mem / total, 0.30, 0.05);
+    EXPECT_NEAR(other / total, 0.10, 0.02);
+}
+
+TEST(SystemPower, OtherFractionKnob)
+{
+    for (double frac : {0.05, 0.10, 0.15, 0.20}) {
+        PowerParams p = defaults();
+        p.otherFrac = frac;
+        PowerModel pm(p);
+        double ref = pm.referenceCpuMemPower();
+        EXPECT_NEAR(pm.otherPower() / (ref + pm.otherPower()), frac,
+                    1e-9);
+    }
+}
+
+TEST(SystemPower, L2PowerHasLeakFloor)
+{
+    PowerModel pm(defaults());
+    EXPECT_NEAR(pm.l2Power(0.0), defaults().l2.leakW, 1e-9);
+    EXPECT_GT(pm.l2Power(1e9), pm.l2Power(0.0));
+}
+
+TEST(SystemPower, HalfVoltageRangeShrinksCoreSavings)
+{
+    // Fig. 14: a narrower voltage range reduces what core DVFS can
+    // save.
+    PowerModel pm(defaults());
+    FreqLadder full = defaultCoreLadder();
+    FreqLadder half = halfVoltageCoreLadder();
+    double p_full = pm.corePower(full.voltage(9), full.freq(9),
+                                 typicalCore(full.freq(9)));
+    double p_half = pm.corePower(half.voltage(9), half.freq(9),
+                                 typicalCore(half.freq(9)));
+    EXPECT_GT(p_half, p_full * 1.3);
+}
+
+} // namespace
+} // namespace coscale

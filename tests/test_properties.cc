@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Parameterized property sweeps across the configuration space:
+ * model-vs-simulator prediction accuracy at every memory frequency,
+ * LLC invariants across geometries, DDR3 timing invariants across the
+ * whole ladder, slack-tracker algebra over random histories, and
+ * bound compliance across every Table 1 mix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/llc.hh"
+#include "common/rng.hh"
+#include "policy/coscale_policy.hh"
+#include "policy/policy.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+// --- Model accuracy vs the simulator, across memory frequencies ---
+
+/** Pin the whole machine at a fixed configuration. */
+class FixedPolicy final : public Policy
+{
+  public:
+    explicit FixedPolicy(int mem_idx, int core_idx = 0)
+        : memIdx(mem_idx), coreIdx(core_idx)
+    {
+    }
+
+    std::string name() const override { return "Fixed"; }
+
+    FreqConfig
+    decide(const SystemProfile &prof, const EnergyModel &,
+           const FreqConfig &, Tick) override
+    {
+        FreqConfig cfg;
+        cfg.coreIdx.assign(prof.cores.size(), coreIdx);
+        cfg.memIdx = memIdx;
+        return cfg;
+    }
+
+    void observeEpoch(const EpochObservation &,
+                      const EnergyModel &) override
+    {
+    }
+
+  private:
+    int memIdx;
+    int coreIdx;
+};
+
+class ModelAccuracy : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ModelAccuracy, PredictsCrossFrequencyTpiWithinTolerance)
+{
+    // Profile the system while it runs at memory index P, predict the
+    // all-max TPI with the model, and compare against a real run at
+    // maximum frequencies. This is the prediction the slack
+    // bookkeeping lives on.
+    int anchor_idx = GetParam();
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 8;
+    auto apps = expandMix(mixByName("MID2"), 8, cfg.instrBudget);
+
+    System slow(cfg, apps);
+    FreqConfig pinned;
+    pinned.coreIdx.assign(8, 2);
+    pinned.memIdx = anchor_idx;
+    slow.applyConfig(pinned);
+    slow.run(200 * tickPerUs);  // settle past the transitions
+    CounterSnapshot snap = slow.snapshot();
+    slow.run(700 * tickPerUs);
+    SystemProfile prof = slow.makeProfile(snap);
+    EnergyModel em = slow.energyModel();
+
+    System fast(cfg, apps);
+    fast.run(200 * tickPerUs);
+    CounterSnapshot fsnap = fast.snapshot();
+    fast.run(700 * tickPerUs);
+
+    FreqConfig all_max = FreqConfig::allMax(8);
+    for (int i = 0; i < 8; ++i) {
+        double predicted = em.tpi(prof, i, all_max);
+        CoreCounters d = fast.core(i).counters()
+                         - fsnap.cores[static_cast<size_t>(i)];
+        double actual = ticksToSeconds(500 * tickPerUs)
+                        / static_cast<double>(d.tic);
+        EXPECT_NEAR(predicted, actual, actual * 0.08)
+            << "core " << i << " anchored at mem index " << anchor_idx;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Anchors, ModelAccuracy,
+                         ::testing::Values(0, 3, 6, 9));
+
+// --- LLC invariants across geometries ---
+
+class LlcGeometry : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LlcGeometry, HitRateAndWritebackInvariants)
+{
+    int ways = GetParam();
+    LlcConfig cfg;
+    cfg.sizeBytes = 64 * 1024;
+    cfg.ways = ways;
+    Llc llc(cfg);
+    Rng rng(static_cast<std::uint64_t>(ways));
+
+    std::uint64_t blocks = cfg.sizeBytes / blockBytes;
+    for (int i = 0; i < 20000; ++i) {
+        // 70% within half the capacity (should mostly hit after
+        // warmup), 30% streaming.
+        BlockAddr a = rng.bernoulli(0.7)
+                          ? rng.range(blocks / 2)
+                          : 1'000'000 + static_cast<BlockAddr>(i);
+        llc.access(a, rng.bernoulli(0.3));
+    }
+    const LlcCounters &c = llc.counters();
+    EXPECT_EQ(c.accesses, 20000u);
+    EXPECT_EQ(c.hits + c.misses, c.accesses);
+    // The hot half-capacity set must mostly hit (direct-mapped
+    // suffers conflict misses, so its floor is lower).
+    EXPECT_GT(static_cast<double>(c.hits) / c.accesses,
+              ways == 1 ? 0.50 : 0.55);
+    // Writebacks can never exceed misses (one eviction per fill).
+    EXPECT_LE(c.writebacks, c.misses);
+    EXPECT_GT(c.writebacks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, LlcGeometry,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+// --- DDR3 timing invariants across the whole ladder ---
+
+class LadderSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LadderSweep, TimingInvariantsAtEveryFrequency)
+{
+    FreqLadder ladder = defaultMemLadder();
+    int idx = GetParam();
+    Freq f = ladder.freq(idx);
+    DramTimingParams p;
+    ResolvedTiming t = ResolvedTiming::resolve(p, f);
+
+    // The burst always spans exactly burstCycles bus periods.
+    EXPECT_NEAR(static_cast<double>(t.tBURST),
+                static_cast<double>(t.tCK) * p.burstCycles, 4.0);
+    // Wall-clock-fixed parameters never change.
+    ResolvedTiming ref = ResolvedTiming::resolve(p, ladder.freq(0));
+    EXPECT_EQ(t.tRCD, ref.tRCD);
+    EXPECT_EQ(t.tRAS, ref.tRAS);
+    EXPECT_EQ(t.tFAW, ref.tFAW);
+    EXPECT_EQ(t.tRFC, ref.tRFC);
+    // Service time is monotone non-increasing in frequency.
+    if (idx > 0) {
+        ResolvedTiming faster =
+            ResolvedTiming::resolve(p, ladder.freq(idx - 1));
+        EXPECT_GE(t.tBURST, faster.tBURST);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSteps, LadderSweep,
+                         ::testing::Range(0, 10));
+
+// --- Slack-tracker algebra over random histories ---
+
+class SlackHistory : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SlackHistory, AllowedTpiConsistentWithUpdate)
+{
+    // Property: if an epoch runs exactly at the allowed TPI the
+    // tracker returned, the slack never goes (materially) negative.
+    Rng rng(GetParam());
+    SlackTracker t(1, 0.10, 0.0);
+    double epoch = 1e-3;
+    for (int e = 0; e < 50; ++e) {
+        double ref = rng.uniform(0.4e-9, 2.5e-9);
+        double allowed = t.allowedTpi(0, ref, epoch);
+        double run_tpi = std::isinf(allowed)
+                             ? ref * 3.0
+                             : allowed * rng.uniform(0.9, 1.0);
+        std::uint64_t instrs =
+            static_cast<std::uint64_t>(epoch / run_tpi);
+        t.update(0, ref, instrs, epoch);
+        EXPECT_GT(t.slackSecs(0), -0.02 * epoch) << "epoch " << e;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlackHistory,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// --- Bound compliance across every Table 1 mix ---
+
+class AllMixes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllMixes, CoScaleBoundAndSavings)
+{
+    const WorkloadMix &mix =
+        table1Mixes()[static_cast<size_t>(GetParam())];
+    SystemConfig cfg = makeScaledConfig(0.03);
+    BaselinePolicy b;
+    RunResult base = runWorkload(cfg, mix, b);
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult run = runWorkload(cfg, mix, policy);
+    Comparison c = compare(base, run);
+    EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006) << mix.name;
+    EXPECT_GT(c.fullSystemSavings, 0.06) << mix.name;
+    EXPECT_LT(c.fullSystemSavings, 0.35) << mix.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, AllMixes, ::testing::Range(0, 16));
+
+} // namespace
+} // namespace coscale

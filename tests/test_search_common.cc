@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Edge-case tests for the shared search utilities: admissibility
+ * vectors, feasibility short-circuits, memory-only walks that cannot
+ * move, cap-scan degenerate cases, and death tests for the library's
+ * fatal error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "policy/search_common.hh"
+#include "trace/trace_file.hh"
+#include "workloads/spec_catalogue.hh"
+
+namespace coscale {
+namespace {
+
+struct SearchFixture : ::testing::Test
+{
+    SearchFixture()
+        : coreLadder(defaultCoreLadder()), memLadder(defaultMemLadder()),
+          perf(DramTimingParams{}, 10.0, 7.5)
+    {
+        PowerParams pp;
+        pp.numCores = 2;
+        power = PowerModel(pp);
+        em = EnergyModel(&perf, &power, &coreLadder, &memLadder);
+
+        prof.windowTicks = 300 * tickPerUs;
+        for (int i = 0; i < 2; ++i) {
+            CoreProfile c;
+            c.cyclesPerInstr = 1.4;
+            c.alpha = 0.01;
+            c.tpiL2Secs = 7.5e-9;
+            c.beta = 0.004;
+            c.measuredMemStallSecs = 70e-9;
+            c.instrs = 100000;
+            c.aluPerInstr = 0.4;
+            c.memOpPerInstr = 0.35;
+            c.llcAccessPerInstr = 0.014;
+            c.memReadPerInstr = 0.004;
+            prof.cores.push_back(c);
+        }
+        prof.mem.profiledBusFreq = 800 * MHz;
+        prof.mem.measuredStallSecs = perf.serviceSecs(800 * MHz) + 4e-9;
+        prof.mem.wBankSecs = 2.5e-9;
+        prof.mem.wBusSecs = 1.5e-9;
+        prof.mem.busUtil = 0.2;
+        prof.mem.rankActiveFrac = 0.25;
+        prof.mem.trafficPerSec = 1.5e8;
+        prof.profiledCoreIdx = {0, 0};
+        prof.profiledMemIdx = 0;
+    }
+
+    FreqLadder coreLadder;
+    FreqLadder memLadder;
+    PerfModel perf;
+    PowerModel power;
+    EnergyModel em;
+    SystemProfile prof;
+};
+
+TEST_F(SearchFixture, RefTpisMatchDirectEvaluation)
+{
+    FreqConfig ref = FreqConfig::allMax(2);
+    ref.memIdx = 3;
+    auto v = refTpis(em, prof, ref);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], em.tpi(prof, 0, ref));
+    EXPECT_DOUBLE_EQ(v[1], em.tpi(prof, 1, ref));
+}
+
+TEST_F(SearchFixture, AllowedTpisScaleWithGamma)
+{
+    auto ref = refTpis(em, prof, FreqConfig::allMax(2));
+    SlackTracker loose(2, 0.20, 0.0);
+    SlackTracker tight(2, 0.02, 0.0);
+    auto a_loose = allowedTpis(loose, ref, tickPerMs);
+    auto a_tight = allowedTpis(tight, ref, tickPerMs);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(a_loose[i], ref[i] * 1.20, ref[i] * 1e-9);
+        EXPECT_NEAR(a_tight[i], ref[i] * 1.02, ref[i] * 1e-9);
+    }
+}
+
+TEST_F(SearchFixture, ConfigFeasibleRejectsDeepScaling)
+{
+    auto ref = refTpis(em, prof, FreqConfig::allMax(2));
+    SlackTracker slack(2, 0.05, 0.0);
+    auto allowed = allowedTpis(slack, ref, tickPerMs);
+    FreqConfig all_min;
+    all_min.coreIdx = {9, 9};
+    all_min.memIdx = 9;
+    EXPECT_FALSE(configFeasible(em, prof, all_min, allowed));
+    EXPECT_TRUE(
+        configFeasible(em, prof, FreqConfig::allMax(2), allowed));
+}
+
+TEST_F(SearchFixture, MemOnlyBestWithZeroSlackStaysAtMax)
+{
+    auto ref = refTpis(em, prof, FreqConfig::allMax(2));
+    // A tracker driven deeply negative: nothing is admissible.
+    SlackTracker slack(2, 0.10, 0.0);
+    slack.update(0, ref[0] * 0.5, 1'000'000, 1e-3);
+    slack.update(1, ref[1] * 0.5, 1'000'000, 1e-3);
+    auto allowed = allowedTpis(slack, ref, tickPerMs);
+    int idx = memOnlyBest(em, prof, {0, 0}, allowed);
+    EXPECT_EQ(idx, 0);
+}
+
+TEST_F(SearchFixture, CapScanWithUnlimitedSlackScalesMemoryBoundCore)
+{
+    // Make core 1 heavily memory-bound: its frequency barely affects
+    // its TPI, so with unlimited slack the optimizer should push it
+    // far down the ladder for nearly-free power savings.
+    prof.cores[1].cyclesPerInstr = 0.8;
+    prof.cores[1].beta = 0.02;
+    prof.cores[1].memReadPerInstr = 0.02;
+    prof.cores[1].measuredMemStallSecs = 90e-9;
+
+    std::vector<double> allowed = {1.0, 1.0};  // seconds: no limit
+    double ser = 0.0;
+    FreqConfig pick = capScanBestForMem(em, prof, 0, allowed, ser);
+    EXPECT_GT(pick.coreIdx[1], 4);
+    EXPECT_LT(ser, 1.0);
+    // The compute-bound core scales less than the memory-bound one.
+    EXPECT_LE(pick.coreIdx[0], pick.coreIdx[1]);
+}
+
+TEST_F(SearchFixture, ExhaustiveBestNeverWorseThanSingleKnob)
+{
+    auto ref = refTpis(em, prof, FreqConfig::allMax(2));
+    SlackTracker slack(2, 0.10, 0.0);
+    auto allowed = allowedTpis(slack, ref, tickPerMs);
+
+    double cpu_ser = 0.0;
+    capScanBestForMem(em, prof, 0, allowed, cpu_ser);
+    int mem_idx = memOnlyBest(em, prof, {0, 0}, allowed);
+    FreqConfig mem_cfg = FreqConfig::allMax(2);
+    mem_cfg.memIdx = mem_idx;
+    double mem_ser = em.ser(prof, mem_cfg);
+
+    FreqConfig joint = exhaustiveBest(em, prof, allowed);
+    double joint_ser = em.ser(prof, joint);
+    EXPECT_LE(joint_ser, cpu_ser + 1e-12);
+    EXPECT_LE(joint_ser, mem_ser + 1e-12);
+}
+
+// --- Death tests for fatal error paths ---
+
+TEST(FatalPaths, UnknownMixDies)
+{
+    EXPECT_EXIT(mixByName("NOPE1"), ::testing::ExitedWithCode(1),
+                "unknown workload mix");
+}
+
+TEST(FatalPaths, UnknownAppDies)
+{
+    EXPECT_EXIT(appByName("notaspec"), ::testing::ExitedWithCode(1),
+                "unknown application");
+}
+
+TEST(FatalPaths, GarbageTraceFileDies)
+{
+    std::string path = "garbage.trace";
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fputs("this is not a trace file at all......", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(loadTraceFile(path), ::testing::ExitedWithCode(1),
+                "not a CoScale trace");
+    std::remove(path.c_str());
+}
+
+TEST(FatalPaths, MissingTraceFileDies)
+{
+    EXPECT_EXIT(loadTraceFile("/definitely/not/here.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(FatalPaths, TruncatedTraceFileDies)
+{
+    std::string path = "truncated.trace";
+    {
+        TraceFileWriter w(path);
+        TraceRecord r;
+        for (int i = 0; i < 10; ++i)
+            w.append(r);
+    }
+    // Chop the last record in half.
+    std::FILE *f = std::fopen(path.c_str(), "rb+");
+    std::fseek(f, 0, SEEK_END);
+    long sz = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), sz - 16), 0);
+    EXPECT_EXIT(loadTraceFile(path), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace coscale

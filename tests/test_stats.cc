@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the stats module: accumulators, histograms, and the
+ * performance-counter snapshot/diff machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/accum.hh"
+#include "stats/perf_counters.hh"
+
+namespace coscale {
+namespace {
+
+TEST(Accum, BasicMoments)
+{
+    Accum a;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        a.sample(v);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 4.0);
+    EXPECT_NEAR(a.variance(), 1.25, 1e-12);
+    EXPECT_NEAR(a.stddev(), 1.1180339887, 1e-9);
+}
+
+TEST(Accum, EmptyIsZero)
+{
+    Accum a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accum, MergePreservesStatistics)
+{
+    Accum a, b, all;
+    for (int i = 0; i < 10; ++i) {
+        double v = i * 1.5;
+        (i % 2 ? a : b).sample(v);
+        all.sample(v);
+    }
+    a += b;
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accum, Reset)
+{
+    Accum a;
+    a.sample(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);   // underflow
+    h.sample(0.0);    // bucket 0
+    h.sample(5.5);    // bucket 5
+    h.sample(9.99);   // bucket 9
+    h.sample(10.0);   // overflow
+    h.sample(42.0);   // overflow
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(5), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.numBuckets(), 10);
+    EXPECT_EQ(h.summary().count(), 6u);
+}
+
+TEST(CoreCounters, DiffIsFieldwise)
+{
+    CoreCounters a;
+    a.tic = 100;
+    a.tms = 10;
+    a.tla = 12;
+    a.tlm = 2;
+    a.tls = 2;
+    a.computeTicks = 5000;
+    a.l2StallTicks = 700;
+    a.memStallTicks = 300;
+    a.aluOps = 40;
+    a.fpuOps = 5;
+    a.branchOps = 15;
+    a.memOps = 35;
+
+    CoreCounters b = a;
+    b.tic += 50;
+    b.tlm += 1;
+    b.memStallTicks += 120;
+    b.aluOps += 20;
+
+    CoreCounters d = b - a;
+    EXPECT_EQ(d.tic, 50u);
+    EXPECT_EQ(d.tlm, 1u);
+    EXPECT_EQ(d.memStallTicks, 120u);
+    EXPECT_EQ(d.aluOps, 20u);
+    EXPECT_EQ(d.tms, 0u);
+    EXPECT_EQ(d.computeTicks, 0u);
+}
+
+TEST(CoreCounters, AccumulateIsInverseOfDiff)
+{
+    CoreCounters a;
+    a.tic = 7;
+    a.tms = 3;
+    CoreCounters d;
+    d.tic = 5;
+    d.l2StallTicks = 99;
+    CoreCounters sum = a;
+    sum += d;
+    CoreCounters back = sum - a;
+    EXPECT_EQ(back.tic, d.tic);
+    EXPECT_EQ(back.l2StallTicks, d.l2StallTicks);
+}
+
+TEST(ChannelCounters, DiffAndAccumulate)
+{
+    ChannelCounters a;
+    a.readReqs = 10;
+    a.writeReqs = 4;
+    a.busBusyTicks = 500;
+    a.rowHits = 3;
+    ChannelCounters b = a;
+    b.readReqs += 6;
+    b.activations += 9;
+    b.rankActiveTicks += 1234;
+
+    ChannelCounters d = b - a;
+    EXPECT_EQ(d.readReqs, 6u);
+    EXPECT_EQ(d.activations, 9u);
+    EXPECT_EQ(d.rankActiveTicks, 1234u);
+    EXPECT_EQ(d.writeReqs, 0u);
+
+    ChannelCounters sum = a;
+    sum += d;
+    EXPECT_EQ(sum.readReqs, b.readReqs);
+    EXPECT_EQ(sum.rankActiveTicks, b.rankActiveTicks);
+}
+
+TEST(LlcCounters, Diff)
+{
+    LlcCounters a;
+    a.accesses = 100;
+    a.hits = 80;
+    a.misses = 20;
+    LlcCounters b = a;
+    b.accesses += 10;
+    b.hits += 7;
+    b.misses += 3;
+    b.writebacks += 2;
+    LlcCounters d = b - a;
+    EXPECT_EQ(d.accesses, 10u);
+    EXPECT_EQ(d.hits, 7u);
+    EXPECT_EQ(d.misses, 3u);
+    EXPECT_EQ(d.writebacks, 2u);
+}
+
+} // namespace
+} // namespace coscale

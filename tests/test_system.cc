@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the assembled System: event-loop consistency, per-core
+ * time accounting, DVFS transitions, deep-copy determinism (the
+ * property the Offline oracle depends on), profiling, and power
+ * windows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/system.hh"
+#include "workloads/spec_catalogue.hh"
+
+namespace coscale {
+namespace {
+
+SystemConfig
+smallConfig()
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 4;
+    return cfg;
+}
+
+std::vector<AppSpec>
+smallApps(const SystemConfig &cfg, const std::string &mix = "MID1")
+{
+    return expandMix(mixByName(mix), cfg.numCores, cfg.instrBudget);
+}
+
+TEST(System, RunsAndRetiresInstructions)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    sys.run(100 * tickPerUs);
+    EXPECT_EQ(sys.now(), 100 * tickPerUs);
+    for (int i = 0; i < sys.numCores(); ++i)
+        EXPECT_GT(sys.core(i).counters().tic, 1000u);
+    EXPECT_GT(sys.llc().counters().accesses, 100u);
+    EXPECT_GT(sys.memCtrl().totalCounters().readReqs, 0u);
+}
+
+TEST(System, TimeAccountingAddsUp)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    Tick horizon = 200 * tickPerUs;
+    sys.run(horizon);
+    for (int i = 0; i < sys.numCores(); ++i) {
+        const CoreCounters &c = sys.core(i).counters();
+        Tick accounted = c.computeTicks + c.l2StallTicks
+                         + c.memStallTicks + c.transitionTicks;
+        // The unaccounted remainder is at most one in-flight segment.
+        EXPECT_LE(accounted, horizon);
+        EXPECT_GT(accounted, horizon * 9 / 10);
+    }
+}
+
+TEST(System, CounterConsistencyAcrossHierarchy)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    sys.run(300 * tickPerUs);
+
+    std::uint64_t tla = 0, tlm = 0;
+    for (int i = 0; i < sys.numCores(); ++i) {
+        tla += sys.core(i).counters().tla;
+        tlm += sys.core(i).counters().tlm;
+    }
+    const LlcCounters &llc = sys.llc().counters();
+    // Cores' L2 accesses equal LLC accesses (up to in-flight ones).
+    EXPECT_NEAR(static_cast<double>(llc.accesses),
+                static_cast<double>(tla), 4.0);
+    EXPECT_NEAR(static_cast<double>(llc.misses),
+                static_cast<double>(tlm), 4.0);
+    // Every LLC miss became a DRAM read (up to queue occupancy).
+    ChannelCounters mem = sys.memCtrl().totalCounters();
+    EXPECT_LE(mem.readReqs, llc.misses);
+    EXPECT_GT(mem.readReqs + 200, llc.misses);
+}
+
+TEST(System, ApplyConfigChangesFrequencies)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    sys.run(50 * tickPerUs);
+    FreqConfig fc = FreqConfig::allMax(sys.numCores());
+    fc.coreIdx[1] = 4;
+    fc.memIdx = 3;
+    sys.applyConfig(fc);
+    EXPECT_EQ(sys.currentConfig().coreIdx[1], 4);
+    EXPECT_EQ(sys.currentConfig().memIdx, 3);
+    sys.run(100 * tickPerUs);
+    EXPECT_GT(sys.core(1).counters().transitionTicks, 0u);
+    EXPECT_EQ(sys.core(0).counters().transitionTicks, 0u);
+}
+
+TEST(System, SlowerConfigRetiresFewerInstructions)
+{
+    SystemConfig cfg = smallConfig();
+    System fast(cfg, smallApps(cfg));
+    System slow(cfg, smallApps(cfg));
+    FreqConfig fc = FreqConfig::allMax(cfg.numCores);
+    for (auto &c : fc.coreIdx)
+        c = 9;
+    fc.memIdx = 9;
+    slow.applyConfig(fc);
+    Tick horizon = 500 * tickPerUs;
+    fast.run(horizon);
+    slow.run(horizon);
+    std::uint64_t fast_instrs = 0, slow_instrs = 0;
+    for (int i = 0; i < cfg.numCores; ++i) {
+        fast_instrs += fast.core(i).counters().tic;
+        slow_instrs += slow.core(i).counters().tic;
+    }
+    EXPECT_LT(slow_instrs, fast_instrs * 8 / 10);
+}
+
+TEST(System, DeepCopyDivergesNever)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    sys.run(100 * tickPerUs);
+
+    System clone = sys;
+    // Run both forward identically; they must stay in lockstep.
+    sys.run(400 * tickPerUs);
+    clone.run(400 * tickPerUs);
+    for (int i = 0; i < cfg.numCores; ++i) {
+        EXPECT_EQ(sys.core(i).counters().tic,
+                  clone.core(i).counters().tic);
+        EXPECT_EQ(sys.core(i).counters().memStallTicks,
+                  clone.core(i).counters().memStallTicks);
+    }
+    EXPECT_EQ(sys.llc().counters().misses, clone.llc().counters().misses);
+    ChannelCounters a = sys.memCtrl().totalCounters();
+    ChannelCounters b = clone.memCtrl().totalCounters();
+    EXPECT_EQ(a.readReqs, b.readReqs);
+    EXPECT_EQ(a.busBusyTicks, b.busBusyTicks);
+}
+
+TEST(System, CloneRunAheadDoesNotDisturbOriginal)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    sys.run(100 * tickPerUs);
+    CounterSnapshot before = sys.snapshot();
+
+    SystemProfile oracle = sys.oracleProfile(cfg.epochLen);
+    EXPECT_GT(oracle.cores[0].instrs, 0u);
+
+    CounterSnapshot after = sys.snapshot();
+    EXPECT_EQ(before.tick, after.tick);
+    EXPECT_EQ(before.cores[0].tic, after.cores[0].tic);
+    EXPECT_EQ(before.llc.misses, after.llc.misses);
+}
+
+TEST(System, OracleProfileIsAtMaxFrequencies)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    FreqConfig slow = FreqConfig::allMax(cfg.numCores);
+    slow.memIdx = 6;
+    for (auto &c : slow.coreIdx)
+        c = 5;
+    sys.applyConfig(slow);
+    sys.run(200 * tickPerUs);
+    SystemProfile oracle = sys.oracleProfile(cfg.epochLen);
+    for (int idx : oracle.profiledCoreIdx)
+        EXPECT_EQ(idx, 0);
+    EXPECT_EQ(oracle.profiledMemIdx, 0);
+}
+
+TEST(System, ProfileReflectsWindowOnly)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    sys.run(200 * tickPerUs);
+    CounterSnapshot snap = sys.snapshot();
+    sys.run(400 * tickPerUs);
+    SystemProfile prof = sys.makeProfile(snap);
+    EXPECT_EQ(prof.windowTicks, 200 * tickPerUs);
+    for (int i = 0; i < cfg.numCores; ++i) {
+        EXPECT_EQ(prof.cores[static_cast<size_t>(i)].instrs,
+                  sys.core(i).counters().tic - snap.cores[static_cast<size_t>(i)].tic);
+    }
+}
+
+TEST(System, WindowPowerIsPositiveAndSplit)
+{
+    SystemConfig cfg = smallConfig();
+    System sys(cfg, smallApps(cfg));
+    CounterSnapshot snap = sys.snapshot();
+    sys.run(300 * tickPerUs);
+    PowerBreakdown pb = sys.windowPower(snap);
+    EXPECT_GT(pb.cpuW, 1.0);
+    EXPECT_GT(pb.memW, 1.0);
+    EXPECT_GT(pb.otherW, 1.0);
+    EXPECT_NEAR(pb.totalW(), pb.cpuW + pb.memW + pb.otherW, 1e-9);
+}
+
+TEST(System, CompletionTracking)
+{
+    SystemConfig cfg = smallConfig();
+    cfg.instrBudget = 50'000;
+    System sys(cfg, smallApps(cfg));
+    EXPECT_FALSE(sys.allAppsDone());
+    Tick t = 100 * tickPerUs;
+    while (!sys.allAppsDone() && t < 100 * tickPerMs) {
+        sys.run(t);
+        t += 100 * tickPerUs;
+    }
+    EXPECT_TRUE(sys.allAppsDone());
+    auto completions = sys.appCompletionTicks();
+    Tick last = 0;
+    for (Tick c : completions) {
+        EXPECT_NE(c, maxTick);
+        last = std::max(last, c);
+    }
+    EXPECT_EQ(sys.lastCompletionTick(), last);
+}
+
+TEST(System, DeterministicAcrossIdenticalConstructions)
+{
+    SystemConfig cfg = smallConfig();
+    System a(cfg, smallApps(cfg));
+    System b(cfg, smallApps(cfg));
+    a.run(300 * tickPerUs);
+    b.run(300 * tickPerUs);
+    for (int i = 0; i < cfg.numCores; ++i)
+        EXPECT_EQ(a.core(i).counters().tic, b.core(i).counters().tic);
+    EXPECT_EQ(a.llc().counters().misses, b.llc().counters().misses);
+}
+
+TEST(System, DifferentSeedsDiverge)
+{
+    SystemConfig cfg = smallConfig();
+    SystemConfig cfg2 = cfg;
+    cfg2.seed = 999;
+    System a(cfg, smallApps(cfg));
+    System b(cfg2, smallApps(cfg2));
+    a.run(300 * tickPerUs);
+    b.run(300 * tickPerUs);
+    EXPECT_NE(a.llc().counters().accesses, b.llc().counters().accesses);
+}
+
+} // namespace
+} // namespace coscale

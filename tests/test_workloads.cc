@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the workload catalogue and Table 1 mixes: completeness,
+ * class structure, override semantics, and per-mix nominal MPKI
+ * against the paper's reported values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/spec_catalogue.hh"
+
+namespace coscale {
+namespace {
+
+TEST(Catalogue, AllMixAppsExist)
+{
+    for (const auto &mix : table1Mixes()) {
+        for (const auto &ref : mix.apps) {
+            AppSpec s = appByName(ref.name);
+            EXPECT_EQ(s.name, ref.name);
+            EXPECT_FALSE(s.phases.empty());
+        }
+    }
+}
+
+TEST(Catalogue, SixteenMixesInFourClasses)
+{
+    const auto &mixes = table1Mixes();
+    ASSERT_EQ(mixes.size(), 16u);
+    for (const std::string cls : {"ILP", "MID", "MEM", "MIX"})
+        EXPECT_EQ(mixesByClass(cls).size(), 4u);
+}
+
+TEST(Catalogue, MixNamesMatchPaperOrder)
+{
+    const auto &mixes = table1Mixes();
+    EXPECT_EQ(mixes[0].name, "ILP1");
+    EXPECT_EQ(mixes[8].name, "MEM1");
+    EXPECT_EQ(mixes[15].name, "MIX4");
+    for (const auto &m : mixes)
+        EXPECT_EQ(m.apps.size(), 4u);
+}
+
+TEST(Catalogue, MixByNameFindsEveryMix)
+{
+    for (const auto &m : table1Mixes())
+        EXPECT_EQ(mixByName(m.name).name, m.name);
+}
+
+TEST(Catalogue, NominalMpkiMatchesTable1)
+{
+    // The *intended* (pre-LLC) per-mix MPKI should track Table 1;
+    // the measured values are checked end-to-end by
+    // bench_table1_workloads.
+    for (const auto &mix : table1Mixes()) {
+        double sum = 0.0;
+        for (const auto &ref : mix.apps)
+            sum += nominalMpki(resolveApp(ref));
+        double avg = sum / static_cast<double>(mix.apps.size());
+        EXPECT_NEAR(avg, mix.tableMpki, mix.tableMpki * 0.25 + 0.1)
+            << "mix " << mix.name;
+    }
+}
+
+TEST(Catalogue, ClassIntensityOrdering)
+{
+    auto class_mpki = [](const std::string &cls) {
+        double sum = 0.0;
+        int n = 0;
+        for (const auto &m : mixesByClass(cls)) {
+            sum += m.tableMpki;
+            n += 1;
+        }
+        return sum / n;
+    };
+    EXPECT_LT(class_mpki("ILP"), class_mpki("MID"));
+    EXPECT_LT(class_mpki("MID"), class_mpki("MIX") + 1.0);
+    EXPECT_LT(class_mpki("MIX"), class_mpki("MEM"));
+}
+
+TEST(Catalogue, MpkiOverrideScalesPhases)
+{
+    AppRef ref{"milc", 5.0, -1.0};
+    AppSpec scaled = resolveApp(ref);
+    EXPECT_NEAR(nominalMpki(scaled), 5.0, 1e-9);
+    // Phase structure preserved (milc has three phases).
+    EXPECT_EQ(scaled.phases.size(), 3u);
+    AppSpec orig = appByName("milc");
+    double ratio0 = scaled.phases[0].llcMpki / orig.phases[0].llcMpki;
+    double ratio2 = scaled.phases[2].llcMpki / orig.phases[2].llcMpki;
+    EXPECT_NEAR(ratio0, ratio2, 1e-9);
+}
+
+TEST(Catalogue, WriteFracOverride)
+{
+    AppRef ref{"applu", -1.0, 0.85};
+    AppSpec s = resolveApp(ref);
+    for (const auto &p : s.phases)
+        EXPECT_DOUBLE_EQ(p.writeFrac, 0.85);
+}
+
+TEST(Catalogue, MilcHasThreePhasesOfRisingIntensity)
+{
+    AppSpec milc = appByName("milc");
+    ASSERT_EQ(milc.phases.size(), 3u);
+    EXPECT_LT(milc.phases[0].llcMpki, milc.phases[1].llcMpki);
+    EXPECT_LT(milc.phases[1].llcMpki, milc.phases[2].llcMpki);
+}
+
+TEST(Catalogue, GobmkHasTrafficSpike)
+{
+    AppSpec gobmk = appByName("gobmk");
+    ASSERT_EQ(gobmk.phases.size(), 3u);
+    EXPECT_GT(gobmk.phases[1].llcMpki, 3.0 * gobmk.phases[0].llcMpki);
+}
+
+TEST(ExpandMix, SixteenCoresFourCopies)
+{
+    const WorkloadMix &mix = mixByName("MEM1");
+    auto specs = expandMix(mix, 16, 20'000'000);
+    ASSERT_EQ(specs.size(), 16u);
+    // Four copies of each application, round-robin.
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(specs[static_cast<size_t>(i)].name,
+                  mix.apps[static_cast<size_t>(i) % 4].name);
+}
+
+TEST(ExpandMix, PhaseLengthsSpanBudget)
+{
+    const WorkloadMix &mix = mixByName("MIX2");
+    std::uint64_t budget = 20'000'000;
+    auto specs = expandMix(mix, 16, budget);
+    for (const auto &s : specs) {
+        std::uint64_t total = 0;
+        for (const auto &p : s.phases)
+            total += p.instructions;
+        EXPECT_NEAR(static_cast<double>(total),
+                    static_cast<double>(budget),
+                    static_cast<double>(budget) * 0.01)
+            << s.name;
+    }
+}
+
+TEST(ExpandMix, OverridesApplied)
+{
+    // MIX2's milc is overridden to MPKI 5, then the mix-level
+    // calibration factor is applied on top.
+    const WorkloadMix &mix = mixByName("MIX2");
+    auto specs = expandMix(mix, 16, 20'000'000);
+    EXPECT_EQ(specs[0].name, "milc");
+    EXPECT_NEAR(nominalMpki(specs[0]), 5.0 * mix.mpkiCalib, 1e-6);
+}
+
+TEST(Catalogue, NamesAreUnique)
+{
+    auto names = catalogueNames();
+    std::set<std::string> set(names.begin(), names.end());
+    EXPECT_EQ(set.size(), names.size());
+    EXPECT_GE(names.size(), 25u);
+}
+
+} // namespace
+} // namespace coscale
