@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Run clang-tidy over the simulator sources using the compilation
+# database cmake exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+# Usage:
+#   scripts/lint.sh [build-dir] [-- extra clang-tidy args]
+#
+# Environment:
+#   CLANG_TIDY  clang-tidy executable to use (default: first of
+#               clang-tidy, clang-tidy-18 .. clang-tidy-14 on PATH).
+#
+# Exits 0 with a notice when no clang-tidy is installed, so the script
+# is safe to call from environments that only carry the gcc toolchain.
+set -eu
+
+BUILD_DIR="${1:-build}"
+[ $# -gt 0 ] && shift
+[ "${1:-}" = "--" ] && shift
+
+find_tidy() {
+    if [ -n "${CLANG_TIDY:-}" ]; then
+        command -v "${CLANG_TIDY}" && return 0
+    fi
+    for c in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+             clang-tidy-15 clang-tidy-14; do
+        command -v "$c" && return 0
+    done
+    return 1
+}
+
+TIDY="$(find_tidy || true)"
+if [ -z "${TIDY}" ]; then
+    echo "lint.sh: clang-tidy not found on PATH (set CLANG_TIDY to" >&2
+    echo "lint.sh: override); skipping static analysis." >&2
+    exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "lint.sh: ${BUILD_DIR}/compile_commands.json missing;" >&2
+    echo "lint.sh: run 'cmake -B ${BUILD_DIR} -S .' first." >&2
+    exit 1
+fi
+
+cd "$(dirname "$0")/.."
+
+# All first-party translation units; generated/third-party code never
+# lands in these directories.
+FILES=$(find src tests bench examples -name '*.cc' | sort)
+
+echo "lint.sh: $(${TIDY} --version | head -n 1)"
+echo "lint.sh: checking $(echo "${FILES}" | wc -l) files"
+# shellcheck disable=SC2086
+exec "${TIDY}" -p "${BUILD_DIR}" --quiet "$@" ${FILES}

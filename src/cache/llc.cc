@@ -1,5 +1,6 @@
 #include "cache/llc.hh"
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -18,11 +19,11 @@ Llc::Llc(const LlcConfig &cfg)
     : config(cfg)
 {
     std::uint64_t blocks = cfg.sizeBytes / blockBytes;
-    coscale_assert(cfg.ways > 0, "LLC needs at least one way");
+    COSCALE_CHECK(cfg.ways > 0, "LLC needs at least one way");
     std::uint64_t set_count = blocks / static_cast<std::uint64_t>(cfg.ways);
-    coscale_assert(isPowerOfTwo(set_count),
-                   "LLC set count must be a power of two, got %llu",
-                   static_cast<unsigned long long>(set_count));
+    COSCALE_CHECK(isPowerOfTwo(set_count),
+                  "LLC set count must be a power of two, got %llu",
+                  static_cast<unsigned long long>(set_count));
     sets = static_cast<int>(set_count);
     setMask = set_count - 1;
     lines.resize(set_count * static_cast<std::uint64_t>(cfg.ways));

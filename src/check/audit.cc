@@ -1,0 +1,35 @@
+#include "check/audit.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace coscale {
+
+namespace {
+
+bool
+envRequestsAudit()
+{
+    const char *v = std::getenv("COSCALE_AUDIT");
+    if (!v)
+        return false;
+    return std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0
+           || std::strcmp(v, "ON") == 0 || std::strcmp(v, "true") == 0
+           || std::strcmp(v, "yes") == 0;
+}
+
+} // namespace
+
+bool
+auditingEnabled()
+{
+#ifdef COSCALE_AUDIT_ENABLED
+    constexpr bool compiled_in = true;
+#else
+    constexpr bool compiled_in = false;
+#endif
+    static const bool enabled = compiled_in || envRequestsAudit();
+    return enabled;
+}
+
+} // namespace coscale

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The contract library: always-on and audit-only invariant checks,
+ * layered on common/log.hh.
+ *
+ * COSCALE_CHECK(cond [, fmt, ...]) is always compiled in; a failure
+ * reports the expression, an optional printf-formatted explanation,
+ * and the file:line of the check, then panics (aborts, or throws
+ * CheckFailure under PanicBehavior::Throw — see common/log.hh).
+ *
+ * COSCALE_DCHECK has the same shape but compiles to nothing unless
+ * the tree is configured with -DCOSCALE_AUDIT=ON (which defines
+ * COSCALE_AUDIT_ENABLED). Use it for per-event invariants on hot
+ * paths (command scheduling, candidate evaluation) that would cost
+ * measurable time in production sweeps; use COSCALE_CHECK everywhere
+ * else.
+ *
+ * Both macros fully type-check their arguments in every build mode,
+ * so an audit-only check can never bit-rot silently.
+ */
+
+#ifndef COSCALE_CHECK_CONTRACT_HH
+#define COSCALE_CHECK_CONTRACT_HH
+
+#include "common/log.hh"
+
+/** Always-on invariant check with file:line + expression context. */
+#define COSCALE_CHECK(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) [[unlikely]] {                                        \
+            ::coscale::detail::checkFailed(                                \
+                #cond, __FILE__, __LINE__                                  \
+                __VA_OPT__(, ::coscale::detail::formatString(__VA_ARGS__)));\
+        }                                                                  \
+    } while (0)
+
+#ifdef COSCALE_AUDIT_ENABLED
+
+/** Audit-build invariant check; free in production builds. */
+#define COSCALE_DCHECK(cond, ...) COSCALE_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+
+/** True when COSCALE_DCHECK is active (for tests and reporting). */
+#define COSCALE_DCHECK_IS_ON() true
+
+#else
+
+// The `false &&` keeps the condition and arguments semantically
+// checked (odr-use-free) while guaranteeing zero generated code.
+#define COSCALE_DCHECK(cond, ...)                                          \
+    do {                                                                   \
+        if (false && (cond)) [[unlikely]] {                                \
+            COSCALE_CHECK(cond __VA_OPT__(, ) __VA_ARGS__);                \
+        }                                                                  \
+    } while (0)
+
+#define COSCALE_DCHECK_IS_ON() false
+
+#endif // COSCALE_AUDIT_ENABLED
+
+#endif // COSCALE_CHECK_CONTRACT_HH

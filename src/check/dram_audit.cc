@@ -1,0 +1,253 @@
+#include "check/dram_audit.hh"
+
+#include <algorithm>
+
+#include "check/contract.hh"
+
+namespace coscale {
+
+void
+DramTimingAuditor::seedChannel(int channel, const ChannelAuditSeed &seed)
+{
+    COSCALE_CHECK(channel >= 0, "bad audit channel %d", channel);
+    COSCALE_CHECK(seed.ranks > 0 && seed.banksPerRank > 0,
+                  "audit seed without geometry (ranks=%d banks=%d)",
+                  seed.ranks, seed.banksPerRank);
+    size_t c = static_cast<size_t>(channel);
+    if (c >= chans.size())
+        chans.resize(c + 1);
+
+    ChannelShadow &sh = chans[c];
+    sh.seeded = true;
+    sh.t = seed.timing;
+    sh.openPage = seed.openPage;
+    sh.banksPerRank = seed.banksPerRank;
+    sh.busFreeAt = seed.busFreeAt;
+    sh.haltUntil = seed.haltUntil;
+    sh.lastIssueAt = seed.lastIssueAt;
+
+    sh.ranks.assign(static_cast<size_t>(seed.ranks), RankShadow{});
+    for (size_t r = 0; r < sh.ranks.size(); ++r) {
+        if (r >= seed.rankSeeds.size())
+            break;
+        const RankAuditSeed &rs = seed.rankSeeds[r];
+        RankShadow &shr = sh.ranks[r];
+        shr.lastActAt = rs.lastActAt;
+        shr.actCount = rs.actCount;
+        std::copy(rs.actWindow, rs.actWindow + 4, shr.actWindow);
+        shr.actCursor = rs.actCursor;
+        shr.nextRefreshDue = rs.nextRefreshDue;
+        shr.refreshUntil = rs.refreshUntil;
+    }
+
+    size_t n_banks =
+        static_cast<size_t>(seed.ranks) * static_cast<size_t>(seed.banksPerRank);
+    sh.banks.assign(n_banks, BankShadow{});
+    for (size_t b = 0; b < n_banks; ++b) {
+        if (b < seed.bankActFloor.size())
+            sh.banks[b].actFloor = seed.bankActFloor[b];
+        if (b < seed.bankCasFloor.size())
+            sh.banks[b].casFloor = seed.bankCasFloor[b];
+    }
+}
+
+DramTimingAuditor::ChannelShadow &
+DramTimingAuditor::shadowFor(int channel)
+{
+    COSCALE_CHECK(tracksChannel(channel),
+                  "DRAM command on unseeded audit channel %d", channel);
+    return chans[static_cast<size_t>(channel)];
+}
+
+void
+DramTimingAuditor::onCommand(const DramCmdEvent &ev)
+{
+    ChannelShadow &sh = shadowFor(ev.channel);
+    const ResolvedTiming &t = sh.t;
+
+    COSCALE_CHECK(ev.rank >= 0
+                      && ev.rank < static_cast<int>(sh.ranks.size()),
+                  "command on unknown rank %d (channel %d)", ev.rank,
+                  ev.channel);
+    COSCALE_CHECK(ev.bank >= 0 && ev.bank < sh.banksPerRank,
+                  "command on unknown bank %d (channel %d)", ev.bank,
+                  ev.channel);
+
+    RankShadow &rank = sh.ranks[static_cast<size_t>(ev.rank)];
+    BankShadow &bank = sh.banks[static_cast<size_t>(
+        ev.rank * sh.banksPerRank + ev.bank)];
+    Tick cas_lat = ev.isWrite ? t.tCWL : t.tCL;
+
+    // Ordering and global halts apply to every command.
+    COSCALE_CHECK(ev.issue >= sh.lastIssueAt,
+                  "channel %d commit order violated: %llu after %llu",
+                  ev.channel,
+                  static_cast<unsigned long long>(ev.issue),
+                  static_cast<unsigned long long>(sh.lastIssueAt));
+    COSCALE_CHECK(ev.issue >= sh.haltUntil,
+                  "channel %d command at %llu inside re-calibration "
+                  "halt ending %llu",
+                  ev.channel,
+                  static_cast<unsigned long long>(ev.issue),
+                  static_cast<unsigned long long>(sh.haltUntil));
+    COSCALE_CHECK(ev.issue >= ev.arrival,
+                  "channel %d command issued at %llu before its "
+                  "arrival %llu",
+                  ev.channel,
+                  static_cast<unsigned long long>(ev.issue),
+                  static_cast<unsigned long long>(ev.arrival));
+
+    // Refresh bookkeeping mirrors the controller's lazy execution
+    // rule: a refresh executes once a command's *pre-refresh* timing
+    // floor reaches its due date, and that command is then pushed
+    // past the executed window. A command whose floors stay below the
+    // due date may commit beyond it unrefreshed — JEDEC DDR3 REF
+    // postponement. The window chain (begin = max(due, previous end))
+    // is identical no matter how late execution happens, and the
+    // shadow's floors never exceed the controller's, so a committed
+    // issue inside the shadow's executed window is a genuine bug.
+    Tick floor;
+    if (ev.rowHit) {
+        floor = std::max({ev.arrival, bank.casFloor, sh.haltUntil});
+    } else {
+        Tick rrd_ready =
+            rank.actCount ? rank.lastActAt + t.tRRD : 0;
+        Tick faw_ready =
+            rank.actCount >= 4
+                ? rank.actWindow[static_cast<size_t>(rank.actCursor)]
+                      + t.tFAW
+                : 0;
+        floor = std::max({ev.arrival, bank.actFloor, sh.haltUntil,
+                          rrd_ready, faw_ready});
+    }
+    while (rank.nextRefreshDue <= floor) {
+        Tick begin = std::max(rank.nextRefreshDue, rank.refreshUntil);
+        rank.refreshUntil = begin + t.tRFC;
+        rank.nextRefreshDue += t.tREFI;
+        floor = std::max(floor, rank.refreshUntil);
+        nRefreshes += 1;
+    }
+    COSCALE_CHECK(ev.issue >= rank.refreshUntil,
+                  "channel %d rank %d command at %llu inside refresh "
+                  "window ending %llu",
+                  ev.channel, ev.rank,
+                  static_cast<unsigned long long>(ev.issue),
+                  static_cast<unsigned long long>(rank.refreshUntil));
+
+    if (ev.rowHit) {
+        // CAS without ACT: legal only under open-page management and
+        // only once the bank's previous burst window has cleared.
+        COSCALE_CHECK(sh.openPage,
+                      "row-hit CAS under closed-page policy "
+                      "(channel %d rank %d bank %d)",
+                      ev.channel, ev.rank, ev.bank);
+        COSCALE_CHECK(ev.issue >= bank.casFloor,
+                      "channel %d rank %d bank %d CAS at %llu before "
+                      "CAS floor %llu",
+                      ev.channel, ev.rank, ev.bank,
+                      static_cast<unsigned long long>(ev.issue),
+                      static_cast<unsigned long long>(bank.casFloor));
+        COSCALE_CHECK(ev.dataStart >= ev.issue + cas_lat,
+                      "channel %d CAS latency violated: data at %llu, "
+                      "CAS at %llu, tCL/tCWL %llu",
+                      ev.channel,
+                      static_cast<unsigned long long>(ev.dataStart),
+                      static_cast<unsigned long long>(ev.issue),
+                      static_cast<unsigned long long>(cas_lat));
+
+        Tick cas_eff = ev.dataStart - cas_lat;
+        bank.casFloor = cas_eff + t.tBURST;
+        Tick pre_ready = std::max(
+            bank.lastActAt + t.tRAS,
+            ev.isWrite ? cas_eff + t.tCWL + t.tBURST + t.tWR
+                       : cas_eff + t.tRTP);
+        bank.actFloor = pre_ready + t.tRP;
+    } else {
+        // ACT path: bank cycle, tRRD, and tFAW constraints.
+        COSCALE_CHECK(ev.issue >= bank.actFloor,
+                      "channel %d rank %d bank %d ACT at %llu violates "
+                      "bank cycle (tRAS/tRTP/tWR/tRP) floor %llu",
+                      ev.channel, ev.rank, ev.bank,
+                      static_cast<unsigned long long>(ev.issue),
+                      static_cast<unsigned long long>(bank.actFloor));
+        if (rank.actCount >= 1) {
+            COSCALE_CHECK(
+                ev.issue >= rank.lastActAt + t.tRRD,
+                "channel %d rank %d tRRD violated: ACT at %llu, "
+                "previous ACT %llu, tRRD %llu",
+                ev.channel, ev.rank,
+                static_cast<unsigned long long>(ev.issue),
+                static_cast<unsigned long long>(rank.lastActAt),
+                static_cast<unsigned long long>(t.tRRD));
+        }
+        if (rank.actCount >= 4) {
+            Tick oldest =
+                rank.actWindow[static_cast<size_t>(rank.actCursor)];
+            COSCALE_CHECK(
+                ev.issue >= oldest + t.tFAW,
+                "channel %d rank %d tFAW violated: 5th ACT at %llu, "
+                "window opened %llu, tFAW %llu",
+                ev.channel, ev.rank,
+                static_cast<unsigned long long>(ev.issue),
+                static_cast<unsigned long long>(oldest),
+                static_cast<unsigned long long>(t.tFAW));
+        }
+        COSCALE_CHECK(ev.dataStart >= ev.issue + t.tRCD + cas_lat,
+                      "channel %d tRCD+CAS violated: data at %llu, "
+                      "ACT at %llu",
+                      ev.channel,
+                      static_cast<unsigned long long>(ev.dataStart),
+                      static_cast<unsigned long long>(ev.issue));
+
+        Tick cas_eff = ev.dataStart - cas_lat;
+        bank.actFloor =
+            std::max(ev.issue + t.tRAS,
+                     ev.isWrite ? cas_eff + t.tCWL + t.tBURST + t.tWR
+                                : cas_eff + t.tRTP)
+            + t.tRP;
+        bank.casFloor = ev.issue + t.tRCD;
+        bank.lastActAt = ev.issue;
+
+        rank.lastActAt = ev.issue;
+        rank.actWindow[static_cast<size_t>(rank.actCursor)] = ev.issue;
+        rank.actCursor = (rank.actCursor + 1) % 4;
+        rank.actCount += 1;
+    }
+
+    // Shared data bus: in-order, non-overlapping, exactly one burst.
+    COSCALE_CHECK(ev.dataStart >= sh.busFreeAt,
+                  "channel %d data-bus overlap: burst at %llu before "
+                  "bus free %llu",
+                  ev.channel,
+                  static_cast<unsigned long long>(ev.dataStart),
+                  static_cast<unsigned long long>(sh.busFreeAt));
+    COSCALE_CHECK(ev.dataEnd == ev.dataStart + t.tBURST,
+                  "channel %d burst length %llu != tBURST %llu",
+                  ev.channel,
+                  static_cast<unsigned long long>(ev.dataEnd
+                                                  - ev.dataStart),
+                  static_cast<unsigned long long>(t.tBURST));
+
+    sh.busFreeAt = ev.dataEnd;
+    sh.lastIssueAt = ev.issue;
+    nAudited += 1;
+}
+
+void
+DramTimingAuditor::onFrequencyChange(int channel,
+                                     const ResolvedTiming &timing,
+                                     Tick halt_until)
+{
+    ChannelShadow &sh = shadowFor(channel);
+    sh.t = timing;
+    sh.haltUntil = std::max(sh.haltUntil, halt_until);
+    sh.busFreeAt = std::max(sh.busFreeAt, halt_until);
+    for (BankShadow &bank : sh.banks) {
+        bank.actFloor = std::max(bank.actFloor, halt_until);
+        bank.casFloor = std::max(bank.casFloor, halt_until);
+    }
+    // The refresh schedule is wall-clock fixed (tREFI/tRFC are
+    // nanosecond-specified), so rank shadows carry over unchanged.
+}
+
+} // namespace coscale

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The DDR3 timing-legality auditor: an independent shadow model of
+ * the constraints a channel scheduler must honour, fed one event per
+ * committed command by memctrl/mem_ctrl.cc.
+ *
+ * The auditor deliberately re-derives every floor from its own state
+ * (it never reads the controller's bank/rank bookkeeping), so a bug
+ * in the scheduler's timing arithmetic cannot hide itself. Checked
+ * per command:
+ *
+ *  - bank cycle time: an ACT may not land before the previous access
+ *    to the bank has finished its row cycle (tRAS tail, tRTP/tWR
+ *    write recovery, tRP precharge);
+ *  - open-page CAS legality: a row-hit CAS respects the bank's
+ *    previous burst (casFloor);
+ *  - same-rank ACT-to-ACT spacing (tRRD);
+ *  - the four-activate window (tFAW) over the rank's last four ACTs;
+ *  - data-bus occupancy: bursts never overlap and are exactly tBURST;
+ *  - CAS latency: data cannot start earlier than issue + tRCD + tCL
+ *    (tCWL for writes), or issue + tCL for row hits;
+ *  - refresh windows: the tREFI schedule is replayed in shadow with
+ *    the controller's lazy execution rule (a refresh runs once a
+ *    command's pre-refresh timing floor reaches its due date; until
+ *    then commands may be postponed past it, as JEDEC permits), and
+ *    no command may land inside an executed tRFC window;
+ *  - frequency re-calibration halts: no command before haltUntil, and
+ *    all floors re-based across a transition (Section 4.1's 512-cycle
+ *    + 28 ns penalty);
+ *  - channel commit order: issue ticks are monotone per channel.
+ *
+ * Violations are reported through COSCALE_CHECK, so a test can catch
+ * them as CheckFailure via ScopedPanicThrow.
+ */
+
+#ifndef COSCALE_CHECK_DRAM_AUDIT_HH
+#define COSCALE_CHECK_DRAM_AUDIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "dram/ddr3_params.hh"
+
+namespace coscale {
+
+/** One committed DRAM command, as reported by Channel::step(). */
+struct DramCmdEvent
+{
+    int channel = 0;
+    int rank = 0;
+    int bank = 0;              //!< bank index within the rank
+    std::uint64_t row = 0;
+    bool isWrite = false;
+    bool rowHit = false;       //!< open-page CAS without an ACT
+    Tick arrival = 0;          //!< request arrival at the controller
+    Tick issue = 0;            //!< ACT tick (or CAS tick for row hits)
+    Tick dataStart = 0;        //!< first beat on the data bus
+    Tick dataEnd = 0;          //!< last beat + 1
+};
+
+/** Shadow refresh/ACT-history state of one rank at attach time. */
+struct RankAuditSeed
+{
+    Tick nextRefreshDue = 0;
+    Tick refreshUntil = 0;
+    Tick lastActAt = 0;
+    std::uint64_t actCount = 0;
+    Tick actWindow[4] = {0, 0, 0, 0};
+    int actCursor = 0;
+};
+
+/**
+ * Everything the auditor needs to take over mid-run without false
+ * positives: current resolved timing, the floors accumulated so far,
+ * and the refresh schedule. Channel::attachAuditor() builds this.
+ */
+struct ChannelAuditSeed
+{
+    ResolvedTiming timing;
+    bool openPage = false;
+    int ranks = 0;
+    int banksPerRank = 0;
+    Tick busFreeAt = 0;
+    Tick haltUntil = 0;
+    Tick lastIssueAt = 0;
+    std::vector<RankAuditSeed> rankSeeds;     //!< [rank]
+    std::vector<Tick> bankActFloor;           //!< [rank*banksPerRank+bank]
+    std::vector<Tick> bankCasFloor;           //!< same indexing (open page)
+};
+
+/** Replays DDR3 timing rules against the command stream. */
+class DramTimingAuditor
+{
+  public:
+    DramTimingAuditor() = default;
+
+    /** Install (or reset) the shadow state of @p channel. */
+    void seedChannel(int channel, const ChannelAuditSeed &seed);
+
+    /** Validate one committed command and advance the shadow. */
+    void onCommand(const DramCmdEvent &ev);
+
+    /** Re-base the shadow across a frequency re-calibration. */
+    void onFrequencyChange(int channel, const ResolvedTiming &timing,
+                           Tick halt_until);
+
+    /** Commands validated so far (all channels). */
+    std::uint64_t commandsAudited() const { return nAudited; }
+
+    /** Refresh windows replayed so far (all channels). */
+    std::uint64_t refreshesReplayed() const { return nRefreshes; }
+
+    /** True if seedChannel() was called for @p channel. */
+    bool
+    tracksChannel(int channel) const
+    {
+        auto c = static_cast<std::size_t>(channel);
+        return c < chans.size() && chans[c].seeded;
+    }
+
+  private:
+    struct BankShadow
+    {
+        Tick actFloor = 0;   //!< earliest legal next ACT
+        Tick casFloor = 0;   //!< earliest legal next row-hit CAS
+        Tick lastActAt = 0;
+    };
+
+    struct RankShadow
+    {
+        Tick lastActAt = 0;
+        std::uint64_t actCount = 0;
+        Tick actWindow[4] = {0, 0, 0, 0};
+        int actCursor = 0;
+        Tick nextRefreshDue = 0;
+        Tick refreshUntil = 0;
+    };
+
+    struct ChannelShadow
+    {
+        bool seeded = false;
+        ResolvedTiming t;
+        bool openPage = false;
+        int banksPerRank = 0;
+        Tick busFreeAt = 0;
+        Tick haltUntil = 0;
+        Tick lastIssueAt = 0;
+        std::vector<BankShadow> banks;
+        std::vector<RankShadow> ranks;
+    };
+
+    ChannelShadow &shadowFor(int channel);
+
+    std::vector<ChannelShadow> chans;
+    std::uint64_t nAudited = 0;
+    std::uint64_t nRefreshes = 0;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_CHECK_DRAM_AUDIT_HH

@@ -1,0 +1,131 @@
+#include "check/energy_audit.hh"
+
+#include <cmath>
+
+#include "check/contract.hh"
+
+namespace coscale {
+
+namespace {
+
+bool
+closeRel(double a, double b, double rel_tol)
+{
+    double scale = std::max(1.0, std::max(std::fabs(a), std::fabs(b)));
+    return std::fabs(a - b) <= rel_tol * scale;
+}
+
+} // namespace
+
+void
+EnergyAuditor::auditCandidate(const EnergyModel &em,
+                              const SerEvaluator &ev,
+                              const SystemProfile &prof,
+                              const FreqConfig &cfg)
+{
+    int n = static_cast<int>(prof.cores.size());
+    COSCALE_CHECK(static_cast<int>(cfg.coreIdx.size()) == n,
+                  "candidate core count %d != profile core count %d",
+                  static_cast<int>(cfg.coreIdx.size()), n);
+
+    // Eq. 2 conservation: P = P_other + P_L2 + P_mem + sum_i P_core,
+    // each term recomputed through the public single-component APIs.
+    double core_w = 0.0;
+    double llc_rate = 0.0;
+    for (int i = 0; i < n; ++i) {
+        double p = em.corePower(prof, i, cfg);
+        COSCALE_CHECK(std::isfinite(p) && p >= 0.0,
+                      "core %d power %f not finite/non-negative", i, p);
+        core_w += p;
+        double t = em.tpi(prof, i, cfg);
+        COSCALE_CHECK(std::isfinite(t) && t >= 0.0,
+                      "core %d TPI %g not finite/non-negative", i, t);
+        if (t > 0.0) {
+            llc_rate += prof.cores[static_cast<size_t>(i)]
+                            .llcAccessPerInstr
+                        / t;
+        }
+    }
+    double l2_w = em.powerModel().l2Power(llc_rate);
+    double mem_w = em.memPower(prof, cfg);
+    double other_w = em.powerModel().otherPower();
+    double total_w = em.systemPower(prof, cfg);
+    COSCALE_CHECK(std::isfinite(mem_w) && mem_w >= 0.0,
+                  "memory power %f not finite/non-negative", mem_w);
+    checkConservation(total_w, core_w + l2_w, mem_w, other_w);
+
+    // Fast path vs reference model (DESIGN.md: bit-compatibility).
+    double fast_w = ev.systemPower(cfg);
+    COSCALE_CHECK(closeRel(fast_w, total_w, relTol),
+                  "SerEvaluator power %.12g drifted from EnergyModel "
+                  "%.12g",
+                  fast_w, total_w);
+    double ref_rel = em.relativeTime(prof, cfg);
+    double fast_rel = ev.relativeTime(cfg);
+    COSCALE_CHECK(closeRel(fast_rel, ref_rel, relTol),
+                  "SerEvaluator relative time %.12g drifted from "
+                  "EnergyModel %.12g",
+                  fast_rel, ref_rel);
+    COSCALE_CHECK(fast_rel >= 1.0 - 1e-12,
+                  "relative epoch time %.12g below 1 (faster than "
+                  "all-max)",
+                  fast_rel);
+    double ref_ser = em.ser(prof, cfg);
+    double fast_ser = ev.ser(cfg);
+    COSCALE_CHECK(closeRel(fast_ser, ref_ser, relTol),
+                  "SerEvaluator SER %.12g drifted from EnergyModel "
+                  "%.12g",
+                  fast_ser, ref_ser);
+    COSCALE_CHECK(std::isfinite(fast_ser) && fast_ser > 0.0,
+                  "SER %.12g not finite/positive", fast_ser);
+
+    nCandidates += 1;
+}
+
+void
+EnergyAuditor::auditCandidate(const EnergyModel &em,
+                              const SystemProfile &prof,
+                              const FreqConfig &cfg)
+{
+    SerEvaluator ev(em, prof);
+    auditCandidate(em, ev, prof, cfg);
+}
+
+void
+EnergyAuditor::checkConservation(double total, double cpu, double mem,
+                                 double other) const
+{
+    COSCALE_CHECK(std::isfinite(total) && std::isfinite(cpu)
+                      && std::isfinite(mem) && std::isfinite(other),
+                  "non-finite energy components (%f = %f + %f + %f)",
+                  total, cpu, mem, other);
+    double sum = cpu + mem + other;
+    double scale =
+        std::max(1.0, std::max(std::fabs(total), std::fabs(sum)));
+    COSCALE_CHECK(std::fabs(total - sum) <= accountTolRel * scale,
+                  "energy not conserved: total %.12g != cpu %.12g + "
+                  "mem %.12g + other %.12g (sum %.12g)",
+                  total, cpu, mem, other, sum);
+}
+
+void
+EnergyAuditor::onWindowEnergy(double cpu_w, double mem_w,
+                              double other_w, double secs)
+{
+    COSCALE_CHECK(secs >= 0.0 && std::isfinite(secs),
+                  "bad window length %f s", secs);
+    COSCALE_CHECK(cpu_w >= 0.0 && mem_w >= 0.0 && other_w >= 0.0,
+                  "negative window power (cpu %f, mem %f, other %f)",
+                  cpu_w, mem_w, other_w);
+    shadowTotalJ += (cpu_w + mem_w + other_w) * secs;
+    nWindows += 1;
+}
+
+void
+EnergyAuditor::auditRunTotals(double cpu_j, double mem_j,
+                              double other_j) const
+{
+    checkConservation(shadowTotalJ, cpu_j, mem_j, other_j);
+}
+
+} // namespace coscale

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The energy-conservation auditor: cross-checks the Section 3.3
+ * power/energy pipeline at two levels.
+ *
+ * Model level (per candidate configuration): full-system power must
+ * equal the independently recomputed sum of its components (per-core
+ * + shared L2 + memory subsystem + rest-of-system, Eq. 2's P(...)),
+ * and the SerEvaluator fast path must agree with the reference
+ * EnergyModel on power, relative time, and SER. A future optimisation
+ * of the cached tables that drifts from the reference model trips the
+ * audit immediately.
+ *
+ * Accounting level (per epoch window): the runner reports each
+ * window's average component powers; the auditor shadows the total
+ * energy integral and verifies at end of run that the per-component
+ * energy streams (cpu/mem/other) sum to it, i.e. no energy is created
+ * or lost by the epoch accounting.
+ *
+ * Violations are reported through COSCALE_CHECK.
+ */
+
+#ifndef COSCALE_CHECK_ENERGY_AUDIT_HH
+#define COSCALE_CHECK_ENERGY_AUDIT_HH
+
+#include <cstdint>
+
+#include "model/energy_model.hh"
+
+namespace coscale {
+
+/** Cross-checks power decomposition and energy bookkeeping. */
+class EnergyAuditor
+{
+  public:
+    EnergyAuditor() = default;
+    explicit EnergyAuditor(double rel_tol) : relTol(rel_tol) {}
+
+    /**
+     * Audit one candidate configuration against @p em and the cached
+     * evaluator @p ev (built from the same profile).
+     */
+    void auditCandidate(const EnergyModel &em, const SerEvaluator &ev,
+                        const SystemProfile &prof,
+                        const FreqConfig &cfg);
+
+    /** As above, building a throwaway evaluator. */
+    void auditCandidate(const EnergyModel &em,
+                        const SystemProfile &prof,
+                        const FreqConfig &cfg);
+
+    /**
+     * Check that a reported full-system figure equals the sum of its
+     * components within tolerance (used for both W and J figures).
+     */
+    void checkConservation(double total, double cpu, double mem,
+                           double other) const;
+
+    /** Accumulate one epoch window's measured energy. */
+    void onWindowEnergy(double cpu_w, double mem_w, double other_w,
+                        double secs);
+
+    /**
+     * End-of-run audit: the per-component energy totals must sum to
+     * the shadow-integrated total.
+     */
+    void auditRunTotals(double cpu_j, double mem_j,
+                        double other_j) const;
+
+    std::uint64_t candidatesAudited() const { return nCandidates; }
+    std::uint64_t windowsAudited() const { return nWindows; }
+
+  private:
+    double relTol = 1e-9;       //!< fast path vs reference model
+    double accountTolRel = 1e-6; //!< accumulated energy streams
+    double shadowTotalJ = 0.0;
+    std::uint64_t nCandidates = 0;
+    std::uint64_t nWindows = 0;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_CHECK_ENERGY_AUDIT_HH

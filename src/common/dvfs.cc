@@ -1,5 +1,6 @@
 #include "common/dvfs.hh"
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -8,8 +9,8 @@ FreqLadder
 FreqLadder::linear(Freq f_max, Freq f_min, int steps,
                    double v_max, double v_min)
 {
-    coscale_assert(steps >= 2, "a ladder needs at least two steps");
-    coscale_assert(f_max > f_min, "fMax must exceed fMin");
+    COSCALE_CHECK(steps >= 2, "a ladder needs at least two steps");
+    COSCALE_CHECK(f_max > f_min, "fMax must exceed fMin");
     std::vector<Freq> fs;
     fs.reserve(static_cast<size_t>(steps));
     for (int i = 0; i < steps; ++i) {
@@ -23,10 +24,10 @@ FreqLadder
 FreqLadder::explicitFreqs(std::vector<Freq> freqs_high_to_low,
                           double v_max, double v_min)
 {
-    coscale_assert(freqs_high_to_low.size() >= 2, "need >= 2 frequencies");
+    COSCALE_CHECK(freqs_high_to_low.size() >= 2, "need >= 2 frequencies");
     for (size_t i = 1; i < freqs_high_to_low.size(); ++i) {
-        coscale_assert(freqs_high_to_low[i] < freqs_high_to_low[i - 1],
-                       "ladder must be strictly descending");
+        COSCALE_CHECK(freqs_high_to_low[i] < freqs_high_to_low[i - 1],
+                      "ladder must be strictly descending");
     }
     FreqLadder ladder;
     ladder.freqs = std::move(freqs_high_to_low);

@@ -4,6 +4,29 @@
 #include <vector>
 
 namespace coscale {
+
+namespace {
+
+// Not simulator state: a process-wide reporting mode, mutated only by
+// test harnesses via setPanicBehavior/ScopedPanicThrow.
+PanicBehavior panicMode = PanicBehavior::Abort;
+
+} // namespace
+
+PanicBehavior
+setPanicBehavior(PanicBehavior b)
+{
+    PanicBehavior prev = panicMode;
+    panicMode = b;
+    return prev;
+}
+
+PanicBehavior
+panicBehavior()
+{
+    return panicMode;
+}
+
 namespace detail {
 
 std::string
@@ -47,8 +70,24 @@ logFatal(const std::string &msg)
 void
 logPanic(const std::string &msg, const char *file, int line)
 {
+    if (panicMode == PanicBehavior::Throw)
+        throw CheckFailure(msg, file, line);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();
+}
+
+void
+checkFailed(const char *expr, const char *file, int line)
+{
+    logPanic(formatString("check '%s' failed", expr), file, line);
+}
+
+void
+checkFailed(const char *expr, const char *file, int line,
+            const std::string &msg)
+{
+    logPanic(formatString("check '%s' failed: %s", expr, msg.c_str()),
+             file, line);
 }
 
 } // namespace detail

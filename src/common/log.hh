@@ -3,7 +3,14 @@
  * gem5-style status/error reporting: inform(), warn(), fatal(), panic().
  *
  * fatal() is for user errors (bad configuration); it exits with code 1.
- * panic() is for internal invariant violations; it aborts.
+ * panic() is for internal invariant violations; by default it aborts,
+ * but tests may switch it to throw CheckFailure (see PanicBehavior) so
+ * detected violations can be asserted on instead of killing the
+ * process.
+ *
+ * The preferred invariant macros are COSCALE_CHECK / COSCALE_DCHECK in
+ * check/contract.hh; they and the legacy coscale_assert below share
+ * the detail::checkFailed reporting path (expression + file:line).
  */
 
 #ifndef COSCALE_COMMON_LOG_HH
@@ -11,17 +18,80 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace coscale {
 
+/**
+ * Thrown by panic()/failed checks when PanicBehavior::Throw is
+ * active. Carries the formatted message plus the reporting site.
+ */
+class CheckFailure : public std::runtime_error
+{
+  public:
+    CheckFailure(const std::string &msg, const char *file, int line)
+        : std::runtime_error(msg), srcFile(file), srcLine(line)
+    {
+    }
+
+    const char *file() const { return srcFile; }
+    int line() const { return srcLine; }
+
+  private:
+    const char *srcFile;
+    int srcLine;
+};
+
+/** What logPanic does after printing the message. */
+enum class PanicBehavior
+{
+    Abort,  //!< std::abort() (the default; production behaviour)
+    Throw,  //!< throw CheckFailure (test harnesses)
+};
+
+/** Set the global panic behaviour; returns the previous one. */
+PanicBehavior setPanicBehavior(PanicBehavior b);
+
+/** The currently active panic behaviour. */
+PanicBehavior panicBehavior();
+
+/**
+ * RAII guard switching panic() to throw CheckFailure for a scope.
+ * Death-free testing of invariant violations:
+ *
+ *   ScopedPanicThrow guard;
+ *   EXPECT_THROW(auditor.onCommand(bad), CheckFailure);
+ */
+class ScopedPanicThrow
+{
+  public:
+    ScopedPanicThrow() : prev(setPanicBehavior(PanicBehavior::Throw)) {}
+    ~ScopedPanicThrow() { setPanicBehavior(prev); }
+    ScopedPanicThrow(const ScopedPanicThrow &) = delete;
+    ScopedPanicThrow &operator=(const ScopedPanicThrow &) = delete;
+
+  private:
+    PanicBehavior prev;
+};
+
 namespace detail {
 
 [[noreturn]] void logFatal(const std::string &msg);
+// Never returns normally: aborts or throws CheckFailure per the
+// active PanicBehavior.
 [[noreturn]] void logPanic(const std::string &msg,
                            const char *file, int line);
 void logInform(const std::string &msg);
 void logWarn(const std::string &msg);
+
+/** Report a failed invariant check (expression only). */
+[[noreturn]] void checkFailed(const char *expr, const char *file,
+                              int line);
+
+/** Report a failed invariant check with a formatted explanation. */
+[[noreturn]] void checkFailed(const char *expr, const char *file,
+                              int line, const std::string &msg);
 
 std::string formatString(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
@@ -52,20 +122,22 @@ fatal(const char *fmt, Args... args)
     detail::logFatal(detail::formatString(fmt, args...));
 }
 
-/** Terminate due to an internal bug. */
+/** Terminate due to an internal bug (abort or CheckFailure). */
 #define coscale_panic(...)                                                 \
     ::coscale::detail::logPanic(                                           \
         ::coscale::detail::formatString(__VA_ARGS__), __FILE__, __LINE__)
 
-/** Like assert, but always compiled in and reported via panic. */
+/**
+ * Like assert, but always compiled in and reported via panic.
+ * Legacy spelling of COSCALE_CHECK (check/contract.hh); both share
+ * detail::checkFailed, so behaviour and formatting are identical.
+ */
 #define coscale_assert(cond, ...)                                          \
     do {                                                                   \
-        if (!(cond)) {                                                     \
-            ::coscale::detail::logPanic(                                   \
-                ::coscale::detail::formatString(                           \
-                    "assertion '%s' failed: %s", #cond,                    \
-                    ::coscale::detail::formatString(__VA_ARGS__).c_str()), \
-                __FILE__, __LINE__);                                       \
+        if (!(cond)) [[unlikely]] {                                        \
+            ::coscale::detail::checkFailed(                                \
+                #cond, __FILE__, __LINE__                                  \
+                __VA_OPT__(, ::coscale::detail::formatString(__VA_ARGS__)));\
         }                                                                  \
     } while (0)
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -10,7 +11,7 @@ Core::Core(CoreId id, const CoreConfig *cfg, TraceHandle trace_in,
            Tick start)
     : coreId(id), cfg(cfg), trace(std::move(trace_in))
 {
-    coscale_assert(static_cast<bool>(trace), "core %d has no trace", id);
+    COSCALE_CHECK(static_cast<bool>(trace), "core %d has no trace", id);
     freqIdx = 0;
     period = periodTicks(cfg->ladder.freq(0));
     current = trace->next();
@@ -113,8 +114,8 @@ Core::step(Tick now)
 void
 Core::completeHit(Tick now, Tick hit_latency)
 {
-    coscale_assert(state == State::NeedLlc,
-                   "completeHit in wrong state on core %d", coreId);
+    COSCALE_CHECK(state == State::NeedLlc,
+                  "completeHit in wrong state on core %d", coreId);
     stats.tms += 1;
     state = State::StallL2;
     stallStart = now;
@@ -124,8 +125,8 @@ Core::completeHit(Tick now, Tick hit_latency)
 std::uint64_t
 Core::sendToMemory(Tick now)
 {
-    coscale_assert(state == State::NeedLlc,
-                   "sendToMemory in wrong state on core %d", coreId);
+    COSCALE_CHECK(state == State::NeedLlc,
+                  "sendToMemory in wrong state on core %d", coreId);
     std::uint64_t token = nextToken++;
     stats.tlm += 1;
     outstanding.push_back(OutMiss{token, stats.tic, maxTick});
@@ -161,9 +162,9 @@ Core::memCompleted(std::uint64_t token, Tick finish_at)
 TraceHandle
 Core::swapTrace(TraceHandle incoming, Tick now, Tick switch_penalty)
 {
-    coscale_assert(state != State::NeedLlc,
-                   "context switch during an LLC access on core %d",
-                   coreId);
+    COSCALE_CHECK(state != State::NeedLlc,
+                  "context switch during an LLC access on core %d",
+                  coreId);
     TraceHandle outgoing = std::move(trace);
     trace = std::move(incoming);
 
@@ -187,13 +188,13 @@ Core::swapTrace(TraceHandle incoming, Tick now, Tick switch_penalty)
 void
 Core::setFrequencyIndex(int idx, Tick now)
 {
-    coscale_assert(idx >= 0 && idx < cfg->ladder.size(),
-                   "bad core frequency index %d", idx);
+    COSCALE_CHECK(idx >= 0 && idx < cfg->ladder.size(),
+                  "bad core frequency index %d", idx);
     if (idx == freqIdx)
         return;
-    coscale_assert(state != State::NeedLlc,
-                   "frequency change during an LLC access on core %d",
-                   coreId);
+    COSCALE_CHECK(state != State::NeedLlc,
+                  "frequency change during an LLC access on core %d",
+                  coreId);
 
     freqIdx = idx;
     Tick new_period = periodTicks(cfg->ladder.freq(idx));

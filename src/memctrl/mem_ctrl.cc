@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
-#include "common/log.hh"
+#include "check/contract.hh"
+#include "check/dram_audit.hh"
 
 namespace coscale {
 
-Channel::Channel(const MemCtrlConfig *cfg, int freq_idx, Tick start)
-    : cfg(cfg), freqIdx(freq_idx)
+Channel::Channel(const MemCtrlConfig *cfg, int id, int freq_idx,
+                 Tick start)
+    : cfg(cfg), chanId(id), freqIdx(freq_idx)
 {
     t = ResolvedTiming::resolve(cfg->timing, cfg->ladder.freq(freq_idx));
     banks.resize(static_cast<size_t>(cfg->geom.totalBanksPerChannel()));
@@ -18,6 +20,46 @@ Channel::Channel(const MemCtrlConfig *cfg, int freq_idx, Tick start)
             start + (t.tREFI * (r + 1)) / (ranks.size() + 1);
     }
     lastCommitAt = start;
+}
+
+void
+Channel::attachAuditor(DramTimingAuditor *a)
+{
+    auditor = a;
+    if (!a)
+        return;
+    // Seed the shadow from the live floors so attaching mid-run does
+    // not report pre-attach history as violations.
+    ChannelAuditSeed seed;
+    seed.timing = t;
+    seed.openPage = cfg->openPage;
+    seed.ranks = cfg->geom.ranksPerChannel();
+    seed.banksPerRank = cfg->geom.banksPerRank;
+    seed.busFreeAt = busFreeAt;
+    seed.haltUntil = haltUntil;
+    seed.lastIssueAt = lastCommitAt;
+    seed.rankSeeds.reserve(ranks.size());
+    for (const RankState &r : ranks) {
+        RankAuditSeed rs;
+        rs.nextRefreshDue = r.nextRefreshDue;
+        rs.refreshUntil = r.refreshUntil;
+        rs.lastActAt = r.lastActAt;
+        rs.actCount = r.actCount;
+        std::copy(r.actWindow, r.actWindow + 4, rs.actWindow);
+        rs.actCursor = r.actCursor;
+        seed.rankSeeds.push_back(rs);
+    }
+    seed.bankActFloor.reserve(banks.size());
+    seed.bankCasFloor.reserve(banks.size());
+    for (const BankState &b : banks) {
+        // Open page: a conflicting ACT pays preReadyAt + tRP; closed
+        // page: readyAt already includes the auto-precharge.
+        seed.bankActFloor.push_back(
+            cfg->openPage && b.rowOpen ? b.preReadyAt + t.tRP
+                                       : b.readyAt);
+        seed.bankCasFloor.push_back(b.casReadyAt);
+    }
+    a->seedChannel(chanId, seed);
 }
 
 void
@@ -120,7 +162,7 @@ Channel::accountActive(RankState &rank, Tick from, Tick to)
 std::optional<MemCompletion>
 Channel::step()
 {
-    coscale_assert(haveCand, "step() without a pending candidate");
+    COSCALE_CHECK(haveCand, "step() without a pending candidate");
 
     std::deque<MemReq> &q = candIsWrite ? writeQ : readQ;
     MemReq req = q.front();
@@ -214,8 +256,26 @@ Channel::step()
     }
 
     Tick data_end = data_start + t.tBURST;
+    COSCALE_DCHECK(data_end > data_start, "empty burst");
+    COSCALE_DCHECK(issue >= req.arrival,
+                   "command issued before its request arrived");
     busFreeAt = data_end;
     accountActive(rank, issue, bank_ready);
+
+    if (auditor) {
+        DramCmdEvent ev;
+        ev.channel = chanId;
+        ev.rank = c.rank;
+        ev.bank = c.bank;
+        ev.row = c.row;
+        ev.isWrite = is_write;
+        ev.rowHit = row_hit;
+        ev.arrival = req.arrival;
+        ev.issue = issue;
+        ev.dataStart = data_start;
+        ev.dataEnd = data_end;
+        auditor->onCommand(ev);
+    }
 
     if (is_write) {
         stats.writeReqs += 1;
@@ -260,6 +320,8 @@ Channel::changeFrequency(int freq_idx, Tick halt_until)
         bank.rowOpen = false;
     }
     haveCand = false;
+    if (auditor)
+        auditor->onFrequencyChange(chanId, t, halt_until);
 }
 
 MemCtrl::MemCtrl(MemCtrlConfig cfg, Tick start)
@@ -267,7 +329,7 @@ MemCtrl::MemCtrl(MemCtrlConfig cfg, Tick start)
 {
     channels.reserve(static_cast<size_t>(config.geom.channels));
     for (int c = 0; c < config.geom.channels; ++c)
-        channels.emplace_back(&config, 0, start);
+        channels.emplace_back(&config, c, 0, start);
 }
 
 MemCtrl::MemCtrl(const MemCtrl &other)
@@ -294,8 +356,20 @@ MemCtrl::reseatChannelPointers()
 {
     // Channels keep only a pointer to the shared config; fix it up
     // after copying so it refers to *this* controller's config.
-    for (auto &ch : channels)
+    // Auditor pointers are dropped: a clone (the Offline oracle)
+    // would otherwise feed a divergent command stream into the
+    // original's shadow state.
+    for (auto &ch : channels) {
         ch.reseatConfig(&config);
+        ch.attachAuditor(nullptr);
+    }
+}
+
+void
+MemCtrl::attachAuditor(DramTimingAuditor *a)
+{
+    for (auto &ch : channels)
+        ch.attachAuditor(a);
 }
 
 void
@@ -326,15 +400,15 @@ MemCtrl::step()
             who = &ch;
         }
     }
-    coscale_assert(who != nullptr, "MemCtrl::step with no pending events");
+    COSCALE_CHECK(who != nullptr, "MemCtrl::step with no pending events");
     return who->step();
 }
 
 void
 MemCtrl::setFrequencyIndex(int idx, Tick now)
 {
-    coscale_assert(idx >= 0 && idx < config.ladder.size(),
-                   "bad memory frequency index %d", idx);
+    COSCALE_CHECK(idx >= 0 && idx < config.ladder.size(),
+                  "bad memory frequency index %d", idx);
     freqIdx = idx;
     for (int c = 0; c < numChannels(); ++c)
         setChannelFrequencyIndex(c, idx, now);
@@ -343,9 +417,9 @@ MemCtrl::setFrequencyIndex(int idx, Tick now)
 void
 MemCtrl::setChannelFrequencyIndex(int ch, int idx, Tick now)
 {
-    coscale_assert(idx >= 0 && idx < config.ladder.size(),
-                   "bad memory frequency index %d", idx);
-    coscale_assert(ch >= 0 && ch < numChannels(), "bad channel %d", ch);
+    COSCALE_CHECK(idx >= 0 && idx < config.ladder.size(),
+                  "bad memory frequency index %d", idx);
+    COSCALE_CHECK(ch >= 0 && ch < numChannels(), "bad channel %d", ch);
     Channel &channel = channels[static_cast<size_t>(ch)];
     if (idx == channel.freqIndex())
         return;

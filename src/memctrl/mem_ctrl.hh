@@ -31,6 +31,8 @@
 
 namespace coscale {
 
+class DramTimingAuditor;
+
 /** Kinds of memory transactions the LLC can issue. */
 enum class ReqKind { Read, Writeback, Prefetch };
 
@@ -70,7 +72,7 @@ class Channel
 {
   public:
     Channel() = default;
-    Channel(const MemCtrlConfig *cfg, int freq_idx, Tick start);
+    Channel(const MemCtrlConfig *cfg, int id, int freq_idx, Tick start);
 
     /** Add a transaction to the appropriate queue. */
     void enqueue(const MemReq &req);
@@ -90,6 +92,16 @@ class Channel
 
     /** Re-point at the owning controller's config after a copy. */
     void reseatConfig(const MemCtrlConfig *c) { cfg = c; }
+
+    /**
+     * Attach a timing-legality auditor (check/dram_audit.hh), seeding
+     * it with this channel's live floors so mid-run attachment never
+     * false-fires. Pass nullptr to detach. The pointer is non-owning
+     * and deliberately NOT carried across copies: a cloned controller
+     * (the Offline oracle) would otherwise replay a divergent command
+     * stream into the same shadow.
+     */
+    void attachAuditor(DramTimingAuditor *a);
 
     /** Cumulative counters. */
     const ChannelCounters &counters() const { return stats; }
@@ -138,7 +150,9 @@ class Channel
     void accountActive(RankState &rank, Tick from, Tick to);
 
     const MemCtrlConfig *cfg = nullptr;
+    DramTimingAuditor *auditor = nullptr; //!< non-owning; not copied
     ResolvedTiming t;
+    int chanId = 0;
     int freqIdx = 0;
 
     std::deque<MemReq> readQ;
@@ -194,6 +208,12 @@ class MemCtrl
 
     int frequencyIndex() const { return freqIdx; }
     Freq busFreq() const { return config.ladder.freq(freqIdx); }
+
+    /**
+     * Attach @p a to every channel (nullptr detaches). Auditors are
+     * dropped on copy: clones run un-audited.
+     */
+    void attachAuditor(DramTimingAuditor *a);
 
     int
     channelFrequencyIndex(int ch) const

@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "check/contract.hh"
 #include "common/dvfs.hh"
 #include "model/perf_model.hh"
 #include "power/power_model.hh"
@@ -136,6 +137,11 @@ class SerEvaluator
     double
     tpi(int i, int c, int m) const
     {
+        COSCALE_DCHECK(i >= 0 && i < numCores, "core %d", i);
+        COSCALE_DCHECK(c >= 0
+                           && c < static_cast<int>(invCoreFreq.size()),
+                       "core ladder index %d", c);
+        COSCALE_DCHECK(m >= 0 && m < numMem, "mem ladder index %d", m);
         size_t si = static_cast<size_t>(i);
         return cyc[si] * invCoreFreq[static_cast<size_t>(c)]
                + l2Part[si]

@@ -90,6 +90,8 @@ class CoScalePolicy : public Policy
 
     const SlackTracker &slack() const { return tracker; }
 
+    double slackGamma() const override { return tracker.gamma(); }
+
     /** Record the greedy walk of the next decide() calls. */
     void recordWalk(bool on) { recording = on; }
     const std::vector<SearchStep> &lastWalk() const { return walk; }

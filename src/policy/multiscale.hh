@@ -42,6 +42,8 @@ class MultiScalePolicy final : public Policy
 
     const SlackTracker &slack() const { return tracker; }
 
+    double slackGamma() const override { return tracker.gamma(); }
+
   private:
     /**
      * Reference (all-max) TPI of core @p i, evaluated against its

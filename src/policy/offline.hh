@@ -30,6 +30,8 @@ class OfflinePolicy final : public Policy
 
     bool wantsOracleProfile() const override { return true; }
 
+    double slackGamma() const override { return tracker.gamma(); }
+
     FreqConfig
     decide(const SystemProfile &profile, const EnergyModel &em,
            const FreqConfig &, Tick epoch_len) override

@@ -139,6 +139,13 @@ class Policy
      * Offline policy).
      */
     virtual bool wantsOracleProfile() const { return false; }
+
+    /**
+     * The (safety-adjusted) slowdown bound this policy holds slack
+     * against. Used by the audit layer to parameterise its shadow
+     * ledger; policies without a ledger report the paper's default.
+     */
+    virtual double slackGamma() const { return 0.10; }
 };
 
 /** The no-energy-management baseline: everything at max frequency. */

@@ -44,6 +44,8 @@ class TrackedPolicy : public Policy
 
     const SlackTracker &slack() const { return tracker; }
 
+    double slackGamma() const override { return tracker.gamma(); }
+
   protected:
     SlackTracker tracker;
 };

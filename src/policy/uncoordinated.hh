@@ -36,6 +36,8 @@ class UncoordinatedPolicy final : public Policy
 
     std::string name() const override { return "Uncoordinated"; }
 
+    double slackGamma() const override { return cpuTracker.gamma(); }
+
     FreqConfig decide(const SystemProfile &profile, const EnergyModel &em,
                       const FreqConfig &current, Tick epoch_len) override;
 
@@ -74,6 +76,8 @@ class SemiCoordinatedPolicy final : public Policy
                       const EnergyModel &em) override;
 
     const SlackTracker &slack() const { return tracker; }
+
+    double slackGamma() const override { return tracker.gamma(); }
 
   private:
     SlackTracker tracker;   //!< shared, honest

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -48,7 +49,7 @@ double
 PowerModel::corePowerFromCounters(const CoreCounters &delta, Tick elapsed,
                                   double volt, Freq f) const
 {
-    coscale_assert(elapsed > 0, "zero-length power window");
+    COSCALE_CHECK(elapsed > 0, "zero-length power window");
     double secs = ticksToSeconds(elapsed);
     CoreActivityRates r;
     r.ips = static_cast<double>(delta.tic) / secs;
@@ -161,7 +162,7 @@ PowerModel::memPowerFromCounters(const ChannelCounters &delta,
                                  Tick elapsed, double mc_volt,
                                  Freq bus_freq) const
 {
-    coscale_assert(elapsed > 0, "zero-length power window");
+    COSCALE_CHECK(elapsed > 0, "zero-length power window");
     double secs = ticksToSeconds(elapsed);
     MemActivityRates r;
     r.readsPs =
@@ -180,7 +181,7 @@ PowerModel::memChannelPowerFromCounters(const ChannelCounters &delta,
                                         Tick elapsed, double mc_volt,
                                         Freq bus_freq) const
 {
-    coscale_assert(elapsed > 0, "zero-length power window");
+    COSCALE_CHECK(elapsed > 0, "zero-length power window");
     double secs = ticksToSeconds(elapsed);
     MemActivityRates r;
     r.readsPs =

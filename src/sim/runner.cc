@@ -1,10 +1,12 @@
 #include "sim/runner.hh"
 
 #include <algorithm>
+#include <memory>
 #include <ostream>
 
+#include "check/audit.hh"
+#include "check/contract.hh"
 #include "common/json.hh"
-#include "common/log.hh"
 
 namespace coscale {
 
@@ -12,11 +14,13 @@ namespace {
 
 /**
  * Accumulate the energy of the window since @p since, clipped at the
- * workload's completion tick if it fell inside the window.
+ * workload's completion tick if it fell inside the window. The energy
+ * auditor, when attached, shadows the same integral.
  */
 void
 accumulateEnergy(const System &sys, const CounterSnapshot &since,
-                 RunResult &result, PowerBreakdown *avg_out = nullptr)
+                 RunResult &result, PowerBreakdown *avg_out = nullptr,
+                 EnergyAuditor *ea = nullptr)
 {
     Tick end = sys.now();
     if (end <= since.tick)
@@ -34,16 +38,33 @@ accumulateEnergy(const System &sys, const CounterSnapshot &since,
     result.cpuEnergyJ += pb.cpuW * secs;
     result.memEnergyJ += pb.memW * secs;
     result.otherEnergyJ += pb.otherW * secs;
+    if (ea) {
+        ea->checkConservation(pb.totalW(), pb.cpuW, pb.memW, pb.otherW);
+        ea->onWindowEnergy(pb.cpuW, pb.memW, pb.otherW, secs);
+    }
 }
 
 } // namespace
 
 RunResult
 runApps(const SystemConfig &cfg, const std::string &label,
-        const std::vector<AppSpec> &apps, Policy &policy)
+        const std::vector<AppSpec> &apps, Policy &policy,
+        AuditSet *audit)
 {
     System sys(cfg, apps);
     EnergyModel em = sys.energyModel();
+
+    // Auto-instantiate the auditors when auditing is on by default
+    // (COSCALE_AUDIT build, or COSCALE_AUDIT=1 in the environment).
+    std::unique_ptr<AuditSet> local_audit;
+    if (!audit && auditingEnabled()) {
+        local_audit = std::make_unique<AuditSet>(sys.numApps(),
+                                                 policy.slackGamma());
+        audit = local_audit.get();
+    }
+    EnergyAuditor *ea = audit ? &audit->energy : nullptr;
+    if (audit)
+        sys.attachDramAuditor(&audit->dram);
 
     RunResult result;
     result.mixName = label;
@@ -64,7 +85,7 @@ runApps(const SystemConfig &cfg, const std::string &label,
         // Profiling phase (runs under the previous configuration).
         sys.run(epoch_start + cfg.profileLen);
         if (sys.allAppsDone()) {
-            accumulateEnergy(sys, epoch_snap, result);
+            accumulateEnergy(sys, epoch_snap, result, nullptr, ea);
             break;
         }
 
@@ -79,7 +100,7 @@ runApps(const SystemConfig &cfg, const std::string &label,
         epoch_no += 1;
 
         // Account the profiling segment before frequencies change.
-        accumulateEnergy(sys, epoch_snap, result);
+        accumulateEnergy(sys, epoch_snap, result, nullptr, ea);
         CounterSnapshot mid_snap = sys.snapshot();
 
         sys.applyConfig(decision);
@@ -88,7 +109,7 @@ runApps(const SystemConfig &cfg, const std::string &label,
         EpochLog log;
         log.startTick = epoch_start;
         log.applied = decision;
-        accumulateEnergy(sys, mid_snap, result, &log.avgPower);
+        accumulateEnergy(sys, mid_snap, result, &log.avgPower, ea);
         result.epochs.push_back(std::move(log));
 
         EpochObservation obs;
@@ -99,6 +120,21 @@ runApps(const SystemConfig &cfg, const std::string &label,
         if (sys.numApps() > sys.numCores())
             obs.appOnCore = sys.appAssignment();
         policy.observeEpoch(obs, em);
+
+        if (audit) {
+            // Cross-check the decision the policy just took (Eq. 2/3
+            // decomposition and SER fast path) and the Eq. 1 residual
+            // of the epoch that just ran.
+            audit->energy.auditCandidate(em, prof, decision);
+            audit->perf.onEpoch(obs, em);
+        }
+    }
+
+    if (audit) {
+        audit->energy.auditRunTotals(result.cpuEnergyJ,
+                                     result.memEnergyJ,
+                                     result.otherEnergyJ);
+        sys.attachDramAuditor(nullptr);
     }
 
     result.finishTick = sys.lastCompletionTick();
@@ -128,11 +164,11 @@ runApps(const SystemConfig &cfg, const std::string &label,
 
 RunResult
 runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
-            Policy &policy)
+            Policy &policy, AuditSet *audit)
 {
     std::vector<AppSpec> apps =
         expandMix(mix, cfg.numCores, cfg.instrBudget);
-    return runApps(cfg, mix.name, apps, policy);
+    return runApps(cfg, mix.name, apps, policy, audit);
 }
 
 Comparison
@@ -147,9 +183,9 @@ compare(const RunResult &baseline, const RunResult &run)
     if (baseline.memEnergyJ > 0.0)
         c.memSavings = 1.0 - run.memEnergyJ / baseline.memEnergyJ;
 
-    coscale_assert(baseline.appCompletion.size()
-                       == run.appCompletion.size(),
-                   "mismatched app counts in comparison");
+    COSCALE_CHECK(baseline.appCompletion.size()
+                      == run.appCompletion.size(),
+                  "mismatched app counts in comparison");
     double sum = 0.0;
     double worst = 0.0;
     size_t n = run.appCompletion.size();

@@ -21,6 +21,8 @@
 
 namespace coscale {
 
+struct AuditSet;
+
 /** Per-epoch log entry (frequencies and power), for Fig. 7. */
 struct EpochLog
 {
@@ -87,13 +89,22 @@ struct Comparison
     double worstDegradation = 0.0;  //!< slowest per-app slowdown
 };
 
-/** Run @p mix under @p policy on a fresh System built from @p cfg. */
+/**
+ * Run @p mix under @p policy on a fresh System built from @p cfg.
+ *
+ * When @p audit is given, its three auditors (check/audit.hh) observe
+ * the whole run: the DRAM timing auditor is attached to every memory
+ * channel, and the energy/perf auditors see each epoch. When it is
+ * null and auditing is enabled (COSCALE_AUDIT build or environment),
+ * the runner creates and wires a private AuditSet automatically.
+ */
 RunResult runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
-                      Policy &policy);
+                      Policy &policy, AuditSet *audit = nullptr);
 
 /** Run with explicit per-core application specs (custom workloads). */
 RunResult runApps(const SystemConfig &cfg, const std::string &label,
-                  const std::vector<AppSpec> &apps, Policy &policy);
+                  const std::vector<AppSpec> &apps, Policy &policy,
+                  AuditSet *audit = nullptr);
 
 /** Compare a policy run against the matching baseline run. */
 Comparison compare(const RunResult &baseline, const RunResult &run);

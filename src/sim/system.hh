@@ -196,6 +196,13 @@ class System
                            &cfg.memLadder);
     }
 
+    /**
+     * Attach a DDR3 timing-legality auditor (check/dram_audit.hh) to
+     * every memory channel; nullptr detaches. The pointer is
+     * non-owning and dropped on copy, so oracle clones run un-audited.
+     */
+    void attachDramAuditor(DramTimingAuditor *a) { mc.attachAuditor(a); }
+
   private:
     void reseat();
     void handleLlcAccess(Core &core, const CoreEvent &ev);

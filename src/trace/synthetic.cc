@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -20,8 +21,8 @@ SyntheticTraceSource::SyntheticTraceSource(AppSpec spec, int addr_space,
       base(static_cast<BlockAddr>(addr_space) << 34),
       rng(seed)
 {
-    coscale_assert(!app.phases.empty(), "app '%s' has no phases",
-                   app.name.c_str());
+    COSCALE_CHECK(!app.phases.empty(), "app '%s' has no phases",
+                  app.name.c_str());
     phaseInstrsLeft = app.phases[0].instructions;
     streamPtr = rng.range(streamRegionBlocks);
 }

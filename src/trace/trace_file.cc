@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -76,7 +77,7 @@ TraceFileWriter::~TraceFileWriter()
 void
 TraceFileWriter::append(const TraceRecord &r)
 {
-    coscale_assert(fp, "append after close on '%s'", filePath.c_str());
+    COSCALE_CHECK(fp, "append after close on '%s'", filePath.c_str());
     PackedRecord p = pack(r);
     if (std::fwrite(&p, sizeof(p), 1, fp) != 1)
         fatal("short write to trace file '%s'", filePath.c_str());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "check/contract.hh"
 #include "common/log.hh"
 
 namespace coscale {
@@ -310,8 +311,8 @@ std::vector<AppSpec>
 expandMix(const WorkloadMix &mix, int num_cores,
           std::uint64_t instr_budget)
 {
-    coscale_assert(!mix.apps.empty(), "mix '%s' has no applications",
-                   mix.name.c_str());
+    COSCALE_CHECK(!mix.apps.empty(), "mix '%s' has no applications",
+                  mix.name.c_str());
     std::vector<AppSpec> specs;
     specs.reserve(static_cast<size_t>(num_cores));
     for (int core = 0; core < num_cores; ++core) {
