@@ -20,10 +20,12 @@
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_common.hh"
 #include "common/csv.hh"
 #include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
@@ -41,7 +43,7 @@ struct Variant
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader("Ablation: CoScale design choices (MID mixes)");
     std::printf("%-18s | %-26s | %8s %8s\n", "variant",
@@ -66,22 +68,40 @@ main(int argc, char **argv)
         {"chip-wide CPU DVFS", chip_wide, 1},
     };
 
+    const std::vector<WorkloadMix> mixes = mixesByClass("MID");
+
+    double gamma = 0.0;
+    std::vector<RunRequest> requests;
+    for (const Variant &v : variants) {
+        SystemConfig cfg = makeScaledConfig(opts.scale);
+        cfg.warmupEpochs = v.warmupEpochs;
+        gamma = cfg.gamma;
+        for (const auto &mix : mixes) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with([cores = cfg.numCores, g = cfg.gamma,
+                           o = v.opts] {
+                        return std::make_unique<CoScalePolicy>(cores, g,
+                                                               o);
+                    })
+                    .withBaseline());
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("ablation.csv");
     csv.header({"variant", "mix", "full_savings", "worst_degradation"});
 
+    std::size_t idx = 0;
     for (const Variant &v : variants) {
-        SystemConfig cfg = makeScaledConfig(scale);
-        cfg.warmupEpochs = v.warmupEpochs;
-        benchutil::BaselineCache baselines(cfg);
-
         Accum fullsave;
         double worst = 0.0;
         std::string per_mix;
-        for (const auto &mix : mixesByClass("MID")) {
-            const RunResult &base = baselines.get(mix);
-            CoScalePolicy policy(cfg.numCores, cfg.gamma, v.opts);
-            RunResult run = runWorkload(cfg, mix, policy);
-            Comparison c = compare(base, run);
+        for (const auto &mix : mixes) {
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             fullsave.sample(c.fullSystemSavings);
             worst = std::max(worst, c.worstDegradation);
             char buf[16];
@@ -97,7 +117,7 @@ main(int argc, char **argv)
         std::printf("%-18s | %-26s | %8.1f %8.1f%s\n", v.name,
                     per_mix.c_str(), fullsave.mean() * 100.0,
                     worst * 100.0,
-                    worst > cfg.gamma + 0.005 ? "  <-- violates" : "");
+                    worst > gamma + 0.005 ? "  <-- violates" : "");
     }
     csv.endRow();
     std::printf("\nCSV written to ablation.csv\n");

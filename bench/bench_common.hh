@@ -2,69 +2,27 @@
  * @file
  * Shared helpers for the benchmark harnesses: synthetic profile
  * construction (for algorithm microbenchmarks) and result printing.
+ *
+ * Argument parsing, baseline memoization, and parallel execution
+ * moved behind the experiment engine — see exp/bench_options.hh,
+ * exp/baseline_pool.hh, and exp/engine.hh.
  */
 
 #ifndef COSCALE_BENCH_BENCH_COMMON_HH
 #define COSCALE_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <cstdlib>
-#include <map>
 #include <string>
-#include <vector>
 
 #include "common/rng.hh"
+#include "exp/bench_options.hh"
+#include "exp/engine.hh"
+#include "exp/policies.hh"
+#include "exp/report.hh"
 #include "model/perf_model.hh"
-#include "policy/policy.hh"
-#include "sim/runner.hh"
-#include "stats/accum.hh"
 
 namespace coscale {
 namespace benchutil {
-
-/**
- * Time scale for the harness: first positional argument, else the
- * COSCALE_SCALE environment variable, else @p def. Scale 1.0 is the
- * paper's full 100M-instruction setup; the default keeps a full
- * sweep to a few minutes.
- */
-inline double
-scaleFromArgs(int argc, char **argv, double def = 0.1)
-{
-    if (argc > 1) {
-        double v = std::atof(argv[1]);
-        if (v > 0.0 && v <= 1.0)
-            return v;
-    }
-    if (const char *env = std::getenv("COSCALE_SCALE")) {
-        double v = std::atof(env);
-        if (v > 0.0 && v <= 1.0)
-            return v;
-    }
-    return def;
-}
-
-/** Cache of baseline runs keyed by mix name (one config per bench). */
-class BaselineCache
-{
-  public:
-    explicit BaselineCache(const SystemConfig &cfg) : cfg(cfg) {}
-
-    const RunResult &
-    get(const WorkloadMix &mix)
-    {
-        auto it = cache.find(mix.name);
-        if (it == cache.end()) {
-            BaselinePolicy b;
-            it = cache.emplace(mix.name, runWorkload(cfg, mix, b)).first;
-        }
-        return it->second;
-    }
-
-  private:
-    SystemConfig cfg;
-    std::map<std::string, RunResult> cache;
-};
 
 /**
  * A plausible mixed-intensity profiling snapshot for @p n cores,
@@ -112,6 +70,22 @@ inline void
 printHeader(const std::string &title)
 {
     std::printf("\n==== %s ====\n", title.c_str());
+}
+
+/**
+ * Run @p requests through an engine configured from @p opts, append
+ * the batch to the JSONL sink when requested, and report failures.
+ * The harness's standard tail: returns the outcomes for printing.
+ */
+inline std::vector<exp::RunOutcome>
+runBatch(const exp::BenchOptions &opts,
+         const std::vector<RunRequest> &requests)
+{
+    exp::ExperimentEngine engine(opts.engineOptions());
+    std::vector<exp::RunOutcome> outcomes = engine.run(requests);
+    exp::appendJsonlReport(outcomes, opts.jsonlPath);
+    exp::reportFailures(outcomes);
+    return outcomes;
 }
 
 } // namespace benchutil

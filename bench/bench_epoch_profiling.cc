@@ -16,34 +16,40 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 namespace {
 
-void
-runRow(SystemConfig cfg, const char *label, CsvWriter &csv)
+struct Setting
 {
-    benchutil::BaselineCache baselines(cfg);
+    std::string label;
+    SystemConfig cfg;
+};
+
+void
+printRow(const Setting &s, const std::vector<exp::RunOutcome> &outcomes,
+         std::size_t &idx, CsvWriter &csv)
+{
     Accum full;
     double worst = 0.0;
     for (const auto &mix : mixesByClass("MID")) {
-        const RunResult &base = baselines.get(mix);
-        CoScalePolicy policy(cfg.numCores, cfg.gamma);
-        RunResult run = runWorkload(cfg, mix, policy);
-        Comparison c = compare(base, run);
+        const exp::RunOutcome &out = outcomes[idx++];
+        if (!out.ok)
+            continue;
+        const Comparison &c = out.vsBaseline;
         full.sample(c.fullSystemSavings);
         worst = std::max(worst, c.worstDegradation);
         csv.row()
-            .cell(label)
+            .cell(s.label)
             .cell(mix.name)
             .cell(c.fullSystemSavings)
             .cell(c.worstDegradation);
     }
-    std::printf("%-26s | %8.1f %9.1f%s\n", label, full.mean() * 100.0,
-                worst * 100.0,
-                worst > cfg.gamma + 0.006 ? "  <-- violates" : "");
+    std::printf("%-26s | %8.1f %9.1f%s\n", s.label.c_str(),
+                full.mean() * 100.0, worst * 100.0,
+                worst > s.cfg.gamma + 0.006 ? "  <-- violates" : "");
 }
 
 } // namespace
@@ -51,33 +57,54 @@ runRow(SystemConfig cfg, const char *label, CsvWriter &csv)
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Section 3 parameters: profiling window and epoch length");
     std::printf("(MID mixes; 1x = the paper's 300 us / 5 ms, scaled)\n\n");
     std::printf("%-26s | %8s %9s\n", "setting", "avg-sav%", "worstdeg%");
 
-    CsvWriter csv("epoch_profiling.csv");
-    csv.header({"setting", "mix", "full_savings", "worst_degradation"});
-
+    std::vector<Setting> profiling, epochs;
     for (double frac : {0.25, 0.5, 1.0, 2.0}) {
-        SystemConfig cfg = makeScaledConfig(scale);
+        SystemConfig cfg = makeScaledConfig(opts.scale);
         cfg.profileLen = static_cast<Tick>(cfg.profileLen * frac);
         char label[64];
         std::snprintf(label, sizeof(label), "profiling %.0f us (%.2gx)",
                       ticksToSeconds(cfg.profileLen) * 1e6, frac);
-        runRow(cfg, label, csv);
+        profiling.push_back({label, cfg});
     }
-    std::printf("\n");
     for (double frac : {0.5, 1.0, 2.0}) {
-        SystemConfig cfg = makeScaledConfig(scale);
+        SystemConfig cfg = makeScaledConfig(opts.scale);
         cfg.epochLen = static_cast<Tick>(cfg.epochLen * frac);
         char label[64];
         std::snprintf(label, sizeof(label), "epoch %.2f ms (%.2gx)",
                       ticksToSeconds(cfg.epochLen) * 1e3, frac);
-        runRow(cfg, label, csv);
+        epochs.push_back({label, cfg});
     }
+
+    std::vector<RunRequest> requests;
+    for (const auto *group : {&profiling, &epochs}) {
+        for (const Setting &s : *group) {
+            for (const auto &mix : mixesByClass("MID")) {
+                requests.push_back(
+                    RunRequest::forMix(s.cfg, mix)
+                        .with(exp::policyFactoryByName(
+                            "CoScale", s.cfg.numCores, s.cfg.gamma))
+                        .withBaseline());
+            }
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
+    CsvWriter csv("epoch_profiling.csv");
+    csv.header({"setting", "mix", "full_savings", "worst_degradation"});
+
+    std::size_t idx = 0;
+    for (const Setting &s : profiling)
+        printRow(s, outcomes, idx, csv);
+    std::printf("\n");
+    for (const Setting &s : epochs)
+        printRow(s, outcomes, idx, csv);
     csv.endRow();
     std::printf("\nCSV written to epoch_profiling.csv\n");
     return 0;

@@ -14,37 +14,51 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Figure 10: impact of the performance bound (MID mixes)");
     std::printf("%-7s | %-26s | %8s %8s\n", "bound%", "full-savings% "
                 "(MID1..MID4)", "avg%", "worstdeg%");
 
+    const std::vector<double> bounds = {0.01, 0.05, 0.10, 0.15, 0.20};
+    const std::vector<WorkloadMix> mixes = mixesByClass("MID");
+
+    std::vector<RunRequest> requests;
+    for (double gamma : bounds) {
+        SystemConfig cfg = makeScaledConfig(opts.scale);
+        cfg.gamma = gamma;
+        for (const auto &mix : mixes) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with(exp::policyFactoryByName(
+                        "CoScale", cfg.numCores, cfg.gamma))
+                    .withBaseline());
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("fig10_bound.csv");
     csv.header({"bound", "mix", "full_savings", "avg_degradation",
                 "worst_degradation"});
 
-    for (double gamma : {0.01, 0.05, 0.10, 0.15, 0.20}) {
-        SystemConfig cfg = makeScaledConfig(scale);
-        cfg.gamma = gamma;
-        benchutil::BaselineCache baselines(cfg);
-
+    std::size_t idx = 0;
+    for (double gamma : bounds) {
         Accum full;
         double worst = 0.0;
         std::string per_mix;
-        for (const auto &mix : mixesByClass("MID")) {
-            const RunResult &base = baselines.get(mix);
-            CoScalePolicy policy(cfg.numCores, cfg.gamma);
-            RunResult run = runWorkload(cfg, mix, policy);
-            Comparison c = compare(base, run);
+        for (const auto &mix : mixes) {
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             full.sample(c.fullSystemSavings);
             worst = std::max(worst, c.worstDegradation);
             char buf[16];

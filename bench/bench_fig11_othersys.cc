@@ -13,37 +13,53 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Figure 11: impact of rest-of-system power (MID mixes)");
     std::printf("%-7s | %-26s | %8s %8s\n", "other%",
                 "full-savings% (MID1..MID4)", "avg%", "worstdeg%");
 
+    const std::vector<double> fracs = {0.05, 0.10, 0.15, 0.20};
+    const std::vector<WorkloadMix> mixes = mixesByClass("MID");
+
+    double gamma = 0.0;
+    std::vector<RunRequest> requests;
+    for (double frac : fracs) {
+        SystemConfig cfg = makeScaledConfig(opts.scale);
+        cfg.power.otherFrac = frac;
+        gamma = cfg.gamma;
+        for (const auto &mix : mixes) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with(exp::policyFactoryByName(
+                        "CoScale", cfg.numCores, cfg.gamma))
+                    .withBaseline());
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("fig11_othersys.csv");
     csv.header({"other_frac", "mix", "full_savings",
                 "worst_degradation"});
 
-    for (double frac : {0.05, 0.10, 0.15, 0.20}) {
-        SystemConfig cfg = makeScaledConfig(scale);
-        cfg.power.otherFrac = frac;
-        benchutil::BaselineCache baselines(cfg);
-
+    std::size_t idx = 0;
+    for (double frac : fracs) {
         Accum full;
         double worst = 0.0;
         std::string per_mix;
-        for (const auto &mix : mixesByClass("MID")) {
-            const RunResult &base = baselines.get(mix);
-            CoScalePolicy policy(cfg.numCores, cfg.gamma);
-            RunResult run = runWorkload(cfg, mix, policy);
-            Comparison c = compare(base, run);
+        for (const auto &mix : mixes) {
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             full.sample(c.fullSystemSavings);
             worst = std::max(worst, c.worstDegradation);
             char buf[16];
@@ -58,7 +74,7 @@ main(int argc, char **argv)
         }
         std::printf("%-7.0f | %-26s | %8.1f %8.1f%s\n", frac * 100.0,
                     per_mix.c_str(), full.mean() * 100.0, worst * 100.0,
-                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+                    worst > gamma + 0.006 ? "  <-- VIOLATES" : "");
     }
     csv.endRow();
     std::printf("\nCSV written to fig11_othersys.csv\n");

@@ -15,38 +15,54 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 namespace {
 
+const struct Ratio
+{
+    const char *label;
+    double multiplier;
+} kRatios[] = {{"2:1", 1.0}, {"1:1", 2.0}, {"1:2", 4.0}};
+
+std::vector<RunRequest>
+classRequests(const std::string &wl_class, double scale)
+{
+    std::vector<RunRequest> requests;
+    for (const auto &r : kRatios) {
+        SystemConfig cfg = makeScaledConfig(scale);
+        cfg.power.mem.memPowerMultiplier = r.multiplier;
+        for (const auto &mix : mixesByClass(wl_class)) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with(exp::policyFactoryByName(
+                        "CoScale", cfg.numCores, cfg.gamma))
+                    .withBaseline());
+        }
+    }
+    return requests;
+}
+
 void
-sweepClass(const std::string &wl_class, double scale, CsvWriter &csv)
+printClass(const std::string &wl_class, double gamma,
+           const std::vector<exp::RunOutcome> &outcomes,
+           std::size_t &idx, CsvWriter &csv)
 {
     std::printf("\n%s mixes:\n", wl_class.c_str());
     std::printf("%-9s | %-26s | %8s %8s\n", "CPU:Mem",
                 "full-savings%", "avg%", "worstdeg%");
 
-    const struct
-    {
-        const char *label;
-        double multiplier;
-    } ratios[] = {{"2:1", 1.0}, {"1:1", 2.0}, {"1:2", 4.0}};
-
-    for (const auto &r : ratios) {
-        SystemConfig cfg = makeScaledConfig(scale);
-        cfg.power.mem.memPowerMultiplier = r.multiplier;
-        benchutil::BaselineCache baselines(cfg);
-
+    for (const auto &r : kRatios) {
         Accum full;
         double worst = 0.0;
         std::string per_mix;
         for (const auto &mix : mixesByClass(wl_class)) {
-            const RunResult &base = baselines.get(mix);
-            CoScalePolicy policy(cfg.numCores, cfg.gamma);
-            RunResult run = runWorkload(cfg, mix, policy);
-            Comparison c = compare(base, run);
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             full.sample(c.fullSystemSavings);
             worst = std::max(worst, c.worstDegradation);
             char buf[16];
@@ -62,7 +78,7 @@ sweepClass(const std::string &wl_class, double scale, CsvWriter &csv)
         }
         std::printf("%-9s | %-26s | %8.1f %8.1f%s\n", r.label,
                     per_mix.c_str(), full.mean() * 100.0, worst * 100.0,
-                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+                    worst > gamma + 0.006 ? "  <-- VIOLATES" : "");
     }
 }
 
@@ -71,15 +87,23 @@ sweepClass(const std::string &wl_class, double scale, CsvWriter &csv)
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
     benchutil::printHeader(
         "Figures 12 & 13: impact of the CPU:memory power ratio");
+
+    double gamma = makeScaledConfig(opts.scale).gamma;
+
+    std::vector<RunRequest> requests = classRequests("MID", opts.scale);
+    for (RunRequest &req : classRequests("MEM", opts.scale))
+        requests.push_back(std::move(req));
+    auto outcomes = benchutil::runBatch(opts, requests);
 
     CsvWriter csv("fig12_13_ratio.csv");
     csv.header({"class", "ratio", "mix", "full_savings",
                 "worst_degradation"});
-    sweepClass("MID", scale, csv);
-    sweepClass("MEM", scale, csv);
+    std::size_t idx = 0;
+    printClass("MID", gamma, outcomes, idx, csv);
+    printClass("MEM", gamma, outcomes, idx, csv);
     csv.endRow();
     std::printf("\nCSV written to fig12_13_ratio.csv\n");
     return 0;

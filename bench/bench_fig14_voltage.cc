@@ -13,23 +13,19 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Figure 14: impact of the CPU voltage range (MID mixes)");
     std::printf("%-18s | %-26s | %8s %8s %8s\n", "range",
                 "full-savings%", "avg%", "mem%", "worstdeg%");
-
-    CsvWriter csv("fig14_voltage.csv");
-    csv.header({"range", "mix", "full_savings", "mem_savings",
-                "cpu_savings", "worst_degradation"});
 
     const struct
     {
@@ -37,20 +33,39 @@ main(int argc, char **argv)
         bool half;
     } ranges[] = {{"full (0.65-1.2V)", false}, {"half (0.95-1.2V)", true}};
 
+    const std::vector<WorkloadMix> mixes = mixesByClass("MID");
+
+    double gamma = 0.0;
+    std::vector<RunRequest> requests;
     for (const auto &r : ranges) {
-        SystemConfig cfg = makeScaledConfig(scale);
+        SystemConfig cfg = makeScaledConfig(opts.scale);
         if (r.half)
             cfg.coreLadder = halfVoltageCoreLadder();
-        benchutil::BaselineCache baselines(cfg);
+        gamma = cfg.gamma;
+        for (const auto &mix : mixes) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with(exp::policyFactoryByName(
+                        "CoScale", cfg.numCores, cfg.gamma))
+                    .withBaseline());
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
 
+    CsvWriter csv("fig14_voltage.csv");
+    csv.header({"range", "mix", "full_savings", "mem_savings",
+                "cpu_savings", "worst_degradation"});
+
+    std::size_t idx = 0;
+    for (const auto &r : ranges) {
         Accum full, mem;
         double worst = 0.0;
         std::string per_mix;
-        for (const auto &mix : mixesByClass("MID")) {
-            const RunResult &base = baselines.get(mix);
-            CoScalePolicy policy(cfg.numCores, cfg.gamma);
-            RunResult run = runWorkload(cfg, mix, policy);
-            Comparison c = compare(base, run);
+        for (const auto &mix : mixes) {
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             full.sample(c.fullSystemSavings);
             mem.sample(c.memSavings);
             worst = std::max(worst, c.worstDegradation);
@@ -69,7 +84,7 @@ main(int argc, char **argv)
         std::printf("%-18s | %-26s | %8.1f %8.1f %8.1f%s\n", r.label,
                     per_mix.c_str(), full.mean() * 100.0,
                     mem.mean() * 100.0, worst * 100.0,
-                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+                    worst > gamma + 0.006 ? "  <-- VIOLATES" : "");
     }
     csv.endRow();
     std::printf("\nCSV written to fig14_voltage.csv\n");

@@ -13,37 +13,53 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Figure 15: impact of the number of frequencies (MID mixes)");
     std::printf("%-6s | %-26s | %8s %8s\n", "steps",
                 "full-savings%", "avg%", "worstdeg%");
 
+    const std::vector<int> stepCounts = {4, 7, 10};
+    const std::vector<WorkloadMix> mixes = mixesByClass("MID");
+
+    double gamma = 0.0;
+    std::vector<RunRequest> requests;
+    for (int steps : stepCounts) {
+        SystemConfig cfg = makeScaledConfig(opts.scale);
+        cfg.coreLadder = defaultCoreLadder(steps);
+        cfg.memLadder = defaultMemLadder(steps);
+        gamma = cfg.gamma;
+        for (const auto &mix : mixes) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with(exp::policyFactoryByName(
+                        "CoScale", cfg.numCores, cfg.gamma))
+                    .withBaseline());
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("fig15_freqs.csv");
     csv.header({"steps", "mix", "full_savings", "worst_degradation"});
 
-    for (int steps : {4, 7, 10}) {
-        SystemConfig cfg = makeScaledConfig(scale);
-        cfg.coreLadder = defaultCoreLadder(steps);
-        cfg.memLadder = defaultMemLadder(steps);
-        benchutil::BaselineCache baselines(cfg);
-
+    std::size_t idx = 0;
+    for (int steps : stepCounts) {
         Accum full;
         double worst = 0.0;
         std::string per_mix;
-        for (const auto &mix : mixesByClass("MID")) {
-            const RunResult &base = baselines.get(mix);
-            CoScalePolicy policy(cfg.numCores, cfg.gamma);
-            RunResult run = runWorkload(cfg, mix, policy);
-            Comparison c = compare(base, run);
+        for (const auto &mix : mixes) {
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             full.sample(c.fullSystemSavings);
             worst = std::max(worst, c.worstDegradation);
             char buf[16];
@@ -58,7 +74,7 @@ main(int argc, char **argv)
         }
         std::printf("%-6d | %-26s | %8.1f %8.1f%s\n", steps,
                     per_mix.c_str(), full.mean() * 100.0, worst * 100.0,
-                    worst > cfg.gamma + 0.006 ? "  <-- VIOLATES" : "");
+                    worst > gamma + 0.006 ? "  <-- VIOLATES" : "");
     }
     csv.endRow();
     std::printf("\nCSV written to fig15_freqs.csv\n");

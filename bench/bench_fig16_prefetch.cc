@@ -18,14 +18,14 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader("Figure 16: impact of prefetching");
     std::printf("energy per instruction, normalized to Base\n\n");
@@ -33,27 +33,51 @@ main(int argc, char **argv)
                 "Base", "Base+Pref", "Base+CoScale", "Base+Pref+CoSc",
                 "pf-acc", "perf+%", "traffic+%");
 
+    const std::vector<std::string> classes = {"MEM", "MID", "ILP",
+                                              "MIX"};
+
+    // Four designs per mix, in a fixed order: Base, Base+Prefetch,
+    // Base+CoScale, Base+Prefetch+CoScale.
+    std::vector<RunRequest> requests;
+    for (const std::string &cls : classes) {
+        for (const auto &mix : mixesByClass(cls)) {
+            SystemConfig plain = makeScaledConfig(opts.scale);
+            SystemConfig pref = plain;
+            pref.llc.prefetchNextLine = true;
+            for (const SystemConfig *cfg : {&plain, &pref}) {
+                for (const char *pname : {"baseline", "CoScale"}) {
+                    requests.push_back(
+                        RunRequest::forMix(*cfg, mix)
+                            .with(exp::policyFactoryByName(
+                                pname, cfg->numCores, cfg->gamma)));
+                }
+            }
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("fig16_prefetch.csv");
     csv.header({"class", "design", "energy_per_instr_norm",
                 "prefetch_accuracy", "perf_improvement",
                 "traffic_increase"});
 
-    for (const std::string cls : {"MEM", "MID", "ILP", "MIX"}) {
+    std::size_t idx = 0;
+    for (const std::string &cls : classes) {
         Accum base_epi, pref_epi, cs_epi, pref_cs_epi;
         Accum acc, perf_gain, traffic_up;
         for (const auto &mix : mixesByClass(cls)) {
-            SystemConfig plain = makeScaledConfig(scale);
-            SystemConfig pref = plain;
-            pref.llc.prefetchNextLine = true;
-
-            BaselinePolicy b1, b2;
-            RunResult base = runWorkload(plain, mix, b1);
-            RunResult base_pref = runWorkload(pref, mix, b2);
-
-            CoScalePolicy p1(plain.numCores, plain.gamma);
-            RunResult cs = runWorkload(plain, mix, p1);
-            CoScalePolicy p2(pref.numCores, pref.gamma);
-            RunResult cs_pref = runWorkload(pref, mix, p2);
+            (void)mix;
+            const exp::RunOutcome &o_base = outcomes[idx++];
+            const exp::RunOutcome &o_cs = outcomes[idx++];
+            const exp::RunOutcome &o_base_pref = outcomes[idx++];
+            const exp::RunOutcome &o_cs_pref = outcomes[idx++];
+            if (!o_base.ok || !o_cs.ok || !o_base_pref.ok
+                || !o_cs_pref.ok)
+                continue;
+            const RunResult &base = o_base.result;
+            const RunResult &base_pref = o_base_pref.result;
+            const RunResult &cs = o_cs.result;
+            const RunResult &cs_pref = o_cs_pref.result;
 
             double e0 = base.energyPerInstrNj();
             base_epi.sample(1.0);

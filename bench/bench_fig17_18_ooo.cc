@@ -15,7 +15,7 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
@@ -36,7 +36,7 @@ avgTpi(const RunResult &r, std::uint64_t budget)
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Figures 17 & 18: in-order vs out-of-order (128-instr window)");
@@ -45,27 +45,52 @@ main(int argc, char **argv)
                 "CPI (IO / OoO / IO+CS / OoO+CS)",
                 "EPI (IO / OoO / IO+CS / OoO+CS)", "CS-deg%");
 
+    const std::vector<std::string> classes = {"MEM", "MID", "ILP",
+                                              "MIX"};
+
+    // Four designs per mix, in a fixed order: In-order, OoO,
+    // In-order+CoScale, OoO+CoScale.
+    std::vector<RunRequest> requests;
+    for (const std::string &cls : classes) {
+        for (const auto &mix : mixesByClass(cls)) {
+            SystemConfig in_order = makeScaledConfig(opts.scale);
+            SystemConfig ooo = in_order;
+            ooo.ooo = true;
+            for (const char *pname : {"baseline", "CoScale"}) {
+                for (const SystemConfig *cfg : {&in_order, &ooo}) {
+                    requests.push_back(
+                        RunRequest::forMix(*cfg, mix)
+                            .with(exp::policyFactoryByName(
+                                pname, cfg->numCores, cfg->gamma)));
+                }
+            }
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("fig17_18_ooo.csv");
     csv.header({"class", "design", "cpi_norm", "epi_norm"});
 
-    for (const std::string cls : {"MEM", "MID", "ILP", "MIX"}) {
+    std::size_t idx = 0;
+    for (const std::string &cls : classes) {
         Accum cpi_io, cpi_ooo, cpi_io_cs, cpi_ooo_cs;
         Accum epi_io, epi_ooo, epi_io_cs, epi_ooo_cs;
         Accum cs_deg;
         for (const auto &mix : mixesByClass(cls)) {
-            SystemConfig in_order = makeScaledConfig(scale);
-            SystemConfig ooo = in_order;
-            ooo.ooo = true;
+            (void)mix;
+            const exp::RunOutcome &o_io = outcomes[idx++];
+            const exp::RunOutcome &o_oo = outcomes[idx++];
+            const exp::RunOutcome &o_io_cs = outcomes[idx++];
+            const exp::RunOutcome &o_oo_cs = outcomes[idx++];
+            if (!o_io.ok || !o_oo.ok || !o_io_cs.ok || !o_oo_cs.ok)
+                continue;
+            const RunResult &io = o_io.result;
+            const RunResult &oo = o_oo.result;
+            const RunResult &io_cs = o_io_cs.result;
+            const RunResult &oo_cs = o_oo_cs.result;
 
-            BaselinePolicy b1, b2;
-            RunResult io = runWorkload(in_order, mix, b1);
-            RunResult oo = runWorkload(ooo, mix, b2);
-            CoScalePolicy p1(16, in_order.gamma);
-            RunResult io_cs = runWorkload(in_order, mix, p1);
-            CoScalePolicy p2(16, ooo.gamma);
-            RunResult oo_cs = runWorkload(ooo, mix, p2);
-
-            std::uint64_t budget = in_order.instrBudget;
+            std::uint64_t budget =
+                makeScaledConfig(opts.scale).instrBudget;
             double t0 = avgTpi(io, budget);
             cpi_io.sample(1.0);
             cpi_ooo.sample(avgTpi(oo, budget) / t0);

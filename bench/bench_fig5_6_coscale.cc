@@ -15,21 +15,32 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
-    SystemConfig cfg = makeScaledConfig(scale);
-    benchutil::BaselineCache baselines(cfg);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
+    SystemConfig cfg = makeScaledConfig(opts.scale);
 
     benchutil::printHeader(
         "Figures 5 & 6: CoScale energy savings and performance");
-    std::printf("scale %.2f, bound %.0f%%\n\n", scale,
+    std::printf("scale %.2f, bound %.0f%%\n\n", opts.scale,
                 cfg.gamma * 100.0);
+
+    const std::vector<WorkloadMix> &mixes = table1Mixes();
+    std::vector<RunRequest> requests;
+    for (const auto &mix : mixes) {
+        requests.push_back(
+            RunRequest::forMix(cfg, mix)
+                .with(exp::policyFactoryByName("CoScale", cfg.numCores,
+                                               cfg.gamma))
+                .withBaseline());
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     std::printf("%-6s | %8s %8s %8s | %8s %8s\n", "mix", "full%",
                 "mem%", "cpu%", "avg-deg%", "worst%");
 
@@ -39,11 +50,12 @@ main(int argc, char **argv)
 
     Accum full, mem, cpu, avg_deg, worst_deg;
     bool violated = false;
-    for (const auto &mix : table1Mixes()) {
-        const RunResult &base = baselines.get(mix);
-        CoScalePolicy policy(cfg.numCores, cfg.gamma);
-        RunResult run = runWorkload(cfg, mix, policy);
-        Comparison c = compare(base, run);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const WorkloadMix &mix = mixes[i];
+        const exp::RunOutcome &out = outcomes[i];
+        if (!out.ok)
+            continue;
+        const Comparison &c = out.vsBaseline;
 
         std::printf("%-6s | %8.1f %8.1f %8.1f | %8.1f %8.1f\n",
                     mix.name.c_str(), c.fullSystemSavings * 100.0,

@@ -15,8 +15,6 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
-#include "policy/uncoordinated.hh"
 
 using namespace coscale;
 
@@ -31,20 +29,17 @@ struct Timeline
 };
 
 Timeline
-runTimeline(const SystemConfig &cfg, Policy &policy,
-            const RunResult &base)
+toTimeline(const SystemConfig &cfg, const exp::RunOutcome &out)
 {
-    RunResult r = runWorkload(cfg, mixByName("MIX2"), policy);
-    Comparison c = compare(base, r);
     Timeline t;
-    t.policy = policy.name();
-    for (const auto &e : r.epochs) {
+    t.policy = out.result.policyName;
+    for (const auto &e : out.result.epochs) {
         t.memGHz.push_back(
             cfg.memLadder.freq(e.applied.memIdx) / GHz);
         t.coreGHz.push_back(
             cfg.coreLadder.freq(e.applied.coreIdx[0]) / GHz);
     }
-    t.worstDeg = c.worstDegradation;
+    t.worstDeg = out.vsBaseline.worstDegradation;
     return t;
 }
 
@@ -69,23 +64,27 @@ reversals(const std::vector<double> &v)
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.2);
-    SystemConfig cfg = makeScaledConfig(scale);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.2);
+    SystemConfig cfg = makeScaledConfig(opts.scale);
 
     benchutil::printHeader(
         "Figure 7: milc (MIX2) frequency timeline per policy");
 
-    BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MIX2"), b);
-
-    CoScalePolicy cs(cfg.numCores, cfg.gamma);
-    UncoordinatedPolicy un(cfg.numCores, cfg.gamma);
-    SemiCoordinatedPolicy semi(cfg.numCores, cfg.gamma);
+    std::vector<RunRequest> requests;
+    for (const char *pname : {"CoScale", "Uncoordinated", "semi"}) {
+        requests.push_back(
+            RunRequest::forMix(cfg, mixByName("MIX2"))
+                .with(exp::policyFactoryByName(pname, cfg.numCores,
+                                               cfg.gamma))
+                .withBaseline());
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
 
     std::vector<Timeline> lines;
-    lines.push_back(runTimeline(cfg, cs, base));
-    lines.push_back(runTimeline(cfg, un, base));
-    lines.push_back(runTimeline(cfg, semi, base));
+    for (const auto &out : outcomes) {
+        if (out.ok)
+            lines.push_back(toTimeline(cfg, out));
+    }
 
     CsvWriter csv("fig7_timeline.csv");
     csv.header({"policy", "epoch", "mem_ghz", "milc_core_ghz"});

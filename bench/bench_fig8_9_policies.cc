@@ -16,55 +16,38 @@
  */
 
 #include <cstdio>
-#include <memory>
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/coscale_policy.hh"
-#include "policy/offline.hh"
-#include "policy/simple_policies.hh"
-#include "policy/uncoordinated.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
-
-namespace {
-
-std::unique_ptr<Policy>
-makePolicy(const std::string &name, int cores, double gamma)
-{
-    if (name == "MemScale")
-        return std::make_unique<MemScalePolicy>(cores, gamma);
-    if (name == "CPUOnly")
-        return std::make_unique<CpuOnlyPolicy>(cores, gamma);
-    if (name == "Uncoordinated")
-        return std::make_unique<UncoordinatedPolicy>(cores, gamma);
-    if (name == "Semi-coordinated")
-        return std::make_unique<SemiCoordinatedPolicy>(cores, gamma);
-    if (name == "CoScale")
-        return std::make_unique<CoScalePolicy>(cores, gamma);
-    if (name == "Offline")
-        return std::make_unique<OfflinePolicy>(cores, gamma);
-    return nullptr;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
-    SystemConfig cfg = makeScaledConfig(scale);
-    benchutil::BaselineCache baselines(cfg);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
+    SystemConfig cfg = makeScaledConfig(opts.scale);
 
     benchutil::printHeader(
         "Figures 8 & 9: policy comparison over all 16 mixes");
-    std::printf("scale %.2f, bound %.0f%%\n\n", scale,
+    std::printf("scale %.2f, bound %.0f%%\n\n", opts.scale,
                 cfg.gamma * 100.0);
 
-    const std::vector<std::string> policies = {
-        "MemScale", "CPUOnly", "Uncoordinated", "Semi-coordinated",
-        "CoScale", "Offline",
-    };
+    const std::vector<std::string> &policies = exp::paperPolicyNames();
+    const std::vector<WorkloadMix> &mixes = table1Mixes();
+
+    std::vector<RunRequest> requests;
+    for (const auto &pname : policies) {
+        for (const auto &mix : mixes) {
+            requests.push_back(
+                RunRequest::forMix(cfg, mix)
+                    .with(exp::policyFactoryByName(pname, cfg.numCores,
+                                                   cfg.gamma))
+                    .withBaseline());
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
 
     CsvWriter csv("fig8_9_policies.csv");
     csv.header({"policy", "mix", "full_savings", "mem_savings",
@@ -74,14 +57,15 @@ main(int argc, char **argv)
                 "mem%", "cpu%", "avg-deg%", "worst%");
 
     double coscale_full = 0.0;
+    std::size_t idx = 0;
     for (const auto &pname : policies) {
         Accum full, mem, cpu, avg_deg;
         double worst = 0.0;
-        for (const auto &mix : table1Mixes()) {
-            const RunResult &base = baselines.get(mix);
-            auto policy = makePolicy(pname, cfg.numCores, cfg.gamma);
-            RunResult run = runWorkload(cfg, mix, *policy);
-            Comparison c = compare(base, run);
+        for (const auto &mix : mixes) {
+            const exp::RunOutcome &out = outcomes[idx++];
+            if (!out.ok)
+                continue;
+            const Comparison &c = out.vsBaseline;
             full.sample(c.fullSystemSavings);
             mem.sample(c.memSavings);
             cpu.sample(c.cpuSavings);

@@ -13,20 +13,18 @@
  * is nothing for per-channel control to exploit.
  */
 
-#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "policy/multiscale.hh"
-#include "policy/simple_policies.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
 
     benchutil::printHeader(
         "Extension: uniform vs per-channel memory DVFS (MultiScale)");
@@ -35,27 +33,42 @@ main(int argc, char **argv)
                 "MemScale full/mem %", "MultiScale full/mem %",
                 "channel freqs (MHz, mid-run)");
 
+    SystemConfig cfg = makeScaledConfig(opts.scale);
+    cfg.geom.addrMap = AddrMap::RegionPerChannel;
+    cfg.power.geom = cfg.geom;
+
+    const std::vector<std::string> classes = {"MIX", "MID"};
+
+    // Two policies per mix, in order: MemScale then MultiScale.
+    std::vector<RunRequest> requests;
+    for (const std::string &cls : classes) {
+        for (const auto &mix : mixesByClass(cls)) {
+            for (const char *pname : {"MemScale", "multiscale"}) {
+                requests.push_back(
+                    RunRequest::forMix(cfg, mix)
+                        .with(exp::policyFactoryByName(
+                            pname, cfg.numCores, cfg.gamma))
+                        .withBaseline());
+            }
+        }
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
+
     CsvWriter csv("multiscale.csv");
     csv.header({"mix", "policy", "full_savings", "mem_savings",
                 "worst_degradation"});
 
     Accum uni_mix, multi_mix, uni_mid, multi_mid;
-    for (const std::string cls : {"MIX", "MID"}) {
+    std::size_t idx = 0;
+    for (const std::string &cls : classes) {
         for (const auto &mix : mixesByClass(cls)) {
-            SystemConfig cfg = makeScaledConfig(scale);
-            cfg.geom.addrMap = AddrMap::RegionPerChannel;
-            cfg.power.geom = cfg.geom;
-
-            BaselinePolicy b;
-            RunResult base = runWorkload(cfg, mix, b);
-
-            MemScalePolicy uniform(cfg.numCores, cfg.gamma);
-            RunResult uni = runWorkload(cfg, mix, uniform);
-            Comparison cu = compare(base, uni);
-
-            MultiScalePolicy multi(cfg.numCores, cfg.gamma);
-            RunResult mul = runWorkload(cfg, mix, multi);
-            Comparison cm = compare(base, mul);
+            const exp::RunOutcome &o_uni = outcomes[idx++];
+            const exp::RunOutcome &o_mul = outcomes[idx++];
+            if (!o_uni.ok || !o_mul.ok)
+                continue;
+            const Comparison &cu = o_uni.vsBaseline;
+            const Comparison &cm = o_mul.vsBaseline;
+            const RunResult &mul = o_mul.result;
 
             char freqs[64] = "-";
             if (mul.epochs.size() > 4) {

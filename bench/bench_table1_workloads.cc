@@ -8,32 +8,47 @@
  */
 
 #include <cstdio>
+#include <map>
 
 #include "bench_common.hh"
 #include "common/csv.hh"
+#include "stats/accum.hh"
 
 using namespace coscale;
 
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 0.1);
-    SystemConfig cfg = makeScaledConfig(scale);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
+    SystemConfig cfg = makeScaledConfig(opts.scale);
 
     benchutil::printHeader("Table 1: workload mixes (measured vs paper)");
     std::printf("scale %.2f (%.0fM instructions per application)\n\n",
-                scale, static_cast<double>(cfg.instrBudget) / 1e6);
+                opts.scale, static_cast<double>(cfg.instrBudget) / 1e6);
     std::printf("%-6s %-5s | %8s %8s | %8s %8s | %7s\n", "mix", "class",
                 "MPKI", "(paper)", "WPKI", "(paper)", "epochs");
+
+    const std::vector<WorkloadMix> &mixes = table1Mixes();
+    std::vector<RunRequest> requests;
+    for (const auto &mix : mixes) {
+        requests.push_back(
+            RunRequest::forMix(cfg, mix)
+                .with(exp::policyFactoryByName("baseline", cfg.numCores,
+                                               cfg.gamma)));
+    }
+    auto outcomes = benchutil::runBatch(opts, requests);
 
     CsvWriter csv("table1_workloads.csv");
     csv.header({"mix", "class", "measured_mpki", "paper_mpki",
                 "measured_wpki", "paper_wpki", "epochs"});
 
     std::map<std::string, Accum> class_err;
-    for (const auto &mix : table1Mixes()) {
-        BaselinePolicy baseline;
-        RunResult r = runWorkload(cfg, mix, baseline);
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        const WorkloadMix &mix = mixes[i];
+        const exp::RunOutcome &out = outcomes[i];
+        if (!out.ok)
+            continue;
+        const RunResult &r = out.result;
         std::printf("%-6s %-5s | %8.2f %8.2f | %8.2f %8.2f | %7zu\n",
                     mix.name.c_str(), mix.wlClass.c_str(),
                     r.measuredMpki, mix.tableMpki, r.measuredWpki,

@@ -15,8 +15,8 @@ using namespace coscale;
 int
 main(int argc, char **argv)
 {
-    double scale = benchutil::scaleFromArgs(argc, argv, 1.0);
-    SystemConfig cfg = makeScaledConfig(scale);
+    exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 1.0);
+    SystemConfig cfg = makeScaledConfig(opts.scale);
 
     benchutil::printHeader("Table 2: main system settings");
 

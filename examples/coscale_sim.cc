@@ -3,7 +3,9 @@
  * coscale_sim — the command-line front end to the whole library.
  * Runs any workload mix under any policy at any configuration, and
  * prints (or CSVs) the result. This is the "driver binary" a
- * downstream user scripts their own experiments with.
+ * downstream user scripts their own experiments with. Multi-mix
+ * sweeps execute on the parallel experiment engine; results are
+ * printed in mix order regardless of worker count.
  *
  * Usage:
  *   coscale_sim [options]
@@ -16,6 +18,8 @@
  *     --bound PCT        performance bound in percent (default 10)
  *     --cap WATTS        power cap (powercap policy only)
  *     --cores N          number of cores (default 16)
+ *     --jobs N           worker threads for multi-mix sweeps
+ *                        (default: COSCALE_JOBS, then hardware)
  *     --ooo              enable the OoO/MLP window
  *     --prefetch         enable the next-line prefetcher
  *     --open-page        open-page row-buffer policy
@@ -27,6 +31,7 @@
  *     --seed S           workload RNG seed
  *     --csv PATH         append one result row per run to a CSV
  *     --json PATH        write a full JSON report of the (last) run
+ *     --jsonl PATH       append one JSON line per run (all runs)
  *     --epochs           print the per-epoch frequency log
  */
 
@@ -40,12 +45,9 @@
 
 #include "common/csv.hh"
 #include "common/log.hh"
-#include "policy/coscale_policy.hh"
-#include "policy/offline.hh"
-#include "policy/multiscale.hh"
-#include "policy/power_cap.hh"
-#include "policy/simple_policies.hh"
-#include "policy/uncoordinated.hh"
+#include "exp/engine.hh"
+#include "exp/policies.hh"
+#include "exp/report.hh"
 #include "sim/runner.hh"
 
 using namespace coscale;
@@ -60,6 +62,7 @@ struct Options
     double bound = 10.0;
     double cap = 120.0;
     int cores = 16;
+    int jobs = 0;
     bool ooo = false;
     bool prefetch = false;
     bool openPage = false;
@@ -71,6 +74,7 @@ struct Options
     std::uint64_t seed = 1;
     std::string csvPath;
     std::string jsonPath;
+    std::string jsonlPath;
     bool printEpochs = false;
 };
 
@@ -97,6 +101,8 @@ parseArgs(int argc, char **argv)
             opt.cap = std::atof(need(i));
         } else if (a == "--cores") {
             opt.cores = std::atoi(need(i));
+        } else if (a == "--jobs") {
+            opt.jobs = std::atoi(need(i));
         } else if (a == "--ooo") {
             opt.ooo = true;
         } else if (a == "--prefetch") {
@@ -119,6 +125,8 @@ parseArgs(int argc, char **argv)
             opt.csvPath = need(i);
         } else if (a == "--json") {
             opt.jsonPath = need(i);
+        } else if (a == "--jsonl") {
+            opt.jsonlPath = need(i);
         } else if (a == "--epochs") {
             opt.printEpochs = true;
         } else if (a == "--help" || a == "-h") {
@@ -158,73 +166,26 @@ makeConfig(const Options &opt)
     return cfg;
 }
 
-std::unique_ptr<Policy>
-makePolicy(const Options &opt, const SystemConfig &cfg)
-{
-    const std::string &p = opt.policy;
-    if (p == "baseline")
-        return std::make_unique<BaselinePolicy>();
-    if (p == "reactive")
-        return std::make_unique<ReactivePolicy>(cfg.numCores, cfg.gamma);
-    if (p == "memscale")
-        return std::make_unique<MemScalePolicy>(cfg.numCores, cfg.gamma);
-    if (p == "cpuonly")
-        return std::make_unique<CpuOnlyPolicy>(cfg.numCores, cfg.gamma);
-    if (p == "uncoordinated") {
-        return std::make_unique<UncoordinatedPolicy>(cfg.numCores,
-                                                     cfg.gamma);
-    }
-    if (p == "semi") {
-        return std::make_unique<SemiCoordinatedPolicy>(cfg.numCores,
-                                                       cfg.gamma);
-    }
-    if (p == "semi-alt") {
-        return std::make_unique<SemiCoordinatedPolicy>(
-            cfg.numCores, cfg.gamma,
-            SemiCoordinatedPolicy::Phase::Alternate);
-    }
-    if (p == "coscale")
-        return std::make_unique<CoScalePolicy>(cfg.numCores, cfg.gamma);
-    if (p == "coscale-chipwide") {
-        CoScaleOptions o;
-        o.chipWideCpuDvfs = true;
-        return std::make_unique<CoScalePolicy>(cfg.numCores, cfg.gamma,
-                                               o);
-    }
-    if (p == "offline")
-        return std::make_unique<OfflinePolicy>(cfg.numCores, cfg.gamma);
-    if (p == "multiscale") {
-        return std::make_unique<MultiScalePolicy>(cfg.numCores,
-                                                  cfg.gamma);
-    }
-    if (p == "powercap")
-        return std::make_unique<PowerCapPolicy>(opt.cap);
-    fatal("unknown policy '%s'", p.c_str());
-}
-
 void
-runOne(const Options &opt, const WorkloadMix &mix, CsvWriter *csv)
+printOutcome(const Options &opt, const SystemConfig &cfg,
+             const WorkloadMix &mix, const exp::RunOutcome &out,
+             CsvWriter *csv)
 {
-
-    SystemConfig cfg = makeConfig(opt);
-    BaselinePolicy baseline;
-    RunResult base = runWorkload(cfg, mix, baseline);
-    auto policy = makePolicy(opt, cfg);
-    RunResult run = runWorkload(cfg, mix, *policy);
-    Comparison c = compare(base, run);
+    const RunResult &result = out.result;
+    const Comparison &c = out.vsBaseline;
 
     std::printf("%-6s %-16s | full %5.1f%% mem %5.1f%% cpu %5.1f%% | "
                 "deg %4.1f/%4.1f%% | %6.2f ms %6.1f J\n",
-                mix.name.c_str(), policy->name().c_str(),
+                mix.name.c_str(), result.policyName.c_str(),
                 c.fullSystemSavings * 100.0, c.memSavings * 100.0,
                 c.cpuSavings * 100.0, c.avgDegradation * 100.0,
                 c.worstDegradation * 100.0,
-                ticksToSeconds(run.finishTick) * 1e3,
-                run.totalEnergyJ());
+                ticksToSeconds(result.finishTick) * 1e3,
+                result.totalEnergyJ());
 
     if (opt.printEpochs) {
-        for (size_t e = 0; e < run.epochs.size(); ++e) {
-            const EpochLog &log = run.epochs[e];
+        for (size_t e = 0; e < result.epochs.size(); ++e) {
+            const EpochLog &log = result.epochs[e];
             double avg_core = 0.0;
             for (int idx : log.applied.coreIdx)
                 avg_core += cfg.coreLadder.freq(idx) / GHz;
@@ -237,17 +198,10 @@ runOne(const Options &opt, const WorkloadMix &mix, CsvWriter *csv)
         }
     }
 
-    if (!opt.jsonPath.empty()) {
-        std::ofstream jf(opt.jsonPath);
-        if (!jf)
-            fatal("cannot open '%s'", opt.jsonPath.c_str());
-        writeJsonReport(run, &c, jf);
-    }
-
     if (csv) {
         csv->row()
             .cell(mix.name)
-            .cell(policy->name())
+            .cell(result.policyName)
             .cell(opt.scale)
             .cell(cfg.gamma)
             .cell(c.fullSystemSavings)
@@ -255,7 +209,7 @@ runOne(const Options &opt, const WorkloadMix &mix, CsvWriter *csv)
             .cell(c.cpuSavings)
             .cell(c.avgDegradation)
             .cell(c.worstDegradation)
-            .cell(run.totalEnergyJ());
+            .cell(result.totalEnergyJ());
     }
 }
 
@@ -265,6 +219,30 @@ int
 main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
+    SystemConfig cfg = makeConfig(opt);
+
+    PolicyFactory factory = exp::policyFactoryByName(
+        opt.policy, cfg.numCores, cfg.gamma, opt.cap);
+    if (!factory)
+        fatal("unknown policy '%s'", opt.policy.c_str());
+
+    std::vector<WorkloadMix> mixes;
+    if (opt.mix == "all") {
+        mixes = table1Mixes();
+    } else {
+        mixes.push_back(mixByName(opt.mix));
+    }
+
+    std::vector<RunRequest> requests;
+    for (const auto &mix : mixes) {
+        requests.push_back(
+            RunRequest::forMix(cfg, mix).with(factory).withBaseline());
+    }
+
+    exp::EngineOptions engineOpts;
+    engineOpts.jobs = opt.jobs;
+    exp::ExperimentEngine engine(engineOpts);
+    std::vector<exp::RunOutcome> outcomes = engine.run(requests);
 
     std::unique_ptr<CsvWriter> csv;
     if (!opt.csvPath.empty()) {
@@ -274,13 +252,27 @@ main(int argc, char **argv)
                      "worst_degradation", "energy_j"});
     }
 
-    if (opt.mix == "all") {
-        for (const auto &mix : table1Mixes())
-            runOne(opt, mix, csv.get());
-    } else {
-        runOne(opt, mixByName(opt.mix), csv.get());
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        if (outcomes[i].ok)
+            printOutcome(opt, cfg, mixes[i], outcomes[i], csv.get());
     }
     if (csv)
         csv->endRow();
-    return 0;
+
+    if (!opt.jsonPath.empty()) {
+        const exp::RunOutcome *last = nullptr;
+        for (const auto &out : outcomes) {
+            if (out.ok)
+                last = &out;
+        }
+        if (last) {
+            std::ofstream jf(opt.jsonPath);
+            if (!jf)
+                fatal("cannot open '%s'", opt.jsonPath.c_str());
+            writeJsonReport(last->result, &last->vsBaseline, jf);
+        }
+    }
+    exp::appendJsonlReport(outcomes, opt.jsonlPath);
+
+    return exp::reportFailures(outcomes) == 0 ? 0 : 1;
 }

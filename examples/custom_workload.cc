@@ -109,10 +109,12 @@ main(int argc, char **argv)
     }
 
     BaselinePolicy baseline;
-    RunResult base = runApps(cfg, "custom-mix", apps, baseline);
+    RunResult base =
+        run(RunRequest::forApps(cfg, "custom-mix", apps).with(baseline));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runApps(cfg, "custom-mix", apps, policy);
-    Comparison c = compare(base, run);
+    RunResult result =
+        run(RunRequest::forApps(cfg, "custom-mix", apps).with(policy));
+    Comparison c = compare(base, result);
 
     std::printf("custom mix (8x service + 8x batch) under CoScale:\n");
     std::printf("  full-system savings : %5.1f%%\n",
@@ -125,7 +127,7 @@ main(int argc, char **argv)
                 "(bound %.0f%%)\n",
                 c.avgDegradation * 100.0, c.worstDegradation * 100.0,
                 cfg.gamma * 100.0);
-    std::printf("  measured MPKI       : %.2f\n", run.measuredMpki);
+    std::printf("  measured MPKI       : %.2f\n", result.measuredMpki);
 
     std::remove(trace_path.c_str());
     return c.worstDegradation <= cfg.gamma + 0.01 ? 0 : 1;

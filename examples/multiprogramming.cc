@@ -41,11 +41,13 @@ main(int argc, char **argv)
                 apps.size(), cfg.numCores, quantum, cfg.gamma * 100.0);
 
     BaselinePolicy baseline;
-    RunResult base = runApps(cfg, "multiprog", apps, baseline);
+    RunResult base =
+        run(RunRequest::forApps(cfg, "multiprog", apps).with(baseline));
 
     CoScalePolicy policy(static_cast<int>(apps.size()), cfg.gamma);
-    RunResult run = runApps(cfg, "multiprog", apps, policy);
-    Comparison c = compare(base, run);
+    RunResult result =
+        run(RunRequest::forApps(cfg, "multiprog", apps).with(policy));
+    Comparison c = compare(base, result);
 
     std::printf("baseline completion of slowest thread: %.2f ms\n",
                 ticksToSeconds(base.finishTick) * 1e3);
@@ -59,7 +61,7 @@ main(int argc, char **argv)
                 "coscale (ms)", "slowdown");
     for (size_t a = 0; a < apps.size(); a += 4) {
         double tb = ticksToSeconds(base.appCompletion[a]) * 1e3;
-        double tr = ticksToSeconds(run.appCompletion[a]) * 1e3;
+        double tr = ticksToSeconds(result.appCompletion[a]) * 1e3;
         std::printf("%-9zu %14.2f %14.2f %9.1f%%\n", a, tb, tr,
                     (tr / tb - 1.0) * 100.0);
     }

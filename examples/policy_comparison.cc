@@ -1,22 +1,21 @@
 /**
  * @file
  * Example: compare all six energy-management policies on one workload
- * mix — the Figure 8/9 experiment in miniature. Shows how to
- * construct each policy against the public API and how to interpret
- * the Comparison record.
+ * mix — the Figure 8/9 experiment in miniature. Shows how to build a
+ * RunRequest batch, execute it on the parallel experiment engine, and
+ * interpret the Comparison record (the baseline run is computed once
+ * by the engine's memoizing pool and shared by all requests).
  *
  * Usage: policy_comparison [MIX] [scale]
  */
 
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "policy/coscale_policy.hh"
-#include "policy/offline.hh"
-#include "policy/simple_policies.hh"
-#include "policy/uncoordinated.hh"
+#include "exp/engine.hh"
+#include "exp/policies.hh"
 #include "sim/runner.hh"
 
 using namespace coscale;
@@ -33,33 +32,34 @@ main(int argc, char **argv)
     std::printf("Policy comparison on %s (bound %.0f%%):\n\n",
                 mix.name.c_str(), cfg.gamma * 100.0);
 
-    BaselinePolicy baseline;
-    RunResult base = runWorkload(cfg, mix, baseline);
+    std::vector<std::string> policies = {"Reactive"};
+    for (const std::string &name : exp::paperPolicyNames())
+        policies.push_back(name);
 
-    std::vector<std::unique_ptr<Policy>> policies;
-    policies.push_back(
-        std::make_unique<ReactivePolicy>(cfg.numCores, cfg.gamma));
-    policies.push_back(
-        std::make_unique<MemScalePolicy>(cfg.numCores, cfg.gamma));
-    policies.push_back(
-        std::make_unique<CpuOnlyPolicy>(cfg.numCores, cfg.gamma));
-    policies.push_back(
-        std::make_unique<UncoordinatedPolicy>(cfg.numCores, cfg.gamma));
-    policies.push_back(
-        std::make_unique<SemiCoordinatedPolicy>(cfg.numCores, cfg.gamma));
-    policies.push_back(
-        std::make_unique<CoScalePolicy>(cfg.numCores, cfg.gamma));
-    policies.push_back(
-        std::make_unique<OfflinePolicy>(cfg.numCores, cfg.gamma));
+    std::vector<RunRequest> requests;
+    for (const std::string &name : policies) {
+        requests.push_back(
+            RunRequest::forMix(cfg, mix)
+                .with(exp::policyFactoryByName(name, cfg.numCores,
+                                               cfg.gamma))
+                .withBaseline());
+    }
+
+    exp::ExperimentEngine engine;
+    std::vector<exp::RunOutcome> outcomes = engine.run(requests);
 
     std::printf("%-17s | %7s %7s %7s | %8s %8s\n", "policy", "full%",
                 "mem%", "cpu%", "avg-deg%", "worst%");
-    for (auto &policy : policies) {
-        RunResult run = runWorkload(cfg, mix, *policy);
-        Comparison c = compare(base, run);
+    for (const exp::RunOutcome &out : outcomes) {
+        if (!out.ok) {
+            std::printf("%-17s | failed: %s\n", out.label.c_str(),
+                        out.error.c_str());
+            continue;
+        }
+        const Comparison &c = out.vsBaseline;
         bool violates = c.worstDegradation > cfg.gamma + 0.005;
         std::printf("%-17s | %7.1f %7.1f %7.1f | %8.1f %8.1f%s\n",
-                    policy->name().c_str(),
+                    out.result.policyName.c_str(),
                     c.fullSystemSavings * 100.0, c.memSavings * 100.0,
                     c.cpuSavings * 100.0, c.avgDegradation * 100.0,
                     c.worstDegradation * 100.0,

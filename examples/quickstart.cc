@@ -35,7 +35,7 @@ main(int argc, char **argv)
                 ticksToSeconds(cfg.epochLen) * 1e3);
 
     BaselinePolicy baseline;
-    RunResult base = runWorkload(cfg, mix, baseline);
+    RunResult base = run(RunRequest::forMix(cfg, mix).with(baseline));
     std::printf("  baseline: %.2f ms, %.1f J "
                 "(cpu %.1f, mem %.1f, other %.1f)\n",
                 ticksToSeconds(base.finishTick) * 1e3,
@@ -43,12 +43,13 @@ main(int argc, char **argv)
                 base.otherEnergyJ);
 
     CoScalePolicy coscale_policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mix, coscale_policy);
-    Comparison c = compare(base, run);
+    RunResult result =
+        run(RunRequest::forMix(cfg, mix).with(coscale_policy));
+    Comparison c = compare(base, result);
 
     std::printf("  CoScale : %.2f ms, %.1f J over %zu epochs\n",
-                ticksToSeconds(run.finishTick) * 1e3, run.totalEnergyJ(),
-                run.epochs.size());
+                ticksToSeconds(result.finishTick) * 1e3,
+                result.totalEnergyJ(), result.epochs.size());
     std::printf("  full-system energy savings: %5.1f%%\n",
                 c.fullSystemSavings * 100.0);
     std::printf("  CPU energy savings:         %5.1f%%\n",

@@ -1,5 +1,6 @@
 #include "common/log.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <vector>
 
@@ -8,23 +9,23 @@ namespace coscale {
 namespace {
 
 // Not simulator state: a process-wide reporting mode, mutated only by
-// test harnesses via setPanicBehavior/ScopedPanicThrow.
-PanicBehavior panicMode = PanicBehavior::Abort;
+// test harnesses via setPanicBehavior/ScopedPanicThrow. Atomic so a
+// guard on the main thread never races experiment-engine workers that
+// hit a panic path.
+std::atomic<PanicBehavior> panicMode{PanicBehavior::Abort};
 
 } // namespace
 
 PanicBehavior
 setPanicBehavior(PanicBehavior b)
 {
-    PanicBehavior prev = panicMode;
-    panicMode = b;
-    return prev;
+    return panicMode.exchange(b, std::memory_order_acq_rel);
 }
 
 PanicBehavior
 panicBehavior()
 {
-    return panicMode;
+    return panicMode.load(std::memory_order_acquire);
 }
 
 namespace detail {
@@ -70,7 +71,7 @@ logFatal(const std::string &msg)
 void
 logPanic(const std::string &msg, const char *file, int line)
 {
-    if (panicMode == PanicBehavior::Throw)
+    if (panicBehavior() == PanicBehavior::Throw)
         throw CheckFailure(msg, file, line);
     std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
     std::abort();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Process-wide memoization of no-DVFS baseline runs.
+ *
+ * Every baseline-relative experiment needs a BaselinePolicy run of
+ * the same configuration + workload; before the engine existed, each
+ * bench harness recomputed those privately. The pool runs each
+ * distinct baseline exactly once per process — keyed by
+ * (configuration digest, workload digest, label) — and shares the
+ * result across threads, harness phases, and engine instances.
+ *
+ * Concurrency: the first requester of a key becomes its computer;
+ * later requesters (on any thread) block on a shared future rather
+ * than duplicating the run. A baseline that throws poisons only its
+ * own key — every requester of that key sees the same exception.
+ */
+
+#ifndef COSCALE_EXP_BASELINE_POOL_HH
+#define COSCALE_EXP_BASELINE_POOL_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace exp {
+
+/** Identity of one baseline run (see digest.hh). */
+struct BaselineKey
+{
+    std::uint64_t cfgDigest = 0;
+    std::uint64_t appsDigest = 0;
+    std::string label;
+
+    bool
+    operator<(const BaselineKey &o) const
+    {
+        return std::tie(cfgDigest, appsDigest, label)
+               < std::tie(o.cfgDigest, o.appsDigest, o.label);
+    }
+};
+
+class BaselinePool
+{
+  public:
+    /**
+     * The memoized BaselinePolicy run matching @p req's configuration
+     * (with its seed override applied) and application list. Computes
+     * it on first request; the returned reference stays valid for the
+     * pool's lifetime. Rethrows the baseline's failure, if any.
+     */
+    const RunResult &baseline(const RunRequest &req);
+
+    /** Memoization accounting (for tests and progress reports). */
+    std::uint64_t hits() const { return nHits.load(); }
+    std::uint64_t misses() const { return nMisses.load(); }
+
+    /** Number of distinct baselines computed (or in flight). */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu;
+    std::map<BaselineKey, std::shared_future<RunResult>> entries;
+    std::atomic<std::uint64_t> nHits{0};
+    std::atomic<std::uint64_t> nMisses{0};
+};
+
+/** The process-wide pool the engine uses by default. */
+BaselinePool &processBaselinePool();
+
+} // namespace exp
+} // namespace coscale
+
+#endif // COSCALE_EXP_BASELINE_POOL_HH

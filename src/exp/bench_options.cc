@@ -1,0 +1,94 @@
+#include "exp/bench_options.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace coscale {
+namespace exp {
+
+namespace {
+
+bool
+parseScale(const char *text, double *out)
+{
+    double v = std::atof(text);
+    if (v > 0.0 && v <= 1.0) {
+        *out = v;
+        return true;
+    }
+    return false;
+}
+
+void
+printUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [scale] [--scale X] [--jobs N] [--jsonl PATH]\n"
+        "          [--progress]\n"
+        "  scale / --scale X  time scale in (0, 1]; 1.0 is the paper's\n"
+        "                     full setup (default via COSCALE_SCALE or\n"
+        "                     the harness default)\n"
+        "  --jobs N           worker threads (default: COSCALE_JOBS,\n"
+        "                     then hardware concurrency)\n"
+        "  --jsonl PATH       append one JSON line per run to PATH\n"
+        "  --progress         per-run progress lines on stderr\n",
+        prog);
+}
+
+} // namespace
+
+BenchOptions
+parseBenchArgs(int argc, char **argv, double defaultScale)
+{
+    BenchOptions opts;
+    opts.scale = defaultScale;
+
+    bool scaleSet = false;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        auto nextValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s requires a value", flag);
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--scale") == 0) {
+            const char *v = nextValue("--scale");
+            if (!parseScale(v, &opts.scale))
+                fatal("--scale must be in (0, 1], got '%s'", v);
+            scaleSet = true;
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            const char *v = nextValue("--jobs");
+            int n = std::atoi(v);
+            if (n <= 0)
+                fatal("--jobs must be a positive integer, got '%s'", v);
+            opts.jobs = n;
+        } else if (std::strcmp(arg, "--jsonl") == 0) {
+            opts.jsonlPath = nextValue("--jsonl");
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            opts.progress = true;
+        } else if (std::strcmp(arg, "--help") == 0
+                   || std::strcmp(arg, "-h") == 0) {
+            printUsage(argv[0]);
+            std::exit(0);
+        } else if (arg[0] != '-' && !scaleSet
+                   && parseScale(arg, &opts.scale)) {
+            // Historical form: bare positional scale as argv[1].
+            scaleSet = true;
+        } else {
+            fatal("unknown argument '%s' (try --help)", arg);
+        }
+    }
+
+    if (!scaleSet) {
+        if (const char *env = std::getenv("COSCALE_SCALE")) {
+            parseScale(env, &opts.scale);
+        }
+    }
+    return opts;
+}
+
+} // namespace exp
+} // namespace coscale

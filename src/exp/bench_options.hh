@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared command-line surface for the figure/table harnesses. Every
+ * harness accepts the same knobs — time scale, worker count, progress
+ * reporting, JSONL output — parsed here so `bench_fig8_9_policies
+ * --jobs 8 --jsonl out.jsonl` works identically across the suite.
+ */
+
+#ifndef COSCALE_EXP_BENCH_OPTIONS_HH
+#define COSCALE_EXP_BENCH_OPTIONS_HH
+
+#include <string>
+
+#include "exp/engine.hh"
+
+namespace coscale {
+namespace exp {
+
+struct BenchOptions
+{
+    /**
+     * Time scale: 1.0 is the paper's full 100M-instruction setup; the
+     * default keeps a full sweep to a few minutes.
+     */
+    double scale = 0.1;
+
+    /** Worker threads; 0 = auto (COSCALE_JOBS, then hardware). */
+    int jobs = 0;
+
+    /** Print per-run progress lines to stderr. */
+    bool progress = false;
+
+    /** When non-empty, append one JSON line per run to this file. */
+    std::string jsonlPath;
+
+    EngineOptions
+    engineOptions() const
+    {
+        EngineOptions opts;
+        opts.jobs = jobs;
+        opts.progress = progress;
+        return opts;
+    }
+};
+
+/**
+ * Parse the shared harness options. Accepts `--scale X` (or a bare
+ * positional scale in (0, 1], the historical form), `--jobs N`,
+ * `--jsonl PATH`, `--progress`, and `--help`; falls back to the
+ * COSCALE_SCALE environment variable, then @p defaultScale. Unknown
+ * flags are fatal.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv,
+                            double defaultScale = 0.1);
+
+} // namespace exp
+} // namespace coscale
+
+#endif // COSCALE_EXP_BENCH_OPTIONS_HH

@@ -1,0 +1,158 @@
+#include "exp/digest.hh"
+
+namespace coscale {
+namespace exp {
+
+namespace {
+
+void
+addLadder(Digest &d, const FreqLadder &ladder)
+{
+    d.add(ladder.size());
+    for (int i = 0; i < ladder.size(); ++i) {
+        d.add(ladder.freq(i));
+        d.add(ladder.voltage(i));
+    }
+}
+
+void
+addGeometry(Digest &d, const MemGeometry &g)
+{
+    d.add(g.channels);
+    d.add(g.dimmsPerChannel);
+    d.add(g.ranksPerDimm);
+    d.add(g.devicesPerRank);
+    d.add(g.banksPerRank);
+    d.add(g.blocksPerRow);
+    d.add(g.rowsPerBank);
+    d.add(static_cast<int>(g.addrMap));
+}
+
+void
+addTiming(Digest &d, const DramTimingParams &t)
+{
+    d.add(t.tRCDns);
+    d.add(t.tRPns);
+    d.add(t.tCLns);
+    d.add(t.tCWLns);
+    d.add(t.tWRns);
+    d.add(t.tRFCns);
+    d.add(t.refClock);
+    d.add(t.tFAWcycles);
+    d.add(t.tRTPcycles);
+    d.add(t.tRAScycles);
+    d.add(t.tRRDcycles);
+    d.add(t.burstCycles);
+    d.add(t.tREFIus);
+    d.add(t.recalCycles);
+    d.add(t.recalExtraNs);
+}
+
+void
+addCurrents(Digest &d, const DramCurrentParams &c)
+{
+    d.add(c.vdd);
+    d.add(c.iRowRead);
+    d.add(c.iRowWrite);
+    d.add(c.iActPre);
+    d.add(c.iActiveStandby);
+    d.add(c.iActivePowerdown);
+    d.add(c.iPrechargeStandby);
+    d.add(c.iPrechargePowerdown);
+    d.add(c.iRefresh);
+}
+
+void
+addPower(Digest &d, const PowerParams &p)
+{
+    d.add(p.core.vNom);
+    d.add(p.core.fNom);
+    d.add(p.core.clockW);
+    d.add(p.core.eInstrNj);
+    d.add(p.core.eAluNj);
+    d.add(p.core.eFpuNj);
+    d.add(p.core.eBranchNj);
+    d.add(p.core.eMemNj);
+    d.add(p.core.leakW);
+    d.add(p.l2.leakW);
+    d.add(p.l2.accessNj);
+    addCurrents(d, p.mem.currents);
+    d.add(p.mem.fRef);
+    d.add(p.mem.standbySlope);
+    d.add(p.mem.powerdownSlope);
+    d.add(p.mem.ioTermScale);
+    d.add(p.mem.backgroundScale);
+    d.add(p.mem.pllW);
+    d.add(p.mem.regMaxW);
+    d.add(p.mem.mcMinW);
+    d.add(p.mem.mcMaxW);
+    d.add(p.mem.memPowerMultiplier);
+    addGeometry(d, p.geom);
+    addTiming(d, p.timing);
+    d.add(p.numCores);
+    d.add(p.otherFrac);
+}
+
+} // namespace
+
+std::uint64_t
+configDigest(const SystemConfig &cfg)
+{
+    Digest d;
+    d.add(cfg.numCores);
+    addLadder(d, cfg.coreLadder);
+    addLadder(d, cfg.memLadder);
+    d.add(cfg.llc.sizeBytes);
+    d.add(cfg.llc.ways);
+    d.add(cfg.llc.hitLatencyNs);
+    d.add(cfg.llc.prefetchNextLine);
+    addGeometry(d, cfg.geom);
+    addTiming(d, cfg.timing);
+    d.add(cfg.writeHighWater);
+    d.add(cfg.writeLowWater);
+    d.add(cfg.respFixedNs);
+    d.add(cfg.openPage);
+    d.add(cfg.coreTransitionTicks);
+    d.add(cfg.ooo);
+    d.add(cfg.oooWindow);
+    d.add(cfg.maxOutstanding);
+    d.add(cfg.instrBudget);
+    d.add(cfg.epochLen);
+    d.add(cfg.profileLen);
+    d.add(cfg.gamma);
+    d.add(cfg.warmupEpochs);
+    d.add(cfg.schedQuantumEpochs);
+    d.add(cfg.contextSwitchTicks);
+    addPower(d, cfg.power);
+    d.add(cfg.seed);
+    d.add(cfg.timeScale);
+    return d.value();
+}
+
+std::uint64_t
+workloadDigest(const std::vector<AppSpec> &apps)
+{
+    Digest d;
+    d.add(static_cast<std::uint64_t>(apps.size()));
+    for (const AppSpec &app : apps) {
+        d.add(app.name);
+        d.add(static_cast<std::uint64_t>(app.phases.size()));
+        for (const AppPhase &ph : app.phases) {
+            d.add(ph.instructions);
+            d.add(ph.baseCpi);
+            d.add(ph.l1Mpki);
+            d.add(ph.llcMpki);
+            d.add(ph.writeFrac);
+            d.add(ph.seqRunLen);
+            d.add(ph.hotBlocks);
+            d.add(ph.fAlu);
+            d.add(ph.fFpu);
+            d.add(ph.fBranch);
+            d.add(ph.fMem);
+        }
+    }
+    return d.value();
+}
+
+} // namespace exp
+} // namespace coscale

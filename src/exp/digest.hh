@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Order-sensitive 64-bit digests of experiment inputs. The baseline
+ * pool keys its memoized no-DVFS runs by (configuration digest,
+ * workload digest, label): two requests share a baseline exactly when
+ * every simulation-relevant input matches, so the digest walks every
+ * field of SystemConfig (including the nested ladder, cache, DRAM
+ * geometry/timing, and power-model structs) and of each AppSpec.
+ */
+
+#ifndef COSCALE_EXP_DIGEST_HH
+#define COSCALE_EXP_DIGEST_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/synthetic.hh"
+
+namespace coscale {
+namespace exp {
+
+/** FNV-1a accumulator over typed words (doubles hashed bit-exact). */
+class Digest
+{
+  public:
+    void
+    add(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state ^= (v >> (8 * i)) & 0xffU;
+            state *= 0x100000001b3ULL;
+        }
+    }
+
+    void add(int v) { add(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(v))); }
+    void add(bool v) { add(std::uint64_t(v ? 1 : 0)); }
+    void add(double v) { add(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    add(const std::string &s)
+    {
+        add(static_cast<std::uint64_t>(s.size()));
+        for (char c : s) {
+            state ^= static_cast<unsigned char>(c);
+            state *= 0x100000001b3ULL;
+        }
+    }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = 0xcbf29ce484222325ULL;
+};
+
+/** Digest of every simulation-relevant SystemConfig field. */
+std::uint64_t configDigest(const SystemConfig &cfg);
+
+/** Digest of a per-core application list (names and all phases). */
+std::uint64_t workloadDigest(const std::vector<AppSpec> &apps);
+
+} // namespace exp
+} // namespace coscale
+
+#endif // COSCALE_EXP_DIGEST_HH

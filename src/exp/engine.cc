@@ -1,0 +1,118 @@
+#include "exp/engine.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace coscale {
+namespace exp {
+
+int
+resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("COSCALE_JOBS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ExperimentEngine::ExperimentEngine(EngineOptions options_)
+    : options(options_), jobCount(resolveJobs(options_.jobs))
+{
+}
+
+BaselinePool &
+ExperimentEngine::pool() const
+{
+    return options.pool ? *options.pool : processBaselinePool();
+}
+
+RunOutcome
+ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
+{
+    RunOutcome out;
+    out.index = index;
+    out.label = req.label;
+    try {
+        if (!req.makePolicy) {
+            throw std::invalid_argument(
+                req.borrowedPolicy
+                    ? "ExperimentEngine requires a policy factory; "
+                      "borrowed Policy instances cannot be shared "
+                      "across worker threads"
+                    : "RunRequest has no policy factory");
+        }
+        out.result = coscale::run(req);
+        if (req.wantBaseline) {
+            out.baseline = &pool().baseline(req);
+            out.vsBaseline = compare(*out.baseline, out.result);
+            out.hasBaseline = true;
+        }
+        out.ok = true;
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    return out;
+}
+
+std::vector<RunOutcome>
+ExperimentEngine::run(const std::vector<RunRequest> &requests)
+{
+    std::vector<RunOutcome> outcomes(requests.size());
+    if (requests.empty())
+        return outcomes;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex progressMu;
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= requests.size())
+                return;
+            outcomes[i] = runOne(requests[i], i);
+            std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (options.progress) {
+                std::lock_guard<std::mutex> lock(progressMu);
+                std::fprintf(stderr, "[exp] %zu/%zu %s%s\n", finished,
+                             requests.size(), outcomes[i].label.c_str(),
+                             outcomes[i].ok ? ""
+                                            : " (FAILED)");
+            }
+        }
+    };
+
+    int workers = jobCount;
+    if (static_cast<std::size_t>(workers) > requests.size())
+        workers = static_cast<int>(requests.size());
+
+    if (workers <= 1) {
+        worker();
+        return outcomes;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+    return outcomes;
+}
+
+} // namespace exp
+} // namespace coscale

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The parallel experiment engine: executes a batch of RunRequests on
+ * a worker pool, memoizing baseline runs through the process-wide
+ * BaselinePool and reporting per-request outcomes.
+ *
+ * Determinism contract: each simulation is a pure function of its
+ * request (own System, own RNG, own Policy instance from the
+ * request's factory), so a batch executed with N workers produces
+ * bit-identical RunResults — and byte-identical JSON reports — to the
+ * same batch executed serially, in the same request order. The only
+ * shared mutable state is the baseline pool, whose entries are
+ * themselves deterministic runs.
+ *
+ * Failure isolation: a request whose policy factory or simulation
+ * throws poisons only its own outcome (ok = false, error set); the
+ * rest of the batch completes normally.
+ */
+
+#ifndef COSCALE_EXP_ENGINE_HH
+#define COSCALE_EXP_ENGINE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/baseline_pool.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace exp {
+
+/**
+ * Worker count resolution: @p requested if positive, else the
+ * COSCALE_JOBS environment variable, else hardware concurrency
+ * (minimum 1).
+ */
+int resolveJobs(int requested);
+
+struct EngineOptions
+{
+    /** 0 = auto (COSCALE_JOBS, then hardware concurrency). */
+    int jobs = 0;
+
+    /** Print one progress line per completed request to stderr. */
+    bool progress = false;
+
+    /** Baseline memoization pool; null = the process-wide pool. */
+    BaselinePool *pool = nullptr;
+};
+
+/** Outcome of one request in a batch (index = request position). */
+struct RunOutcome
+{
+    std::size_t index = 0;
+    std::string label;
+    bool ok = false;
+    std::string error;       //!< set when !ok
+
+    RunResult result;        //!< valid when ok
+
+    /** Filled when the request asked for a baseline comparison. */
+    bool hasBaseline = false;
+    Comparison vsBaseline;
+    const RunResult *baseline = nullptr; //!< owned by the pool
+};
+
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(EngineOptions options = {});
+
+    /**
+     * Execute every request (requests[i] -> outcomes[i]). Requests
+     * must carry a policy factory; borrowed Policy instances are
+     * rejected per request (they are not thread-safe to share).
+     */
+    std::vector<RunOutcome> run(const std::vector<RunRequest> &requests);
+
+    /** Execute one request with engine semantics (never throws). */
+    RunOutcome runOne(const RunRequest &req, std::size_t index = 0);
+
+    /** Resolved worker count. */
+    int jobs() const { return jobCount; }
+
+    BaselinePool &pool() const;
+
+  private:
+    EngineOptions options;
+    int jobCount;
+};
+
+} // namespace exp
+} // namespace coscale
+
+#endif // COSCALE_EXP_ENGINE_HH

@@ -1,0 +1,114 @@
+#include "exp/policies.hh"
+
+#include <cctype>
+#include <memory>
+
+#include "policy/coscale_policy.hh"
+#include "policy/multiscale.hh"
+#include "policy/offline.hh"
+#include "policy/power_cap.hh"
+#include "policy/simple_policies.hh"
+#include "policy/uncoordinated.hh"
+
+namespace coscale {
+namespace exp {
+
+namespace {
+
+std::string
+canonical(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        if (c == '-' || c == '_' || c == ' ')
+            continue;
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+paperPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "MemScale",  "CPUOnly", "Uncoordinated",
+        "Semi-coordinated", "CoScale", "Offline",
+    };
+    return names;
+}
+
+PolicyFactory
+policyFactoryByName(const std::string &name, int cores, double gamma,
+                    double capWatts)
+{
+    const std::string p = canonical(name);
+    if (p == "baseline")
+        return [] { return std::make_unique<BaselinePolicy>(); };
+    if (p == "reactive") {
+        return [cores, gamma] {
+            return std::make_unique<ReactivePolicy>(cores, gamma);
+        };
+    }
+    if (p == "memscale") {
+        return [cores, gamma] {
+            return std::make_unique<MemScalePolicy>(cores, gamma);
+        };
+    }
+    if (p == "cpuonly") {
+        return [cores, gamma] {
+            return std::make_unique<CpuOnlyPolicy>(cores, gamma);
+        };
+    }
+    if (p == "uncoordinated") {
+        return [cores, gamma] {
+            return std::make_unique<UncoordinatedPolicy>(cores, gamma);
+        };
+    }
+    if (p == "semi" || p == "semicoordinated") {
+        return [cores, gamma] {
+            return std::make_unique<SemiCoordinatedPolicy>(cores,
+                                                           gamma);
+        };
+    }
+    if (p == "semialt") {
+        return [cores, gamma] {
+            return std::make_unique<SemiCoordinatedPolicy>(
+                cores, gamma, SemiCoordinatedPolicy::Phase::Alternate);
+        };
+    }
+    if (p == "coscale") {
+        return [cores, gamma] {
+            return std::make_unique<CoScalePolicy>(cores, gamma);
+        };
+    }
+    if (p == "coscalechipwide") {
+        return [cores, gamma] {
+            CoScaleOptions o;
+            o.chipWideCpuDvfs = true;
+            return std::make_unique<CoScalePolicy>(cores, gamma, o);
+        };
+    }
+    if (p == "offline") {
+        return [cores, gamma] {
+            return std::make_unique<OfflinePolicy>(cores, gamma);
+        };
+    }
+    if (p == "multiscale") {
+        return [cores, gamma] {
+            return std::make_unique<MultiScalePolicy>(cores, gamma);
+        };
+    }
+    if (p == "powercap") {
+        return [capWatts] {
+            return std::make_unique<PowerCapPolicy>(capWatts);
+        };
+    }
+    return {};
+}
+
+} // namespace exp
+} // namespace coscale

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Policy factories by name. RunRequests carry a factory rather than a
+ * Policy instance because policies hold mutable per-run state (slack
+ * ledgers, epoch counters); each engine worker constructs a fresh
+ * instance per run so parallel batches stay deterministic.
+ */
+
+#ifndef COSCALE_EXP_POLICIES_HH
+#define COSCALE_EXP_POLICIES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace exp {
+
+/**
+ * The six policies compared in the paper's Figures 8 and 9, in
+ * presentation order: MemScale, CPUOnly, Uncoordinated,
+ * Semi-coordinated, CoScale, Offline.
+ */
+const std::vector<std::string> &paperPolicyNames();
+
+/**
+ * A factory for the named policy, or an empty function for unknown
+ * names. Accepts the paper names above plus the CLI spellings
+ * (baseline, reactive, memscale, cpuonly, uncoordinated, semi,
+ * semi-alt, coscale, coscale-chipwide, offline, multiscale,
+ * powercap), case-insensitively. @p capWatts only affects powercap.
+ */
+PolicyFactory policyFactoryByName(const std::string &name, int cores,
+                                  double gamma,
+                                  double capWatts = 120.0);
+
+} // namespace exp
+} // namespace coscale
+
+#endif // COSCALE_EXP_POLICIES_HH

@@ -44,12 +44,14 @@ accumulateEnergy(const System &sys, const CounterSnapshot &since,
     }
 }
 
-} // namespace
-
+/**
+ * The epoch loop shared by run() and the legacy wrappers: profile,
+ * decide, transition, run the epoch out, update slack.
+ */
 RunResult
-runApps(const SystemConfig &cfg, const std::string &label,
-        const std::vector<AppSpec> &apps, Policy &policy,
-        AuditSet *audit)
+runEpochLoop(const SystemConfig &cfg, const std::string &label,
+             const std::vector<AppSpec> &apps, Policy &policy,
+             AuditSet *audit, bool force_audit)
 {
     System sys(cfg, apps);
     EnergyModel em = sys.energyModel();
@@ -57,7 +59,7 @@ runApps(const SystemConfig &cfg, const std::string &label,
     // Auto-instantiate the auditors when auditing is on by default
     // (COSCALE_AUDIT build, or COSCALE_AUDIT=1 in the environment).
     std::unique_ptr<AuditSet> local_audit;
-    if (!audit && auditingEnabled()) {
+    if (!audit && (force_audit || auditingEnabled())) {
         local_audit = std::make_unique<AuditSet>(sys.numApps(),
                                                  policy.slackGamma());
         audit = local_audit.get();
@@ -162,13 +164,68 @@ runApps(const SystemConfig &cfg, const std::string &label,
     return result;
 }
 
+} // namespace
+
+RunRequest
+RunRequest::forMix(const SystemConfig &cfg, const WorkloadMix &mix)
+{
+    RunRequest req;
+    req.label = mix.name;
+    req.cfg = cfg;
+    req.apps = expandMix(mix, cfg.numCores, cfg.instrBudget);
+    return req;
+}
+
+RunRequest
+RunRequest::forApps(const SystemConfig &cfg, std::string label,
+                    std::vector<AppSpec> apps)
+{
+    RunRequest req;
+    req.label = std::move(label);
+    req.cfg = cfg;
+    req.apps = std::move(apps);
+    return req;
+}
+
+RunResult
+run(const RunRequest &req)
+{
+    COSCALE_CHECK(req.borrowedPolicy != nullptr
+                      || static_cast<bool>(req.makePolicy),
+                  "RunRequest has neither a policy factory nor a "
+                  "borrowed policy");
+    COSCALE_CHECK(!req.apps.empty(),
+                  "RunRequest '%s' has no applications",
+                  req.label.c_str());
+
+    std::unique_ptr<Policy> owned;
+    Policy *policy = req.borrowedPolicy;
+    if (!policy) {
+        owned = req.makePolicy();
+        COSCALE_CHECK(owned != nullptr,
+                      "policy factory for '%s' returned null",
+                      req.label.c_str());
+        policy = owned.get();
+    }
+    return runEpochLoop(req.effectiveConfig(), req.label, req.apps,
+                        *policy, req.auditSet, req.forceAudit);
+}
+
 RunResult
 runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
             Policy &policy, AuditSet *audit)
 {
     std::vector<AppSpec> apps =
         expandMix(mix, cfg.numCores, cfg.instrBudget);
-    return runApps(cfg, mix.name, apps, policy, audit);
+    return runEpochLoop(cfg, mix.name, apps, policy, audit, false);
+}
+
+RunResult
+runApps(const SystemConfig &cfg, const std::string &label,
+        const std::vector<AppSpec> &apps, Policy &policy,
+        AuditSet *audit)
+{
+    return runEpochLoop(cfg, label, apps, policy, audit, false);
 }
 
 Comparison

@@ -12,7 +12,10 @@
 #ifndef COSCALE_SIM_RUNNER_HH
 #define COSCALE_SIM_RUNNER_HH
 
+#include <functional>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "policy/policy.hh"
@@ -22,6 +25,15 @@
 namespace coscale {
 
 struct AuditSet;
+
+/**
+ * Creates a fresh Policy instance for one run. Batch execution (the
+ * experiment engine in exp/) requires a factory rather than a shared
+ * Policy object: policies carry mutable per-run state (slack ledgers,
+ * search history), so two parallel runs through one instance would
+ * race and, worse, silently couple their decisions.
+ */
+using PolicyFactory = std::function<std::unique_ptr<Policy>()>;
 
 /** Per-epoch log entry (frequencies and power), for Fig. 7. */
 struct EpochLog
@@ -90,18 +102,144 @@ struct Comparison
 };
 
 /**
- * Run @p mix under @p policy on a fresh System built from @p cfg.
+ * A self-contained description of one simulation run: configuration,
+ * workload, policy, seeding, and audit wiring. Requests are plain
+ * values — copyable, comparable by digest, safe to ship to a worker
+ * thread — and are the unit of work of the experiment engine
+ * (exp/engine.hh) as well as the argument of the unified run() entry
+ * point below.
  *
- * When @p audit is given, its three auditors (check/audit.hh) observe
- * the whole run: the DRAM timing auditor is attached to every memory
- * channel, and the energy/perf auditors see each epoch. When it is
- * null and auditing is enabled (COSCALE_AUDIT build or environment),
- * the runner creates and wires a private AuditSet automatically.
+ * Determinism contract: a run is a pure function of the request. Two
+ * requests with equal configuration, apps, and seed produce
+ * bit-identical RunResults regardless of which thread executes them
+ * or what else runs concurrently.
  */
+struct RunRequest
+{
+    std::string label;          //!< result mixName (mix or custom tag)
+    SystemConfig cfg;
+    std::vector<AppSpec> apps;  //!< one entry per core (or per thread)
+
+    /** Preferred policy source: a fresh instance per execution. */
+    PolicyFactory makePolicy;
+
+    /**
+     * Alternative for single-shot call sites that need to inspect the
+     * policy object afterwards: a caller-owned instance. Mutually
+     * exclusive with batch execution — the engine rejects borrowed
+     * policies because the instance would be shared across threads.
+     */
+    Policy *borrowedPolicy = nullptr;
+
+    /** Non-zero overrides cfg.seed (deterministic per-request seeding). */
+    std::uint64_t seed = 0;
+
+    /**
+     * Force-attach a private AuditSet even when the build/environment
+     * default (auditingEnabled()) is off.
+     */
+    bool forceAudit = false;
+
+    /** External auditors to observe the run (tests). */
+    AuditSet *auditSet = nullptr;
+
+    /**
+     * Engine only: memoize a BaselinePolicy run of the same
+     * configuration + workload and report the Comparison against it.
+     */
+    bool wantBaseline = false;
+
+    /** Request for a Table 1 mix expanded over cfg's cores. */
+    static RunRequest forMix(const SystemConfig &cfg,
+                             const WorkloadMix &mix);
+
+    /** Request with explicit per-core application specs. */
+    static RunRequest forApps(const SystemConfig &cfg, std::string label,
+                              std::vector<AppSpec> apps);
+
+    /** Attach a policy factory (chainable). */
+    RunRequest &
+    with(PolicyFactory factory)
+    {
+        makePolicy = std::move(factory);
+        return *this;
+    }
+
+    /** Borrow a caller-owned policy instance (chainable). */
+    RunRequest &
+    with(Policy &policy)
+    {
+        borrowedPolicy = &policy;
+        return *this;
+    }
+
+    RunRequest &
+    withSeed(std::uint64_t s)
+    {
+        seed = s;
+        return *this;
+    }
+
+    RunRequest &
+    withAudit(AuditSet *audit)
+    {
+        auditSet = audit;
+        return *this;
+    }
+
+    RunRequest &
+    withForcedAudit(bool on = true)
+    {
+        forceAudit = on;
+        return *this;
+    }
+
+    RunRequest &
+    withBaseline(bool on = true)
+    {
+        wantBaseline = on;
+        return *this;
+    }
+
+    /** cfg with the per-request seed override applied. */
+    SystemConfig
+    effectiveConfig() const
+    {
+        SystemConfig c = cfg;
+        if (seed != 0)
+            c.seed = seed;
+        return c;
+    }
+};
+
+/**
+ * Run the experiment described by @p req on a fresh System and return
+ * its results. This is the single entry point every harness, example,
+ * and test goes through; the legacy runWorkload/runApps signatures
+ * below are thin wrappers over the same epoch loop.
+ *
+ * Audit wiring: when req.auditSet is given, its three auditors
+ * (check/audit.hh) observe the whole run — the DRAM timing auditor is
+ * attached to every memory channel and the energy/perf auditors see
+ * each epoch. When it is null and auditing is enabled (COSCALE_AUDIT
+ * build or environment, or req.forceAudit), a private AuditSet is
+ * created and wired automatically.
+ */
+RunResult run(const RunRequest &req);
+
+/**
+ * @deprecated Legacy entry point; use run(RunRequest::forMix(cfg,
+ * mix).with(policy)) instead. Kept as a thin wrapper for one release.
+ */
+[[deprecated("use run(const RunRequest &) — see sim/runner.hh")]]
 RunResult runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
                       Policy &policy, AuditSet *audit = nullptr);
 
-/** Run with explicit per-core application specs (custom workloads). */
+/**
+ * @deprecated Legacy entry point; use run(RunRequest::forApps(cfg,
+ * label, apps).with(policy)) instead. Kept for one release.
+ */
+[[deprecated("use run(const RunRequest &) — see sim/runner.hh")]]
 RunResult runApps(const SystemConfig &cfg, const std::string &label,
                   const std::vector<AppSpec> &apps, Policy &policy,
                   AuditSet *audit = nullptr);

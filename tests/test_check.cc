@@ -580,7 +580,7 @@ TEST(AuditSmoke, FullPolicySweepRunsCleanUnderAllAuditors)
         SCOPED_TRACE(policy->name());
         AuditSet audit(cfg.numCores, policy->slackGamma());
         RunResult r =
-            runWorkload(cfg, mixByName("MID3"), *policy, &audit);
+            coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(*policy).withAudit(&audit));
         EXPECT_GT(r.totalInstrs, 0u);
         EXPECT_GT(audit.dram.commandsAudited(), 0u);
         EXPECT_GT(audit.dram.refreshesReplayed(), 0u);
@@ -597,7 +597,7 @@ TEST(AuditSmoke, RunnerAutoAttachesWhenEnvRequestsAuditing)
     // default-off path (no env set in the test harness).
     SystemConfig cfg = makeScaledConfig(0.01);
     BaselinePolicy base;
-    RunResult r = runWorkload(cfg, mixByName("ILP2"), base);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(base));
     EXPECT_GT(r.totalInstrs, 0u);
 }
 

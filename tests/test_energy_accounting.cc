@@ -20,7 +20,7 @@ TEST(EnergyAccounting, EpochPowersIntegrateToTotalEnergy)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     BaselinePolicy b;
-    RunResult r = runWorkload(cfg, mixByName("MID2"), b);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID2")).with(b));
 
     // Sum power x duration per epoch, clipping the final epoch at the
     // completion tick exactly as the runner does.
@@ -45,7 +45,7 @@ TEST(EnergyAccounting, ComponentsAreAllPositiveEveryEpoch)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("MIX1"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MIX1")).with(policy));
     for (const auto &e : r.epochs) {
         EXPECT_GT(e.avgPower.cpuW, 5.0);
         EXPECT_GT(e.avgPower.memW, 2.0);
@@ -58,7 +58,7 @@ TEST(EnergyAccounting, OtherPowerIsConstant)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     ASSERT_GE(r.epochs.size(), 2u);
     for (const auto &e : r.epochs) {
         EXPECT_DOUBLE_EQ(e.avgPower.otherW,
@@ -101,9 +101,9 @@ TEST(EnergyAccounting, PinnedLowFrequencyDrawsLessPowerMoreTime)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     BaselinePolicy base_policy;
-    RunResult fast = runWorkload(cfg, mixByName("MID3"), base_policy);
+    RunResult fast = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(base_policy));
     PinnedPolicy slow_policy(6, 6);
-    RunResult slow = runWorkload(cfg, mixByName("MID3"), slow_policy);
+    RunResult slow = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(slow_policy));
 
     double fast_w = fast.totalEnergyJ() / ticksToSeconds(fast.finishTick);
     double slow_w = slow.totalEnergyJ() / ticksToSeconds(slow.finishTick);
@@ -115,8 +115,8 @@ TEST(EnergyAccounting, CpuEnergyDominatesForIlpMemoryShareForMem)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     BaselinePolicy b1, b2;
-    RunResult ilp = runWorkload(cfg, mixByName("ILP1"), b1);
-    RunResult mem = runWorkload(cfg, mixByName("MEM1"), b2);
+    RunResult ilp = coscale::run(RunRequest::forMix(cfg, mixByName("ILP1")).with(b1));
+    RunResult mem = coscale::run(RunRequest::forMix(cfg, mixByName("MEM1")).with(b2));
     double ilp_mem_share = ilp.memEnergyJ / ilp.totalEnergyJ();
     double mem_mem_share = mem.memEnergyJ / mem.totalEnergyJ();
     EXPECT_GT(mem_mem_share, ilp_mem_share + 0.05);

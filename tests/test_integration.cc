@@ -31,7 +31,7 @@ RunResult
 baselineFor(const SystemConfig &cfg, const std::string &mix)
 {
     BaselinePolicy b;
-    return runWorkload(cfg, mixByName(mix), b);
+    return coscale::run(RunRequest::forMix(cfg, mixByName(mix)).with(b));
 }
 
 // --- Parameterized bound-compliance sweep (Fig. 6 property) ---
@@ -45,7 +45,9 @@ TEST_P(BoundCompliance, CoScaleStaysWithinBound)
     SystemConfig cfg = testConfig();
     RunResult base = baselineFor(cfg, GetParam());
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName(GetParam()), policy);
+    RunResult run =
+        coscale::run(RunRequest::forMix(cfg, mixByName(GetParam()))
+                         .with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.005) << GetParam();
     EXPECT_GT(c.fullSystemSavings, 0.05) << GetParam();
@@ -67,7 +69,7 @@ TEST_P(GammaSweep, BoundRespectedAtEveryGamma)
     cfg.gamma = GetParam();
     RunResult base = baselineFor(cfg, "MID1");
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
     if (cfg.gamma >= 0.05) {
@@ -85,7 +87,7 @@ TEST(Policies, UncoordinatedViolatesTheBound)
     SystemConfig cfg = testConfig();
     RunResult base = baselineFor(cfg, "MID1");
     UncoordinatedPolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     Comparison c = compare(base, run);
     EXPECT_GT(c.worstDegradation, cfg.gamma + 0.02);
 }
@@ -95,12 +97,12 @@ TEST(Policies, SemiCoordinatedMeetsBoundButSavesLessThanCoScale)
     SystemConfig cfg = testConfig();
     RunResult base = baselineFor(cfg, "MID1");
     SemiCoordinatedPolicy semi(cfg.numCores, cfg.gamma);
-    RunResult semi_run = runWorkload(cfg, mixByName("MID1"), semi);
+    RunResult semi_run = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(semi));
     Comparison c_semi = compare(base, semi_run);
     EXPECT_LE(c_semi.worstDegradation, cfg.gamma + 0.006);
 
     CoScalePolicy cs(cfg.numCores, cfg.gamma);
-    RunResult cs_run = runWorkload(cfg, mixByName("MID1"), cs);
+    RunResult cs_run = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(cs));
     Comparison c_cs = compare(base, cs_run);
     EXPECT_GT(c_cs.fullSystemSavings,
               c_semi.fullSystemSavings - 0.005);
@@ -111,9 +113,9 @@ TEST(Policies, OfflineIsAtLeastAsGoodAsCoScale)
     SystemConfig cfg = testConfig();
     RunResult base = baselineFor(cfg, "MID3");
     CoScalePolicy cs(cfg.numCores, cfg.gamma);
-    RunResult cs_run = runWorkload(cfg, mixByName("MID3"), cs);
+    RunResult cs_run = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(cs));
     OfflinePolicy off(cfg.numCores, cfg.gamma);
-    RunResult off_run = runWorkload(cfg, mixByName("MID3"), off);
+    RunResult off_run = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(off));
     Comparison c_cs = compare(base, cs_run);
     Comparison c_off = compare(base, off_run);
     // Offline has a perfect profile and exhaustive search: it should
@@ -130,13 +132,13 @@ TEST(Policies, SingleKnobPoliciesSaveLessSystemEnergy)
 
     MemScalePolicy ms(cfg.numCores, cfg.gamma);
     Comparison c_ms =
-        compare(base, runWorkload(cfg, mixByName("MID1"), ms));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(ms)));
     CpuOnlyPolicy co(cfg.numCores, cfg.gamma);
     Comparison c_co =
-        compare(base, runWorkload(cfg, mixByName("MID1"), co));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(co)));
     CoScalePolicy cs(cfg.numCores, cfg.gamma);
     Comparison c_cs =
-        compare(base, runWorkload(cfg, mixByName("MID1"), cs));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(cs)));
 
     EXPECT_GT(c_cs.fullSystemSavings, c_ms.fullSystemSavings);
     EXPECT_GT(c_cs.fullSystemSavings, c_co.fullSystemSavings);
@@ -156,7 +158,7 @@ TEST(Policies, ClassComponentOrdering)
     auto coscale_cmp = [&](const std::string &mix) {
         RunResult base = baselineFor(cfg, mix);
         CoScalePolicy p(cfg.numCores, cfg.gamma);
-        return compare(base, runWorkload(cfg, mixByName(mix), p));
+        return compare(base, coscale::run(RunRequest::forMix(cfg, mixByName(mix)).with(p)));
     };
     Comparison ilp = coscale_cmp("ILP2");
     Comparison mem = coscale_cmp("MEM3");
@@ -199,9 +201,9 @@ TEST(Policies, SemiCoordinatedOscillatesMoreThanCoScale)
     // over-correct in alternating directions; CoScale does not.
     SystemConfig cfg = testConfig(0.1);
     SemiCoordinatedPolicy semi(cfg.numCores, cfg.gamma);
-    RunResult semi_run = runWorkload(cfg, mixByName("MIX2"), semi);
+    RunResult semi_run = coscale::run(RunRequest::forMix(cfg, mixByName("MIX2")).with(semi));
     CoScalePolicy cs(cfg.numCores, cfg.gamma);
-    RunResult cs_run = runWorkload(cfg, mixByName("MIX2"), cs);
+    RunResult cs_run = coscale::run(RunRequest::forMix(cfg, mixByName("MIX2")).with(cs));
 
     int semi_rev = reversals(semi_run.epochs, memOf);
     int cs_rev = reversals(cs_run.epochs, memOf);
@@ -226,8 +228,8 @@ TEST(PagePolicy, ClosedPageWinsForMultiprogrammedMixes)
     SystemConfig open_cfg = closed_cfg;
     open_cfg.openPage = true;
     BaselinePolicy b1, b2;
-    RunResult closed_run = runWorkload(closed_cfg, mixByName("MEM3"), b1);
-    RunResult open_run = runWorkload(open_cfg, mixByName("MEM3"), b2);
+    RunResult closed_run = coscale::run(RunRequest::forMix(closed_cfg, mixByName("MEM3")).with(b1));
+    RunResult open_run = coscale::run(RunRequest::forMix(open_cfg, mixByName("MEM3")).with(b2));
     EXPECT_LE(closed_run.finishTick,
               static_cast<Tick>(open_run.finishTick * 1.02));
 }
@@ -237,8 +239,8 @@ TEST(Runner, RunsAreDeterministic)
     SystemConfig cfg = testConfig();
     CoScalePolicy p1(cfg.numCores, cfg.gamma);
     CoScalePolicy p2(cfg.numCores, cfg.gamma);
-    RunResult a = runWorkload(cfg, mixByName("MID3"), p1);
-    RunResult b = runWorkload(cfg, mixByName("MID3"), p2);
+    RunResult a = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(p1));
+    RunResult b = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(p2));
     EXPECT_EQ(a.finishTick, b.finishTick);
     EXPECT_DOUBLE_EQ(a.totalEnergyJ(), b.totalEnergyJ());
     ASSERT_EQ(a.epochs.size(), b.epochs.size());
@@ -320,7 +322,7 @@ TEST(Runner, CustomAppsRun)
         apps.push_back(s);
     }
     CoScalePolicy policy(4, 0.10);
-    RunResult r = runApps(cfg, "custom", apps, policy);
+    RunResult r = coscale::run(RunRequest::forApps(cfg, "custom", apps).with(policy));
     EXPECT_GT(r.totalInstrs, 4u * 200'000u);
     EXPECT_GT(r.totalEnergyJ(), 0.0);
 }

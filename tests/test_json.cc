@@ -107,9 +107,9 @@ TEST(Json, RunReportIsValidAndComplete)
 {
     SystemConfig cfg = makeScaledConfig(0.03);
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("ILP2"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("ILP2"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(policy));
     Comparison c = compare(base, run);
 
     std::ostringstream os;
@@ -128,7 +128,7 @@ TEST(Json, ReportWithoutBaselineOmitsComparison)
 {
     SystemConfig cfg = makeScaledConfig(0.03);
     BaselinePolicy b;
-    RunResult run = runWorkload(cfg, mixByName("ILP2"), b);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(b));
     std::ostringstream os;
     writeJsonReport(run, nullptr, os);
     EXPECT_TRUE(structurallyValid(os.str()));

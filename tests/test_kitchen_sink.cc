@@ -22,9 +22,9 @@ TEST(KitchenSink, OooPlusPrefetchPlusCoScaleHoldsBound)
     cfg.llc.prefetchNextLine = true;
 
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MIX3"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MIX3")).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MIX3"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MIX3")).with(policy));
     Comparison c = compare(base, run);
 
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.008);
@@ -46,9 +46,9 @@ TEST(KitchenSink, MultiScaleUnderContextSwitching)
 
     auto apps = expandMix(mixByName("MIX2"), 12, cfg.instrBudget);
     BaselinePolicy b;
-    RunResult base = runApps(cfg, "ms-sched", apps, b);
+    RunResult base = coscale::run(RunRequest::forApps(cfg, "ms-sched", apps).with(b));
     MultiScalePolicy policy(12, cfg.gamma);
-    RunResult run = runApps(cfg, "ms-sched", apps, policy);
+    RunResult run = coscale::run(RunRequest::forApps(cfg, "ms-sched", apps).with(policy));
     Comparison c = compare(base, run);
 
     EXPECT_LE(c.avgDegradation, cfg.gamma + 0.01);
@@ -61,9 +61,9 @@ TEST(KitchenSink, CoarseLaddersEndToEnd)
     cfg.coreLadder = defaultCoreLadder(4);
     cfg.memLadder = defaultMemLadder(4);
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID3"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MID3"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
     EXPECT_GT(c.fullSystemSavings, 0.05);
@@ -80,9 +80,9 @@ TEST(KitchenSink, OpenPagePlusCoScale)
     SystemConfig cfg = makeScaledConfig(0.05);
     cfg.openPage = true;
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID1"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
     EXPECT_GT(c.fullSystemSavings, 0.05);
@@ -97,9 +97,9 @@ TEST(KitchenSink, HalfVoltagePlusMemHeavyRatio)
     cfg.coreLadder = halfVoltageCoreLadder();
     cfg.power.mem.memPowerMultiplier = 2.0;
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID2"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID2")).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MID2"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MID2")).with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
     EXPECT_GT(c.memSavings, c.cpuSavings);

@@ -157,11 +157,11 @@ TEST(MultiScalePolicy, BeatsUniformOnHeterogeneousMix)
     const WorkloadMix &mix = mixByName("MIX2");
 
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mix, b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mix).with(b));
     MemScalePolicy uniform(cfg.numCores, cfg.gamma);
-    Comparison cu = compare(base, runWorkload(cfg, mix, uniform));
+    Comparison cu = compare(base, coscale::run(RunRequest::forMix(cfg, mix).with(uniform)));
     MultiScalePolicy multi(cfg.numCores, cfg.gamma);
-    RunResult mul = runWorkload(cfg, mix, multi);
+    RunResult mul = coscale::run(RunRequest::forMix(cfg, mix).with(multi));
     Comparison cm = compare(base, mul);
 
     EXPECT_GT(cm.memSavings, cu.memSavings + 0.02);
@@ -174,7 +174,7 @@ TEST(MultiScalePolicy, ChannelsDivergeUnderImbalance)
     cfg.geom.addrMap = AddrMap::RegionPerChannel;
     cfg.power.geom = cfg.geom;
     MultiScalePolicy multi(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("MIX2"), multi);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MIX2")).with(multi));
     ASSERT_GT(r.epochs.size(), 4u);
     const auto &e = r.epochs[r.epochs.size() / 2];
     ASSERT_EQ(e.applied.chanIdx.size(), 4u);
@@ -196,11 +196,11 @@ TEST(MultiScalePolicy, MatchesUniformOnBalancedMix)
     const WorkloadMix &mix = mixByName("MID1");
 
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mix, b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mix).with(b));
     MemScalePolicy uniform(cfg.numCores, cfg.gamma);
-    Comparison cu = compare(base, runWorkload(cfg, mix, uniform));
+    Comparison cu = compare(base, coscale::run(RunRequest::forMix(cfg, mix).with(uniform)));
     MultiScalePolicy multi(cfg.numCores, cfg.gamma);
-    Comparison cm = compare(base, runWorkload(cfg, mix, multi));
+    Comparison cm = compare(base, coscale::run(RunRequest::forMix(cfg, mix).with(multi)));
     EXPECT_NEAR(cm.memSavings, cu.memSavings, 0.05);
 }
 

@@ -211,9 +211,9 @@ TEST_P(AllMixes, CoScaleBoundAndSavings)
         table1Mixes()[static_cast<size_t>(GetParam())];
     SystemConfig cfg = makeScaledConfig(0.03);
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mix, b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mix).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mix, policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mix).with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006) << mix.name;
     EXPECT_GT(c.fullSystemSavings, 0.06) << mix.name;

@@ -25,7 +25,7 @@ TEST(Runner, WarmupEpochsRunAtMax)
     SystemConfig cfg = smallConfig();
     cfg.warmupEpochs = 3;
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("MID3"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(policy));
     ASSERT_GE(r.epochs.size(), 4u);
     for (int e = 0; e < 3; ++e) {
         EXPECT_EQ(r.epochs[static_cast<size_t>(e)].applied.memIdx, 0);
@@ -47,7 +47,7 @@ TEST(Runner, EpochLogIsChronological)
 {
     SystemConfig cfg = smallConfig();
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("ILP2"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(policy));
     ASSERT_GE(r.epochs.size(), 2u);
     for (size_t e = 1; e < r.epochs.size(); ++e) {
         EXPECT_EQ(r.epochs[e].startTick - r.epochs[e - 1].startTick,
@@ -61,7 +61,7 @@ TEST(Runner, EnergyBoundedByPeakPowerTimesRuntime)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult r = runWorkload(cfg, mixByName("MID1"), b);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(b));
     double secs = ticksToSeconds(r.finishTick);
     EXPECT_GT(r.totalEnergyJ(), 50.0 * secs);   // > 50 W floor
     EXPECT_LT(r.totalEnergyJ(), 400.0 * secs);  // < 400 W ceiling
@@ -71,7 +71,7 @@ TEST(Runner, FinishTickIsMaxOfAppCompletions)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult r = runWorkload(cfg, mixByName("MID2"), b);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID2")).with(b));
     Tick last = 0;
     for (Tick t : r.appCompletion)
         last = std::max(last, t);
@@ -83,8 +83,8 @@ TEST(Runner, CompareOfIdenticalRunsIsZero)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b1, b2;
-    RunResult a = runWorkload(cfg, mixByName("ILP2"), b1);
-    RunResult c = runWorkload(cfg, mixByName("ILP2"), b2);
+    RunResult a = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(b1));
+    RunResult c = coscale::run(RunRequest::forMix(cfg, mixByName("ILP2")).with(b2));
     Comparison cmp = compare(a, c);
     EXPECT_DOUBLE_EQ(cmp.fullSystemSavings, 0.0);
     EXPECT_DOUBLE_EQ(cmp.avgDegradation, 0.0);
@@ -96,7 +96,7 @@ TEST(Runner, TinyBudgetTerminatesCleanly)
     SystemConfig cfg = smallConfig();
     cfg.instrBudget = 10'000;  // finishes inside the first epoch
     CoScalePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     EXPECT_GT(r.totalInstrs, 16u * 10'000u);
     EXPECT_GT(r.totalEnergyJ(), 0.0);
     EXPECT_LT(ticksToSeconds(r.finishTick), 1.0);
@@ -106,12 +106,12 @@ TEST(Runner, PowerCapHoldsOverWholeRun)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID4"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID4")).with(b));
     double peak_w =
         base.totalEnergyJ() / ticksToSeconds(base.finishTick);
     double cap = peak_w * 0.85;
     PowerCapPolicy policy(cap);
-    RunResult r = runWorkload(cfg, mixByName("MID4"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID4")).with(policy));
     double avg_w = r.totalEnergyJ() / ticksToSeconds(r.finishTick);
     EXPECT_LE(avg_w, cap * 1.03);
     // Capping costs performance but not catastrophically.
@@ -125,17 +125,17 @@ TEST(Runner, GroupingAblationSavesLess)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID1"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(b));
 
     CoScalePolicy with_groups(cfg.numCores, cfg.gamma);
     Comparison c_full =
-        compare(base, runWorkload(cfg, mixByName("MID1"), with_groups));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(with_groups)));
 
     CoScaleOptions opts;
     opts.coreGrouping = false;
     CoScalePolicy without(cfg.numCores, cfg.gamma, opts);
     Comparison c_nogroup =
-        compare(base, runWorkload(cfg, mixByName("MID1"), without));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(without)));
 
     // Section 3.1: failing to consider group transitions gets the
     // heuristic stuck in local minima.
@@ -148,13 +148,13 @@ TEST(Runner, NoSlackCarryUsesLessBudget)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID3"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(b));
 
     CoScaleOptions opts;
     opts.carrySlack = false;
     CoScalePolicy policy(cfg.numCores, cfg.gamma, opts);
     Comparison c =
-        compare(base, runWorkload(cfg, mixByName("MID3"), policy));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(policy)));
     // Still safe, but leaves slack unused.
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.005);
     EXPECT_LT(c.avgDegradation, 0.095);
@@ -164,12 +164,12 @@ TEST(Runner, ChipWideDvfsKeepsCoresUniformAndSavesLess)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MIX3"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MIX3")).with(b));
 
     CoScaleOptions opts;
     opts.chipWideCpuDvfs = true;
     CoScalePolicy chip(cfg.numCores, cfg.gamma, opts);
-    RunResult chip_run = runWorkload(cfg, mixByName("MIX3"), chip);
+    RunResult chip_run = coscale::run(RunRequest::forMix(cfg, mixByName("MIX3")).with(chip));
     Comparison c_chip = compare(base, chip_run);
 
     // All cores share one frequency in every epoch.
@@ -182,7 +182,7 @@ TEST(Runner, ChipWideDvfsKeepsCoresUniformAndSavesLess)
     // On a heterogeneous mix, per-core domains buy extra savings.
     CoScalePolicy per_core(cfg.numCores, cfg.gamma);
     Comparison c_pc =
-        compare(base, runWorkload(cfg, mixByName("MIX3"), per_core));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MIX3")).with(per_core)));
     EXPECT_GE(c_pc.fullSystemSavings,
               c_chip.fullSystemSavings - 0.002);
 }
@@ -191,7 +191,7 @@ TEST(Runner, DramTrafficAccounted)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult r = runWorkload(cfg, mixByName("MEM3"), b);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MEM3")).with(b));
     EXPECT_GT(r.dramReads, 100'000u);
     EXPECT_GT(r.dramWrites, 10'000u);
     EXPECT_EQ(r.dramPrefetches, 0u);  // prefetcher off by default
@@ -202,7 +202,7 @@ TEST(Runner, EnergyPerInstrIsPlausible)
 {
     SystemConfig cfg = smallConfig();
     BaselinePolicy b;
-    RunResult r = runWorkload(cfg, mixByName("MID1"), b);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(b));
     // ~145 W over ~16 cores at ~2 GIPS each: a few nJ per instruction.
     EXPECT_GT(r.energyPerInstrNj(), 1.0);
     EXPECT_LT(r.energyPerInstrNj(), 50.0);

@@ -148,7 +148,7 @@ TEST(Scheduling, RunnerRotatesAtQuantum)
     cfg.instrBudget /= 4;  // keep the run short
     auto apps = makeApps(8, cfg.instrBudget);
     CoScalePolicy policy(8, cfg.gamma);  // slack per APPLICATION
-    RunResult r = runApps(cfg, "sched-mix", apps, policy);
+    RunResult r = coscale::run(RunRequest::forApps(cfg, "sched-mix", apps).with(policy));
     ASSERT_EQ(r.appCompletion.size(), 8u);
     for (Tick t : r.appCompletion)
         EXPECT_NE(t, maxTick);
@@ -169,9 +169,9 @@ TEST(Scheduling, CoScaleHoldsPerThreadBoundUnderScheduling)
     auto apps = makeApps(8, cfg.instrBudget);
 
     BaselinePolicy b;
-    RunResult base = runApps(cfg, "sched-mix", apps, b);
+    RunResult base = coscale::run(RunRequest::forApps(cfg, "sched-mix", apps).with(b));
     CoScalePolicy policy(8, cfg.gamma);
-    RunResult run = runApps(cfg, "sched-mix", apps, policy);
+    RunResult run = coscale::run(RunRequest::forApps(cfg, "sched-mix", apps).with(policy));
     Comparison c = compare(base, run);
 
     Tick min_base = maxTick;

@@ -81,9 +81,9 @@ TEST(Reactive, MeetsBoundAndSavesSomething)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID1"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(b));
     ReactivePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult run = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult run = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     Comparison c = compare(base, run);
     EXPECT_LE(c.worstDegradation, cfg.gamma + 0.006);
     EXPECT_GT(c.fullSystemSavings, 0.02);
@@ -95,14 +95,14 @@ TEST(Reactive, LosesToModelPredictiveCoScale)
     // converges slowly and cannot trade the knobs, so it saves less.
     SystemConfig cfg = makeScaledConfig(0.05);
     BaselinePolicy b;
-    RunResult base = runWorkload(cfg, mixByName("MID3"), b);
+    RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(b));
 
     ReactivePolicy reactive(cfg.numCores, cfg.gamma);
     Comparison c_r =
-        compare(base, runWorkload(cfg, mixByName("MID3"), reactive));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(reactive)));
     CoScalePolicy cs(cfg.numCores, cfg.gamma);
     Comparison c_cs =
-        compare(base, runWorkload(cfg, mixByName("MID3"), cs));
+        compare(base, coscale::run(RunRequest::forMix(cfg, mixByName("MID3")).with(cs)));
     EXPECT_GT(c_cs.fullSystemSavings, c_r.fullSystemSavings + 0.01);
 }
 
@@ -110,7 +110,7 @@ TEST(Reactive, StepsAreUniformAndIncremental)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
     ReactivePolicy policy(cfg.numCores, cfg.gamma);
-    RunResult r = runWorkload(cfg, mixByName("MID1"), policy);
+    RunResult r = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
     for (size_t e = 1; e < r.epochs.size(); ++e) {
         const auto &prev = r.epochs[e - 1].applied;
         const auto &cur = r.epochs[e].applied;
