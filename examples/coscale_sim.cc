@@ -33,6 +33,11 @@
  *     --json PATH        write a full JSON report of the (last) run
  *     --jsonl PATH       append one JSON line per run (all runs)
  *     --epochs           print the per-epoch frequency log
+ *     --trace PATH       write an epoch-level trace per run (run i
+ *                        of a sweep goes to PATH.i)
+ *     --trace-format F   jsonl (default) or chrome (load chrome
+ *                        traces in chrome://tracing or Perfetto)
+ *     --metrics          print each run's metrics registry (JSON)
  */
 
 #include <cstdio>
@@ -40,6 +45,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -76,6 +82,8 @@ struct Options
     std::string jsonPath;
     std::string jsonlPath;
     bool printEpochs = false;
+    TraceSpec trace;
+    bool metrics = false;
 };
 
 Options
@@ -129,6 +137,15 @@ parseArgs(int argc, char **argv)
             opt.jsonlPath = need(i);
         } else if (a == "--epochs") {
             opt.printEpochs = true;
+        } else if (a == "--trace") {
+            opt.trace.path = need(i);
+        } else if (a == "--trace-format") {
+            const char *v = need(i);
+            if (!parseTraceFormat(v, &opt.trace.format))
+                fatal("--trace-format must be jsonl or chrome, "
+                      "got '%s'", v);
+        } else if (a == "--metrics") {
+            opt.metrics = true;
         } else if (a == "--help" || a == "-h") {
             std::printf("see the header comment of "
                         "examples/coscale_sim.cc for options\n");
@@ -221,10 +238,13 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv);
     SystemConfig cfg = makeConfig(opt);
 
-    PolicyFactory factory = exp::policyFactoryByName(
-        opt.policy, cfg.numCores, cfg.gamma, opt.cap);
-    if (!factory)
-        fatal("unknown policy '%s'", opt.policy.c_str());
+    PolicyFactory factory;
+    try {
+        factory = exp::requirePolicyFactory(opt.policy, cfg.numCores,
+                                            cfg.gamma, opt.cap);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
 
     std::vector<WorkloadMix> mixes;
     if (opt.mix == "all") {
@@ -237,6 +257,18 @@ main(int argc, char **argv)
     for (const auto &mix : mixes) {
         requests.push_back(
             RunRequest::forMix(cfg, mix).with(factory).withBaseline());
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+        if (opt.trace.enabled()) {
+            TraceSpec spec = opt.trace;
+            if (requests.size() > 1) {
+                spec.path += '.';
+                spec.path += std::to_string(i);
+            }
+            requests[i].withTrace(spec);
+        }
+        if (opt.metrics)
+            requests[i].withMetrics();
     }
 
     exp::EngineOptions engineOpts;
@@ -273,6 +305,19 @@ main(int argc, char **argv)
         }
     }
     exp::appendJsonlReport(outcomes, opt.jsonlPath);
+
+    if (opt.metrics) {
+        for (const auto &out : outcomes) {
+            if (!out.ok || !out.result.metrics)
+                continue;
+            std::ostringstream ms;
+            out.result.metrics->writeJson(ms);
+            std::fprintf(stderr, "[metrics] %s %s %s\n",
+                         out.result.mixName.c_str(),
+                         out.result.policyName.c_str(),
+                         ms.str().c_str());
+        }
+    }
 
     return exp::reportFailures(outcomes) == 0 ? 0 : 1;
 }

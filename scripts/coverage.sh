@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Measure line coverage of src/ and enforce the committed floor.
+#
+# Usage:
+#   scripts/coverage.sh <build-dir> [--update-baseline]
+#
+# <build-dir> must have been configured with -DCOSCALE_COVERAGE=ON and
+# the tests run (ctest) so the .gcda counters exist. The script runs
+# gcov in JSON mode over every instrumented object under
+# <build-dir>/src, unions the per-line counters across translation
+# units (a header line is covered if any TU covered it), and prints
+# the line-coverage percentage of src/. With --update-baseline the
+# number is written to scripts/coverage_baseline.txt; otherwise the
+# script exits non-zero when coverage fell more than 0.1 points below
+# the baseline. Only gcov and python3 are required — both ship with
+# the toolchain, so CI and local runs agree to the digit.
+set -euo pipefail
+
+build_dir=${1:?usage: scripts/coverage.sh <build-dir> [--update-baseline]}
+mode=${2:-check}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=$(cd "$build_dir" && pwd)
+baseline_file="$repo_root/scripts/coverage_baseline.txt"
+
+if ! find "$build_dir/src" -name '*.gcda' -print -quit | grep -q .; then
+    echo "coverage.sh: no .gcda files under $build_dir/src" >&2
+    echo "  (configure with -DCOSCALE_COVERAGE=ON and run ctest first)" >&2
+    exit 2
+fi
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+# gcov drops its .gcov.json.gz reports in the working directory.
+(
+    cd "$workdir"
+    find "$build_dir/src" -name '*.gcda' -print0 \
+        | xargs -0 gcov --json-format --preserve-paths >/dev/null
+)
+
+percent=$(python3 - "$workdir" "$repo_root" <<'PY'
+import glob, gzip, json, os, sys
+
+workdir, repo_root = sys.argv[1], sys.argv[2]
+src_prefix = os.path.join(repo_root, "src") + os.sep
+
+# (file, line) -> hit anywhere?  Union semantics across TUs.
+lines = {}
+for report in glob.glob(os.path.join(workdir, "*.gcov.json.gz")):
+    with gzip.open(report, "rt") as fh:
+        data = json.load(fh)
+    for f in data.get("files", []):
+        path = os.path.normpath(
+            os.path.join(data.get("current_working_directory", ""),
+                         f["file"]))
+        if not path.startswith(src_prefix):
+            continue
+        rel = os.path.relpath(path, repo_root)
+        for ln in f.get("lines", []):
+            key = (rel, ln["line_number"])
+            lines[key] = lines.get(key, False) or ln["count"] > 0
+
+total = len(lines)
+covered = sum(1 for hit in lines.values() if hit)
+if total == 0:
+    print("coverage.sh: no src/ lines in the gcov reports", file=sys.stderr)
+    sys.exit(2)
+print(f"{100.0 * covered / total:.2f} {covered} {total}")
+PY
+)
+
+read -r pct covered total <<<"$percent"
+echo "src/ line coverage: ${pct}% (${covered}/${total} lines)"
+
+if [ "$mode" = "--update-baseline" ]; then
+    echo "$pct" > "$baseline_file"
+    echo "baseline updated: $baseline_file"
+    exit 0
+fi
+
+if [ ! -f "$baseline_file" ]; then
+    echo "coverage.sh: missing $baseline_file" >&2
+    echo "  (create it with: scripts/coverage.sh $build_dir --update-baseline)" >&2
+    exit 2
+fi
+
+baseline=$(cat "$baseline_file")
+ok=$(python3 -c "print(1 if $pct + 0.1 >= $baseline else 0)")
+if [ "$ok" != "1" ]; then
+    echo "FAIL: coverage ${pct}% is below the committed baseline" \
+         "${baseline}% (scripts/coverage_baseline.txt)" >&2
+    echo "  Add tests for the new code, or — if the drop is justified —" >&2
+    echo "  regenerate the baseline with --update-baseline and explain" >&2
+    echo "  why in the commit message." >&2
+    exit 1
+fi
+echo "OK: baseline ${baseline}%"

@@ -126,6 +126,13 @@ class JsonWriter
     }
 
     void
+    value(std::uint64_t v)
+    {
+        comma();
+        os << v;
+    }
+
+    void
     value(const std::string &v)
     {
         comma();

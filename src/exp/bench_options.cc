@@ -27,14 +27,20 @@ printUsage(const char *prog)
 {
     std::printf(
         "usage: %s [scale] [--scale X] [--jobs N] [--jsonl PATH]\n"
-        "          [--progress]\n"
+        "          [--progress] [--trace PATH] [--trace-format FMT]\n"
+        "          [--metrics]\n"
         "  scale / --scale X  time scale in (0, 1]; 1.0 is the paper's\n"
         "                     full setup (default via COSCALE_SCALE or\n"
         "                     the harness default)\n"
         "  --jobs N           worker threads (default: COSCALE_JOBS,\n"
         "                     then hardware concurrency)\n"
         "  --jsonl PATH       append one JSON line per run to PATH\n"
-        "  --progress         per-run progress lines on stderr\n",
+        "  --progress         per-run progress lines on stderr\n"
+        "  --trace PATH       write an epoch-level trace per run\n"
+        "                     (request i of a batch goes to PATH.i)\n"
+        "  --trace-format F   jsonl (default) or chrome\n"
+        "                     (chrome://tracing / Perfetto JSON)\n"
+        "  --metrics          collect and print per-run metrics\n",
         prog);
 }
 
@@ -67,6 +73,15 @@ parseBenchArgs(int argc, char **argv, double defaultScale)
             opts.jobs = n;
         } else if (std::strcmp(arg, "--jsonl") == 0) {
             opts.jsonlPath = nextValue("--jsonl");
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opts.trace.path = nextValue("--trace");
+        } else if (std::strcmp(arg, "--trace-format") == 0) {
+            const char *v = nextValue("--trace-format");
+            if (!parseTraceFormat(v, &opts.trace.format))
+                fatal("--trace-format must be jsonl or chrome, "
+                      "got '%s'", v);
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            opts.metrics = true;
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
         } else if (std::strcmp(arg, "--help") == 0

@@ -12,6 +12,7 @@
 #include <string>
 
 #include "exp/engine.hh"
+#include "obs/trace_sink.hh"
 
 namespace coscale {
 namespace exp {
@@ -32,6 +33,34 @@ struct BenchOptions
 
     /** When non-empty, append one JSON line per run to this file. */
     std::string jsonlPath;
+
+    /**
+     * Epoch-trace destination (--trace PATH, --trace-format FMT).
+     * With several requests in a batch, request i writes to
+     * "PATH.i" so parallel runs never share a sink.
+     */
+    TraceSpec trace;
+
+    /** Collect and print per-run metrics registries (--metrics). */
+    bool metrics = false;
+
+    /**
+     * Apply the trace/metrics surface to one request of a batch of
+     * @p total (suffixes the trace path for multi-request batches).
+     */
+    void
+    applyObs(RunRequest &req, std::size_t index,
+             std::size_t total) const
+    {
+        if (trace.enabled()) {
+            TraceSpec spec = trace;
+            if (total > 1)
+                spec.path += "." + std::to_string(index);
+            req.withTrace(spec);
+        }
+        if (metrics)
+            req.withMetrics();
+    }
 
     EngineOptions
     engineOptions() const

@@ -1,6 +1,7 @@
 #include "exp/engine.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -43,6 +44,7 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
     RunOutcome out;
     out.index = index;
     out.label = req.label;
+    auto t0 = std::chrono::steady_clock::now();
     try {
         if (!req.makePolicy) {
             throw std::invalid_argument(
@@ -64,6 +66,14 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
     } catch (...) {
         out.error = "unknown exception";
     }
+    out.wallSecs = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    // Host-side timing goes into the run's metrics registry (wall
+    // time is inherently nondeterministic, so it must never leak into
+    // traces or JSON reports).
+    if (out.ok && out.result.metrics)
+        out.result.metrics->gauge("engine.wall_secs").set(out.wallSecs);
     return out;
 }
 
@@ -88,8 +98,10 @@ ExperimentEngine::run(const std::vector<RunRequest> &requests)
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (options.progress) {
                 std::lock_guard<std::mutex> lock(progressMu);
-                std::fprintf(stderr, "[exp] %zu/%zu %s%s\n", finished,
-                             requests.size(), outcomes[i].label.c_str(),
+                std::fprintf(stderr, "[exp] %zu/%zu %s (%.2fs)%s\n",
+                             finished, requests.size(),
+                             outcomes[i].label.c_str(),
+                             outcomes[i].wallSecs,
                              outcomes[i].ok ? ""
                                             : " (FAILED)");
             }
@@ -100,8 +112,18 @@ ExperimentEngine::run(const std::vector<RunRequest> &requests)
     if (static_cast<std::size_t>(workers) > requests.size())
         workers = static_cast<int>(requests.size());
 
+    auto poolSummary = [&] {
+        if (!options.progress)
+            return;
+        std::fprintf(stderr,
+                     "[exp] baseline pool: %llu hits, %llu misses\n",
+                     static_cast<unsigned long long>(pool().hits()),
+                     static_cast<unsigned long long>(pool().misses()));
+    };
+
     if (workers <= 1) {
         worker();
+        poolSummary();
         return outcomes;
     }
 
@@ -111,6 +133,7 @@ ExperimentEngine::run(const std::vector<RunRequest> &requests)
         threads.emplace_back(worker);
     for (std::thread &t : threads)
         t.join();
+    poolSummary();
     return outcomes;
 }
 

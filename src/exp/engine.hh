@@ -59,6 +59,13 @@ struct RunOutcome
 
     RunResult result;        //!< valid when ok
 
+    /**
+     * Host wall-clock seconds spent executing this request (including
+     * a memoized-baseline wait, if any). Diagnostic only — never part
+     * of JSON reports, which must stay deterministic.
+     */
+    double wallSecs = 0.0;
+
     /** Filled when the request asked for a baseline comparison. */
     bool hasBaseline = false;
     Comparison vsBaseline;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <memory>
+#include <stdexcept>
 
 #include "policy/coscale_policy.hh"
 #include "policy/multiscale.hh"
@@ -37,6 +38,18 @@ paperPolicyNames()
     static const std::vector<std::string> names = {
         "MemScale",  "CPUOnly", "Uncoordinated",
         "Semi-coordinated", "CoScale", "Offline",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+knownPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline",  "reactive",         "memscale",
+        "cpuonly",   "uncoordinated",    "semi",
+        "semi-alt",  "coscale",          "coscale-chipwide",
+        "offline",   "multiscale",       "powercap",
     };
     return names;
 }
@@ -108,6 +121,23 @@ policyFactoryByName(const std::string &name, int cores, double gamma,
         };
     }
     return {};
+}
+
+PolicyFactory
+requirePolicyFactory(const std::string &name, int cores, double gamma,
+                     double capWatts)
+{
+    PolicyFactory f = policyFactoryByName(name, cores, gamma, capWatts);
+    if (f)
+        return f;
+    std::string msg = "unknown policy '" + name + "'; valid names: ";
+    const std::vector<std::string> &known = knownPolicyNames();
+    for (size_t i = 0; i < known.size(); ++i) {
+        if (i)
+            msg += ", ";
+        msg += known[i];
+    }
+    throw std::invalid_argument(msg);
 }
 
 } // namespace exp

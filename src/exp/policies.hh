@@ -25,15 +25,31 @@ namespace exp {
 const std::vector<std::string> &paperPolicyNames();
 
 /**
+ * Every accepted CLI spelling, in the order factories resolve them:
+ * baseline, reactive, memscale, cpuonly, uncoordinated, semi,
+ * semi-alt, coscale, coscale-chipwide, offline, multiscale, powercap.
+ */
+const std::vector<std::string> &knownPolicyNames();
+
+/**
  * A factory for the named policy, or an empty function for unknown
- * names. Accepts the paper names above plus the CLI spellings
- * (baseline, reactive, memscale, cpuonly, uncoordinated, semi,
- * semi-alt, coscale, coscale-chipwide, offline, multiscale,
- * powercap), case-insensitively. @p capWatts only affects powercap.
+ * names. Accepts the paper names above plus the CLI spellings from
+ * knownPolicyNames(), case-insensitively and ignoring '-', '_' and
+ * spaces. @p capWatts only affects powercap.
  */
 PolicyFactory policyFactoryByName(const std::string &name, int cores,
                                   double gamma,
                                   double capWatts = 120.0);
+
+/**
+ * As policyFactoryByName, but rejects unknown names with a
+ * std::invalid_argument whose message lists every valid spelling —
+ * the entry point CLI front ends should use so a typo produces a
+ * helpful error instead of an empty factory.
+ */
+PolicyFactory requirePolicyFactory(const std::string &name, int cores,
+                                   double gamma,
+                                   double capWatts = 120.0);
 
 } // namespace exp
 } // namespace coscale

@@ -105,13 +105,14 @@ Channel::nextEventTick()
 }
 
 Tick
-Channel::applyRefreshes(RankState &rank, Tick tick)
+Channel::applyRefreshes(RankState &rank, Tick tick, bool commit)
 {
     while (rank.nextRefreshDue <= tick) {
         Tick begin = std::max(rank.nextRefreshDue, rank.refreshUntil);
         rank.refreshUntil = begin + t.tRFC;
         rank.nextRefreshDue += t.tREFI;
-        stats.refreshes += 1;
+        if (commit)
+            stats.refreshes += 1;
         tick = std::max(tick, rank.refreshUntil);
     }
     return std::max(tick, rank.refreshUntil);
@@ -128,7 +129,7 @@ Channel::computeIssueTick(const MemReq &req)
     if (cfg->openPage && bank.rowOpen && bank.openRow == c.row) {
         // Row hit: next CAS, no ACT required.
         Tick cas = std::max({req.arrival, bank.casReadyAt, haltUntil});
-        return applyRefreshes(rank_probe, cas);
+        return applyRefreshes(rank_probe, cas, /*commit=*/false);
     }
 
     Tick rrd_ready =
@@ -146,7 +147,7 @@ Channel::computeIssueTick(const MemReq &req)
             : bank.readyAt;
     Tick act = std::max({req.arrival, bank_ready, haltUntil,
                          rrd_ready, faw_ready});
-    return applyRefreshes(rank_probe, act);
+    return applyRefreshes(rank_probe, act, /*commit=*/false);
 }
 
 void

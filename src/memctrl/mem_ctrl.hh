@@ -143,8 +143,13 @@ class Channel
     /** Earliest ACT (or CAS for open-page hits) tick for @p req. */
     Tick computeIssueTick(const MemReq &req);
 
-    /** Apply refreshes due on @p rank before @p t; may push t later. */
-    Tick applyRefreshes(RankState &rank, Tick t);
+    /**
+     * Apply refreshes due on @p rank before @p t; may push t later.
+     * @p commit distinguishes the real issue path from the timing
+     * probes in computeIssueTick(), which run on a copy of the rank
+     * state and must not touch the refresh counter.
+     */
+    Tick applyRefreshes(RankState &rank, Tick t, bool commit = true);
 
     /** Account rank-active time for the power model. */
     void accountActive(RankState &rank, Tick from, Tick to);

@@ -1,0 +1,53 @@
+#include "obs/metrics.hh"
+
+#include "common/json.hh"
+
+namespace coscale {
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    JsonWriter j(os);
+    j.beginObject();
+
+    j.beginObject("counters");
+    for (const auto &[name, c] : counters_)
+        j.field(name, c.value());
+    j.endObject();
+
+    j.beginObject("gauges");
+    for (const auto &[name, g] : gauges_)
+        j.field(name, g.value());
+    j.endObject();
+
+    j.beginObject("accums");
+    for (const auto &[name, a] : accums_) {
+        j.beginObject(name);
+        j.field("count", a.count());
+        j.field("sum", a.sum());
+        j.field("mean", a.mean());
+        j.field("min", a.min());
+        j.field("max", a.max());
+        j.endObject();
+    }
+    j.endObject();
+
+    j.beginObject("histograms");
+    for (const auto &[name, h] : hists_) {
+        j.beginObject(name);
+        j.field("lo", h.low());
+        j.field("hi", h.high());
+        j.field("underflow", h.underflow());
+        j.field("overflow", h.overflow());
+        j.beginArray("buckets");
+        for (int b = 0; b < h.numBuckets(); ++b)
+            j.value(h.bucket(b));
+        j.endArray();
+        j.endObject();
+    }
+    j.endObject();
+
+    j.endObject();
+}
+
+} // namespace coscale

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A registry of named run metrics — counters, gauges, scalar
+ * accumulators, and histograms — built on the stats/accum.hh
+ * primitives. One registry belongs to one run (or one engine batch);
+ * nothing here takes a lock.
+ *
+ * Names are stored in ordered maps and serialised sorted, so a
+ * registry's JSON dump is deterministic: same run, same bytes.
+ */
+
+#ifndef COSCALE_OBS_METRICS_HH
+#define COSCALE_OBS_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "stats/accum.hh"
+
+namespace coscale {
+
+/** Named counters/gauges/accumulators/histograms for one run. */
+class MetricsRegistry
+{
+  public:
+    /** Monotonic event count. */
+    class Counter
+    {
+      public:
+        void inc(std::uint64_t by = 1) { n += by; }
+        std::uint64_t value() const { return n; }
+
+      private:
+        std::uint64_t n = 0;
+    };
+
+    /** Last-write-wins scalar. */
+    class Gauge
+    {
+      public:
+        void set(double value) { v = value; }
+        double value() const { return v; }
+
+      private:
+        double v = 0.0;
+    };
+
+    /** The counter named @p name, created on first use. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+
+    Accum &accum(const std::string &name) { return accums_[name]; }
+
+    /**
+     * The histogram named @p name; the bounds apply only on first
+     * use (an existing histogram is returned as-is).
+     */
+    Histogram &
+    histogram(const std::string &name, double lo, double hi, int buckets)
+    {
+        auto it = hists_.find(name);
+        if (it == hists_.end()) {
+            it = hists_.emplace(name, Histogram(lo, hi, buckets)).first;
+        }
+        return it->second;
+    }
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && gauges_.empty() && accums_.empty()
+               && hists_.empty();
+    }
+
+    /**
+     * One deterministic JSON object:
+     *   {"counters":{...},"gauges":{...},
+     *    "accums":{name:{count,sum,mean,min,max}},
+     *    "histograms":{name:{lo,hi,underflow,overflow,buckets:[...]}}}
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Accum> accums_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_OBS_METRICS_HH

@@ -1,0 +1,193 @@
+#include "obs/trace_sink.hh"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json.hh"
+
+namespace coscale {
+
+namespace {
+
+/** Emit one field into an open JSON object. */
+void
+writeField(JsonWriter &j, const TraceField &fld)
+{
+    switch (fld.kind) {
+      case TraceField::Kind::F64:
+        j.field(fld.key, fld.f64);
+        break;
+      case TraceField::Kind::U64:
+        j.field(fld.key, fld.u64);
+        break;
+      case TraceField::Kind::I64:
+        j.field(fld.key, static_cast<int>(fld.i64));
+        break;
+      case TraceField::Kind::Str:
+        j.field(fld.key, fld.str);
+        break;
+      case TraceField::Kind::F64Vec:
+        j.beginArray(fld.key);
+        for (double v : fld.f64v)
+            j.value(v);
+        j.endArray();
+        break;
+      case TraceField::Kind::IntVec:
+        j.beginArray(fld.key);
+        for (int v : fld.intv)
+            j.value(v);
+        j.endArray();
+        break;
+    }
+}
+
+bool
+isScalarNumber(const TraceField &fld)
+{
+    return fld.kind == TraceField::Kind::F64
+           || fld.kind == TraceField::Kind::U64
+           || fld.kind == TraceField::Kind::I64;
+}
+
+/** File-owning wrapper around either streaming backend. */
+class FileTraceSink final : public TraceSink
+{
+  public:
+    FileTraceSink(const std::string &path, TraceFormat format)
+        : out(path)
+    {
+        if (!out)
+            throw std::runtime_error("cannot open trace file '" + path
+                                     + "'");
+        if (format == TraceFormat::Chrome)
+            inner = std::make_unique<ChromeTraceSink>(out);
+        else
+            inner = std::make_unique<JsonlTraceSink>(out);
+    }
+
+    void write(const TraceEvent &ev) override { inner->write(ev); }
+
+    void
+    finish() override
+    {
+        inner->finish();
+        out.flush();
+    }
+
+  private:
+    std::ofstream out;
+    std::unique_ptr<TraceSink> inner;
+};
+
+} // namespace
+
+bool
+parseTraceFormat(const std::string &text, TraceFormat *out)
+{
+    if (text == "jsonl") {
+        *out = TraceFormat::Jsonl;
+        return true;
+    }
+    if (text == "chrome") {
+        *out = TraceFormat::Chrome;
+        return true;
+    }
+    return false;
+}
+
+const TraceField *
+TraceEvent::find(const std::string &key) const
+{
+    for (const TraceField &fld : fieldVec) {
+        if (fld.key == key)
+            return &fld;
+    }
+    return nullptr;
+}
+
+double
+TraceEvent::num(const std::string &key) const
+{
+    const TraceField *fld = find(key);
+    if (!fld)
+        return 0.0;
+    switch (fld->kind) {
+      case TraceField::Kind::F64:
+        return fld->f64;
+      case TraceField::Kind::U64:
+        return static_cast<double>(fld->u64);
+      case TraceField::Kind::I64:
+        return static_cast<double>(fld->i64);
+      default:
+        return 0.0;
+    }
+}
+
+void
+JsonlTraceSink::write(const TraceEvent &ev)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("tick", static_cast<std::uint64_t>(ev.tick()));
+    j.field("cat", ev.category());
+    j.field("name", ev.name());
+    j.beginObject("args");
+    for (const TraceField &fld : ev.fields())
+        writeField(j, fld);
+    j.endObject();
+    j.endObject();
+    os << "\n";
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os(os)
+{
+    os << "{\"traceEvents\":[\n";
+}
+
+void
+ChromeTraceSink::write(const TraceEvent &ev)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+
+    bool counter = !ev.fields().empty();
+    for (const TraceField &fld : ev.fields())
+        counter = counter && isScalarNumber(fld);
+
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("name", ev.name());
+    j.field("cat", ev.category());
+    j.field("ph", counter ? "C" : "i");
+    if (!counter)
+        j.field("s", "g");
+    // trace_event timestamps are microseconds; ticks are picoseconds.
+    j.field("ts", static_cast<double>(ev.tick()) / 1e6);
+    j.field("pid", 0);
+    j.field("tid", 0);
+    j.beginObject("args");
+    for (const TraceField &fld : ev.fields())
+        writeField(j, fld);
+    j.endObject();
+    j.endObject();
+}
+
+void
+ChromeTraceSink::finish()
+{
+    if (!finished) {
+        os << "\n]}\n";
+        finished = true;
+    }
+    os.flush();
+}
+
+std::unique_ptr<TraceSink>
+openTraceSink(const TraceSpec &spec)
+{
+    return std::make_unique<FileTraceSink>(spec.path, spec.format);
+}
+
+} // namespace coscale

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * The epoch-level tracing layer: structured, sim-tick-timestamped
+ * events emitted at epoch boundaries (and other coarse simulation
+ * milestones) through a pluggable TraceSink.
+ *
+ * Determinism contract (see DESIGN.md, "Observability"): every event
+ * is a pure function of the run that produced it. Timestamps are
+ * simulated ticks, never wall-clock; doubles are formatted with a
+ * fixed printf conversion; field order is the emission order. Two
+ * identical RunRequests therefore produce byte-identical trace files
+ * regardless of thread count or host — which is what lets the test
+ * suite check traces in as golden fixtures.
+ *
+ * Hot-path cost contract: the disabled state is a null pointer, so
+ * instrumented code guards with a single branch and builds no event.
+ * Sinks are owned by exactly one run (no sharing across engine
+ * workers), so no backend takes a lock.
+ */
+
+#ifndef COSCALE_OBS_TRACE_SINK_HH
+#define COSCALE_OBS_TRACE_SINK_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace coscale {
+
+/** On-disk encodings understood by openTraceSink(). */
+enum class TraceFormat
+{
+    Jsonl,   //!< one JSON object per line (the golden-fixture form)
+    Chrome,  //!< chrome://tracing / Perfetto trace_event JSON
+};
+
+/** Parse "jsonl" / "chrome"; returns false on anything else. */
+bool parseTraceFormat(const std::string &text, TraceFormat *out);
+
+/** A --trace request: destination path plus encoding. */
+struct TraceSpec
+{
+    std::string path;  //!< empty = tracing disabled
+    TraceFormat format = TraceFormat::Jsonl;
+
+    bool enabled() const { return !path.empty(); }
+};
+
+/** One typed key/value pair of a trace event. */
+struct TraceField
+{
+    enum class Kind
+    {
+        F64,
+        U64,
+        I64,
+        Str,
+        F64Vec,
+        IntVec,
+    };
+
+    std::string key;
+    Kind kind = Kind::F64;
+    double f64 = 0.0;
+    std::uint64_t u64 = 0;
+    std::int64_t i64 = 0;
+    std::string str;
+    std::vector<double> f64v;
+    std::vector<int> intv;
+};
+
+/**
+ * A structured trace event: tick, category, name, and ordered fields.
+ * Built with the chainable f() appenders and handed to a sink by
+ * value:
+ *
+ *   sink->write(TraceEvent(now, "epoch", "epoch")
+ *                   .f("mem_idx", cfg.memIdx)
+ *                   .f("cpu_w", power.cpuW));
+ */
+class TraceEvent
+{
+  public:
+    TraceEvent(Tick tick, std::string category, std::string name)
+        : tickAt(tick), cat(std::move(category)), label(std::move(name))
+    {
+    }
+
+    TraceEvent &
+    f(const char *key, double v)
+    {
+        TraceField fld;
+        fld.key = key;
+        fld.kind = TraceField::Kind::F64;
+        fld.f64 = v;
+        fieldVec.push_back(std::move(fld));
+        return *this;
+    }
+
+    TraceEvent &
+    f(const char *key, std::uint64_t v)
+    {
+        TraceField fld;
+        fld.key = key;
+        fld.kind = TraceField::Kind::U64;
+        fld.u64 = v;
+        fieldVec.push_back(std::move(fld));
+        return *this;
+    }
+
+    TraceEvent &
+    f(const char *key, int v)
+    {
+        TraceField fld;
+        fld.key = key;
+        fld.kind = TraceField::Kind::I64;
+        fld.i64 = v;
+        fieldVec.push_back(std::move(fld));
+        return *this;
+    }
+
+    TraceEvent &
+    f(const char *key, const std::string &v)
+    {
+        TraceField fld;
+        fld.key = key;
+        fld.kind = TraceField::Kind::Str;
+        fld.str = v;
+        fieldVec.push_back(std::move(fld));
+        return *this;
+    }
+
+    TraceEvent &
+    f(const char *key, std::vector<double> v)
+    {
+        TraceField fld;
+        fld.key = key;
+        fld.kind = TraceField::Kind::F64Vec;
+        fld.f64v = std::move(v);
+        fieldVec.push_back(std::move(fld));
+        return *this;
+    }
+
+    TraceEvent &
+    f(const char *key, std::vector<int> v)
+    {
+        TraceField fld;
+        fld.key = key;
+        fld.kind = TraceField::Kind::IntVec;
+        fld.intv = std::move(v);
+        fieldVec.push_back(std::move(fld));
+        return *this;
+    }
+
+    Tick tick() const { return tickAt; }
+    const std::string &category() const { return cat; }
+    const std::string &name() const { return label; }
+    const std::vector<TraceField> &fields() const { return fieldVec; }
+
+    /** The field named @p key, or nullptr. */
+    const TraceField *find(const std::string &key) const;
+
+    /** Numeric value of field @p key (0.0 when absent/non-numeric). */
+    double num(const std::string &key) const;
+
+  private:
+    Tick tickAt;
+    std::string cat;
+    std::string label;
+    std::vector<TraceField> fieldVec;
+};
+
+/**
+ * Where trace events go. The null backend is simply a nullptr
+ * TraceSink* — instrumentation sites branch on the pointer and never
+ * construct an event when tracing is off.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    TraceSink() = default;
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    virtual void write(const TraceEvent &ev) = 0;
+
+    /**
+     * Write any trailer and flush. Idempotent. The runner finishes
+     * sinks it opened from a TraceSpec; a borrowed sink
+     * (RunRequest::withTrace(TraceSink&)) is finished by its owner.
+     */
+    virtual void finish() {}
+};
+
+/** JSONL backend: one self-contained JSON object per event line. */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    explicit JsonlTraceSink(std::ostream &os) : os(os) {}
+
+    void write(const TraceEvent &ev) override;
+    void finish() override { os.flush(); }
+
+  private:
+    std::ostream &os;
+};
+
+/**
+ * Chrome trace_event backend ({"traceEvents":[...]}): events whose
+ * fields are all scalar numbers become counter ("C") events — they
+ * plot as tracks in chrome://tracing / Perfetto — and everything else
+ * becomes a global instant ("i") event carrying its args verbatim.
+ * Timestamps are simulated microseconds (tick / 1e6).
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    explicit ChromeTraceSink(std::ostream &os);
+
+    void write(const TraceEvent &ev) override;
+    void finish() override;
+
+  private:
+    std::ostream &os;
+    bool first = true;
+    bool finished = false;
+};
+
+/** In-memory backend for tests: keeps every event, loses nothing to
+ *  formatting. */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void write(const TraceEvent &ev) override { eventVec.push_back(ev); }
+
+    const std::vector<TraceEvent> &events() const { return eventVec; }
+
+  private:
+    std::vector<TraceEvent> eventVec;
+};
+
+/**
+ * Open a file-backed sink for @p spec (which must be enabled()).
+ * Throws std::runtime_error when the file cannot be created.
+ */
+std::unique_ptr<TraceSink> openTraceSink(const TraceSpec &spec);
+
+} // namespace coscale
+
+#endif // COSCALE_OBS_TRACE_SINK_HH

@@ -181,6 +181,13 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
         cores_dirty = true;
     };
 
+    // Search telemetry (obs/): candidates = SER evaluations,
+    // including the all-max starting point.
+    std::uint64_t candidates = 1;
+    std::uint64_t mem_steps = 0;
+    std::uint64_t group_steps = 0;
+    int max_group = 0;
+
     // Main loop of Fig. 2.
     while (true) {
         bool mem_ok = mem_feasible();
@@ -223,12 +230,17 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
             group = best_group;
         }
 
-        if (step_is_mem)
+        if (step_is_mem) {
             apply_mem_step();
-        else
+            mem_steps += 1;
+        } else {
             apply_group_step(group);
+            group_steps += 1;
+            max_group = std::max(max_group, group);
+        }
 
         double ser = ev.ser(cfg);
+        candidates += 1;
         if (recording) {
             walk.push_back(SearchStep{cfg, ser, step_is_mem,
                                       step_is_mem ? 0 : group});
@@ -239,6 +251,10 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
         }
     }
 
+    if (obsEnabled()) {
+        traceSearch(candidates, mem_steps, group_steps, max_group,
+                    best_ser);
+    }
     return best;
 }
 

@@ -92,6 +92,8 @@ class CoScalePolicy : public Policy
 
     double slackGamma() const override { return tracker.gamma(); }
 
+    const SlackTracker *slackLedger() const override { return &tracker; }
+
     /** Record the greedy walk of the next decide() calls. */
     void recordWalk(bool on) { recording = on; }
     const std::vector<SearchStep> &lastWalk() const { return walk; }

@@ -69,7 +69,11 @@ MultiScalePolicy::decide(const SystemProfile &profile,
     if (channels == 0) {
         // No per-channel profile available: behave like MemScale.
         std::vector<double> ref = refTpis(em, profile, cfg);
-        cfg.memIdx = memOnlyBest(em, profile, cfg.coreIdx, allowed);
+        SearchStats stats;
+        cfg.memIdx = memOnlyBest(em, profile, cfg.coreIdx, allowed,
+                                 obsEnabled() ? &stats : nullptr);
+        if (obsEnabled())
+            traceSearch(stats.candidates, 0, 0, 0, stats.bestSer);
         return cfg;
     }
 
@@ -144,6 +148,7 @@ MultiScalePolicy::decide(const SystemProfile &profile,
 
     cfg.chanIdx.assign(static_cast<size_t>(channels), 0);
     double best_ser = 1.0;
+    std::uint64_t candidates = 0;
     std::vector<int> pick(static_cast<size_t>(channels), 0);
     for (double cap : caps) {
         double worst = 1.0;
@@ -163,6 +168,7 @@ MultiScalePolicy::decide(const SystemProfile &profile,
             p_mem += p_ch[sc][static_cast<size_t>(m_pick)];
         }
         double ser = worst * (p_base - p_mem_max + p_mem) / p_base;
+        candidates += 1;
         if (ser < best_ser) {
             best_ser = ser;
             cfg.chanIdx = pick;
@@ -173,6 +179,8 @@ MultiScalePolicy::decide(const SystemProfile &profile,
     // loggers that only understand memIdx.
     cfg.memIdx = *std::min_element(cfg.chanIdx.begin(),
                                    cfg.chanIdx.end());
+    if (obsEnabled())
+        traceSearch(candidates, 0, 0, 0, best_ser);
     return cfg;
 }
 

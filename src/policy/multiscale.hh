@@ -44,6 +44,8 @@ class MultiScalePolicy final : public Policy
 
     double slackGamma() const override { return tracker.gamma(); }
 
+    const SlackTracker *slackLedger() const override { return &tracker; }
+
   private:
     /**
      * Reference (all-max) TPI of core @p i, evaluated against its

@@ -32,6 +32,8 @@ class OfflinePolicy final : public Policy
 
     double slackGamma() const override { return tracker.gamma(); }
 
+    const SlackTracker *slackLedger() const override { return &tracker; }
+
     FreqConfig
     decide(const SystemProfile &profile, const EnergyModel &em,
            const FreqConfig &, Tick epoch_len) override
@@ -41,7 +43,12 @@ class OfflinePolicy final : public Policy
         std::vector<double> ref = refTpis(em, profile, all_max);
         std::vector<double> allowed =
             allowedTpis(tracker, ref, epoch_len, profile.appOnCore);
-        return exhaustiveBest(em, profile, allowed);
+        SearchStats stats;
+        FreqConfig pick = exhaustiveBest(
+            em, profile, allowed, obsEnabled() ? &stats : nullptr);
+        if (obsEnabled())
+            traceSearch(stats.candidates, 0, 0, 0, stats.bestSer);
+        return pick;
     }
 
     void

@@ -21,6 +21,8 @@
 #include "common/types.hh"
 #include "model/energy_model.hh"
 #include "model/perf_model.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 
 namespace coscale {
 
@@ -146,6 +148,65 @@ class Policy
      * ledger; policies without a ledger report the paper's default.
      */
     virtual double slackGamma() const { return 0.10; }
+
+    /**
+     * This policy's slack ledger, or nullptr for ledger-free policies
+     * (Baseline, PowerCap). The runner traces it per epoch.
+     */
+    virtual const SlackTracker *slackLedger() const { return nullptr; }
+
+    // --- observability wiring (obs/) ---
+
+    /**
+     * Attach a per-run trace sink and metrics registry (either may be
+     * null). Called by the runner before the epoch loop and detached
+     * after it; policies emit search telemetry through traceSearch().
+     */
+    void
+    attachObs(TraceSink *sink, MetricsRegistry *metrics)
+    {
+        obsSink = sink;
+        obsMetrics = metrics;
+    }
+
+    /** Simulated tick stamped on search events (set before decide()). */
+    void setObsTick(Tick now) { obsTick = now; }
+
+  protected:
+    /**
+     * Emit one per-decision search summary: candidate configurations
+     * whose SER (or feasibility) was evaluated, gradient steps taken
+     * by dimension, the largest core group moved at once (Fig. 3),
+     * and the winning SER (negative for model-free policies).
+     */
+    void
+    traceSearch(std::uint64_t candidates, std::uint64_t mem_steps,
+                std::uint64_t group_steps, int max_group,
+                double best_ser) const
+    {
+        if (obsMetrics) {
+            obsMetrics->counter("search.decides").inc();
+            obsMetrics->counter("search.candidates").inc(candidates);
+            obsMetrics->counter("search.mem_steps").inc(mem_steps);
+            obsMetrics->counter("search.group_steps").inc(group_steps);
+            if (best_ser >= 0.0)
+                obsMetrics->accum("search.best_ser").sample(best_ser);
+        }
+        if (obsSink) {
+            obsSink->write(TraceEvent(obsTick, "search", name())
+                               .f("candidates", candidates)
+                               .f("mem_steps", mem_steps)
+                               .f("group_steps", group_steps)
+                               .f("max_group", max_group)
+                               .f("best_ser", best_ser));
+        }
+    }
+
+    bool obsEnabled() const { return obsSink || obsMetrics; }
+
+    TraceSink *obsSink = nullptr;
+    MetricsRegistry *obsMetrics = nullptr;
+    Tick obsTick = 0;
 };
 
 /** The no-energy-management baseline: everything at max frequency. */

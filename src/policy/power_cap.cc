@@ -17,6 +17,8 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     // profiling window suggested.
     double target = capWatts * 0.96;
     constexpr double eps = 1e-15;
+    std::uint64_t candidates = 1;
+    std::uint64_t mem_steps = 0;
     while (em.systemPower(profile, cfg) > target) {
         // Candidate steps: one memory step or one step on any core.
         double best_utility = -1.0;
@@ -33,6 +35,7 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
                     - em.relativeTime(profile, cfg),
                 eps);
             double u = d_power / d_perf;
+            candidates += 1;
             if (u > best_utility) {
                 best_utility = u;
                 best_next = next;
@@ -53,6 +56,7 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
                     - em.relativeTime(profile, cfg),
                 eps);
             double u = d_power / d_perf;
+            candidates += 1;
             if (u > best_utility) {
                 best_utility = u;
                 best_next = next;
@@ -64,8 +68,13 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
             overCap = true;  // everything already at minimum
             break;
         }
+        if (best_next.memIdx != cfg.memIdx)
+            mem_steps += 1;
         cfg = best_next;
     }
+    // The capping walk optimises power fit, not SER, so no best_ser.
+    if (obsEnabled())
+        traceSearch(candidates, mem_steps, 0, 0, -1.0);
     return cfg;
 }
 

@@ -47,17 +47,18 @@ configFeasible(const EnergyModel &em, const SystemProfile &profile,
 FreqConfig
 capScanBestForMem(const EnergyModel &em, const SystemProfile &profile,
                   int mem_idx, const std::vector<double> &allowed,
-                  double &out_ser)
+                  double &out_ser, SearchStats *stats)
 {
     SerEvaluator ev(em, profile);
     return capScanBestForMem(ev, em, profile, mem_idx, allowed,
-                             out_ser);
+                             out_ser, stats);
 }
 
 FreqConfig
 capScanBestForMem(const SerEvaluator &ev, const EnergyModel &em,
                   const SystemProfile &profile, int mem_idx,
-                  const std::vector<double> &allowed, double &out_ser)
+                  const std::vector<double> &allowed, double &out_ser,
+                  SearchStats *stats)
 {
     int n = static_cast<int>(profile.cores.size());
     int steps = em.cores().size();
@@ -92,6 +93,8 @@ capScanBestForMem(const SerEvaluator &ev, const EnergyModel &em,
     FreqConfig best = FreqConfig::allMax(n);
     best.memIdx = mem_idx;
     out_ser = ev.ser(best);
+    if (stats)
+        stats->candidates += 1;
 
     FreqConfig cand = best;
     for (double cap : caps) {
@@ -109,22 +112,28 @@ capScanBestForMem(const SerEvaluator &ev, const EnergyModel &em,
             cand.coreIdx[static_cast<size_t>(i)] = pick;
         }
         double s = ev.ser(cand);
+        if (stats)
+            stats->candidates += 1;
         if (s < out_ser) {
             out_ser = s;
             best = cand;
         }
     }
+    if (stats)
+        stats->bestSer = out_ser;
     return best;
 }
 
 FreqConfig
 exhaustiveBest(const EnergyModel &em, const SystemProfile &profile,
-               const std::vector<double> &allowed)
+               const std::vector<double> &allowed, SearchStats *stats)
 {
     int n = static_cast<int>(profile.cores.size());
     SerEvaluator ev(em, profile);
     FreqConfig best = FreqConfig::allMax(n);
     double best_ser = ev.ser(best);
+    if (stats)
+        stats->candidates += 1;
 
     for (int m = 0; m < em.mem().size(); ++m) {
         // The memory step must itself be admissible for all cores at
@@ -136,19 +145,21 @@ exhaustiveBest(const EnergyModel &em, const SystemProfile &profile,
             continue;
         double ser = 0.0;
         FreqConfig cand =
-            capScanBestForMem(ev, em, profile, m, allowed, ser);
+            capScanBestForMem(ev, em, profile, m, allowed, ser, stats);
         if (ser < best_ser) {
             best_ser = ser;
             best = cand;
         }
     }
+    if (stats)
+        stats->bestSer = best_ser;
     return best;
 }
 
 int
 memOnlyBest(const EnergyModel &em, const SystemProfile &profile,
             const std::vector<int> &core_idx,
-            const std::vector<double> &allowed)
+            const std::vector<double> &allowed, SearchStats *stats)
 {
     SerEvaluator ev(em, profile);
     FreqConfig cfg;
@@ -156,17 +167,23 @@ memOnlyBest(const EnergyModel &em, const SystemProfile &profile,
     cfg.memIdx = 0;
     int best_idx = 0;
     double best_ser = ev.ser(cfg);
+    if (stats)
+        stats->candidates += 1;
 
     for (int m = 1; m < em.mem().size(); ++m) {
         cfg.memIdx = m;
         if (!configFeasible(em, profile, cfg, allowed))
             break;
         double s = ev.ser(cfg);
+        if (stats)
+            stats->candidates += 1;
         if (s < best_ser) {
             best_ser = s;
             best_idx = m;
         }
     }
+    if (stats)
+        stats->bestSer = best_ser;
     return best_idx;
 }
 

@@ -24,6 +24,17 @@
 namespace coscale {
 
 /**
+ * Search-loop telemetry (obs/): every optimizer below counts the
+ * candidate configurations whose SER it evaluated into the optional
+ * out-param, so policies can report search effort per decision.
+ */
+struct SearchStats
+{
+    std::uint64_t candidates = 0;
+    double bestSer = -1.0;  //!< winning SER; negative = not recorded
+};
+
+/**
  * Per-core reference TPIs (predicted at configuration @p ref).
  */
 std::vector<double> refTpis(const EnergyModel &em,
@@ -53,7 +64,8 @@ bool configFeasible(const EnergyModel &em, const SystemProfile &profile,
 FreqConfig capScanBestForMem(const EnergyModel &em,
                              const SystemProfile &profile, int mem_idx,
                              const std::vector<double> &allowed,
-                             double &out_ser);
+                             double &out_ser,
+                             SearchStats *stats = nullptr);
 
 /** As above with a prebuilt evaluator (for callers scanning many
  *  memory indices against one profile). */
@@ -61,7 +73,8 @@ FreqConfig capScanBestForMem(const SerEvaluator &ev,
                              const EnergyModel &em,
                              const SystemProfile &profile, int mem_idx,
                              const std::vector<double> &allowed,
-                             double &out_ser);
+                             double &out_ser,
+                             SearchStats *stats = nullptr);
 
 /**
  * Full exhaustive-equivalent search over memory and core frequencies
@@ -69,7 +82,8 @@ FreqConfig capScanBestForMem(const SerEvaluator &ev,
  */
 FreqConfig exhaustiveBest(const EnergyModel &em,
                           const SystemProfile &profile,
-                          const std::vector<double> &allowed);
+                          const std::vector<double> &allowed,
+                          SearchStats *stats = nullptr);
 
 /**
  * Memory-only greedy walk with cores pinned at @p core_idx: lowers
@@ -78,7 +92,8 @@ FreqConfig exhaustiveBest(const EnergyModel &em,
  */
 int memOnlyBest(const EnergyModel &em, const SystemProfile &profile,
                 const std::vector<int> &core_idx,
-                const std::vector<double> &allowed);
+                const std::vector<double> &allowed,
+                SearchStats *stats = nullptr);
 
 } // namespace coscale
 

@@ -46,6 +46,8 @@ class TrackedPolicy : public Policy
 
     double slackGamma() const override { return tracker.gamma(); }
 
+    const SlackTracker *slackLedger() const override { return &tracker; }
+
   protected:
     SlackTracker tracker;
 };
@@ -67,7 +69,11 @@ class MemScalePolicy final : public TrackedPolicy
         std::vector<double> ref = refTpis(em, profile, cfg);
         std::vector<double> allowed =
             allowedTpis(tracker, ref, epoch_len, profile.appOnCore);
-        cfg.memIdx = memOnlyBest(em, profile, cfg.coreIdx, allowed);
+        SearchStats stats;
+        cfg.memIdx = memOnlyBest(em, profile, cfg.coreIdx, allowed,
+                                 obsEnabled() ? &stats : nullptr);
+        if (obsEnabled())
+            traceSearch(stats.candidates, 0, 0, 0, stats.bestSer);
         return cfg;
     }
 };
@@ -122,6 +128,9 @@ class ReactivePolicy final : public TrackedPolicy
         FreqConfig cfg;
         cfg.coreIdx.assign(static_cast<size_t>(n), cpu);
         cfg.memIdx = mem;
+        // Model-free: one candidate per decision, no SER evaluated.
+        if (obsEnabled())
+            traceSearch(1, 0, 0, 0, -1.0);
         return cfg;
     }
 
@@ -147,7 +156,13 @@ class CpuOnlyPolicy final : public TrackedPolicy
         std::vector<double> allowed =
             allowedTpis(tracker, ref, epoch_len, profile.appOnCore);
         double ser = 0.0;
-        return capScanBestForMem(em, profile, 0, allowed, ser);
+        SearchStats stats;
+        FreqConfig pick = capScanBestForMem(
+            em, profile, 0, allowed, ser,
+            obsEnabled() ? &stats : nullptr);
+        if (obsEnabled())
+            traceSearch(stats.candidates, 0, 0, 0, stats.bestSer);
+        return pick;
     }
 };
 

@@ -17,8 +17,10 @@ UncoordinatedPolicy::decide(const SystemProfile &profile,
     std::vector<double> cpu_allowed = allowedTpis(
         cpuTracker, cpu_ref_tpi, epoch_len, profile.appOnCore);
     double ser = 0.0;
+    SearchStats stats;
+    SearchStats *sp = obsEnabled() ? &stats : nullptr;
     FreqConfig cpu_pick = capScanBestForMem(em, profile, current.memIdx,
-                                            cpu_allowed, ser);
+                                            cpu_allowed, ser, sp);
 
     // Memory manager: plans against (cores as-is, memory max); spends
     // the same slack on the memory frequency.
@@ -29,12 +31,15 @@ UncoordinatedPolicy::decide(const SystemProfile &profile,
     std::vector<double> mem_allowed = allowedTpis(
         memTracker, mem_ref_tpi, epoch_len, profile.appOnCore);
     int mem_pick =
-        memOnlyBest(em, profile, current.coreIdx, mem_allowed);
+        memOnlyBest(em, profile, current.coreIdx, mem_allowed, sp);
 
     FreqConfig combined;
     combined.coreIdx = cpu_pick.coreIdx;
     combined.memIdx = mem_pick;
     lastApplied = combined;
+    // The two managers never compare a joint SER, so no best_ser.
+    if (obsEnabled())
+        traceSearch(stats.candidates, 0, 0, 0, -1.0);
     return combined;
 }
 
@@ -82,17 +87,21 @@ SemiCoordinatedPolicy::decide(const SystemProfile &profile,
     bool cpu_acts = phase == Phase::InPhase || (epoch % 2 == 0);
     bool mem_acts = phase == Phase::InPhase || (epoch % 2 == 1);
 
+    SearchStats stats;
+    SearchStats *sp = obsEnabled() ? &stats : nullptr;
     FreqConfig combined = current;
     if (cpu_acts) {
         double ser = 0.0;
         FreqConfig pick = capScanBestForMem(em, profile, current.memIdx,
-                                            allowed, ser);
+                                            allowed, ser, sp);
         combined.coreIdx = pick.coreIdx;
     }
     if (mem_acts) {
         combined.memIdx =
-            memOnlyBest(em, profile, current.coreIdx, allowed);
+            memOnlyBest(em, profile, current.coreIdx, allowed, sp);
     }
+    if (obsEnabled())
+        traceSearch(stats.candidates, 0, 0, 0, -1.0);
     return combined;
 }
 

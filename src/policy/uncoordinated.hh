@@ -79,6 +79,8 @@ class SemiCoordinatedPolicy final : public Policy
 
     double slackGamma() const override { return tracker.gamma(); }
 
+    const SlackTracker *slackLedger() const override { return &tracker; }
+
   private:
     SlackTracker tracker;   //!< shared, honest
     Phase phase;

@@ -45,13 +45,76 @@ accumulateEnergy(const System &sys, const CounterSnapshot &since,
 }
 
 /**
- * The epoch loop shared by run() and the legacy wrappers: profile,
- * decide, transition, run the epoch out, update slack.
+ * Per-channel DRAM telemetry for one epoch window: counter deltas
+ * reduced to the rates/fractions Fig. 7-style timelines need.
+ */
+void
+traceDramWindow(const System &sys, const SystemConfig &cfg,
+                const CounterSnapshot &since,
+                const CounterSnapshot &end, TraceSink *sink,
+                MetricsRegistry *metrics)
+{
+    Tick elapsed = end.tick - since.tick;
+    if (elapsed == 0)
+        return;
+    int ranks = cfg.geom.ranksPerChannel();
+    for (size_t c = 0; c < end.memChannels.size(); ++c) {
+        ChannelCounters d = end.memChannels[c] - since.memChannels[c];
+        double row_total =
+            static_cast<double>(d.rowHits + d.rowMisses);
+        double avg_q =
+            d.queueSamples
+                ? static_cast<double>(d.queueLenSum)
+                      / static_cast<double>(d.queueSamples)
+                : 0.0;
+        double bus_frac = static_cast<double>(d.busBusyTicks)
+                          / static_cast<double>(elapsed);
+        double rank_frac =
+            static_cast<double>(d.rankActiveTicks)
+            / (static_cast<double>(elapsed) * ranks);
+        if (metrics) {
+            metrics->histogram("dram.queue_len", 0.0, 32.0, 32)
+                .sample(avg_q);
+            if (row_total > 0.0) {
+                metrics->accum("dram.row_hit_rate")
+                    .sample(static_cast<double>(d.rowHits) / row_total);
+            }
+            metrics->accum("dram.rank_active_frac").sample(rank_frac);
+            metrics->counter("dram.refreshes").inc(d.refreshes);
+        }
+        if (sink) {
+            sink->write(
+                TraceEvent(end.tick, "dram",
+                           "ch" + std::to_string(c))
+                    .f("reads", d.readReqs)
+                    .f("writes", d.writeReqs)
+                    .f("prefetches", d.prefetchReqs)
+                    .f("row_hits", d.rowHits)
+                    .f("row_misses", d.rowMisses)
+                    .f("avg_queue_len", avg_q)
+                    .f("bus_busy_frac", bus_frac)
+                    .f("rank_active_frac", rank_frac)
+                    .f("refreshes", d.refreshes)
+                    .f("activations", d.activations)
+                    .f("precharges", d.precharges)
+                    .f("freq_idx",
+                       sys.memCtrl().channelFrequencyIndex(
+                           static_cast<int>(c))));
+        }
+    }
+}
+
+/**
+ * The epoch loop shared by every entry path: profile, decide,
+ * transition, run the epoch out, update slack — with optional
+ * per-epoch tracing and metrics (both null when observability is off;
+ * the hot path then pays a handful of pointer tests).
  */
 RunResult
 runEpochLoop(const SystemConfig &cfg, const std::string &label,
              const std::vector<AppSpec> &apps, Policy &policy,
-             AuditSet *audit, bool force_audit)
+             AuditSet *audit, bool force_audit, TraceSink *sink,
+             MetricsRegistry *metrics)
 {
     System sys(cfg, apps);
     EnergyModel em = sys.energyModel();
@@ -72,6 +135,9 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
     result.mixName = label;
     result.policyName = policy.name();
 
+    const bool tracing = sink != nullptr || metrics != nullptr;
+    policy.attachObs(sink, metrics);
+
     int epoch_no = 0;
     while (!sys.allAppsDone()) {
         // Context-switch rotation at scheduling-quantum boundaries
@@ -84,21 +150,44 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
         Tick epoch_start = sys.now();
         CounterSnapshot epoch_snap = sys.snapshot();
 
+        // Epoch-delta anchors: traced per-epoch energy is the exact
+        // difference of the run totals, so traced epochs sum to the
+        // RunResult to the last bit.
+        double cpu_j0 = result.cpuEnergyJ;
+        double mem_j0 = result.memEnergyJ;
+        double other_j0 = result.otherEnergyJ;
+
         // Profiling phase (runs under the previous configuration).
         sys.run(epoch_start + cfg.profileLen);
         if (sys.allAppsDone()) {
             accumulateEnergy(sys, epoch_snap, result, nullptr, ea);
+            if (tracing) {
+                CounterSnapshot end_snap = sys.snapshot();
+                if (sink) {
+                    sink->write(
+                        TraceEvent(sys.now(), "epoch", "tail")
+                            .f("start",
+                               static_cast<std::uint64_t>(epoch_start))
+                            .f("cpu_j", result.cpuEnergyJ - cpu_j0)
+                            .f("mem_j", result.memEnergyJ - mem_j0)
+                            .f("other_j",
+                               result.otherEnergyJ - other_j0));
+                }
+                traceDramWindow(sys, cfg, epoch_snap, end_snap, sink,
+                                metrics);
+            }
             break;
         }
 
         SystemProfile prof = policy.wantsOracleProfile()
                                  ? sys.oracleProfile(cfg.epochLen)
                                  : sys.makeProfile(epoch_snap);
+        FreqConfig prev_cfg = sys.currentConfig();
+        policy.setObsTick(sys.now());
         FreqConfig decision =
             epoch_no < cfg.warmupEpochs
-                ? sys.currentConfig()
-                : policy.decide(prof, em, sys.currentConfig(),
-                                cfg.epochLen);
+                ? prev_cfg
+                : policy.decide(prof, em, prev_cfg, cfg.epochLen);
         epoch_no += 1;
 
         // Account the profiling segment before frequencies change.
@@ -122,6 +211,82 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
         if (sys.numApps() > sys.numCores())
             obs.appOnCore = sys.appAssignment();
         policy.observeEpoch(obs, em);
+
+        if (tracing) {
+            CounterSnapshot end_snap = sys.snapshot();
+            std::uint64_t epoch_idx = result.epochs.size() - 1;
+            std::uint64_t instrs = 0;
+            for (std::uint64_t v : obs.instrs)
+                instrs += v;
+
+            int core_changes = 0;
+            size_t nc = std::min(decision.coreIdx.size(),
+                                 prev_cfg.coreIdx.size());
+            for (size_t i = 0; i < nc; ++i) {
+                if (decision.coreIdx[i] != prev_cfg.coreIdx[i])
+                    core_changes += 1;
+            }
+            bool mem_changed =
+                decision.memIdx != prev_cfg.memIdx
+                || decision.chanIdx != prev_cfg.chanIdx;
+
+            const PowerBreakdown &pw = result.epochs.back().avgPower;
+            if (metrics) {
+                metrics->counter("run.epochs").inc();
+                metrics->counter("run.core_freq_changes")
+                    .inc(static_cast<std::uint64_t>(core_changes));
+                if (mem_changed)
+                    metrics->counter("run.mem_freq_changes").inc();
+                metrics->accum("epoch.total_w").sample(pw.totalW());
+                metrics->accum("epoch.cpu_w").sample(pw.cpuW);
+                metrics->accum("epoch.mem_w").sample(pw.memW);
+            }
+            if (sink) {
+                double act_secs = ticksToSeconds(obs.epochTicks);
+                std::vector<double> pred_tpi;
+                std::vector<double> act_tpi;
+                pred_tpi.reserve(static_cast<size_t>(sys.numCores()));
+                act_tpi.reserve(static_cast<size_t>(sys.numCores()));
+                for (int i = 0; i < sys.numCores(); ++i) {
+                    pred_tpi.push_back(em.tpi(prof, i, decision));
+                    std::uint64_t n_i =
+                        obs.instrs[static_cast<size_t>(i)];
+                    act_tpi.push_back(
+                        n_i ? act_secs / static_cast<double>(n_i)
+                            : 0.0);
+                }
+                TraceEvent ev(sys.now(), "epoch", "epoch");
+                ev.f("epoch", epoch_idx)
+                    .f("start",
+                       static_cast<std::uint64_t>(epoch_start))
+                    .f("mem_idx", decision.memIdx)
+                    .f("mem_mhz",
+                       em.mem().freq(decision.memIdx) / 1e6)
+                    .f("core_idx", decision.coreIdx)
+                    .f("cpu_w", pw.cpuW)
+                    .f("mem_w", pw.memW)
+                    .f("other_w", pw.otherW)
+                    .f("cpu_j", result.cpuEnergyJ - cpu_j0)
+                    .f("mem_j", result.memEnergyJ - mem_j0)
+                    .f("other_j", result.otherEnergyJ - other_j0)
+                    .f("instrs", instrs)
+                    .f("pred_tpi", pred_tpi)
+                    .f("act_tpi", act_tpi);
+                if (!decision.chanIdx.empty())
+                    ev.f("chan_idx", decision.chanIdx);
+                if (const SlackTracker *ledger = policy.slackLedger()) {
+                    std::vector<double> slack;
+                    slack.reserve(
+                        static_cast<size_t>(ledger->size()));
+                    for (int a = 0; a < ledger->size(); ++a)
+                        slack.push_back(ledger->slackSecs(a));
+                    ev.f("slack_secs", slack);
+                }
+                sink->write(ev);
+            }
+            traceDramWindow(sys, cfg, epoch_snap, end_snap, sink,
+                            metrics);
+        }
 
         if (audit) {
             // Cross-check the decision the policy just took (Eq. 2/3
@@ -161,6 +326,30 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
     result.dramReads = mem.readReqs;
     result.dramPrefetches = mem.prefetchReqs;
     result.dramWrites = mem.writeReqs;
+
+    policy.attachObs(nullptr, nullptr);
+    if (metrics) {
+        metrics->counter("run.instructions").inc(result.totalInstrs);
+        metrics->gauge("run.finish_secs")
+            .set(ticksToSeconds(result.finishTick));
+        metrics->gauge("run.energy_j").set(result.totalEnergyJ());
+        metrics->gauge("run.energy_per_instr_nj")
+            .set(result.energyPerInstrNj());
+    }
+    if (sink) {
+        sink->write(TraceEvent(sys.now(), "run", "summary")
+                        .f("mix", result.mixName)
+                        .f("policy", result.policyName)
+                        .f("finish_secs",
+                           ticksToSeconds(result.finishTick))
+                        .f("cpu_j", result.cpuEnergyJ)
+                        .f("mem_j", result.memEnergyJ)
+                        .f("other_j", result.otherEnergyJ)
+                        .f("instrs", result.totalInstrs)
+                        .f("epochs",
+                           static_cast<std::uint64_t>(
+                               result.epochs.size())));
+    }
     return result;
 }
 
@@ -207,25 +396,29 @@ run(const RunRequest &req)
                       req.label.c_str());
         policy = owned.get();
     }
-    return runEpochLoop(req.effectiveConfig(), req.label, req.apps,
-                        *policy, req.auditSet, req.forceAudit);
-}
 
-RunResult
-runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
-            Policy &policy, AuditSet *audit)
-{
-    std::vector<AppSpec> apps =
-        expandMix(mix, cfg.numCores, cfg.instrBudget);
-    return runEpochLoop(cfg, mix.name, apps, policy, audit, false);
-}
+    // Observability: a borrowed sink wins; otherwise open a private
+    // one from the spec. Private sinks are finished (Chrome footer,
+    // flush) before the result returns; borrowed sinks stay open so
+    // callers can pool several runs into one stream.
+    std::unique_ptr<TraceSink> owned_sink;
+    TraceSink *sink = req.traceSink;
+    if (!sink && req.trace.enabled()) {
+        owned_sink = openTraceSink(req.trace);
+        sink = owned_sink.get();
+    }
+    std::shared_ptr<MetricsRegistry> metrics;
+    if (req.wantMetrics)
+        metrics = std::make_shared<MetricsRegistry>();
 
-RunResult
-runApps(const SystemConfig &cfg, const std::string &label,
-        const std::vector<AppSpec> &apps, Policy &policy,
-        AuditSet *audit)
-{
-    return runEpochLoop(cfg, label, apps, policy, audit, false);
+    RunResult result =
+        runEpochLoop(req.effectiveConfig(), req.label, req.apps,
+                     *policy, req.auditSet, req.forceAudit, sink,
+                     metrics.get());
+    if (owned_sink)
+        owned_sink->finish();
+    result.metrics = std::move(metrics);
+    return result;
 }
 
 Comparison

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
 #include "policy/policy.hh"
 #include "sim/system.hh"
 #include "workloads/spec_catalogue.hh"
@@ -67,6 +69,13 @@ struct RunResult
     std::uint64_t dramReads = 0;      //!< demand reads serviced
     std::uint64_t dramPrefetches = 0; //!< prefetch fills serviced
     std::uint64_t dramWrites = 0;     //!< writebacks serviced
+
+    /**
+     * Per-run metrics registry, populated when the request asked for
+     * one (RunRequest::withMetrics). Null otherwise. Shared so results
+     * stay cheap to copy through the engine's outcome plumbing.
+     */
+    std::shared_ptr<MetricsRegistry> metrics;
 
     std::uint64_t
     dramTraffic() const
@@ -149,6 +158,25 @@ struct RunRequest
      */
     bool wantBaseline = false;
 
+    /**
+     * Epoch-level trace output (obs/trace_sink.hh). When the spec has
+     * a path, run() opens a private sink for the run and closes it on
+     * completion. Timestamps are simulated ticks, so a trace is as
+     * deterministic as the run itself.
+     */
+    TraceSpec trace;
+
+    /**
+     * Alternative to @ref trace for tests and embedders: a borrowed,
+     * caller-owned sink. The caller keeps responsibility for calling
+     * finish() on it. A run uses at most one sink; a borrowed sink
+     * wins over a TraceSpec path.
+     */
+    TraceSink *traceSink = nullptr;
+
+    /** Collect a per-run MetricsRegistry into RunResult::metrics. */
+    bool wantMetrics = false;
+
     /** Request for a Table 1 mix expanded over cfg's cores. */
     static RunRequest forMix(const SystemConfig &cfg,
                              const WorkloadMix &mix);
@@ -201,6 +229,29 @@ struct RunRequest
         return *this;
     }
 
+    /** Write an epoch-level trace to @p spec's path (chainable). */
+    RunRequest &
+    withTrace(TraceSpec spec)
+    {
+        trace = std::move(spec);
+        return *this;
+    }
+
+    /** Emit trace events into a caller-owned sink (chainable). */
+    RunRequest &
+    withTrace(TraceSink &sink)
+    {
+        traceSink = &sink;
+        return *this;
+    }
+
+    RunRequest &
+    withMetrics(bool on = true)
+    {
+        wantMetrics = on;
+        return *this;
+    }
+
     /** cfg with the per-request seed override applied. */
     SystemConfig
     effectiveConfig() const
@@ -215,8 +266,8 @@ struct RunRequest
 /**
  * Run the experiment described by @p req on a fresh System and return
  * its results. This is the single entry point every harness, example,
- * and test goes through; the legacy runWorkload/runApps signatures
- * below are thin wrappers over the same epoch loop.
+ * and test goes through. (The old runWorkload/runApps wrappers have
+ * been removed; build requests with RunRequest::forMix/forApps.)
  *
  * Audit wiring: when req.auditSet is given, its three auditors
  * (check/audit.hh) observe the whole run — the DRAM timing auditor is
@@ -224,25 +275,16 @@ struct RunRequest
  * each epoch. When it is null and auditing is enabled (COSCALE_AUDIT
  * build or environment, or req.forceAudit), a private AuditSet is
  * created and wired automatically.
+ *
+ * Observability wiring: when the request names a trace sink (path or
+ * borrowed) the epoch loop emits one "epoch" event per epoch (applied
+ * frequencies, exact per-component energy, predicted-vs-actual TPI,
+ * the policy's slack ledger), one "dram"/chN event per memory channel
+ * per epoch, the policies' own "search" events, and a final "run"
+ * summary. With wantMetrics, a registry of run-wide counters,
+ * accumulators, and histograms lands in RunResult::metrics.
  */
 RunResult run(const RunRequest &req);
-
-/**
- * @deprecated Legacy entry point; use run(RunRequest::forMix(cfg,
- * mix).with(policy)) instead. Kept as a thin wrapper for one release.
- */
-[[deprecated("use run(const RunRequest &) — see sim/runner.hh")]]
-RunResult runWorkload(const SystemConfig &cfg, const WorkloadMix &mix,
-                      Policy &policy, AuditSet *audit = nullptr);
-
-/**
- * @deprecated Legacy entry point; use run(RunRequest::forApps(cfg,
- * label, apps).with(policy)) instead. Kept for one release.
- */
-[[deprecated("use run(const RunRequest &) — see sim/runner.hh")]]
-RunResult runApps(const SystemConfig &cfg, const std::string &label,
-                  const std::vector<AppSpec> &apps, Policy &policy,
-                  AuditSet *audit = nullptr);
 
 /** Compare a policy run against the matching baseline run. */
 Comparison compare(const RunResult &baseline, const RunResult &run);

@@ -110,6 +110,9 @@ class Histogram
 
     int numBuckets() const { return static_cast<int>(counts.size()) - 2; }
 
+    double low() const { return lowBound; }
+    double high() const { return highBound; }
+
     const Accum &summary() const { return stats; }
 
   private:

@@ -1,15 +1,19 @@
 /**
  * @file
  * Unit tests for DDR3 parameters: timing resolution across bus
- * frequencies (ns-fixed vs cycle-scaled split), geometry, and the
- * bank-interleaved address mapping.
+ * frequencies (ns-fixed vs cycle-scaled split), geometry, the
+ * bank-interleaved address mapping, and controller-level refresh and
+ * frequency-recalibration accounting (checked against the counters
+ * the DRAM residency metrics are built on).
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "common/rng.hh"
 #include "dram/ddr3_params.hh"
+#include "memctrl/mem_ctrl.hh"
 
 namespace coscale {
 namespace {
@@ -133,6 +137,121 @@ TEST(DramCurrents, Table2Values)
     EXPECT_DOUBLE_EQ(c.iPrechargePowerdown, 45.0);
     EXPECT_DOUBLE_EQ(c.iRefresh, 240.0);
     EXPECT_DOUBLE_EQ(c.vdd, 1.5);
+}
+
+// --- Refresh cadence and re-calibration accounting ---
+
+TEST(MemRefresh, RefreshTimingIsWallClockFixedAcrossTheLadder)
+{
+    DramTimingParams p;
+    FreqLadder ladder = defaultMemLadder();
+    for (int i = 0; i < ladder.size(); ++i) {
+        ResolvedTiming t = ResolvedTiming::resolve(p, ladder.freq(i));
+        EXPECT_EQ(t.tREFI, static_cast<Tick>(7.8 * tickPerUs)) << i;
+        EXPECT_EQ(t.tRFC, 110u * 1000u) << i;
+    }
+}
+
+/**
+ * Drive steady uniform reads over [0, until), switching every channel
+ * to @p second_idx at the halfway point, and return the refresh count
+ * (with the count at the switch in @p half_out).
+ */
+std::uint64_t
+refreshesUnderLoad(Tick until, int second_idx, std::uint64_t *half_out)
+{
+    MemCtrlConfig cfg;
+    cfg.ladder = defaultMemLadder();
+    MemCtrl mc(cfg, 0);
+    Rng rng(17);
+    Tick now = 0;
+    std::uint64_t token = 1;
+    bool switched = false;
+    while (now < until) {
+        now += 100 * tickPerNs;
+        if (!switched && now >= until / 2) {
+            *half_out = mc.totalCounters().refreshes;
+            mc.setFrequencyIndex(second_idx, now);
+            switched = true;
+        }
+        MemReq r;
+        r.addr = rng.next() & 0xffffff;
+        r.kind = ReqKind::Read;
+        r.core = 0;
+        r.arrival = now;
+        r.token = token++;
+        mc.enqueue(r);
+        while (mc.nextEventTick() <= now)
+            mc.step();
+    }
+    while (mc.nextEventTick() != maxTick)
+        mc.step();
+    return mc.totalCounters().refreshes;
+}
+
+TEST(MemRefresh, CountedRefreshesTrackTrefiAcrossAFrequencyTransition)
+{
+    // Each rank refreshes every tREFI regardless of the bus clock, so
+    // the refresh counter must track elapsed wall time / tREFI per
+    // rank, with the same cadence before and after a max-to-min bus
+    // transition in the middle of the run.
+    const Tick span = 2000 * tickPerUs;
+    std::uint64_t at_half = 0;
+    std::uint64_t total = refreshesUnderLoad(span, 9, &at_half);
+
+    MemGeometry geom;
+    double expected = static_cast<double>(span) / (7.8 * tickPerUs)
+                      * geom.totalRanks();
+    EXPECT_NEAR(static_cast<double>(total), expected, expected * 0.10);
+    EXPECT_NEAR(static_cast<double>(total - at_half),
+                static_cast<double>(at_half), expected * 0.10);
+}
+
+TEST(MemRecalibration, TransitionHaltsTheChannel512CyclesPlus28ns)
+{
+    // Two identical controllers end at the same frequency; only the
+    // switch time differs. A read arriving right at a switch is
+    // delayed by the full halt (512 cycles at the new clock + 28 ns);
+    // a long-settled switch leaves no residue. A refresh (tRFC) may
+    // graze either path's issue tick, so the comparison carries one
+    // tRFC of slop per side.
+    MemCtrlConfig cfg;
+    cfg.ladder = defaultMemLadder();
+    const Tick t0 = 50 * tickPerUs;
+
+    auto readFinish = [&](int target, Tick switch_at) -> Tick {
+        MemCtrl mc(cfg, 0);
+        mc.setFrequencyIndex(target, switch_at);
+        MemReq r;
+        r.addr = 0x1234;
+        r.kind = ReqKind::Read;
+        r.core = 0;
+        r.arrival = t0;
+        r.token = 1;
+        mc.enqueue(r);
+        while (mc.nextEventTick() != maxTick) {
+            auto done = mc.step();
+            if (done)
+                return done->finishAt;
+        }
+        ADD_FAILURE() << "read never completed";
+        return 0;
+    };
+
+    Tick slop = ResolvedTiming::resolve(cfg.timing, 800 * MHz).tRFC;
+    Tick prev_halt = 0;
+    for (int target : {1, 5, 9}) {
+        Tick diff = readFinish(target, t0) - readFinish(target, 0);
+        Tick t_ck = periodTicks(cfg.ladder.freq(target));
+        Tick halt = t_ck * static_cast<Tick>(cfg.timing.recalCycles)
+                    + nsToTicks(cfg.timing.recalExtraNs);
+        EXPECT_GE(diff + slop, halt) << "target " << target;
+        EXPECT_LE(diff, halt + slop) << "target " << target;
+        // The penalty is denominated in cycles of the new clock, so
+        // it grows as the target frequency drops.
+        EXPECT_GT(halt, prev_halt);
+        prev_halt = halt;
+    }
 }
 
 } // namespace

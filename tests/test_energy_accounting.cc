@@ -11,6 +11,7 @@
 
 #include "policy/coscale_policy.hh"
 #include "policy/policy.hh"
+#include "power/power_model.hh"
 #include "sim/runner.hh"
 
 namespace coscale {
@@ -109,6 +110,92 @@ TEST(EnergyAccounting, PinnedLowFrequencyDrawsLessPowerMoreTime)
     double slow_w = slow.totalEnergyJ() / ticksToSeconds(slow.finishTick);
     EXPECT_LT(slow_w, fast_w * 0.85);
     EXPECT_GT(slow.finishTick, fast.finishTick * 11 / 10);
+}
+
+/** Alternate the memory bus between max and @p slow_idx each epoch. */
+class MemTogglePolicy final : public Policy
+{
+  public:
+    explicit MemTogglePolicy(int slow_idx) : slowIdx(slow_idx) {}
+
+    std::string name() const override { return "MemToggle"; }
+
+    FreqConfig
+    decide(const SystemProfile &prof, const EnergyModel &,
+           const FreqConfig &prev, Tick) override
+    {
+        FreqConfig cfg;
+        cfg.coreIdx.assign(prof.cores.size(), 0);
+        cfg.memIdx = prev.memIdx == 0 ? slowIdx : 0;
+        return cfg;
+    }
+
+    void observeEpoch(const EpochObservation &,
+                      const EnergyModel &) override
+    {
+    }
+
+  private:
+    int slowIdx;
+};
+
+TEST(EnergyAccounting, ModelRefreshPowerIsBusFrequencyInvariant)
+{
+    // tREFI and tRFC are wall-clock-fixed, so the refresh component of
+    // memory power must not move across the whole DVFS ladder, while
+    // the (DLL-dominated) background component derates with frequency.
+    PowerParams pp;
+    PowerModel pm(pp);
+    FreqLadder ladder = defaultMemLadder();
+    MemActivityRates rates;
+    rates.readsPs = 1e8;
+    rates.writesPs = 2.5e7;
+    rates.busUtil = 0.3;
+    rates.rankActiveFrac = 0.4;
+
+    MemPowerBreakdown ref =
+        pm.memPowerBreakdown(ladder.voltage(0), ladder.freq(0), rates);
+    EXPECT_GT(ref.refresh, 0.0);
+    for (int i = 1; i < ladder.size(); ++i) {
+        MemPowerBreakdown b = pm.memPowerBreakdown(ladder.voltage(i),
+                                                   ladder.freq(i), rates);
+        EXPECT_DOUBLE_EQ(b.refresh, ref.refresh) << "index " << i;
+        EXPECT_LT(b.background, ref.background) << "index " << i;
+    }
+}
+
+TEST(EnergyAccounting, RefreshCadenceSurvivesMemFrequencyTransitions)
+{
+    // A policy that transitions the bus nearly every epoch must not
+    // disturb the refresh cadence: the counted refreshes (surfaced by
+    // the DRAM residency metrics) still track finish time / tREFI per
+    // rank, and match the rate of a transition-free run.
+    SystemConfig cfg = makeScaledConfig(0.05);
+    MemTogglePolicy toggling(cfg.memLadder.size() - 1);
+    RunResult t = coscale::run(RunRequest::forMix(cfg, mixByName("MID2"))
+                                   .with(toggling)
+                                   .withMetrics());
+    ASSERT_TRUE(t.metrics);
+    ASSERT_GE(t.epochs.size(), 4u);
+    EXPECT_GE(t.metrics->counter("run.mem_freq_changes").value(),
+              t.epochs.size() / 2);
+
+    double t_secs = ticksToSeconds(t.finishTick);
+    double expected = t_secs / (cfg.power.timing.tREFIus * 1e-6)
+                      * cfg.geom.totalRanks();
+    double counted = static_cast<double>(
+        t.metrics->counter("dram.refreshes").value());
+    EXPECT_NEAR(counted, expected, expected * 0.15);
+
+    BaselinePolicy pinned;
+    RunResult p = coscale::run(RunRequest::forMix(cfg, mixByName("MID2"))
+                                   .with(pinned)
+                                   .withMetrics());
+    ASSERT_TRUE(p.metrics);
+    double p_rate = static_cast<double>(
+                        p.metrics->counter("dram.refreshes").value())
+                    / ticksToSeconds(p.finishTick);
+    EXPECT_NEAR(counted / t_secs, p_rate, p_rate * 0.10);
 }
 
 TEST(EnergyAccounting, CpuEnergyDominatesForIlpMemoryShareForMem)

@@ -3,8 +3,8 @@
  * Tests for the parallel experiment engine: determinism (parallel
  * batches bit-identical to serial, including the emitted JSON),
  * baseline memoization accounting, failure isolation, borrowed-policy
- * rejection, worker-count resolution, and equivalence of the
- * deprecated runWorkload/runApps wrappers with the RunRequest API.
+ * rejection, worker-count resolution, and policy-name resolution
+ * (including the helpful rejection of unknown names).
  */
 
 #include <gtest/gtest.h>
@@ -339,34 +339,46 @@ TEST(PolicyFactories, KnowsPaperAndCliNames)
         exp::policyFactoryByName("nonsense", cfg.numCores, cfg.gamma)));
 }
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
-TEST(DeprecatedWrappers, RunWorkloadMatchesRunRequest)
+TEST(PolicyFactories, RejectsUnknownNamesWithValidList)
 {
     SystemConfig cfg = smallConfig();
-    CoScalePolicy p1(cfg.numCores, cfg.gamma);
-    RunResult via_wrapper = runWorkload(cfg, mixByName("MID3"), p1);
-    CoScalePolicy p2(cfg.numCores, cfg.gamma);
-    RunResult via_request = coscale::run(
-        RunRequest::forMix(cfg, mixByName("MID3")).with(p2));
-    expectIdentical(via_wrapper, via_request);
+    try {
+        exp::requirePolicyFactory("nonsense", cfg.numCores, cfg.gamma);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        std::string msg = e.what();
+        // Names the offending spelling and every valid one.
+        EXPECT_NE(msg.find("nonsense"), std::string::npos) << msg;
+        for (const std::string &name : exp::knownPolicyNames())
+            EXPECT_NE(msg.find(name), std::string::npos) << name;
+    }
+    // Known names resolve to working factories through the same path.
+    PolicyFactory f =
+        exp::requirePolicyFactory("coscale", cfg.numCores, cfg.gamma);
+    ASSERT_TRUE(static_cast<bool>(f));
+    EXPECT_NE(f(), nullptr);
 }
 
-TEST(DeprecatedWrappers, RunAppsMatchesRunRequest)
+TEST(ExperimentEngine, RecordsPerRunWallTime)
 {
     SystemConfig cfg = smallConfig();
-    std::vector<AppSpec> apps =
-        expandMix(mixByName("MIX1"), cfg.numCores, cfg.instrBudget);
-    BaselinePolicy p1;
-    RunResult via_wrapper = runApps(cfg, "wrap", apps, p1);
-    BaselinePolicy p2;
-    RunResult via_request = coscale::run(
-        RunRequest::forApps(cfg, "wrap", apps).with(p2));
-    expectIdentical(via_wrapper, via_request);
+    exp::EngineOptions opts;
+    opts.jobs = 1;
+    exp::ExperimentEngine engine(opts);
+    exp::RunOutcome out = engine.runOne(
+        RunRequest::forMix(cfg, mixByName("MID3"))
+            .with(exp::policyFactoryByName("CoScale", cfg.numCores,
+                                           cfg.gamma))
+            .withMetrics());
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_GT(out.wallSecs, 0.0);
+    // The wall time also lands in the run's metrics registry (and
+    // only there — JSON reports stay deterministic).
+    ASSERT_NE(out.result.metrics, nullptr);
+    EXPECT_GT(out.result.metrics->gauge("engine.wall_secs").value(),
+              0.0);
+    EXPECT_EQ(jsonOf(out.result).find("wall"), std::string::npos);
 }
-
-#pragma GCC diagnostic pop
 
 } // namespace
 } // namespace coscale

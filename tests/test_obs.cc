@@ -1,0 +1,387 @@
+/**
+ * @file
+ * The observability layer under test: trace event/sink unit
+ * behaviour, the metrics registry, event inventory of a traced run,
+ * golden-trace fixtures byte-compared against tests/golden/, and
+ * byte-identity of traces between serial and multi-worker engine
+ * execution.
+ *
+ * After an intentional simulator or trace-schema change, regenerate
+ * the fixtures with
+ *
+ *   COSCALE_REGEN_GOLDEN=1 ./build/tests/test_obs
+ *
+ * then review the tests/golden/ diff and commit it alongside the
+ * change that caused it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/policies.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_sink.hh"
+#include "policy/coscale_policy.hh"
+#include "sim/runner.hh"
+
+namespace coscale {
+namespace {
+
+// --- TraceEvent ---
+
+TEST(TraceEvent, KeepsFieldOrderTypesAndLookup)
+{
+    TraceEvent ev(42, "cat", "label");
+    ev.f("d", 1.5)
+        .f("u", std::uint64_t{7})
+        .f("i", -3)
+        .f("s", std::string("text"))
+        .f("dv", std::vector<double>{1.0, 2.0})
+        .f("iv", std::vector<int>{4, 5});
+
+    EXPECT_EQ(ev.tick(), 42u);
+    EXPECT_EQ(ev.category(), "cat");
+    EXPECT_EQ(ev.name(), "label");
+    ASSERT_EQ(ev.fields().size(), 6u);
+    EXPECT_EQ(ev.fields()[0].key, "d");
+    EXPECT_EQ(ev.fields()[0].kind, TraceField::Kind::F64);
+    EXPECT_EQ(ev.fields()[3].kind, TraceField::Kind::Str);
+    EXPECT_EQ(ev.fields()[5].kind, TraceField::Kind::IntVec);
+
+    EXPECT_DOUBLE_EQ(ev.num("d"), 1.5);
+    EXPECT_DOUBLE_EQ(ev.num("u"), 7.0);
+    EXPECT_DOUBLE_EQ(ev.num("i"), -3.0);
+    EXPECT_DOUBLE_EQ(ev.num("s"), 0.0);   // non-numeric
+    EXPECT_DOUBLE_EQ(ev.num("nope"), 0.0);
+    ASSERT_NE(ev.find("s"), nullptr);
+    EXPECT_EQ(ev.find("s")->str, "text");
+    EXPECT_EQ(ev.find("nope"), nullptr);
+}
+
+// --- JSONL backend ---
+
+TEST(JsonlSink, WritesOneSelfContainedObjectPerLine)
+{
+    std::ostringstream os;
+    JsonlTraceSink sink(os);
+    sink.write(TraceEvent(5, "epoch", "epoch")
+                   .f("mem_idx", 3)
+                   .f("cpu_w", 12.5)
+                   .f("core_idx", std::vector<int>{0, 2}));
+    sink.write(TraceEvent(9, "run", "summary").f("mix", std::string("MID1")));
+    sink.finish();
+    EXPECT_EQ(os.str(),
+              "{\"tick\":5,\"cat\":\"epoch\",\"name\":\"epoch\","
+              "\"args\":{\"mem_idx\":3,\"cpu_w\":12.5,"
+              "\"core_idx\":[0,2]}}\n"
+              "{\"tick\":9,\"cat\":\"run\",\"name\":\"summary\","
+              "\"args\":{\"mix\":\"MID1\"}}\n");
+}
+
+// --- Chrome trace_event backend ---
+
+TEST(ChromeSink, EmitsCounterAndInstantPhasesWithIdempotentFinish)
+{
+    std::ostringstream os;
+    ChromeTraceSink sink(os);
+    // All-scalar args -> a counter ("C") track.
+    sink.write(TraceEvent(2000000, "epoch", "power").f("cpu_w", 10.0));
+    // A string field -> a global instant ("i") event.
+    sink.write(TraceEvent(3000000, "run", "summary")
+                   .f("mix", std::string("MID1")));
+    sink.finish();
+    std::string once = os.str();
+    sink.finish();  // must not append a second trailer
+    EXPECT_EQ(os.str(), once);
+
+    EXPECT_EQ(once.substr(0, 16), "{\"traceEvents\":[");
+    EXPECT_EQ(once.substr(once.size() - 4), "\n]}\n");
+    EXPECT_NE(once.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(once.find("\"ph\":\"i\""), std::string::npos);
+    // Timestamps are simulated microseconds: 2e6 ps -> 2 us.
+    EXPECT_NE(once.find("\"ts\":2,"), std::string::npos);
+}
+
+// --- format parsing + file sink errors ---
+
+TEST(TraceFormat, ParsesKnownNamesRejectsOthers)
+{
+    TraceFormat fmt = TraceFormat::Chrome;
+    EXPECT_TRUE(parseTraceFormat("jsonl", &fmt));
+    EXPECT_EQ(fmt, TraceFormat::Jsonl);
+    EXPECT_TRUE(parseTraceFormat("chrome", &fmt));
+    EXPECT_EQ(fmt, TraceFormat::Chrome);
+    EXPECT_FALSE(parseTraceFormat("json", &fmt));
+    EXPECT_FALSE(parseTraceFormat("", &fmt));
+}
+
+TEST(TraceFormat, OpenTraceSinkThrowsOnUnwritablePath)
+{
+    TraceSpec spec;
+    spec.path = "/nonexistent-dir/deeper/trace.jsonl";
+    EXPECT_THROW(openTraceSink(spec), std::runtime_error);
+}
+
+// --- MetricsRegistry ---
+
+TEST(Metrics, RegistryAccumulatesAndReportsEmptiness)
+{
+    MetricsRegistry m;
+    EXPECT_TRUE(m.empty());
+    m.counter("c").inc();
+    m.counter("c").inc(4);
+    EXPECT_EQ(m.counter("c").value(), 5u);
+    m.gauge("g").set(1.0);
+    m.gauge("g").set(2.5);  // last write wins
+    EXPECT_DOUBLE_EQ(m.gauge("g").value(), 2.5);
+    m.accum("a").sample(1.0);
+    m.accum("a").sample(3.0);
+    EXPECT_DOUBLE_EQ(m.accum("a").mean(), 2.0);
+    Histogram &h = m.histogram("h", 0.0, 4.0, 4);
+    h.sample(0.5);
+    h.sample(9.0);
+    EXPECT_EQ(m.histogram("h", 0.0, 99.0, 1).numBuckets(), 4)
+        << "bounds must apply on first use only";
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(Metrics, JsonDumpIsDeterministicAndNameSorted)
+{
+    MetricsRegistry m;
+    m.counter("z.last").inc();
+    m.counter("a.first").inc(2);
+    m.gauge("g").set(0.25);
+    m.accum("acc").sample(1.5);
+    m.histogram("h", 0.0, 2.0, 2).sample(0.5);
+
+    std::ostringstream o1, o2;
+    m.writeJson(o1);
+    m.writeJson(o2);
+    EXPECT_EQ(o1.str(), o2.str());
+    std::string s = o1.str();
+    EXPECT_LT(s.find("a.first"), s.find("z.last"));
+    EXPECT_NE(s.find("\"counters\""), std::string::npos);
+    EXPECT_NE(s.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(s.find("\"accums\""), std::string::npos);
+    EXPECT_NE(s.find("\"histograms\""), std::string::npos);
+}
+
+// --- Traced-run event inventory ---
+
+/** The small, fast configuration all trace tests run on. */
+SystemConfig
+obsConfig()
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 2;
+    return cfg;
+}
+
+TEST(RunObservability, EmitsEpochSearchDramAndSummaryEvents)
+{
+    SystemConfig cfg = obsConfig();
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    VectorTraceSink sink;
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MID1")).with(policy);
+    req.withTrace(sink);
+    RunResult r = coscale::run(req);
+
+    size_t epoch_events = 0, dram_events = 0, search_events = 0,
+           summary_events = 0;
+    for (const TraceEvent &ev : sink.events()) {
+        if (ev.category() == "epoch" && ev.name() == "epoch")
+            epoch_events += 1;
+        else if (ev.category() == "dram")
+            dram_events += 1;
+        else if (ev.category() == "search")
+            search_events += 1;
+        else if (ev.category() == "run" && ev.name() == "summary")
+            summary_events += 1;
+    }
+
+    ASSERT_GT(r.epochs.size(), 0u);
+    EXPECT_EQ(epoch_events, r.epochs.size());
+    // One event per channel per traced window (epochs, plus possibly
+    // a tail window when the workload ends mid-profile).
+    EXPECT_GE(dram_events, r.epochs.size());
+    // One search summary per post-warmup decide().
+    EXPECT_GT(search_events, 0u);
+    EXPECT_EQ(summary_events, 1u);
+    EXPECT_EQ(sink.events().back().category(), "run");
+    EXPECT_EQ(sink.events().back().name(), "summary");
+
+    // Epoch events carry the full schema.
+    for (const TraceEvent &ev : sink.events()) {
+        if (ev.category() != "epoch" || ev.name() != "epoch")
+            continue;
+        for (const char *key :
+             {"epoch", "start", "mem_idx", "mem_mhz", "core_idx",
+              "cpu_w", "mem_w", "other_w", "cpu_j", "mem_j", "other_j",
+              "instrs", "pred_tpi", "act_tpi", "slack_secs"}) {
+            EXPECT_NE(ev.find(key), nullptr) << "missing field " << key;
+        }
+    }
+}
+
+TEST(RunObservability, MetricsRegistryMatchesRunResult)
+{
+    SystemConfig cfg = obsConfig();
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MID1"))
+                         .with(policy)
+                         .withMetrics();
+    RunResult r = coscale::run(req);
+
+    ASSERT_TRUE(r.metrics);
+    MetricsRegistry &m = *r.metrics;
+    EXPECT_EQ(m.counter("run.epochs").value(), r.epochs.size());
+    EXPECT_EQ(m.counter("run.instructions").value(), r.totalInstrs);
+    EXPECT_DOUBLE_EQ(m.gauge("run.energy_j").value(), r.totalEnergyJ());
+    EXPECT_DOUBLE_EQ(m.gauge("run.finish_secs").value(),
+                     ticksToSeconds(r.finishTick));
+    EXPECT_GT(m.counter("search.decides").value(), 0u);
+    EXPECT_GT(m.counter("search.candidates").value(),
+              m.counter("search.decides").value());
+    EXPECT_GT(m.accum("epoch.total_w").count(), 0u);
+    EXPECT_GT(m.histogram("dram.queue_len", 0.0, 1.0, 1).summary().count(),
+              0u);
+}
+
+TEST(RunObservability, DisabledObservabilityLeavesResultBare)
+{
+    SystemConfig cfg = obsConfig();
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    RunResult r = coscale::run(
+        RunRequest::forMix(cfg, mixByName("MID1")).with(policy));
+    EXPECT_EQ(r.metrics, nullptr);
+}
+
+// --- Golden fixtures ---
+
+/**
+ * Render the trace of one MID1 run on the 2-core obsConfig() through
+ * the requested backend, as bytes.
+ */
+std::string
+traceBytes(const std::string &policy_name, TraceFormat format)
+{
+    SystemConfig cfg = obsConfig();
+    RunRequest req =
+        RunRequest::forMix(cfg, mixByName("MID1"))
+            .with(exp::requirePolicyFactory(policy_name, cfg.numCores,
+                                            cfg.gamma));
+    std::ostringstream os;
+    std::unique_ptr<TraceSink> sink;
+    if (format == TraceFormat::Chrome)
+        sink = std::make_unique<ChromeTraceSink>(os);
+    else
+        sink = std::make_unique<JsonlTraceSink>(os);
+    req.withTrace(*sink);
+    coscale::run(req);
+    sink->finish();
+    return os.str();
+}
+
+/**
+ * Byte-compare @p got against the checked-in fixture, or rewrite the
+ * fixture when COSCALE_REGEN_GOLDEN is set in the environment.
+ */
+void
+checkGolden(const std::string &fixture, const std::string &got)
+{
+    std::string path = std::string(COSCALE_GOLDEN_DIR) + "/" + fixture;
+    if (std::getenv("COSCALE_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write fixture " << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing fixture " << path
+                    << "; create it with COSCALE_REGEN_GOLDEN=1";
+    std::ostringstream want;
+    want << in.rdbuf();
+    ASSERT_EQ(got.size(), want.str().size())
+        << fixture << " changed size; if the simulator change is "
+        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
+        << "commit the diff";
+    EXPECT_TRUE(got == want.str())
+        << fixture << " changed content; if the simulator change is "
+        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
+        << "commit the diff";
+}
+
+TEST(GoldenTrace, CoScaleJsonlMatchesFixture)
+{
+    checkGolden("mid1_2core_coscale.jsonl",
+                traceBytes("coscale", TraceFormat::Jsonl));
+}
+
+TEST(GoldenTrace, BaselineJsonlMatchesFixture)
+{
+    checkGolden("mid1_2core_baseline.jsonl",
+                traceBytes("baseline", TraceFormat::Jsonl));
+}
+
+TEST(GoldenTrace, CoScaleChromeMatchesFixture)
+{
+    checkGolden("mid1_2core_coscale.chrome.json",
+                traceBytes("coscale", TraceFormat::Chrome));
+}
+
+// --- Serial vs parallel byte-identity ---
+
+TEST(TraceDeterminism, WorkerCountDoesNotChangeTraceBytes)
+{
+    SystemConfig cfg = obsConfig();
+    const std::vector<std::string> mixes = {"MID1", "ILP1", "MEM1",
+                                            "MIX1"};
+
+    auto traceAll = [&](int jobs) {
+        std::vector<std::unique_ptr<std::ostringstream>> streams;
+        std::vector<std::unique_ptr<JsonlTraceSink>> sinks;
+        std::vector<RunRequest> reqs;
+        for (const std::string &m : mixes) {
+            streams.push_back(std::make_unique<std::ostringstream>());
+            sinks.push_back(
+                std::make_unique<JsonlTraceSink>(*streams.back()));
+            reqs.push_back(
+                RunRequest::forMix(cfg, mixByName(m))
+                    .with(exp::requirePolicyFactory(
+                        "coscale", cfg.numCores, cfg.gamma)));
+            reqs.back().withTrace(*sinks.back());
+        }
+        exp::EngineOptions opts;
+        opts.jobs = jobs;
+        exp::ExperimentEngine engine(opts);
+        std::vector<exp::RunOutcome> outcomes = engine.run(reqs);
+        std::vector<std::string> bytes;
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+            sinks[i]->finish();
+            bytes.push_back(streams[i]->str());
+        }
+        return bytes;
+    };
+
+    std::vector<std::string> serial = traceAll(1);
+    std::vector<std::string> parallel = traceAll(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_FALSE(serial[i].empty()) << "mix " << mixes[i];
+        EXPECT_EQ(serial[i], parallel[i]) << "mix " << mixes[i];
+    }
+}
+
+} // namespace
+} // namespace coscale

@@ -222,5 +222,80 @@ TEST_P(AllMixes, CoScaleBoundAndSavings)
 
 INSTANTIATE_TEST_SUITE_P(Table1, AllMixes, ::testing::Range(0, 16));
 
+// --- Differential trace properties (obs layer vs run results) ---
+
+class TraceDifferential : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TraceDifferential, TracedEpochEnergiesTelescopeToRunTotals)
+{
+    // Every joule in the RunResult must be attributed to exactly one
+    // traced window ("epoch" events plus the final "tail" when the
+    // workload ends mid-profile): the per-window deltas are computed
+    // from the running totals, so their sum telescopes back to the
+    // totals up to summation rounding.
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 4;
+    cfg.seed = GetParam();
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    VectorTraceSink sink;
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MIX2")).with(policy);
+    req.withTrace(sink);
+    RunResult r = coscale::run(req);
+
+    double cpu = 0.0, mem = 0.0, other = 0.0;
+    for (const TraceEvent &ev : sink.events()) {
+        if (ev.category() != "epoch")
+            continue;
+        cpu += ev.num("cpu_j");
+        mem += ev.num("mem_j");
+        other += ev.num("other_j");
+    }
+    EXPECT_NEAR(cpu, r.cpuEnergyJ, 1e-9);
+    EXPECT_NEAR(mem, r.memEnergyJ, 1e-9);
+    EXPECT_NEAR(other, r.otherEnergyJ, 1e-9);
+}
+
+TEST_P(TraceDifferential, TracedFrequenciesAreAlwaysOnTheLadders)
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 4;
+    cfg.seed = GetParam();
+    CoScalePolicy policy(cfg.numCores, cfg.gamma);
+    VectorTraceSink sink;
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MEM2")).with(policy);
+    req.withTrace(sink);
+    coscale::run(req);
+
+    size_t epochs = 0;
+    for (const TraceEvent &ev : sink.events()) {
+        if (ev.category() == "epoch" && ev.name() == "epoch") {
+            epochs += 1;
+            int mem_idx = static_cast<int>(ev.num("mem_idx"));
+            ASSERT_GE(mem_idx, 0);
+            ASSERT_LT(mem_idx, cfg.memLadder.size());
+            EXPECT_DOUBLE_EQ(ev.num("mem_mhz"),
+                             cfg.memLadder.freq(mem_idx) / 1e6);
+            const TraceField *cores = ev.find("core_idx");
+            ASSERT_NE(cores, nullptr);
+            ASSERT_EQ(cores->intv.size(),
+                      static_cast<size_t>(cfg.numCores));
+            for (int idx : cores->intv) {
+                EXPECT_GE(idx, 0);
+                EXPECT_LT(idx, cfg.coreLadder.size());
+            }
+        } else if (ev.category() == "dram") {
+            int freq_idx = static_cast<int>(ev.num("freq_idx"));
+            EXPECT_GE(freq_idx, 0);
+            EXPECT_LT(freq_idx, cfg.memLadder.size());
+        }
+    }
+    EXPECT_GT(epochs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceDifferential,
+                         ::testing::Values(1u, 7u, 13u));
+
 } // namespace
 } // namespace coscale
