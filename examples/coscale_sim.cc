@@ -38,6 +38,19 @@
  *     --trace-format F   jsonl (default) or chrome (load chrome
  *                        traces in chrome://tracing or Perfetto)
  *     --metrics          print each run's metrics registry (JSON)
+ *     --timeout SECS     per-run wall-clock watchdog (0 = off)
+ *     --retries N        retry a failed run up to N times
+ *
+ *   Deterministic fault injection (src/fault/; all default off):
+ *     --fault-seed S     fault stream seed (0 = derive from --seed)
+ *     --fault-noise A    counter noise amplitude (relative, e.g. 0.1)
+ *     --fault-noise-bias B  persistent memory-stall-channel bias
+ *     --fault-dropout P  P(profile loses one core's counters)/epoch
+ *     --fault-stale P    P(profile re-serves the previous epoch)
+ *     --fault-deny P     P(DVFS transition denied)/epoch
+ *     --fault-delay P    P(transition delayed one epoch)/epoch
+ *     --fault-clamp P    P(transition clamped one rung short)/epoch
+ *     --fault-jitter F   epoch-timer jitter fraction (e.g. 0.05)
  */
 
 #include <cstdio>
@@ -84,7 +97,20 @@ struct Options
     bool printEpochs = false;
     TraceSpec trace;
     bool metrics = false;
+    double timeoutSecs = 0.0;
+    int retries = 0;
+    fault::FaultPlan faults;
 };
+
+/** Parse a probability/amplitude fault knob; reject negatives. */
+double
+faultKnob(const std::string &flag, const char *v)
+{
+    double x = std::atof(v);
+    if (x < 0.0)
+        fatal("%s must be non-negative, got '%s'", flag.c_str(), v);
+    return x;
+}
 
 Options
 parseArgs(int argc, char **argv)
@@ -146,6 +172,30 @@ parseArgs(int argc, char **argv)
                       "got '%s'", v);
         } else if (a == "--metrics") {
             opt.metrics = true;
+        } else if (a == "--timeout") {
+            opt.timeoutSecs = std::atof(need(i));
+        } else if (a == "--retries") {
+            opt.retries = std::atoi(need(i));
+        } else if (a == "--fault-seed") {
+            opt.faults.seed =
+                static_cast<std::uint64_t>(std::atoll(need(i)));
+        } else if (a == "--fault-noise") {
+            opt.faults.counterNoiseAmp = faultKnob(a, need(i));
+        } else if (a == "--fault-noise-bias") {
+            // The one signed fault knob (bias direction matters).
+            opt.faults.counterNoiseBias = std::atof(need(i));
+        } else if (a == "--fault-dropout") {
+            opt.faults.counterDropoutProb = faultKnob(a, need(i));
+        } else if (a == "--fault-stale") {
+            opt.faults.counterStaleProb = faultKnob(a, need(i));
+        } else if (a == "--fault-deny") {
+            opt.faults.transitionDenyProb = faultKnob(a, need(i));
+        } else if (a == "--fault-delay") {
+            opt.faults.transitionDelayProb = faultKnob(a, need(i));
+        } else if (a == "--fault-clamp") {
+            opt.faults.transitionClampProb = faultKnob(a, need(i));
+        } else if (a == "--fault-jitter") {
+            opt.faults.epochJitterFrac = faultKnob(a, need(i));
         } else if (a == "--help" || a == "-h") {
             std::printf("see the header comment of "
                         "examples/coscale_sim.cc for options\n");
@@ -255,8 +305,11 @@ main(int argc, char **argv)
 
     std::vector<RunRequest> requests;
     for (const auto &mix : mixes) {
-        requests.push_back(
-            RunRequest::forMix(cfg, mix).with(factory).withBaseline());
+        RunRequest req =
+            RunRequest::forMix(cfg, mix).with(factory).withBaseline();
+        if (opt.faults.enabled())
+            req.withFaults(opt.faults);
+        requests.push_back(std::move(req));
     }
     for (size_t i = 0; i < requests.size(); ++i) {
         if (opt.trace.enabled()) {
@@ -273,6 +326,8 @@ main(int argc, char **argv)
 
     exp::EngineOptions engineOpts;
     engineOpts.jobs = opt.jobs;
+    engineOpts.timeoutSecs = opt.timeoutSecs;
+    engineOpts.retries = opt.retries;
     exp::ExperimentEngine engine(engineOpts);
     std::vector<exp::RunOutcome> outcomes = engine.run(requests);
 

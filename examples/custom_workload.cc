@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/log.hh"
 #include "policy/coscale_policy.hh"
 #include "sim/runner.hh"
 #include "trace/synthetic.hh"
@@ -88,7 +89,7 @@ main(int argc, char **argv)
     }
 
     // --- Step 2: replay it to verify the round trip ---
-    {
+    try {
         ReplayTraceSource replay(loadTraceFile(trace_path));
         std::uint64_t instrs = 0, accesses = 0;
         for (int i = 0; i < 10000; ++i) {
@@ -99,6 +100,8 @@ main(int argc, char **argv)
                     "kilo-instruction\n\n",
                     1000.0 * static_cast<double>(accesses)
                         / static_cast<double>(instrs));
+    } catch (const TraceParseError &e) {
+        fatal("%s", e.what());
     }
 
     // --- Step 3: a heterogeneous custom mix under CoScale ---

@@ -29,7 +29,12 @@ namespace {
 void
 summarize(const std::string &path, int show_records)
 {
-    auto buf = loadTraceFile(path);
+    std::shared_ptr<const std::vector<TraceRecord>> buf;
+    try {
+        buf = loadTraceFile(path);
+    } catch (const TraceParseError &e) {
+        fatal("%s", e.what());
+    }
     const auto &recs = *buf;
 
     std::uint64_t instrs = 0, cycles = 0, writes = 0;

@@ -28,7 +28,7 @@ printUsage(const char *prog)
     std::printf(
         "usage: %s [scale] [--scale X] [--jobs N] [--jsonl PATH]\n"
         "          [--progress] [--trace PATH] [--trace-format FMT]\n"
-        "          [--metrics]\n"
+        "          [--metrics] [--timeout SECS] [--retries N]\n"
         "  scale / --scale X  time scale in (0, 1]; 1.0 is the paper's\n"
         "                     full setup (default via COSCALE_SCALE or\n"
         "                     the harness default)\n"
@@ -40,7 +40,9 @@ printUsage(const char *prog)
         "                     (request i of a batch goes to PATH.i)\n"
         "  --trace-format F   jsonl (default) or chrome\n"
         "                     (chrome://tracing / Perfetto JSON)\n"
-        "  --metrics          collect and print per-run metrics\n",
+        "  --metrics          collect and print per-run metrics\n"
+        "  --timeout SECS     per-run wall-clock watchdog (0 = off)\n"
+        "  --retries N        retry failed runs up to N times\n",
         prog);
 }
 
@@ -80,6 +82,19 @@ parseBenchArgs(int argc, char **argv, double defaultScale)
             if (!parseTraceFormat(v, &opts.trace.format))
                 fatal("--trace-format must be jsonl or chrome, "
                       "got '%s'", v);
+        } else if (std::strcmp(arg, "--timeout") == 0) {
+            const char *v = nextValue("--timeout");
+            double secs = std::atof(v);
+            if (secs < 0.0)
+                fatal("--timeout must be >= 0 seconds, got '%s'", v);
+            opts.timeoutSecs = secs;
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            const char *v = nextValue("--retries");
+            int n = std::atoi(v);
+            if (n < 0 || (n == 0 && std::strcmp(v, "0") != 0))
+                fatal("--retries must be a non-negative integer, "
+                      "got '%s'", v);
+            opts.retries = n;
         } else if (std::strcmp(arg, "--metrics") == 0) {
             opts.metrics = true;
         } else if (std::strcmp(arg, "--progress") == 0) {

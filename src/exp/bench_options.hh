@@ -44,6 +44,12 @@ struct BenchOptions
     /** Collect and print per-run metrics registries (--metrics). */
     bool metrics = false;
 
+    /** Per-run wall-clock watchdog in seconds (--timeout; 0 = off). */
+    double timeoutSecs = 0.0;
+
+    /** Retry attempts after a failed run (--retries; 0 = fail fast). */
+    int retries = 0;
+
     /**
      * Apply the trace/metrics surface to one request of a batch of
      * @p total (suffixes the trace path for multi-request batches).
@@ -68,6 +74,8 @@ struct BenchOptions
         EngineOptions opts;
         opts.jobs = jobs;
         opts.progress = progress;
+        opts.timeoutSecs = timeoutSecs;
+        opts.retries = retries;
         return opts;
     }
 };

@@ -2,16 +2,62 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <typeinfo>
 #include <utility>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
+
+#include "exp/digest.hh"
 
 namespace coscale {
 namespace exp {
+
+namespace {
+
+std::string
+demangled(const char *name)
+{
+#if defined(__GNUG__)
+    int status = 0;
+    char *d = abi::__cxa_demangle(name, nullptr, nullptr, &status);
+    if (d) {
+        std::string s = status == 0 ? std::string(d) : std::string(name);
+        std::free(d);
+        return s;
+    }
+#endif
+    return name;
+}
+
+/**
+ * Format the in-flight exception with the request label and dynamic
+ * exception type — a batch report that just says "boom" is useless
+ * when forty requests ran. Must be called from inside a catch block.
+ */
+std::string
+describeCurrentException(const std::string &label)
+{
+    std::string prefix = "request '" + label + "': ";
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        return prefix + demangled(typeid(e).name()) + ": " + e.what();
+    } catch (...) {
+        return prefix + "unknown non-standard exception";
+    }
+}
+
+} // namespace
 
 int
 resolveJobs(int requested)
@@ -38,13 +84,20 @@ ExperimentEngine::pool() const
     return options.pool ? *options.pool : processBaselinePool();
 }
 
-RunOutcome
-ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
+std::string
+ExperimentEngine::quarantineKey(const RunRequest &req) const
 {
-    RunOutcome out;
-    out.index = index;
-    out.label = req.label;
-    auto t0 = std::chrono::steady_clock::now();
+    // Identity, not object: retried and re-submitted copies of the
+    // same experiment share a key, unrelated requests never collide.
+    return req.label + "/"
+           + std::to_string(configDigest(req.effectiveConfig())) + "/"
+           + std::to_string(workloadDigest(req.apps));
+}
+
+ExperimentEngine::Attempt
+ExperimentEngine::runAttempt(const RunRequest &req)
+{
+    Attempt a;
     try {
         if (!req.makePolicy) {
             throw std::invalid_argument(
@@ -54,18 +107,154 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
                       "across worker threads"
                     : "RunRequest has no policy factory");
         }
-        out.result = coscale::run(req);
-        if (req.wantBaseline) {
-            out.baseline = &pool().baseline(req);
-            out.vsBaseline = compare(*out.baseline, out.result);
-            out.hasBaseline = true;
+
+        if (options.timeoutSecs <= 0.0) {
+            a.result = coscale::run(req);
+            a.ok = true;
+            return a;
         }
-        out.ok = true;
-    } catch (const std::exception &e) {
-        out.error = e.what();
+
+        // Watchdogged attempt: run on a helper thread, wait up to the
+        // budget, then flip the request's cancel flag and give the
+        // epoch loop one grace period to unwind cooperatively. State
+        // is shared_ptr-owned so the rare truly-wedged (detached)
+        // simulation can never touch freed memory.
+        struct Shared
+        {
+            std::mutex mu;
+            std::condition_variable cv;
+            bool done = false;
+            bool ok = false;
+            RunResult result;
+            std::exception_ptr error;
+            std::atomic<bool> cancel{false};
+        };
+        auto sh = std::make_shared<Shared>();
+        RunRequest guarded = req;
+        guarded.cancelFlag = &sh->cancel;
+
+        std::thread runner([sh, guarded] {
+            std::exception_ptr err;
+            RunResult r;
+            bool ok = false;
+            try {
+                r = coscale::run(guarded);
+                ok = true;
+            } catch (...) {
+                err = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lock(sh->mu);
+                sh->result = std::move(r);
+                sh->ok = ok;
+                sh->error = err;
+                sh->done = true;
+            }
+            sh->cv.notify_all();
+        });
+
+        auto budget = std::chrono::duration<double>(options.timeoutSecs);
+        bool finished;
+        {
+            std::unique_lock<std::mutex> lock(sh->mu);
+            finished =
+                sh->cv.wait_for(lock, budget, [&] { return sh->done; });
+            if (!finished) {
+                sh->cancel.store(true, std::memory_order_relaxed);
+                // Grace period for the cooperative epoch-boundary
+                // exit; simulated epochs are short in host time, so
+                // one more budget's worth is generous.
+                finished = sh->cv.wait_for(lock, budget,
+                                           [&] { return sh->done; });
+            }
+        }
+
+        if (!finished) {
+            // Wedged inside an epoch (e.g. a policy stuck in
+            // decide()). The thread keeps the shared state alive;
+            // abandon it rather than block the whole batch.
+            runner.detach();
+            a.timedOut = true;
+            a.error = "request '" + req.label
+                      + "': killed by watchdog after "
+                      + std::to_string(options.timeoutSecs)
+                      + "s (simulation unresponsive)";
+            return a;
+        }
+
+        runner.join();
+        if (sh->ok) {
+            a.result = std::move(sh->result);
+            a.ok = true;
+            return a;
+        }
+        a.timedOut = sh->cancel.load(std::memory_order_relaxed);
+        std::rethrow_exception(sh->error);
     } catch (...) {
-        out.error = "unknown exception";
+        a.error = describeCurrentException(req.label);
     }
+    return a;
+}
+
+RunOutcome
+ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
+{
+    RunOutcome out;
+    out.index = index;
+    out.label = req.label;
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::string key = quarantineKey(req);
+    if (options.quarantineAfter > 0) {
+        std::lock_guard<std::mutex> lock(quarantineMu);
+        auto it = exhaustedFailures.find(key);
+        if (it != exhaustedFailures.end()
+            && it->second >= options.quarantineAfter) {
+            out.quarantined = true;
+            out.error = "request '" + req.label
+                        + "': quarantined after "
+                        + std::to_string(it->second)
+                        + " exhausted failures";
+            return out;
+        }
+    }
+
+    int max_attempts = 1 + (options.retries > 0 ? options.retries : 0);
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+        out.attempts = attempt;
+        if (attempt > 1 && options.backoffSecs > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options.backoffSecs * (attempt - 1)));
+        }
+        Attempt a = runAttempt(req);
+        out.timedOut = a.timedOut;
+        if (a.ok) {
+            out.result = std::move(a.result);
+            out.error.clear();
+            out.ok = true;
+            break;
+        }
+        out.error = a.error;
+    }
+
+    if (out.ok) {
+        try {
+            if (req.wantBaseline) {
+                out.baseline = &pool().baseline(req);
+                out.vsBaseline = compare(*out.baseline, out.result);
+                out.hasBaseline = true;
+            }
+        } catch (...) {
+            out.ok = false;
+            out.error = describeCurrentException(req.label);
+        }
+    }
+
+    if (!out.ok && !out.quarantined && options.quarantineAfter > 0) {
+        std::lock_guard<std::mutex> lock(quarantineMu);
+        exhaustedFailures[key] += 1;
+    }
+
     out.wallSecs = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - t0)
                        .count();

@@ -14,13 +14,26 @@
  *
  * Failure isolation: a request whose policy factory or simulation
  * throws poisons only its own outcome (ok = false, error set); the
- * rest of the batch completes normally.
+ * rest of the batch completes normally. Errors carry the request
+ * label and the exception's (demangled) type so a batch report is
+ * actionable on its own.
+ *
+ * Production hardening (all off by default):
+ *  - per-run wall-clock watchdog (timeoutSecs): a run that exceeds
+ *    the budget is cancelled cooperatively at its next epoch boundary
+ *    and reported ok = false / timedOut;
+ *  - bounded retry with backoff (retries/backoffSecs) for transient
+ *    failures, with the attempt count in the outcome;
+ *  - quarantine: a request identity that keeps failing after all its
+ *    retries is short-circuited for the rest of the process.
  */
 
 #ifndef COSCALE_EXP_ENGINE_HH
 #define COSCALE_EXP_ENGINE_HH
 
 #include <cstddef>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +60,27 @@ struct EngineOptions
 
     /** Baseline memoization pool; null = the process-wide pool. */
     BaselinePool *pool = nullptr;
+
+    /**
+     * Per-run wall-clock watchdog in host seconds; 0 disables it.
+     * The run is cancelled cooperatively (the epoch loop checks a
+     * flag at every epoch boundary), so a timed-out simulation never
+     * leaves a worker thread wedged mid-epoch.
+     */
+    double timeoutSecs = 0.0;
+
+    /** Extra attempts after a failed first one (0 = fail fast). */
+    int retries = 0;
+
+    /** Host-side sleep before attempt k+1 (scaled by k). */
+    double backoffSecs = 0.05;
+
+    /**
+     * After this many fully-exhausted failures of one request
+     * identity (label + config digest + workload digest), identical
+     * requests are refused without running. 0 disables quarantine.
+     */
+    int quarantineAfter = 3;
 };
 
 /** Outcome of one request in a batch (index = request position). */
@@ -58,6 +92,15 @@ struct RunOutcome
     std::string error;       //!< set when !ok
 
     RunResult result;        //!< valid when ok
+
+    /** Execution attempts consumed (>= 1 unless quarantined). */
+    int attempts = 0;
+
+    /** Last attempt was killed by the wall-clock watchdog. */
+    bool timedOut = false;
+
+    /** Refused without running: identity failed too often before. */
+    bool quarantined = false;
 
     /**
      * Host wall-clock seconds spent executing this request (including
@@ -93,8 +136,25 @@ class ExperimentEngine
     BaselinePool &pool() const;
 
   private:
+    struct Attempt
+    {
+        bool ok = false;
+        bool timedOut = false;
+        std::string error;
+        RunResult result;
+    };
+
+    Attempt runAttempt(const RunRequest &req);
+    std::string quarantineKey(const RunRequest &req) const;
+
     EngineOptions options;
     int jobCount;
+
+    // Exhausted-failure counts per request identity (see
+    // EngineOptions::quarantineAfter). Engine-local on purpose: a
+    // fresh engine starts with a clean slate.
+    std::mutex quarantineMu;
+    std::map<std::string, int> exhaustedFailures;
 };
 
 } // namespace exp

@@ -16,9 +16,12 @@ writeJsonlReport(const std::vector<RunOutcome> &outcomes,
 {
     for (const RunOutcome &out : outcomes) {
         if (out.ok) {
+            // Attempt counts are host-dependent, so they only appear
+            // (attempts > 1) when a retry actually happened — a
+            // clean deterministic batch stays byte-stable.
             writeJsonReport(out.result,
                             out.hasBaseline ? &out.vsBaseline : nullptr,
-                            os);
+                            os, out.attempts > 1 ? out.attempts : 0);
         } else {
             JsonWriter w(os);
             w.beginObject();
@@ -26,6 +29,14 @@ writeJsonlReport(const std::vector<RunOutcome> &outcomes,
                     static_cast<std::uint64_t>(out.index));
             w.field("label", out.label);
             w.field("error", out.error);
+            if (out.attempts > 0) {
+                w.field("attempts",
+                        static_cast<std::uint64_t>(out.attempts));
+            }
+            if (out.timedOut)
+                w.field("timed_out", true);
+            if (out.quarantined)
+                w.field("quarantined", true);
             w.endObject();
             os << "\n";
         }

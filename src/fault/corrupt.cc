@@ -1,0 +1,61 @@
+#include "fault/corrupt.hh"
+
+#include <cstdio>
+
+#include "fault/fault_plan.hh"
+
+namespace coscale {
+namespace fault {
+
+std::string
+truncatedCopy(const std::string &bytes, std::size_t keep)
+{
+    return bytes.substr(0, keep);
+}
+
+std::string
+flipBits(const std::string &bytes, int flips, std::uint64_t seed)
+{
+    std::string out = bytes;
+    if (out.empty())
+        return out;
+    for (int i = 0; i < flips; ++i) {
+        std::uint64_t h =
+            faultHash(seed, static_cast<std::uint64_t>(i),
+                      FaultStream::NoiseDraw, 0xC0DEC0DEULL);
+        std::size_t pos = static_cast<std::size_t>(h % out.size());
+        int bit = static_cast<int>((h >> 32) & 7);
+        out[pos] = static_cast<char>(
+            static_cast<unsigned char>(out[pos]) ^ (1u << bit));
+    }
+    return out;
+}
+
+bool
+readFileBytes(const std::string &path, std::string *out)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp)
+        return false;
+    out->clear();
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0)
+        out->append(buf, n);
+    std::fclose(fp);
+    return true;
+}
+
+bool
+writeFileBytes(const std::string &path, const std::string &bytes)
+{
+    std::FILE *fp = std::fopen(path.c_str(), "wb");
+    if (!fp)
+        return false;
+    std::size_t n = std::fwrite(bytes.data(), 1, bytes.size(), fp);
+    std::fclose(fp);
+    return n == bytes.size();
+}
+
+} // namespace fault
+} // namespace coscale

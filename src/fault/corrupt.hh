@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic byte-level corruption of serialized artifacts (seam
+ * (d) of the fault taxonomy: truncated/corrupted trace files). The
+ * fuzz-ish trace-reader tests drive loadTraceFile() through every
+ * corruption these helpers can produce; like the injector, every
+ * mutation is a pure function of (input, seed) via the stateless
+ * fault hash.
+ */
+
+#ifndef COSCALE_FAULT_CORRUPT_HH
+#define COSCALE_FAULT_CORRUPT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace coscale {
+namespace fault {
+
+/** The first @p keep bytes of @p bytes (whole copy when longer). */
+std::string truncatedCopy(const std::string &bytes, std::size_t keep);
+
+/**
+ * Copy of @p bytes with @p flips single-bit flips at hash-chosen
+ * positions (duplicates allowed — flipping twice restores the bit,
+ * exactly as a repeated fault would).
+ */
+std::string flipBits(const std::string &bytes, int flips,
+                     std::uint64_t seed);
+
+/** Read a whole file as bytes; empty optional-style "" + false on error. */
+bool readFileBytes(const std::string &path, std::string *out);
+
+/** Write bytes to a file, replacing it. Returns false on error. */
+bool writeFileBytes(const std::string &path, const std::string &bytes);
+
+} // namespace fault
+} // namespace coscale
+
+#endif // COSCALE_FAULT_CORRUPT_HH

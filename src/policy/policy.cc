@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Policy::safeDecide — the graceful-degradation wrapper around
+ * decide(). See the header comment in policy.hh for the contract;
+ * the guards themselves live in search_common (decisionSane,
+ * minSlackSecs) so tests and other layers can reuse them.
+ */
+
+#include "policy/policy.hh"
+
+#include "policy/search_common.hh"
+
+namespace coscale {
+
+FreqConfig
+Policy::safeDecide(const SystemProfile &profile, const EnergyModel &em,
+                   const FreqConfig &current, Tick epoch_len)
+{
+    // Guard 1: slack-exhaustion escape hatch. A deficit deeper than
+    // one gamma-epoch means no configuration is admissible (allowed
+    // TPI has dropped below even the all-max reference pace), so the
+    // only bound-respecting move is maximum frequency everywhere.
+    // Threshold in gamma-epochs rather than epochs so it engages
+    // exactly where the admissibility algebra says the search space
+    // is empty — before the deficit becomes unrecoverable.
+    if (const SlackTracker *ledger = slackLedger()) {
+        double epoch_secs = ticksToSeconds(epoch_len);
+        double worst = minSlackSecs(*ledger);
+        if (worst < -ledger->gamma() * epoch_secs) {
+            if (obsMetrics)
+                obsMetrics->counter("guard.escape_hatch").inc();
+            if (obsSink) {
+                obsSink->write(TraceEvent(obsTick, "guard",
+                                          "escape_hatch")
+                                   .f("worst_slack_secs", worst)
+                                   .f("epoch_secs", epoch_secs));
+            }
+            return FreqConfig::allMax(
+                static_cast<int>(profile.cores.size()));
+        }
+    }
+
+    // Guard 2a: profile validation. A poisoned snapshot (dropped-out
+    // counters read back NaN) makes every NaN comparison false and
+    // can trap a gradient search in an endless not-better-not-worse
+    // plateau — so if even the *running* configuration's predictions
+    // are garbage, hold it without consulting the search at all.
+    if (!decisionSane(em, profile, current)) {
+        if (obsMetrics)
+            obsMetrics->counter("guard.held_decision").inc();
+        if (obsSink) {
+            obsSink->write(TraceEvent(obsTick, "guard", "hold")
+                               .f("policy", name())
+                               .f("mem_idx", current.memIdx)
+                               .f("held_mem_idx", current.memIdx));
+        }
+        return current;
+    }
+
+    FreqConfig d = decide(profile, em, current, epoch_len);
+
+    // Guard 2b: model-output validation. Off-ladder indices or a
+    // non-finite/non-positive predicted TPI hold the configuration
+    // that is already running — it was sane when granted and keeps
+    // the system in a known state for one epoch.
+    if (!decisionSane(em, profile, d)) {
+        if (obsMetrics)
+            obsMetrics->counter("guard.held_decision").inc();
+        if (obsSink) {
+            obsSink->write(
+                TraceEvent(obsTick, "guard", "hold")
+                    .f("policy", name())
+                    .f("mem_idx", d.memIdx)
+                    .f("held_mem_idx", current.memIdx));
+        }
+        return current;
+    }
+    return d;
+}
+
+} // namespace coscale

@@ -136,6 +136,36 @@ class Policy
                               const EnergyModel &em) = 0;
 
     /**
+     * decide() wrapped in graceful degradation — the entry point the
+     * runner actually calls. Two guards, in order:
+     *
+     *  1. Slack-exhaustion escape hatch: when the policy keeps a
+     *     ledger and any application's deficit exceeds one
+     *     gamma-epoch (slack < -gamma * epoch), every frequency goes
+     *     to max without consulting decide() at all. Beyond that
+     *     deficit no admissible configuration exists anyway, so for a
+     *     well-behaved search this is behavior-preserving; for a
+     *     misbehaving one it is the emergency exit that keeps the
+     *     run inside the degradation bound.
+     *
+     *  2. Model validation, both before and after the search: when
+     *     the snapshot itself is poisoned (a counter dropout reads
+     *     back NaN, under which a gradient search can spin forever on
+     *     always-false comparisons) the current configuration is held
+     *     without consulting decide(); a returned decision whose
+     *     predicted TPI is non-finite or non-positive on any core, or
+     *     whose indices fall off the ladders, is likewise replaced by
+     *     the current configuration.
+     *
+     * Both guards emit "guard" trace events / guard.* metrics when
+     * observability is attached. Non-virtual by design: every policy
+     * gets the same safety net.
+     */
+    FreqConfig safeDecide(const SystemProfile &profile,
+                          const EnergyModel &em,
+                          const FreqConfig &current, Tick epoch_len);
+
+    /**
      * True if decide() should be fed a perfect oracle profile of the
      * upcoming epoch instead of the 300 us profiling window (the
      * Offline policy).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/log.hh"
 
@@ -154,6 +155,42 @@ exhaustiveBest(const EnergyModel &em, const SystemProfile &profile,
     if (stats)
         stats->bestSer = best_ser;
     return best;
+}
+
+bool
+decisionSane(const EnergyModel &em, const SystemProfile &profile,
+             const FreqConfig &cfg)
+{
+    size_t n = profile.cores.size();
+    if (cfg.coreIdx.size() != n)
+        return false;
+    int core_steps = em.cores().size();
+    int mem_steps = em.mem().size();
+    if (cfg.memIdx < 0 || cfg.memIdx >= mem_steps)
+        return false;
+    for (int c : cfg.coreIdx) {
+        if (c < 0 || c >= core_steps)
+            return false;
+    }
+    for (int c : cfg.chanIdx) {
+        if (c < 0 || c >= mem_steps)
+            return false;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        double t = em.tpi(profile, static_cast<int>(i), cfg);
+        if (!std::isfinite(t) || t <= 0.0)
+            return false;
+    }
+    return true;
+}
+
+double
+minSlackSecs(const SlackTracker &slack)
+{
+    double worst = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < slack.size(); ++i)
+        worst = std::min(worst, slack.slackSecs(i));
+    return worst;
 }
 
 int

@@ -95,6 +95,22 @@ int memOnlyBest(const EnergyModel &em, const SystemProfile &profile,
                 const std::vector<double> &allowed,
                 SearchStats *stats = nullptr);
 
+// --- graceful-degradation guards (Policy::safeDecide) ---
+
+/**
+ * Sanity-check a policy decision against the ladders and the model:
+ * the configuration must have one core index per profiled core, every
+ * index must lie on its ladder, and the predicted TPI of every core
+ * must be finite and positive. A profile poisoned by a counter
+ * dropout, or a search that walked off the ladder, fails here and the
+ * runner holds the previous configuration instead.
+ */
+bool decisionSane(const EnergyModel &em, const SystemProfile &profile,
+                  const FreqConfig &cfg);
+
+/** Smallest (most indebted) per-application slack in the ledger. */
+double minSlackSecs(const SlackTracker &slack);
+
 } // namespace coscale
 
 #endif // COSCALE_POLICY_SEARCH_COMMON_HH

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <memory>
 #include <ostream>
+#include <stdexcept>
 
 #include "check/audit.hh"
 #include "check/contract.hh"
 #include "common/json.hh"
+#include "fault/fault_injector.hh"
 
 namespace coscale {
 
@@ -109,12 +111,24 @@ traceDramWindow(const System &sys, const SystemConfig &cfg,
  * transition, run the epoch out, update slack — with optional
  * per-epoch tracing and metrics (both null when observability is off;
  * the hot path then pays a handful of pointer tests).
+ *
+ * Fault injection (@p inj, null for clean runs) perturbs the loop at
+ * its three runtime seams: the profiling snapshot the policy reads,
+ * the requested-vs-granted DVFS transition, and the epoch timer. The
+ * loop applies and accounts the *granted* configuration throughout —
+ * EpochLog, slack observation, traces, and energy all follow what the
+ * (faulty) hardware actually did, not what the policy asked for.
+ *
+ * Cooperative cancellation (@p cancel, null normally): the engine's
+ * watchdog sets the flag and the loop aborts at the next epoch
+ * boundary by throwing.
  */
 RunResult
 runEpochLoop(const SystemConfig &cfg, const std::string &label,
              const std::vector<AppSpec> &apps, Policy &policy,
              AuditSet *audit, bool force_audit, TraceSink *sink,
-             MetricsRegistry *metrics)
+             MetricsRegistry *metrics, fault::FaultInjector *inj,
+             const std::atomic<bool> *cancel)
 {
     System sys(cfg, apps);
     EnergyModel em = sys.energyModel();
@@ -140,12 +154,34 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
 
     int epoch_no = 0;
     while (!sys.allAppsDone()) {
+        if (cancel && cancel->load(std::memory_order_relaxed)) {
+            throw std::runtime_error(
+                "run '" + label + "' cancelled at epoch "
+                + std::to_string(epoch_no) + " (engine watchdog)");
+        }
         // Context-switch rotation at scheduling-quantum boundaries
         // (before profiling, so the profile reflects the incoming
         // threads).
         if (cfg.schedQuantumEpochs > 0 && epoch_no > 0
             && epoch_no % cfg.schedQuantumEpochs == 0) {
             sys.rotateApps();
+        }
+        // A transition the fault layer delayed lands at this epoch
+        // boundary: the profiling phase below runs under it.
+        if (inj) {
+            FreqConfig pend;
+            if (inj->takePending(&pend)) {
+                sys.applyConfig(pend);
+                if (sink) {
+                    sink->write(
+                        TraceEvent(sys.now(), "fault",
+                                   "transition_late")
+                            .f("epoch",
+                               static_cast<std::uint64_t>(epoch_no))
+                            .f("mem_idx", pend.memIdx)
+                            .f("core_idx", pend.coreIdx));
+                }
+            }
         }
         Tick epoch_start = sys.now();
         CounterSnapshot epoch_snap = sys.snapshot();
@@ -179,27 +215,45 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
             break;
         }
 
+        const std::uint64_t fepoch =
+            static_cast<std::uint64_t>(epoch_no);
         SystemProfile prof = policy.wantsOracleProfile()
                                  ? sys.oracleProfile(cfg.epochLen)
                                  : sys.makeProfile(epoch_snap);
+        if (inj) {
+            prof = inj->perturbProfile(prof, fepoch, sys.now(), sink,
+                                       metrics);
+        }
         FreqConfig prev_cfg = sys.currentConfig();
         policy.setObsTick(sys.now());
         FreqConfig decision =
             epoch_no < cfg.warmupEpochs
                 ? prev_cfg
-                : policy.decide(prof, em, prev_cfg, cfg.epochLen);
+                : policy.safeDecide(prof, em, prev_cfg, cfg.epochLen);
+        // Requested vs granted: the fault layer may deny, delay, or
+        // clamp the transition. Everything downstream — applyConfig,
+        // the epoch log, slack observation, energy — follows granted.
+        FreqConfig granted =
+            inj ? inj->filterTransition(decision, prev_cfg, fepoch,
+                                        sys.now(), sink, metrics)
+                : decision;
         epoch_no += 1;
 
         // Account the profiling segment before frequencies change.
         accumulateEnergy(sys, epoch_snap, result, nullptr, ea);
         CounterSnapshot mid_snap = sys.snapshot();
 
-        sys.applyConfig(decision);
-        sys.run(epoch_start + cfg.epochLen);
+        Tick epoch_len =
+            inj ? inj->jitteredEpochLen(cfg.epochLen, cfg.profileLen,
+                                        fepoch, sys.now(), sink,
+                                        metrics)
+                : cfg.epochLen;
+        sys.applyConfig(granted);
+        sys.run(epoch_start + epoch_len);
 
         EpochLog log;
         log.startTick = epoch_start;
-        log.applied = decision;
+        log.applied = granted;
         accumulateEnergy(sys, mid_snap, result, &log.avgPower, ea);
         result.epochs.push_back(std::move(log));
 
@@ -207,7 +261,7 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
         obs.epochProfile = sys.makeProfile(epoch_snap);
         obs.instrs = sys.instrsSince(epoch_snap);
         obs.epochTicks = sys.now() - epoch_start;
-        obs.applied = decision;
+        obs.applied = granted;
         if (sys.numApps() > sys.numCores())
             obs.appOnCore = sys.appAssignment();
         policy.observeEpoch(obs, em);
@@ -220,15 +274,15 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
                 instrs += v;
 
             int core_changes = 0;
-            size_t nc = std::min(decision.coreIdx.size(),
+            size_t nc = std::min(granted.coreIdx.size(),
                                  prev_cfg.coreIdx.size());
             for (size_t i = 0; i < nc; ++i) {
-                if (decision.coreIdx[i] != prev_cfg.coreIdx[i])
+                if (granted.coreIdx[i] != prev_cfg.coreIdx[i])
                     core_changes += 1;
             }
             bool mem_changed =
-                decision.memIdx != prev_cfg.memIdx
-                || decision.chanIdx != prev_cfg.chanIdx;
+                granted.memIdx != prev_cfg.memIdx
+                || granted.chanIdx != prev_cfg.chanIdx;
 
             const PowerBreakdown &pw = result.epochs.back().avgPower;
             if (metrics) {
@@ -248,7 +302,7 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
                 pred_tpi.reserve(static_cast<size_t>(sys.numCores()));
                 act_tpi.reserve(static_cast<size_t>(sys.numCores()));
                 for (int i = 0; i < sys.numCores(); ++i) {
-                    pred_tpi.push_back(em.tpi(prof, i, decision));
+                    pred_tpi.push_back(em.tpi(prof, i, granted));
                     std::uint64_t n_i =
                         obs.instrs[static_cast<size_t>(i)];
                     act_tpi.push_back(
@@ -259,10 +313,10 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
                 ev.f("epoch", epoch_idx)
                     .f("start",
                        static_cast<std::uint64_t>(epoch_start))
-                    .f("mem_idx", decision.memIdx)
+                    .f("mem_idx", granted.memIdx)
                     .f("mem_mhz",
-                       em.mem().freq(decision.memIdx) / 1e6)
-                    .f("core_idx", decision.coreIdx)
+                       em.mem().freq(granted.memIdx) / 1e6)
+                    .f("core_idx", granted.coreIdx)
                     .f("cpu_w", pw.cpuW)
                     .f("mem_w", pw.memW)
                     .f("other_w", pw.otherW)
@@ -272,8 +326,8 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
                     .f("instrs", instrs)
                     .f("pred_tpi", pred_tpi)
                     .f("act_tpi", act_tpi);
-                if (!decision.chanIdx.empty())
-                    ev.f("chan_idx", decision.chanIdx);
+                if (!granted.chanIdx.empty())
+                    ev.f("chan_idx", granted.chanIdx);
                 if (const SlackTracker *ledger = policy.slackLedger()) {
                     std::vector<double> slack;
                     slack.reserve(
@@ -291,8 +345,13 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
         if (audit) {
             // Cross-check the decision the policy just took (Eq. 2/3
             // decomposition and SER fast path) and the Eq. 1 residual
-            // of the epoch that just ran.
-            audit->energy.auditCandidate(em, prof, decision);
+            // of the epoch that just ran. A counter dropout poisons
+            // the profile with NaN by design — the audit contract
+            // assumes finite inputs, so the candidate check is
+            // skipped for those epochs (the guarded policy held its
+            // frequencies anyway).
+            if (!inj || fault::profileFinite(prof))
+                audit->energy.auditCandidate(em, prof, granted);
             audit->perf.onEpoch(obs, em);
         }
     }
@@ -411,10 +470,24 @@ run(const RunRequest &req)
     if (req.wantMetrics)
         metrics = std::make_shared<MetricsRegistry>();
 
+    // Fault injection: the injector exists only for runs that asked
+    // for it; a disabled plan leaves the epoch loop untouched. The
+    // injector seeds from the plan, falling back to the effective
+    // config seed, so faults stay a pure function of the request.
+    SystemConfig cfg = req.effectiveConfig();
+    std::unique_ptr<fault::FaultInjector> inj;
+    if (req.faults.enabled())
+        inj = std::make_unique<fault::FaultInjector>(req.faults,
+                                                     cfg.seed);
+
     RunResult result =
-        runEpochLoop(req.effectiveConfig(), req.label, req.apps,
-                     *policy, req.auditSet, req.forceAudit, sink,
-                     metrics.get());
+        runEpochLoop(cfg, req.label, req.apps, *policy, req.auditSet,
+                     req.forceAudit, sink, metrics.get(), inj.get(),
+                     req.cancelFlag);
+    if (inj) {
+        result.faultsEnabled = true;
+        result.faults = inj->summary();
+    }
     if (owned_sink)
         owned_sink->finish();
     result.metrics = std::move(metrics);
@@ -453,12 +526,14 @@ compare(const RunResult &baseline, const RunResult &run)
 
 void
 writeJsonReport(const RunResult &run, const Comparison *vs_baseline,
-                std::ostream &os)
+                std::ostream &os, int attempts)
 {
     JsonWriter j(os);
     j.beginObject();
     j.field("mix", run.mixName);
     j.field("policy", run.policyName);
+    if (attempts > 0)
+        j.field("attempts", static_cast<std::uint64_t>(attempts));
     j.field("finish_seconds", ticksToSeconds(run.finishTick));
     j.field("total_instructions",
             static_cast<std::uint64_t>(run.totalInstrs));
@@ -472,6 +547,20 @@ writeJsonReport(const RunResult &run, const Comparison *vs_baseline,
     j.field("prefetch_accuracy", run.prefetchAccuracy);
     j.field("dram_reads", static_cast<std::uint64_t>(run.dramReads));
     j.field("dram_writes", static_cast<std::uint64_t>(run.dramWrites));
+
+    if (run.faultsEnabled) {
+        // Injected-fault summary: deterministic (pure function of the
+        // request's plan + seed), so it belongs in the report.
+        j.beginObject("faults");
+        j.field("noisy_epochs", run.faults.noisyEpochs);
+        j.field("stale_profiles", run.faults.staleProfiles);
+        j.field("counter_dropouts", run.faults.counterDropouts);
+        j.field("transitions_denied", run.faults.transitionsDenied);
+        j.field("transitions_delayed", run.faults.transitionsDelayed);
+        j.field("transitions_clamped", run.faults.transitionsClamped);
+        j.field("jittered_epochs", run.faults.jitteredEpochs);
+        j.endObject();
+    }
 
     if (vs_baseline) {
         j.beginObject("vs_baseline");

@@ -12,12 +12,14 @@
 #ifndef COSCALE_SIM_RUNNER_HH
 #define COSCALE_SIM_RUNNER_HH
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 #include "policy/policy.hh"
@@ -76,6 +78,15 @@ struct RunResult
      * stay cheap to copy through the engine's outcome plumbing.
      */
     std::shared_ptr<MetricsRegistry> metrics;
+
+    /**
+     * Injected-fault accounting: true when the request carried an
+     * enabled FaultPlan, with the per-kind event counts. All-zero for
+     * clean runs. Deterministic (pure function of the request), so it
+     * may appear in JSON reports.
+     */
+    bool faultsEnabled = false;
+    fault::FaultSummary faults;
 
     std::uint64_t
     dramTraffic() const
@@ -177,6 +188,24 @@ struct RunRequest
     /** Collect a per-run MetricsRegistry into RunResult::metrics. */
     bool wantMetrics = false;
 
+    /**
+     * Deterministic fault injection (fault/fault_plan.hh). A
+     * default-constructed (disabled) plan costs nothing: the runner
+     * never instantiates an injector and the epoch loop is untouched
+     * byte-for-byte. Faulted runs keep the determinism contract —
+     * every fault decision is a pure function of (plan, effective
+     * seed, epoch), never of execution order.
+     */
+    fault::FaultPlan faults;
+
+    /**
+     * Cooperative cancellation (the engine's watchdog): when non-null
+     * and set, the epoch loop aborts at the next epoch boundary by
+     * throwing std::runtime_error. Never part of the determinism
+     * contract — a cancelled run produces no result at all.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
+
     /** Request for a Table 1 mix expanded over cfg's cores. */
     static RunRequest forMix(const SystemConfig &cfg,
                              const WorkloadMix &mix);
@@ -252,6 +281,22 @@ struct RunRequest
         return *this;
     }
 
+    /** Attach a fault-injection plan (chainable). */
+    RunRequest &
+    withFaults(fault::FaultPlan plan)
+    {
+        faults = plan;
+        return *this;
+    }
+
+    /** Arm cooperative cancellation (engine watchdog; chainable). */
+    RunRequest &
+    withCancelFlag(const std::atomic<bool> *flag)
+    {
+        cancelFlag = flag;
+        return *this;
+    }
+
     /** cfg with the per-request seed override applied. */
     SystemConfig
     effectiveConfig() const
@@ -291,10 +336,14 @@ Comparison compare(const RunResult &baseline, const RunResult &run);
 
 /**
  * Emit a machine-readable JSON report of a run (and, when given, its
- * baseline comparison), including the per-epoch frequency/power log.
+ * baseline comparison), including the per-epoch frequency/power log,
+ * the injected-fault summary for faulted runs, and — when
+ * @p attempts > 0 — the engine's attempt count (omitted otherwise so
+ * single-attempt reports stay byte-stable).
  */
 void writeJsonReport(const RunResult &run,
-                     const Comparison *vs_baseline, std::ostream &os);
+                     const Comparison *vs_baseline, std::ostream &os,
+                     int attempts = 0);
 
 } // namespace coscale
 

@@ -95,23 +95,90 @@ TraceFileWriter::close()
     fp = nullptr;
 }
 
+TraceParseError::TraceParseError(Kind kind, const std::string &path,
+                                 std::uint64_t byte_offset,
+                                 const std::string &detail)
+    : std::runtime_error("trace file '" + path + "': " + detail
+                         + " (byte offset "
+                         + std::to_string(byte_offset) + ")"),
+      theKind(kind), thePath(path), theOffset(byte_offset)
+{
+}
+
 std::shared_ptr<const std::vector<TraceRecord>>
 loadTraceFile(const std::string &path)
 {
-    std::FILE *fp = std::fopen(path.c_str(), "rb");
-    if (!fp)
-        fatal("cannot open trace file '%s'", path.c_str());
+    constexpr std::uint64_t header_bytes =
+        sizeof(traceMagic) + sizeof(std::uint64_t);
 
-    char magic[8];
+    std::FILE *fp = std::fopen(path.c_str(), "rb");
+    if (!fp) {
+        throw TraceParseError(TraceParseError::Kind::OpenFailed, path,
+                              0, "cannot open for reading");
+    }
+    // RAII so every throw below closes the handle.
+    struct Closer
+    {
+        std::FILE *fp;
+        ~Closer() { std::fclose(fp); }
+    } closer{fp};
+
+    // Measure the whole file before trusting anything in it: the
+    // header count and the actual size must agree exactly, so a
+    // truncated copy or a corrupted header is rejected up front
+    // instead of surfacing as a short read mid-parse.
+    if (std::fseek(fp, 0, SEEK_END) != 0) {
+        throw TraceParseError(TraceParseError::Kind::OpenFailed, path,
+                              0, "cannot seek");
+    }
+    long end = std::ftell(fp);
+    if (end < 0) {
+        throw TraceParseError(TraceParseError::Kind::OpenFailed, path,
+                              0, "cannot measure size");
+    }
+    std::uint64_t file_bytes = static_cast<std::uint64_t>(end);
+    std::rewind(fp);
+
+    if (file_bytes < header_bytes) {
+        throw TraceParseError(TraceParseError::Kind::ShortHeader, path,
+                              file_bytes,
+                              "file ends inside the 16-byte header");
+    }
+
+    char magic[sizeof(traceMagic)];
     std::uint64_t count = 0;
     if (std::fread(magic, 1, sizeof(magic), fp) != sizeof(magic)
         || std::memcmp(magic, traceMagic, sizeof(magic)) != 0) {
-        std::fclose(fp);
-        fatal("'%s' is not a CoScale trace file", path.c_str());
+        throw TraceParseError(TraceParseError::Kind::BadMagic, path, 0,
+                              "bad magic, not a CoScale trace");
     }
     if (std::fread(&count, sizeof(count), 1, fp) != 1) {
-        std::fclose(fp);
-        fatal("'%s': truncated header", path.c_str());
+        throw TraceParseError(TraceParseError::Kind::ShortHeader, path,
+                              sizeof(magic), "unreadable record count");
+    }
+
+    std::uint64_t payload = file_bytes - header_bytes;
+    if (payload % sizeof(PackedRecord) != 0) {
+        std::uint64_t whole = payload / sizeof(PackedRecord);
+        throw TraceParseError(
+            TraceParseError::Kind::ShortRecord, path,
+            header_bytes + whole * sizeof(PackedRecord),
+            "final record is cut short ("
+                + std::to_string(payload % sizeof(PackedRecord))
+                + " of " + std::to_string(sizeof(PackedRecord))
+                + " bytes)");
+    }
+    if (payload / sizeof(PackedRecord) != count) {
+        throw TraceParseError(
+            TraceParseError::Kind::CountMismatch, path,
+            sizeof(magic),
+            "header promises " + std::to_string(count)
+                + " records but the file holds "
+                + std::to_string(payload / sizeof(PackedRecord)));
+    }
+    if (count == 0) {
+        throw TraceParseError(TraceParseError::Kind::Empty, path,
+                              header_bytes, "empty trace");
     }
 
     auto buf = std::make_shared<std::vector<TraceRecord>>();
@@ -119,15 +186,13 @@ loadTraceFile(const std::string &path)
     for (std::uint64_t i = 0; i < count; ++i) {
         PackedRecord p;
         if (std::fread(&p, sizeof(p), 1, fp) != 1) {
-            std::fclose(fp);
-            fatal("'%s': truncated at record %llu", path.c_str(),
-                  static_cast<unsigned long long>(i));
+            throw TraceParseError(
+                TraceParseError::Kind::ShortRecord, path,
+                header_bytes + i * sizeof(PackedRecord),
+                "read failed at record " + std::to_string(i));
         }
         buf->push_back(unpack(p));
     }
-    std::fclose(fp);
-    if (buf->empty())
-        fatal("'%s': empty trace", path.c_str());
     return buf;
 }
 

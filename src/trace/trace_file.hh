@@ -11,13 +11,50 @@
 #ifndef COSCALE_TRACE_TRACE_FILE_HH
 #define COSCALE_TRACE_TRACE_FILE_HH
 
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/trace.hh"
 
 namespace coscale {
+
+/**
+ * Structured parse failure from loadTraceFile. Malformed input files
+ * are an operational condition, not a programming error, so they
+ * throw (callers decide whether to die, skip, or retry) instead of
+ * taking the whole process down via fatal(). kind() and byteOffset()
+ * let tests and tools pin exactly what was rejected and where.
+ */
+class TraceParseError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        OpenFailed,    //!< file missing or unreadable
+        BadMagic,      //!< first 8 bytes are not "COSCTRC1"
+        ShortHeader,   //!< file ends inside the 16-byte header
+        ShortRecord,   //!< file ends inside a 32-byte record
+        CountMismatch, //!< header count disagrees with the file size
+        Empty,         //!< well-formed but zero records
+    };
+
+    TraceParseError(Kind kind, const std::string &path,
+                    std::uint64_t byte_offset, const std::string &detail);
+
+    Kind kind() const { return theKind; }
+    const std::string &path() const { return thePath; }
+
+    /** Offset of the first byte that could not be honoured. */
+    std::uint64_t byteOffset() const { return theOffset; }
+
+  private:
+    Kind theKind;
+    std::string thePath;
+    std::uint64_t theOffset;
+};
 
 /** Write a record stream to a trace file. */
 class TraceFileWriter
@@ -42,7 +79,12 @@ class TraceFileWriter
     std::uint64_t count = 0;
 };
 
-/** Load an entire trace file into memory. */
+/**
+ * Load an entire trace file into memory. Validates the magic, that
+ * the header record count matches the file size exactly, and that no
+ * record is cut short; any violation throws TraceParseError before a
+ * single record is handed to the caller.
+ */
 std::shared_ptr<const std::vector<TraceRecord>>
 loadTraceFile(const std::string &path);
 

@@ -9,11 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/bench_options.hh"
@@ -378,6 +381,161 @@ TEST(ExperimentEngine, RecordsPerRunWallTime)
     EXPECT_GT(out.result.metrics->gauge("engine.wall_secs").value(),
               0.0);
     EXPECT_EQ(jsonOf(out.result).find("wall"), std::string::npos);
+}
+
+TEST(ExperimentEngine, FailuresCarryRequestAndExceptionContext)
+{
+    SystemConfig cfg = smallConfig();
+    exp::EngineOptions opts;
+    opts.jobs = 1;
+    exp::ExperimentEngine engine(opts);
+    exp::RunOutcome out = engine.runOne(
+        RunRequest::forMix(cfg, mixByName("MID2"))
+            .with([]() -> std::unique_ptr<Policy> {
+                throw std::runtime_error("deliberate factory failure");
+            }));
+    EXPECT_FALSE(out.ok);
+    // Which request, which exception type, and what it said — enough
+    // to triage a 200-run batch from the JSONL alone.
+    EXPECT_NE(out.error.find("request 'MID2'"), std::string::npos)
+        << out.error;
+    EXPECT_NE(out.error.find("runtime_error"), std::string::npos)
+        << out.error;
+    EXPECT_NE(out.error.find("deliberate factory failure"),
+              std::string::npos)
+        << out.error;
+    // The stderr failure digest counts it too.
+    EXPECT_EQ(exp::reportFailures({out}), 1u);
+
+    // And an empty batch is a clean no-op, not an edge case.
+    exp::ExperimentEngine empty{exp::EngineOptions{}};
+    EXPECT_TRUE(empty.run({}).empty());
+}
+
+/** Cooperative hang: each decision burns ~200 ms of host time. */
+class SlowPolicy final : public Policy
+{
+  public:
+    std::string name() const override { return "Slow"; }
+
+    FreqConfig
+    decide(const SystemProfile &profile, const EnergyModel &,
+           const FreqConfig &current, Tick) override
+    {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        (void)profile;
+        return current;
+    }
+
+    void observeEpoch(const EpochObservation &,
+                      const EnergyModel &) override
+    {
+    }
+};
+
+TEST(ExperimentEngine, WatchdogCancelsHungRunAndBatchCompletes)
+{
+    // The watchdog budget covers every request in the batch, so the
+    // healthy run must be far under it and the hung one far over:
+    // a scale-0.02 2-core run finishes in ~10 ms of host time and
+    // ~10 epochs, while SlowPolicy burns 200 ms per epoch.
+    SystemConfig cfg = smallConfig(0.02);
+    cfg.numCores = 2;
+    std::vector<RunRequest> requests;
+    requests.push_back(
+        RunRequest::forMix(cfg, mixByName("MID2"))
+            .with([]() -> std::unique_ptr<Policy> {
+                return std::make_unique<SlowPolicy>();
+            }));
+    requests.push_back(
+        RunRequest::forMix(cfg, mixByName("ILP2"))
+            .with(exp::policyFactoryByName("CoScale", cfg.numCores,
+                                           cfg.gamma)));
+
+    exp::EngineOptions opts;
+    opts.jobs = 2;
+    opts.timeoutSecs = 0.5;
+    exp::ExperimentEngine engine(opts);
+    std::vector<exp::RunOutcome> outcomes = engine.run(requests);
+
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_TRUE(outcomes[0].timedOut);
+    EXPECT_EQ(outcomes[0].attempts, 1);
+    EXPECT_NE(outcomes[0].error.find("watchdog"), std::string::npos)
+        << outcomes[0].error;
+    // A hung neighbor must not take the batch down with it.
+    EXPECT_TRUE(outcomes[1].ok) << outcomes[1].error;
+
+    std::ostringstream os;
+    exp::writeJsonlReport(outcomes, os);
+    EXPECT_NE(os.str().find("\"timed_out\":true"), std::string::npos);
+}
+
+TEST(ExperimentEngine, TransientFailureSucceedsOnRetry)
+{
+    SystemConfig cfg = smallConfig();
+    auto failures = std::make_shared<std::atomic<int>>(1);
+    RunRequest req =
+        RunRequest::forMix(cfg, mixByName("MID3"))
+            .with([failures, &cfg]() -> std::unique_ptr<Policy> {
+                if (failures->fetch_sub(1) > 0)
+                    throw std::runtime_error("transient glitch");
+                return std::make_unique<CoScalePolicy>(cfg.numCores,
+                                                       cfg.gamma);
+            });
+
+    exp::EngineOptions opts;
+    opts.jobs = 1;
+    opts.retries = 1;
+    opts.backoffSecs = 0.01;
+    exp::ExperimentEngine engine(opts);
+    exp::RunOutcome out = engine.runOne(req);
+
+    EXPECT_TRUE(out.ok) << out.error;
+    EXPECT_EQ(out.attempts, 2);
+    EXPECT_TRUE(out.error.empty()) << out.error;
+
+    // The retry count is visible in the report; single-attempt runs
+    // stay byte-stable by omitting the field entirely.
+    std::ostringstream os;
+    exp::writeJsonlReport({out}, os);
+    EXPECT_NE(os.str().find("\"attempts\":2"), std::string::npos);
+}
+
+TEST(ExperimentEngine, RepeatedlyFailingRequestGetsQuarantined)
+{
+    SystemConfig cfg = smallConfig();
+    auto makeReq = [&] {
+        return RunRequest::forMix(cfg, mixByName("MEM2"))
+            .with([]() -> std::unique_ptr<Policy> {
+                throw std::runtime_error("always broken");
+            });
+    };
+
+    exp::EngineOptions opts;
+    opts.jobs = 1;
+    opts.quarantineAfter = 2;
+    exp::ExperimentEngine engine(opts);
+
+    exp::RunOutcome first = engine.runOne(makeReq());
+    EXPECT_FALSE(first.ok);
+    EXPECT_FALSE(first.quarantined);
+    exp::RunOutcome second = engine.runOne(makeReq());
+    EXPECT_FALSE(second.ok);
+    EXPECT_FALSE(second.quarantined);
+
+    // Two exhausted failures of the same (config, workload, label)
+    // identity: the third submission is refused without running.
+    exp::RunOutcome third = engine.runOne(makeReq());
+    EXPECT_FALSE(third.ok);
+    EXPECT_TRUE(third.quarantined);
+    EXPECT_EQ(third.attempts, 0);
+    EXPECT_NE(third.error.find("quarantined"), std::string::npos)
+        << third.error;
+
+    std::ostringstream os;
+    exp::writeJsonlReport({third}, os);
+    EXPECT_NE(os.str().find("\"quarantined\":true"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,778 @@
+/**
+ * @file
+ * The fault-injection and graceful-degradation layer under test:
+ * stateless fault-hash determinism, the per-seam injector behaviours
+ * (noise, bias, dropout, staleness, transition deny/delay/clamp,
+ * timer jitter), the Policy::safeDecide guards (model-output
+ * validation and the slack-exhaustion escape hatch), run-level
+ * determinism of faulted runs across worker counts, a golden faulted
+ * trace fixture, end-to-end degradation bounds under adversarial
+ * counter bias, and fuzz-ish corruption of trace files.
+ *
+ * Regenerate the faulted golden fixture (after an intentional
+ * simulator or schema change) with
+ *
+ *   COSCALE_REGEN_GOLDEN=1 ./build/tests/test_fault
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/engine.hh"
+#include "exp/policies.hh"
+#include "fault/corrupt.hh"
+#include "fault/fault_injector.hh"
+#include "obs/trace_sink.hh"
+#include "policy/policy.hh"
+#include "policy/search_common.hh"
+#include "sim/runner.hh"
+#include "trace/trace_file.hh"
+#include "workloads/spec_catalogue.hh"
+
+namespace coscale {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::FaultStream;
+
+// --- stateless hash ---
+
+TEST(FaultHash, PureFunctionOfItsArguments)
+{
+    EXPECT_EQ(fault::faultHash(1, 2, FaultStream::Dropout, 3),
+              fault::faultHash(1, 2, FaultStream::Dropout, 3));
+    EXPECT_NE(fault::faultHash(1, 2, FaultStream::Dropout, 3),
+              fault::faultHash(2, 2, FaultStream::Dropout, 3));
+    EXPECT_NE(fault::faultHash(1, 2, FaultStream::Dropout, 3),
+              fault::faultHash(1, 3, FaultStream::Dropout, 3));
+    EXPECT_NE(fault::faultHash(1, 2, FaultStream::Dropout, 3),
+              fault::faultHash(1, 2, FaultStream::Stale, 3));
+    EXPECT_NE(fault::faultHash(1, 2, FaultStream::Dropout, 3),
+              fault::faultHash(1, 2, FaultStream::Dropout, 4));
+}
+
+TEST(FaultHash, UniformDrawsLandInUnitIntervalWithSaneMean)
+{
+    double sum = 0.0;
+    const int n = 4096;
+    for (int e = 0; e < n; ++e) {
+        double u = fault::faultUniform(99, static_cast<std::uint64_t>(e),
+                                       FaultStream::NoiseGate);
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.05);
+}
+
+// --- injector seams ---
+
+SystemProfile
+smallProfile()
+{
+    SystemProfile prof;
+    prof.windowTicks = 300 * tickPerUs;
+    for (int i = 0; i < 2; ++i) {
+        CoreProfile c;
+        c.cyclesPerInstr = 1.4;
+        c.alpha = 0.01;
+        c.tpiL2Secs = 7.5e-9;
+        c.beta = 0.004;
+        c.measuredMemStallSecs = 70e-9;
+        c.instrs = 100000;
+        c.aluPerInstr = 0.4;
+        c.memOpPerInstr = 0.35;
+        c.llcAccessPerInstr = 0.014;
+        c.memReadPerInstr = 0.004;
+        prof.cores.push_back(c);
+    }
+    prof.mem.profiledBusFreq = 800 * MHz;
+    prof.mem.measuredStallSecs = 90e-9;
+    prof.mem.wBankSecs = 2.5e-9;
+    prof.mem.wBusSecs = 1.5e-9;
+    prof.mem.busUtil = 0.2;
+    prof.mem.rankActiveFrac = 0.25;
+    prof.mem.trafficPerSec = 1.5e8;
+    prof.profiledCoreIdx = {0, 0};
+    prof.profiledMemIdx = 0;
+    return prof;
+}
+
+TEST(FaultInjectorTest, NoiseIsDeterministicAndSparesPowerRates)
+{
+    FaultPlan plan;
+    plan.counterNoiseAmp = 0.10;
+    SystemProfile clean = smallProfile();
+
+    FaultInjector a(plan, 7), b(plan, 7);
+    SystemProfile pa = a.perturbProfile(clean, 3, 0, nullptr, nullptr);
+    SystemProfile pb = b.perturbProfile(clean, 3, 0, nullptr, nullptr);
+
+    for (size_t i = 0; i < clean.cores.size(); ++i) {
+        // Identical across injector instances (stateless hash).
+        EXPECT_EQ(pa.cores[i].cyclesPerInstr, pb.cores[i].cyclesPerInstr);
+        EXPECT_EQ(pa.cores[i].beta, pb.cores[i].beta);
+        // Perturbed relative to the clean read, within the amplitude.
+        double ratio =
+            pa.cores[i].cyclesPerInstr / clean.cores[i].cyclesPerInstr;
+        EXPECT_NE(ratio, 1.0);
+        EXPECT_GE(ratio, 0.9 - 1e-12);
+        EXPECT_LE(ratio, 1.1 + 1e-12);
+        // Power-predictor rates are not timing counters.
+        EXPECT_EQ(pa.cores[i].aluPerInstr, clean.cores[i].aluPerInstr);
+        EXPECT_EQ(pa.cores[i].instrs, clean.cores[i].instrs);
+    }
+    EXPECT_NE(pa.mem.measuredStallSecs, clean.mem.measuredStallSecs);
+    EXPECT_EQ(a.summary().noisyEpochs, 1u);
+
+    // A different seed perturbs differently.
+    FaultInjector c(plan, 8);
+    SystemProfile pc = c.perturbProfile(clean, 3, 0, nullptr, nullptr);
+    EXPECT_NE(pc.cores[0].cyclesPerInstr, pa.cores[0].cyclesPerInstr);
+}
+
+TEST(FaultInjectorTest, BiasTargetsOnlyTheMemoryStallChannel)
+{
+    FaultPlan plan;
+    plan.counterNoiseBias = 0.5;
+    SystemProfile clean = smallProfile();
+    FaultInjector inj(plan, 1);
+    SystemProfile p = inj.perturbProfile(clean, 0, 0, nullptr, nullptr);
+
+    for (size_t i = 0; i < clean.cores.size(); ++i) {
+        EXPECT_DOUBLE_EQ(p.cores[i].beta, clean.cores[i].beta * 1.5);
+        EXPECT_DOUBLE_EQ(p.cores[i].measuredMemStallSecs,
+                         clean.cores[i].measuredMemStallSecs * 1.5);
+        // With zero amplitude the CPU-side counters stay exact.
+        EXPECT_DOUBLE_EQ(p.cores[i].cyclesPerInstr,
+                         clean.cores[i].cyclesPerInstr);
+        EXPECT_DOUBLE_EQ(p.cores[i].alpha, clean.cores[i].alpha);
+    }
+    EXPECT_DOUBLE_EQ(p.mem.measuredStallSecs,
+                     clean.mem.measuredStallSecs * 1.5);
+}
+
+TEST(FaultInjectorTest, DropoutPoisonsExactlyOneCore)
+{
+    FaultPlan plan;
+    plan.counterDropoutProb = 1.0;
+    SystemProfile clean = smallProfile();
+    FaultInjector inj(plan, 5);
+    SystemProfile p = inj.perturbProfile(clean, 0, 0, nullptr, nullptr);
+
+    EXPECT_FALSE(fault::profileFinite(p));
+    int poisoned = 0;
+    for (const CoreProfile &c : p.cores)
+        poisoned += std::isnan(c.cyclesPerInstr) ? 1 : 0;
+    EXPECT_EQ(poisoned, 1);
+    EXPECT_EQ(inj.summary().counterDropouts, 1u);
+}
+
+TEST(FaultInjectorTest, StaleReadReservesPreviousCleanProfile)
+{
+    FaultPlan plan;
+    plan.counterStaleProb = 1.0;
+    SystemProfile p0 = smallProfile();
+    SystemProfile p1 = smallProfile();
+    p1.cores[0].cyclesPerInstr = 2.5;
+
+    FaultInjector inj(plan, 5);
+    // Epoch 0 has no previous read to re-serve, so it passes through.
+    SystemProfile e0 = inj.perturbProfile(p0, 0, 0, nullptr, nullptr);
+    EXPECT_DOUBLE_EQ(e0.cores[0].cyclesPerInstr,
+                     p0.cores[0].cyclesPerInstr);
+    // Epoch 1 re-serves epoch 0's clean profile, not the new one.
+    SystemProfile e1 = inj.perturbProfile(p1, 1, 0, nullptr, nullptr);
+    EXPECT_DOUBLE_EQ(e1.cores[0].cyclesPerInstr,
+                     p0.cores[0].cyclesPerInstr);
+    EXPECT_EQ(inj.summary().staleProfiles, 1u);
+}
+
+TEST(FaultInjectorTest, TransitionDenyDelayAndClamp)
+{
+    FreqConfig prev = FreqConfig::allMax(2);
+    prev.memIdx = 2;
+    FreqConfig req = prev;
+    req.memIdx = 5;
+    req.coreIdx = {3, 0};
+
+    {
+        FaultPlan plan;
+        plan.transitionDenyProb = 1.0;
+        FaultInjector inj(plan, 1);
+        FreqConfig granted =
+            inj.filterTransition(req, prev, 0, 0, nullptr, nullptr);
+        EXPECT_EQ(granted.memIdx, prev.memIdx);
+        EXPECT_EQ(granted.coreIdx, prev.coreIdx);
+        EXPECT_EQ(inj.summary().transitionsDenied, 1u);
+        FreqConfig pend;
+        EXPECT_FALSE(inj.takePending(&pend));
+
+        // An unchanged request has nothing to deny.
+        FreqConfig same =
+            inj.filterTransition(prev, prev, 1, 0, nullptr, nullptr);
+        EXPECT_EQ(same.memIdx, prev.memIdx);
+        EXPECT_EQ(inj.summary().transitionsDenied, 1u);
+    }
+    {
+        FaultPlan plan;
+        plan.transitionDelayProb = 1.0;
+        FaultInjector inj(plan, 1);
+        FreqConfig granted =
+            inj.filterTransition(req, prev, 0, 0, nullptr, nullptr);
+        EXPECT_EQ(granted.memIdx, prev.memIdx);
+        FreqConfig pend;
+        ASSERT_TRUE(inj.takePending(&pend));
+        EXPECT_EQ(pend.memIdx, req.memIdx);
+        EXPECT_EQ(pend.coreIdx, req.coreIdx);
+        EXPECT_FALSE(inj.takePending(&pend));
+        EXPECT_EQ(inj.summary().transitionsDelayed, 1u);
+    }
+    {
+        FaultPlan plan;
+        plan.transitionClampProb = 1.0;
+        FaultInjector inj(plan, 1);
+        FreqConfig granted =
+            inj.filterTransition(req, prev, 0, 0, nullptr, nullptr);
+        // One rung short in every dimension that moved.
+        EXPECT_EQ(granted.memIdx, 4);       // 2 -> 5 stops at 4
+        EXPECT_EQ(granted.coreIdx[0], 2);   // 0 -> 3 stops at 2
+        EXPECT_EQ(granted.coreIdx[1], 0);   // did not move
+        EXPECT_EQ(inj.summary().transitionsClamped, 1u);
+    }
+}
+
+TEST(FaultInjectorTest, JitterStaysBoundedAndOutlastsProfiling)
+{
+    FaultPlan plan;
+    plan.epochJitterFrac = 0.10;
+    FaultInjector inj(plan, 3);
+    Tick nominal = tickPerMs;
+    Tick profile = 300 * tickPerUs;
+    for (std::uint64_t e = 0; e < 64; ++e) {
+        Tick len = inj.jitteredEpochLen(nominal, profile, e, 0, nullptr,
+                                        nullptr);
+        EXPECT_GT(len, profile);
+        EXPECT_GE(static_cast<double>(len),
+                  0.9 * static_cast<double>(nominal) - 1.0);
+        EXPECT_LE(static_cast<double>(len),
+                  1.1 * static_cast<double>(nominal) + 1.0);
+    }
+    // A nominal epoch at the floor is pushed just past the profile.
+    EXPECT_GT(inj.jitteredEpochLen(profile, profile, 0, 0, nullptr,
+                                   nullptr),
+              profile);
+}
+
+// --- safeDecide guards ---
+
+struct GuardFixture : ::testing::Test
+{
+    GuardFixture()
+        : coreLadder(defaultCoreLadder()), memLadder(defaultMemLadder()),
+          perf(DramTimingParams{}, 10.0, 7.5)
+    {
+        PowerParams pp;
+        pp.numCores = 2;
+        power = PowerModel(pp);
+        em = EnergyModel(&perf, &power, &coreLadder, &memLadder);
+        prof = smallProfile();
+    }
+
+    FreqLadder coreLadder;
+    FreqLadder memLadder;
+    PerfModel perf;
+    PowerModel power;
+    EnergyModel em;
+    SystemProfile prof;
+};
+
+/** Scriptable policy: returns whatever decide() was told to return. */
+class StubPolicy final : public Policy
+{
+  public:
+    StubPolicy() : ledger(2, 0.10, 0.0) {}
+
+    std::string name() const override { return "Stub"; }
+
+    FreqConfig
+    decide(const SystemProfile &, const EnergyModel &,
+           const FreqConfig &, Tick) override
+    {
+        decides += 1;
+        return next;
+    }
+
+    void observeEpoch(const EpochObservation &,
+                      const EnergyModel &) override
+    {
+    }
+
+    const SlackTracker *
+    slackLedger() const override
+    {
+        return useLedger ? &ledger : nullptr;
+    }
+
+    FreqConfig next;
+    SlackTracker ledger;
+    bool useLedger = false;
+    int decides = 0;
+};
+
+TEST_F(GuardFixture, DecisionSaneChecksLaddersAndModelOutput)
+{
+    FreqConfig good = FreqConfig::allMax(2);
+    EXPECT_TRUE(decisionSane(em, prof, good));
+
+    FreqConfig off_ladder = good;
+    off_ladder.memIdx = em.mem().size();
+    EXPECT_FALSE(decisionSane(em, prof, off_ladder));
+
+    FreqConfig wrong_width = good;
+    wrong_width.coreIdx.push_back(0);
+    EXPECT_FALSE(decisionSane(em, prof, wrong_width));
+
+    SystemProfile poisoned = prof;
+    poisoned.cores[1].cyclesPerInstr =
+        std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(decisionSane(em, poisoned, good));
+}
+
+TEST_F(GuardFixture, SafeDecideHoldsCurrentOnInvalidDecision)
+{
+    StubPolicy p;
+    p.next = FreqConfig::allMax(2);
+    p.next.memIdx = 99;  // off the ladder
+    MetricsRegistry metrics;
+    p.attachObs(nullptr, &metrics);
+
+    FreqConfig current = FreqConfig::allMax(2);
+    current.memIdx = 3;
+    FreqConfig got = p.safeDecide(prof, em, current, tickPerMs);
+    EXPECT_EQ(got.memIdx, 3);
+    EXPECT_EQ(p.decides, 1);
+    EXPECT_EQ(metrics.counter("guard.held_decision").value(), 1u);
+}
+
+TEST_F(GuardFixture, SafeDecideHoldsOnPoisonedProfile)
+{
+    StubPolicy p;
+    p.next = FreqConfig::allMax(2);  // sane indices, NaN prediction
+    SystemProfile poisoned = prof;
+    // A dropped-out counter poisons the whole core (NaN CPI flows
+    // straight into every predicted TPI; NaN in the stall channel
+    // alone is clamped away by the hidden-latency formulation).
+    poisoned.cores[0].cyclesPerInstr =
+        std::numeric_limits<double>::quiet_NaN();
+
+    FreqConfig current = FreqConfig::allMax(2);
+    current.memIdx = 2;
+    FreqConfig got = p.safeDecide(poisoned, em, current, tickPerMs);
+    EXPECT_EQ(got.memIdx, 2);
+}
+
+TEST_F(GuardFixture, EscapeHatchForcesMaxOnDeepSlackDeficit)
+{
+    StubPolicy p;
+    p.useLedger = true;
+    // App 1 is one full second behind; the epoch is a millisecond.
+    p.ledger.update(1, 0.0, 0, 1.0);
+    // decide() would return garbage, but must not even be consulted.
+    p.next.memIdx = 99;
+    MetricsRegistry metrics;
+    p.attachObs(nullptr, &metrics);
+
+    FreqConfig current = FreqConfig::allMax(2);
+    current.memIdx = 4;
+    FreqConfig got = p.safeDecide(prof, em, current, tickPerMs);
+    EXPECT_EQ(got.memIdx, 0);
+    EXPECT_EQ(got.coreIdx, std::vector<int>({0, 0}));
+    EXPECT_EQ(p.decides, 0);
+    EXPECT_EQ(metrics.counter("guard.escape_hatch").value(), 1u);
+}
+
+TEST_F(GuardFixture, LedgerFreePolicyNeverTakesTheHatch)
+{
+    StubPolicy p;
+    p.useLedger = false;
+    p.next = FreqConfig::allMax(2);
+    p.next.memIdx = 5;
+    FreqConfig got =
+        p.safeDecide(prof, em, FreqConfig::allMax(2), tickPerMs);
+    EXPECT_EQ(got.memIdx, 5);
+    EXPECT_EQ(p.decides, 1);
+}
+
+// --- faulted runs: determinism, reporting, goldens ---
+
+SystemConfig
+faultConfig()
+{
+    SystemConfig cfg = makeScaledConfig(0.02);
+    cfg.numCores = 2;
+    return cfg;
+}
+
+/** A plan that exercises several seams but leaves most epochs clean. */
+FaultPlan
+mixedPlan()
+{
+    FaultPlan plan;
+    plan.counterNoiseAmp = 0.05;
+    plan.counterNoiseProb = 0.25;
+    plan.transitionDenyProb = 0.4;
+    return plan;
+}
+
+TEST(FaultRun, SummaryCountsAndJsonReport)
+{
+    SystemConfig cfg = faultConfig();
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MID1"))
+                         .with(exp::policyFactoryByName(
+                             "coscale", cfg.numCores, cfg.gamma))
+                         .withFaults(mixedPlan());
+    RunResult r = coscale::run(req);
+
+    EXPECT_TRUE(r.faultsEnabled);
+    EXPECT_GE(r.faults.transitionsDenied, 1u);
+    EXPECT_GE(r.faults.noisyEpochs, 1u);
+    EXPECT_GT(r.faults.total(), 0u);
+
+    std::ostringstream os;
+    writeJsonReport(r, nullptr, os);
+    EXPECT_NE(os.str().find("\"faults\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"transitions_denied\""),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("\"attempts\""), std::string::npos);
+
+    // Clean runs stay clean: no injector, no faults block.
+    RunRequest clean = RunRequest::forMix(cfg, mixByName("MID1"))
+                           .with(exp::policyFactoryByName(
+                               "coscale", cfg.numCores, cfg.gamma));
+    RunResult rc = coscale::run(clean);
+    EXPECT_FALSE(rc.faultsEnabled);
+    std::ostringstream osc;
+    writeJsonReport(rc, nullptr, osc);
+    EXPECT_EQ(osc.str().find("\"faults\""), std::string::npos);
+}
+
+TEST(FaultRun, FaultedBatchBitIdenticalAcrossWorkerCounts)
+{
+    SystemConfig cfg = faultConfig();
+    const std::vector<std::string> mixes = {"MID1", "ILP1", "MEM1"};
+
+    auto traceAll = [&](int jobs) {
+        std::vector<std::unique_ptr<std::ostringstream>> streams;
+        std::vector<std::unique_ptr<JsonlTraceSink>> sinks;
+        std::vector<RunRequest> reqs;
+        for (const std::string &m : mixes) {
+            streams.push_back(std::make_unique<std::ostringstream>());
+            sinks.push_back(
+                std::make_unique<JsonlTraceSink>(*streams.back()));
+            reqs.push_back(RunRequest::forMix(cfg, mixByName(m))
+                               .with(exp::policyFactoryByName(
+                                   "coscale", cfg.numCores, cfg.gamma))
+                               .withFaults(mixedPlan()));
+            reqs.back().withTrace(*sinks.back());
+        }
+        exp::EngineOptions opts;
+        opts.jobs = jobs;
+        exp::ExperimentEngine engine(opts);
+        std::vector<exp::RunOutcome> outcomes = engine.run(reqs);
+        std::vector<std::string> bytes;
+        for (size_t i = 0; i < reqs.size(); ++i) {
+            EXPECT_TRUE(outcomes[i].ok) << outcomes[i].error;
+            EXPECT_GT(outcomes[i].result.faults.total(), 0u)
+                << mixes[i];
+            sinks[i]->finish();
+            bytes.push_back(streams[i]->str());
+        }
+        return bytes;
+    };
+
+    std::vector<std::string> serial = traceAll(1);
+    std::vector<std::string> parallel = traceAll(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_FALSE(serial[i].empty()) << "mix " << mixes[i];
+        EXPECT_EQ(serial[i], parallel[i]) << "mix " << mixes[i];
+    }
+}
+
+TEST(FaultRun, AllSeamsEmitTraceEventsAndMetrics)
+{
+    // Every seam armed at once, with observability attached: fault
+    // events must land in the trace and the metrics registry, and
+    // the per-kind summary must account for each seam.
+    SystemConfig cfg = faultConfig();
+    FaultPlan plan;
+    plan.counterNoiseAmp = 0.05;
+    plan.counterDropoutProb = 0.3;
+    plan.counterStaleProb = 0.3;
+    plan.transitionDenyProb = 0.2;
+    plan.transitionDelayProb = 0.2;
+    plan.transitionClampProb = 0.2;
+    plan.epochJitterFrac = 0.2;
+
+    std::ostringstream os;
+    RunResult r;
+    {
+        JsonlTraceSink sink(os);
+        RunRequest req = RunRequest::forMix(cfg, mixByName("MID1"))
+                             .with(exp::policyFactoryByName(
+                                 "coscale", cfg.numCores, cfg.gamma))
+                             .withFaults(plan)
+                             .withMetrics();
+        req.withTrace(sink);
+        r = coscale::run(req);
+        sink.finish();
+    }
+
+    EXPECT_GE(r.faults.noisyEpochs, 1u);
+    EXPECT_GE(r.faults.counterDropouts, 1u);
+    EXPECT_GE(r.faults.staleProfiles, 1u);
+    EXPECT_GE(r.faults.jitteredEpochs, 1u);
+    EXPECT_GE(r.faults.transitionsDenied + r.faults.transitionsDelayed
+                  + r.faults.transitionsClamped,
+              1u);
+
+    const std::string trace = os.str();
+    for (const char *name :
+         {"counter_noise", "counter_dropout", "counter_stale",
+          "epoch_jitter", "transition"}) {
+        EXPECT_NE(trace.find(std::string("\"name\":\"") + name + "\""),
+                  std::string::npos)
+            << name;
+    }
+    ASSERT_NE(r.metrics, nullptr);
+    EXPECT_EQ(r.metrics->counter("fault.epoch_jitter").value(),
+              r.faults.jitteredEpochs);
+    EXPECT_EQ(r.metrics->counter("fault.counter_dropout").value(),
+              r.faults.counterDropouts);
+}
+
+/**
+ * Byte-compare @p got against the checked-in fixture, or rewrite the
+ * fixture when COSCALE_REGEN_GOLDEN is set (same contract as
+ * test_obs.cc).
+ */
+void
+checkGolden(const std::string &fixture, const std::string &got)
+{
+    std::string path = std::string(COSCALE_GOLDEN_DIR) + "/" + fixture;
+    if (std::getenv("COSCALE_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write fixture " << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing fixture " << path
+                    << "; create it with COSCALE_REGEN_GOLDEN=1";
+    std::ostringstream want;
+    want << in.rdbuf();
+    ASSERT_EQ(got.size(), want.str().size())
+        << fixture << " changed size; if the simulator change is "
+        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
+        << "commit the diff";
+    EXPECT_TRUE(got == want.str())
+        << fixture << " changed content; if the simulator change is "
+        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
+        << "commit the diff";
+}
+
+TEST(FaultRun, GoldenFaultedTraceMatchesFixture)
+{
+    SystemConfig cfg = faultConfig();
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MID1"))
+                         .with(exp::policyFactoryByName(
+                             "coscale", cfg.numCores, cfg.gamma))
+                         .withFaults(mixedPlan());
+    std::ostringstream os;
+    {
+        JsonlTraceSink sink(os);
+        req.withTrace(sink);
+        RunResult r = coscale::run(req);
+        // The fixture must actually contain injected faults.
+        EXPECT_GE(r.faults.transitionsDenied, 1u);
+        EXPECT_GE(r.faults.noisyEpochs, 1u);
+        sink.finish();
+    }
+    EXPECT_NE(os.str().find("\"cat\":\"fault\""), std::string::npos);
+    checkGolden("mid1_2core_coscale_faulted.jsonl", os.str());
+}
+
+// --- degradation bounds under injected model error ---
+
+double
+worstDegradationVsCleanBaseline(const SystemConfig &cfg,
+                                const std::string &mix,
+                                const std::string &policy,
+                                const FaultPlan &plan)
+{
+    BaselinePolicy baseline;
+    RunResult base = coscale::run(
+        RunRequest::forMix(cfg, mixByName(mix)).with(baseline));
+    RunRequest req = RunRequest::forMix(cfg, mixByName(mix))
+                         .with(exp::policyFactoryByName(
+                             policy, cfg.numCores, cfg.gamma));
+    if (plan.enabled())
+        req.withFaults(plan);
+    RunResult r = coscale::run(req);
+    return compare(base, r).worstDegradation;
+}
+
+TEST(Degradation, CoScaleHoldsBoundUnderAdversarialBias)
+{
+    // The profile consistently doubles the measured memory-stall
+    // channel, so Eq. 1 systematically understates the cost of core
+    // downclocking. The honest end-of-epoch ledger plus the escape
+    // hatch must still end the run within the user bound.
+    SystemConfig cfg = faultConfig();
+    FaultPlan plan;
+    plan.counterNoiseBias = 1.0;
+    for (const char *mix : {"MEM1", "MID1"}) {
+        double worst = worstDegradationVsCleanBaseline(cfg, mix,
+                                                       "coscale", plan);
+        EXPECT_LE(worst, cfg.gamma + 0.005) << mix;
+    }
+}
+
+TEST(Degradation, FeedbackHoldsWhereUncoordinatedViolates)
+{
+    // Pins the bench_resilience ordering: across the noise sweep,
+    // CoScale never violates its bound while Uncoordinated (two
+    // controllers double-spending one slack budget, no shared
+    // feedback) does at least once.
+    SystemConfig cfg = faultConfig();
+    bool uncoordinated_violated = false;
+    for (double amp : {0.10, 0.15, 0.20}) {
+        FaultPlan plan;
+        plan.counterNoiseAmp = amp;
+        double coscale_worst = worstDegradationVsCleanBaseline(
+            cfg, "MEM1", "coscale", plan);
+        EXPECT_LE(coscale_worst, cfg.gamma) << "amp " << amp;
+        double unc_worst = worstDegradationVsCleanBaseline(
+            cfg, "MEM1", "uncoordinated", plan);
+        uncoordinated_violated |= unc_worst > cfg.gamma;
+    }
+    EXPECT_TRUE(uncoordinated_violated);
+}
+
+// --- trace-file corruption fuzzing ---
+
+std::string
+validTraceBytes(int records)
+{
+    std::string path = "fuzz_seed.trace";
+    {
+        TraceFileWriter w(path);
+        TraceRecord r;
+        for (int i = 0; i < records; ++i) {
+            r.addr = static_cast<BlockAddr>(i * 64);
+            r.gapInstrs = 10;
+            r.gapCycles = 12;
+            w.append(r);
+        }
+    }
+    std::string bytes;
+    EXPECT_TRUE(fault::readFileBytes(path, &bytes));
+    std::remove(path.c_str());
+    return bytes;
+}
+
+TEST(TraceFuzz, EveryTruncationIsRejectedWithStructuredError)
+{
+    std::string bytes = validTraceBytes(50);
+    ASSERT_EQ(bytes.size(), 16u + 50u * 32u);
+    std::string path = "fuzz_trunc.trace";
+
+    for (size_t keep :
+         {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{15},
+          size_t{16}, size_t{17}, size_t{47}, size_t{48}, size_t{100},
+          bytes.size() - 33, bytes.size() - 32, bytes.size() - 1}) {
+        ASSERT_TRUE(fault::writeFileBytes(
+            path, fault::truncatedCopy(bytes, keep)));
+        if (keep == bytes.size() - 32) {
+            // Still well-formed except the header count disagrees.
+            try {
+                loadTraceFile(path);
+                FAIL() << "count mismatch accepted at keep=" << keep;
+            } catch (const TraceParseError &e) {
+                EXPECT_EQ(e.kind(),
+                          TraceParseError::Kind::CountMismatch);
+            }
+            continue;
+        }
+        try {
+            loadTraceFile(path);
+            FAIL() << "truncation accepted at keep=" << keep;
+        } catch (const TraceParseError &e) {
+            EXPECT_LE(e.byteOffset(), bytes.size()) << "keep=" << keep;
+            EXPECT_NE(std::string(e.what()).find(path),
+                      std::string::npos);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, BitFlipsEitherParseFullyOrThrowNeverCrash)
+{
+    std::string bytes = validTraceBytes(50);
+    std::string path = "fuzz_flip.trace";
+    for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+        ASSERT_TRUE(fault::writeFileBytes(
+            path, fault::flipBits(bytes, 3, seed)));
+        try {
+            auto buf = loadTraceFile(path);
+            // Flips landed in the payload: structure intact.
+            EXPECT_EQ(buf->size(), 50u);
+        } catch (const TraceParseError &e) {
+            // Flips hit the magic or the record count.
+            EXPECT_TRUE(e.kind() == TraceParseError::Kind::BadMagic
+                        || e.kind()
+                               == TraceParseError::Kind::CountMismatch
+                        || e.kind()
+                               == TraceParseError::Kind::ShortRecord);
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(TraceFuzz, AnyHeaderBitFlipIsRejected)
+{
+    std::string bytes = validTraceBytes(50);
+    std::string path = "fuzz_header.trace";
+    // Every header byte is load-bearing: a flip in the magic must
+    // come back BadMagic, a flip in the record count CountMismatch.
+    for (size_t pos = 0; pos < 16; ++pos) {
+        std::string mutant = bytes;
+        mutant[pos] = static_cast<char>(
+            static_cast<unsigned char>(mutant[pos]) ^ 0x10u);
+        ASSERT_TRUE(fault::writeFileBytes(path, mutant));
+        try {
+            loadTraceFile(path);
+            FAIL() << "header corruption accepted at byte " << pos;
+        } catch (const TraceParseError &e) {
+            EXPECT_EQ(e.kind(), pos < 8
+                                    ? TraceParseError::Kind::BadMagic
+                                    : TraceParseError::Kind::CountMismatch)
+                << "byte " << pos;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace coscale

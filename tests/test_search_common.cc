@@ -162,7 +162,11 @@ TEST(FatalPaths, UnknownAppDies)
                 "unknown application");
 }
 
-TEST(FatalPaths, GarbageTraceFileDies)
+// Malformed trace files throw structured TraceParseErrors (they are
+// input errors, not contract violations — tests/test_fault.cc fuzzes
+// the parser more thoroughly).
+
+TEST(FatalPaths, GarbageTraceFileThrows)
 {
     std::string path = "garbage.trace";
     {
@@ -170,18 +174,30 @@ TEST(FatalPaths, GarbageTraceFileDies)
         std::fputs("this is not a trace file at all......", f);
         std::fclose(f);
     }
-    EXPECT_EXIT(loadTraceFile(path), ::testing::ExitedWithCode(1),
-                "not a CoScale trace");
+    try {
+        loadTraceFile(path);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.kind(), TraceParseError::Kind::BadMagic);
+        EXPECT_NE(std::string(e.what()).find("not a CoScale trace"),
+                  std::string::npos);
+    }
     std::remove(path.c_str());
 }
 
-TEST(FatalPaths, MissingTraceFileDies)
+TEST(FatalPaths, MissingTraceFileThrows)
 {
-    EXPECT_EXIT(loadTraceFile("/definitely/not/here.trace"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    try {
+        loadTraceFile("/definitely/not/here.trace");
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.kind(), TraceParseError::Kind::OpenFailed);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
 }
 
-TEST(FatalPaths, TruncatedTraceFileDies)
+TEST(FatalPaths, TruncatedTraceFileThrows)
 {
     std::string path = "truncated.trace";
     {
@@ -196,8 +212,14 @@ TEST(FatalPaths, TruncatedTraceFileDies)
     long sz = std::ftell(f);
     std::fclose(f);
     ASSERT_EQ(truncate(path.c_str(), sz - 16), 0);
-    EXPECT_EXIT(loadTraceFile(path), ::testing::ExitedWithCode(1),
-                "truncated");
+    try {
+        loadTraceFile(path);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.kind(), TraceParseError::Kind::ShortRecord);
+        // The offset names the start of the cut-short final record.
+        EXPECT_EQ(e.byteOffset(), 16u + 9u * 32u);
+    }
     std::remove(path.c_str());
 }
 
