@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_kernel.json against the checked-in baseline.
+
+Usage: perf_check.py FRESH BASELINE [--max-regression FRAC]
+
+Fails (exit 1) when the fresh events/sec figure has regressed by more
+than --max-regression (default 0.25, the CI perf-smoke gate) relative
+to the baseline. Improvements always pass; the baseline is refreshed
+by re-running bench_kernel_throughput and committing the new JSON
+alongside the change that earned it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    for key in ("events_per_sec", "ticks_per_sec", "wall_s", "events"):
+        if key not in doc:
+            sys.exit(f"{path}: missing field '{key}'")
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", help="freshly measured BENCH_kernel.json")
+    parser.add_argument("baseline", help="checked-in baseline JSON")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional events/sec drop "
+                             "(default 0.25)")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    base = load(args.baseline)
+
+    # The event count is a pure function of the workload: a change
+    # means the benchmark is no longer measuring the same work, which
+    # would make the throughput comparison meaningless.
+    if fresh["events"] != base["events"]:
+        sys.exit(
+            f"event count changed: fresh {fresh['events']} vs baseline "
+            f"{base['events']}; re-record the baseline if the workload "
+            "change is intentional")
+
+    fresh_eps = float(fresh["events_per_sec"])
+    base_eps = float(base["events_per_sec"])
+    ratio = fresh_eps / base_eps if base_eps > 0 else float("inf")
+    floor = 1.0 - args.max_regression
+
+    print(f"events/sec: fresh {fresh_eps:.4g}  baseline {base_eps:.4g}  "
+          f"ratio {ratio:.3f}  floor {floor:.2f}")
+    if ratio < floor:
+        sys.exit(
+            f"kernel throughput regressed {100 * (1 - ratio):.1f}% "
+            f"(> {100 * args.max_regression:.0f}% allowed)")
+    print("perf check OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,9 @@
 #include "cache/llc.hh"
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "check/contract.hh"
 #include "common/log.hh"
 
@@ -13,10 +17,19 @@ isPowerOfTwo(std::uint64_t v)
     return v != 0 && (v & (v - 1)) == 0;
 }
 
+int
+log2OfPowerOfTwo(std::uint64_t v)
+{
+    int n = 0;
+    while ((std::uint64_t(1) << n) < v)
+        ++n;
+    return n;
+}
+
 } // namespace
 
 Llc::Llc(const LlcConfig &cfg)
-    : config(cfg)
+    : config(cfg), hitLatTicks(nsToTicks(cfg.hitLatencyNs))
 {
     std::uint64_t blocks = cfg.sizeBytes / blockBytes;
     COSCALE_CHECK(cfg.ways > 0, "LLC needs at least one way");
@@ -25,64 +38,83 @@ Llc::Llc(const LlcConfig &cfg)
                   "LLC set count must be a power of two, got %llu",
                   static_cast<unsigned long long>(set_count));
     sets = static_cast<int>(set_count);
+    setShift = log2OfPowerOfTwo(set_count);
     setMask = set_count - 1;
-    lines.resize(set_count * static_cast<std::uint64_t>(cfg.ways));
+    std::uint64_t n = set_count * static_cast<std::uint64_t>(cfg.ways);
+    tags.assign(n, invalidTag);
+    meta.resize(n);
 }
 
-Llc::Line *
-Llc::findLine(BlockAddr addr)
+int
+Llc::findWay(std::uint64_t set, StoredTag tag) const
 {
-    std::uint64_t set = addr & setMask;
-    Line *base = &lines[set * static_cast<std::uint64_t>(config.ways)];
-    for (int w = 0; w < config.ways; ++w) {
-        if (base[w].valid && base[w].tag == addr)
-            return &base[w];
+    const StoredTag *base =
+        &tags[set * static_cast<std::uint64_t>(config.ways)];
+#if defined(__SSE2__)
+    // The common 16-way geometry scans its 64-byte tag row with four
+    // packed compares instead of a data-dependent branchy loop. Tags
+    // are unique within a set, so first-set-bit of the match mask is
+    // exactly the way the scalar scan would return.
+    if (config.ways == 16) {
+        const __m128i needle = _mm_set1_epi32(static_cast<int>(tag));
+        const __m128i *row = reinterpret_cast<const __m128i *>(base);
+        __m128i eq0 = _mm_cmpeq_epi32(_mm_loadu_si128(row + 0), needle);
+        __m128i eq1 = _mm_cmpeq_epi32(_mm_loadu_si128(row + 1), needle);
+        __m128i eq2 = _mm_cmpeq_epi32(_mm_loadu_si128(row + 2), needle);
+        __m128i eq3 = _mm_cmpeq_epi32(_mm_loadu_si128(row + 3), needle);
+        // Narrow the four 32-bit lane masks to one byte per way
+        // (saturating packs map 0xffffffff -> 0xff, 0 -> 0) so a
+        // single movemask yields way-ordered match bits.
+        __m128i half01 = _mm_packs_epi32(eq0, eq1);
+        __m128i half23 = _mm_packs_epi32(eq2, eq3);
+        __m128i bytes = _mm_packs_epi16(half01, half23);
+        int mask = _mm_movemask_epi8(bytes);
+        return mask ? __builtin_ctz(static_cast<unsigned>(mask)) : -1;
     }
-    return nullptr;
-}
-
-const Llc::Line *
-Llc::findLine(BlockAddr addr) const
-{
-    return const_cast<Llc *>(this)->findLine(addr);
+#endif
+    for (int w = 0; w < config.ways; ++w) {
+        if (base[w] == tag)
+            return w;
+    }
+    return -1;
 }
 
 bool
 Llc::probe(BlockAddr addr) const
 {
-    return findLine(addr) != nullptr;
+    COSCALE_DCHECK((addr >> setShift) < invalidTag,
+                   "block address overflows the stored tag");
+    return findWay(addr & setMask, tagOf(addr)) >= 0;
 }
 
 bool
 Llc::insert(BlockAddr addr, bool dirty, bool prefetched, BlockAddr &victim)
 {
     std::uint64_t set = addr & setMask;
-    Line *base = &lines[set * static_cast<std::uint64_t>(config.ways)];
-    Line *slot = nullptr;
-    for (int w = 0; w < config.ways; ++w) {
-        if (!base[w].valid) {
-            slot = &base[w];
-            break;
-        }
-    }
+    std::uint64_t base = set * static_cast<std::uint64_t>(config.ways);
+    StoredTag *tag_base = &tags[base];
+    // First empty way, if any: same "first match" scan as a tag probe
+    // (the sentinel is just another needle), so reuse the fast path.
+    int slot = findWay(set, invalidTag);
     bool dirty_evict = false;
-    if (!slot) {
-        slot = base;
+    if (slot < 0) {
+        LineMeta *meta_base = &meta[base];
+        slot = 0;
         for (int w = 1; w < config.ways; ++w) {
-            if (base[w].stamp < slot->stamp)
-                slot = &base[w];
+            // Packed compare: unique stamps dominate the flag bits.
+            if (meta_base[w].word < meta_base[slot].word)
+                slot = w;
         }
-        if (slot->dirty) {
+        if (meta_base[slot].dirty()) {
             dirty_evict = true;
-            victim = slot->tag;
+            victim = (static_cast<BlockAddr>(tag_base[slot]) << setShift)
+                     | set;
             stats.writebacks += 1;
         }
     }
-    slot->tag = addr;
-    slot->valid = true;
-    slot->dirty = dirty;
-    slot->prefetched = prefetched;
-    slot->stamp = ++clock;
+    std::uint64_t idx = base + static_cast<std::uint64_t>(slot);
+    tags[idx] = tagOf(addr);
+    meta[idx].set(++clock, dirty, prefetched);
     return dirty_evict;
 }
 
@@ -92,21 +124,28 @@ Llc::access(BlockAddr addr, bool write)
     LlcAccessResult res;
     stats.accesses += 1;
 
+    COSCALE_DCHECK((addr >> setShift) < invalidTag,
+                   "block address overflows the stored tag");
+    std::uint64_t set = addr & setMask;
     bool want_prefetch = false;
-    if (Line *line = findLine(addr)) {
+    int way = findWay(set, tagOf(addr));
+    if (way >= 0) {
+        LineMeta &line =
+            meta[set * static_cast<std::uint64_t>(config.ways)
+                 + static_cast<std::uint64_t>(way)];
         stats.hits += 1;
         res.hit = true;
-        if (line->prefetched) {
+        if (line.prefetched()) {
             // Tagged next-line prefetching: the first demand use of a
             // prefetched line re-arms the prefetcher, so sequential
             // streams stay covered after the initial miss.
-            line->prefetched = false;
             res.hitOnPrefetch = true;
             stats.prefetchUseful += 1;
             want_prefetch = true;
         }
-        line->dirty = line->dirty || write;
-        line->stamp = ++clock;
+        // One packed store: new stamp, dirty |= write, prefetched
+        // cleared (it is false on every post-hit line).
+        line.set(++clock, line.dirty() || write, false);
     } else {
         stats.misses += 1;
         res.writeback = insert(addr, write, false, res.writebackAddr);

@@ -55,8 +55,8 @@ class Llc
     /** True if @p addr is currently resident (no state change). */
     bool probe(BlockAddr addr) const;
 
-    /** Hit latency, in ticks (fixed domain). */
-    Tick hitLatency() const { return nsToTicks(config.hitLatencyNs); }
+    /** Hit latency, in ticks (fixed domain; resolved once). */
+    Tick hitLatency() const { return hitLatTicks; }
 
     const LlcCounters &counters() const { return stats; }
 
@@ -74,14 +74,55 @@ class Llc
     const LlcConfig &cfg() const { return config; }
 
   private:
-    struct Line
+    /**
+     * Stored tag type: the block address with the set-index bits
+     * shifted off (a bijection within a set, so compares are exact
+     * and the victim address reconstructs as (tag << shift) | set).
+     * Block addresses are block *indices* (byte address >> 6) inside
+     * a bounded per-core address space (a few times 2^38 at most),
+     * so shifted tags fit 32 bits with room to spare (checked per
+     * access in debug builds) — and a 16-way tag scan touches
+     * exactly one cache line.
+     */
+    using StoredTag = std::uint32_t;
+
+    /** Tag-match sentinel for an empty way: no real shifted tag can
+     *  reach 2^32 - 1, so one compare covers validity and match. */
+    static constexpr StoredTag invalidTag = ~StoredTag(0);
+
+    /**
+     * Per-line state other than the tag, packed into one word:
+     * LRU stamp in bits 2.., dirty in bit 0, prefetched (inserted by
+     * prefetch, not yet demand-used) in bit 1. Stamps are unique
+     * (one ++clock per touch), so comparing packed words still picks
+     * the LRU victim — the flag bits can never flip an ordering.
+     * Tags live in their own dense array so the way scan stays
+     * within one cache line; packing the rest keeps a whole 16-way
+     * set's meta in two.
+     */
+    struct LineMeta
     {
-        BlockAddr tag = 0;
-        std::uint64_t stamp = 0;
-        bool valid = false;
-        bool dirty = false;
-        bool prefetched = false;  //!< inserted by prefetch, not yet used
+        std::uint64_t word = 0;
+
+        static constexpr std::uint64_t dirtyBit = 1;
+        static constexpr std::uint64_t prefetchedBit = 2;
+
+        bool dirty() const { return (word & dirtyBit) != 0; }
+        bool prefetched() const { return (word & prefetchedBit) != 0; }
+        std::uint64_t stamp() const { return word >> 2; }
+
+        void
+        set(std::uint64_t stamp, bool dirty, bool prefetched)
+        {
+            word = (stamp << 2) | (dirty ? dirtyBit : 0)
+                   | (prefetched ? prefetchedBit : 0);
+        }
     };
+
+    StoredTag tagOf(BlockAddr addr) const
+    {
+        return static_cast<StoredTag>(addr >> setShift);
+    }
 
     /**
      * Insert @p addr into its set, evicting LRU if needed.
@@ -91,14 +132,17 @@ class Llc
     bool insert(BlockAddr addr, bool dirty, bool prefetched,
                 BlockAddr &victim);
 
-    Line *findLine(BlockAddr addr);
-    const Line *findLine(BlockAddr addr) const;
+    /** Way index of @p addr's line within its set, or -1. */
+    int findWay(std::uint64_t set, StoredTag tag) const;
 
     LlcConfig config;
+    Tick hitLatTicks = 0;         //!< nsToTicks(hitLatencyNs), cached
     int sets = 0;
+    int setShift = 0;             //!< log2(sets)
     std::uint64_t setMask = 0;
-    std::vector<Line> lines;  //!< sets * ways, set-major
-    std::uint64_t clock = 0;  //!< LRU stamp source
+    std::vector<StoredTag> tags;  //!< sets * ways, set-major
+    std::vector<LineMeta> meta;   //!< parallel to tags
+    std::uint64_t clock = 0;      //!< LRU stamp source
     LlcCounters stats;
 };
 

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Exact modulo by an invariant divisor without the hardware divide.
+ *
+ * The synthetic trace generator reduces one raw RNG draw modulo the
+ * phase's hot-set size for every reuse access — millions of 64-bit
+ * divisions by a value that only changes at phase boundaries. A
+ * Granlund–Montgomery style reciprocal turns each reduction into a
+ * multiply-high plus a bounded correction; the correction loop makes
+ * the result exactly x % d by construction (never an approximation),
+ * so substituting it for the divide is bit-identical.
+ */
+
+#ifndef COSCALE_COMMON_INTDIV_HH
+#define COSCALE_COMMON_INTDIV_HH
+
+#include <cstdint>
+
+namespace coscale {
+
+// __extension__ keeps -Wpedantic quiet about the GCC/Clang 128-bit
+// integer (needed for the 64x64 -> high-64 multiply).
+__extension__ typedef unsigned __int128 Uint128;
+
+/**
+ * Memoized exact x % d for a slowly-changing divisor d >= 1.
+ * Trivially copyable (the Offline oracle deep-copies its owners).
+ */
+struct InvariantMod
+{
+    std::uint64_t d = 0; //!< bound divisor (0 = unbound; d=0 never
+                         //!< matches a rebind check since d >= 1)
+    std::uint64_t m = 0; //!< floor(2^(63+l) / d)
+    int s = 0;           //!< l - 1
+
+    /** Bind the divisor and precompute its reciprocal. */
+    void
+    rebind(std::uint64_t div)
+    {
+        d = div;
+        if (div <= 1) {
+            m = 0;
+            s = 0;
+            return;
+        }
+        // l = ceil(log2(d)), so 2^(l-1) < d <= 2^l and the scaled
+        // reciprocal floor(2^(63+l) / d) fits in 64 bits.
+        int l = 64 - __builtin_clzll(div - 1);
+        s = l - 1;
+        m = static_cast<std::uint64_t>(
+            (static_cast<Uint128>(1) << (63 + l)) / div);
+    }
+
+    /** Exact x % d for the bound divisor. */
+    std::uint64_t
+    operator()(std::uint64_t x) const
+    {
+        if (d <= 1)
+            return 0;
+        // q_hat = floor(x * m / 2^(63+l)) is within 2 of x / d (the
+        // reciprocal truncation and the final floor each lose < 1),
+        // and never above it; the loop closes the gap exactly.
+        std::uint64_t q =
+            static_cast<std::uint64_t>(
+                (static_cast<Uint128>(x) * m) >> 64)
+            >> s;
+        std::uint64_t r = x - q * d;
+        while (r >= d)
+            r -= d;
+        return r;
+    }
+};
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_INTDIV_HH

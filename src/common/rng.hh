@@ -90,6 +90,11 @@ class Rng
     /**
      * Geometric number of trials until first success (>= 1) with
      * success probability @p p.
+     *
+     * The log(1 - p) denominator is memoized on p: callers usually
+     * sample with the same p many times in a row, and reusing the
+     * exact same double divisor keeps results bit-identical to the
+     * uncached formula.
      */
     std::uint64_t
     geometric(double p)
@@ -101,7 +106,11 @@ class Rng
         double u = uniform();
         if (u <= 0.0)
             u = 0x1.0p-53;
-        double v = std::log(1.0 - u) / std::log(1.0 - p);
+        if (p != geoP) {
+            geoP = p;
+            geoLogDenom = std::log(1.0 - p);
+        }
+        double v = std::log(1.0 - u) / geoLogDenom;
         std::uint64_t n = static_cast<std::uint64_t>(v) + 1;
         return n == 0 ? 1 : n;
     }
@@ -126,6 +135,12 @@ class Rng
     }
 
     std::uint64_t s[4];
+
+    // geometric() denominator memo; p is always in (0, 1) so the
+    // sentinel never matches. Plain doubles keep the type trivially
+    // copyable (the Offline oracle deep-copies every generator).
+    double geoP = -1.0;
+    double geoLogDenom = 1.0;
 };
 
 } // namespace coscale

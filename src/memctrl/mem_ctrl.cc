@@ -65,18 +65,33 @@ Channel::attachAuditor(DramTimingAuditor *a)
 void
 Channel::enqueue(const MemReq &req)
 {
+    // Selective invalidation: an arrival appends at the back of an
+    // FCFS queue, so a cached front candidate stays valid unless the
+    // arrival changes *which* queue the scheduler serves. The
+    // write-drain hysteresis flag must still advance exactly when the
+    // always-recompute code would have advanced it, hence the eager
+    // high-watermark check (the low watermark can only trip after a
+    // dequeue, which always invalidates).
     if (req.kind == ReqKind::Writeback) {
         writeQ.push_back(req);
+        if (static_cast<int>(writeQ.size()) >= cfg->writeHighWater)
+            drainMode = true;
+        // A writeback steals candidacy from a read only in drain mode.
+        if (haveCand && !candIsWrite && drainMode)
+            haveCand = false;
     } else {
         stats.queueLenSum += readQ.size();
         stats.queueSamples += 1;
         readQ.push_back(req);
+        // A read preempts a cached write candidate only when that
+        // write was selected for lack of reads (not in drain mode).
+        if (haveCand && candIsWrite && !drainMode)
+            haveCand = false;
     }
-    haveCand = false;
 }
 
 bool
-Channel::selectCandidate()
+Channel::selectCandidate() const
 {
     if (readQ.empty() && writeQ.empty()) {
         haveCand = false;
@@ -97,31 +112,24 @@ Channel::selectCandidate()
 }
 
 Tick
-Channel::nextEventTick()
-{
-    if (!haveCand && !selectCandidate())
-        return maxTick;
-    return candIssueAt;
-}
-
-Tick
-Channel::applyRefreshes(RankState &rank, Tick tick, bool commit)
+Channel::applyRefreshes(RankState &rank, Tick tick,
+                        std::uint64_t *commit_refreshes) const
 {
     while (rank.nextRefreshDue <= tick) {
         Tick begin = std::max(rank.nextRefreshDue, rank.refreshUntil);
         rank.refreshUntil = begin + t.tRFC;
         rank.nextRefreshDue += t.tREFI;
-        if (commit)
-            stats.refreshes += 1;
+        if (commit_refreshes)
+            *commit_refreshes += 1;
         tick = std::max(tick, rank.refreshUntil);
     }
     return std::max(tick, rank.refreshUntil);
 }
 
 Tick
-Channel::computeIssueTick(const MemReq &req)
+Channel::computeIssueTick(const MemReq &req) const
 {
-    DramCoord c = mapAddress(req.addr, cfg->geom);
+    const DramCoord &c = req.coord;
     const BankState &bank =
         banks[static_cast<size_t>(c.rank * cfg->geom.banksPerRank + c.bank)];
     RankState rank_probe = ranks[static_cast<size_t>(c.rank)];
@@ -129,7 +137,7 @@ Channel::computeIssueTick(const MemReq &req)
     if (cfg->openPage && bank.rowOpen && bank.openRow == c.row) {
         // Row hit: next CAS, no ACT required.
         Tick cas = std::max({req.arrival, bank.casReadyAt, haltUntil});
-        return applyRefreshes(rank_probe, cas, /*commit=*/false);
+        return applyRefreshes(rank_probe, cas, /*commit=*/nullptr);
     }
 
     Tick rrd_ready =
@@ -147,7 +155,7 @@ Channel::computeIssueTick(const MemReq &req)
             : bank.readyAt;
     Tick act = std::max({req.arrival, bank_ready, haltUntil,
                          rrd_ready, faw_ready});
-    return applyRefreshes(rank_probe, act, /*commit=*/false);
+    return applyRefreshes(rank_probe, act, /*commit=*/nullptr);
 }
 
 void
@@ -170,7 +178,7 @@ Channel::step()
     q.pop_front();
     haveCand = false;
 
-    DramCoord c = mapAddress(req.addr, cfg->geom);
+    const DramCoord &c = req.coord;
     BankState &bank =
         banks[static_cast<size_t>(c.rank * cfg->geom.banksPerRank + c.bank)];
     RankState &rank = ranks[static_cast<size_t>(c.rank)];
@@ -183,7 +191,7 @@ Channel::step()
     Tick issue;
     if (row_hit) {
         Tick cas = std::max({req.arrival, bank.casReadyAt, haltUntil});
-        issue = applyRefreshes(rank, cas);
+        issue = applyRefreshes(rank, cas, &stats.refreshes);
     } else {
         Tick rrd_ready = rank.actCount ? rank.lastActAt + t.tRRD : 0;
         Tick faw_ready =
@@ -196,7 +204,7 @@ Channel::step()
                 : bank.readyAt;
         Tick act = std::max({req.arrival, bank_ready, haltUntil,
                              rrd_ready, faw_ready});
-        issue = applyRefreshes(rank, act);
+        issue = applyRefreshes(rank, act, &stats.refreshes);
     }
     issue = std::max(issue, lastCommitAt);
     lastCommitAt = issue;
@@ -364,6 +372,7 @@ MemCtrl::reseatChannelPointers()
         ch.reseatConfig(&config);
         ch.attachAuditor(nullptr);
     }
+    nextValid = false;
 }
 
 void
@@ -376,33 +385,49 @@ MemCtrl::attachAuditor(DramTimingAuditor *a)
 void
 MemCtrl::enqueue(const MemReq &req)
 {
-    DramCoord c = mapAddress(req.addr, config.geom);
-    channels[static_cast<size_t>(c.channel)].enqueue(req);
+    MemReq stamped = req;
+    stamped.coord = mapAddress(req.addr, config.geom);
+    Channel &ch = channels[static_cast<size_t>(stamped.coord.channel)];
+    // The earliest-channel cache only depends on each channel's
+    // next-event tick. An arrival that leaves this channel's tick
+    // unchanged (its cached front candidate survived the selective
+    // invalidation in Channel::enqueue) cannot move the cross-channel
+    // minimum, so the scan result stays valid. Probing before the
+    // append is idempotent: the kernel re-evaluates every channel
+    // after each dispatched event, so the candidate/hysteresis state
+    // already reflects the current queue depths.
+    Tick before = ch.nextEventTick();
+    ch.enqueue(stamped);
+    if (ch.nextEventTick() != before)
+        nextValid = false;
 }
 
 Tick
-MemCtrl::nextEventTick()
+MemCtrl::recomputeNext() const
 {
-    Tick best = maxTick;
-    for (auto &ch : channels)
-        best = std::min(best, ch.nextEventTick());
-    return best;
+    // Deterministic tie-break: strict < keeps the lowest channel
+    // index at equal ticks, matching the historical scan order.
+    nextTick = maxTick;
+    nextChan = -1;
+    for (size_t c = 0; c < channels.size(); ++c) {
+        Tick tk = channels[c].nextEventTick();
+        if (tk < nextTick) {
+            nextTick = tk;
+            nextChan = static_cast<int>(c);
+        }
+    }
+    nextValid = true;
+    return nextTick;
 }
 
 std::optional<MemCompletion>
 MemCtrl::step()
 {
-    Tick best = maxTick;
-    Channel *who = nullptr;
-    for (auto &ch : channels) {
-        Tick tk = ch.nextEventTick();
-        if (tk < best) {
-            best = tk;
-            who = &ch;
-        }
-    }
-    COSCALE_CHECK(who != nullptr, "MemCtrl::step with no pending events");
-    return who->step();
+    nextEventTick();  // refresh the earliest-channel cache if dirty
+    COSCALE_CHECK(nextChan >= 0, "MemCtrl::step with no pending events");
+    Channel &who = channels[static_cast<size_t>(nextChan)];
+    nextValid = false;
+    return who.step();
 }
 
 void
@@ -429,6 +454,7 @@ MemCtrl::setChannelFrequencyIndex(int ch, int idx, Tick now)
                 + t_ck_new * static_cast<Tick>(config.timing.recalCycles)
                 + nsToTicks(config.timing.recalExtraNs);
     channel.changeFrequency(idx, halt);
+    nextValid = false;
 }
 
 bool

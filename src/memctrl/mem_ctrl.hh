@@ -44,6 +44,15 @@ struct MemReq
     CoreId core = -1;  //!< requesting core for Read/Prefetch
     Tick arrival = 0;
     std::uint64_t token = 0; //!< matches completions to MSHRs
+
+    /**
+     * DRAM coordinates of @p addr, stamped once by MemCtrl::enqueue
+     * (the geometry never changes mid-run). The channel scheduler
+     * probes a candidate's timing many times between queue changes;
+     * carrying the mapping with the request keeps the repeated
+     * div/mod address decomposition off that path.
+     */
+    DramCoord coord{};
 };
 
 /** Notification that a read or prefetch finished. */
@@ -77,8 +86,27 @@ class Channel
     /** Add a transaction to the appropriate queue. */
     void enqueue(const MemReq &req);
 
-    /** Absolute tick of the next command issue, or maxTick if idle. */
-    Tick nextEventTick();
+    /**
+     * Absolute tick of the next command issue, or maxTick if idle.
+     * The value is cached behind a dirty flag that enqueue(), step(),
+     * and changeFrequency() invalidate; repeated calls between state
+     * changes cost one branch (inline fast path).
+     */
+    Tick
+    nextEventTick() const
+    {
+        if (!haveCand && !selectCandidate())
+            return maxTick;
+        return candIssueAt;
+    }
+
+    /**
+     * Test hook: drop the cached candidate so the next
+     * nextEventTick() recomputes from scratch. Recomputation is
+     * idempotent, so cached == recomputed pins the cache-invalidation
+     * contract (see test_memctrl.cc).
+     */
+    void invalidateCandidateForTest() { haveCand = false; }
 
     /**
      * Commit the pending command. Must only be called when the
@@ -137,19 +165,27 @@ class Channel
         Tick activeUntil = 0;      //!< power accounting (union of use)
     };
 
-    /** Pick the next request to issue; updates drainMode. */
-    bool selectCandidate();
+    /**
+     * Pick the next request to issue into the candidate cache;
+     * updates drainMode. Const because it only refreshes the cache:
+     * recomputing from identical queue state always reproduces the
+     * same candidate (the drain-hysteresis update is idempotent
+     * between queue changes).
+     */
+    bool selectCandidate() const;
 
     /** Earliest ACT (or CAS for open-page hits) tick for @p req. */
-    Tick computeIssueTick(const MemReq &req);
+    Tick computeIssueTick(const MemReq &req) const;
 
     /**
      * Apply refreshes due on @p rank before @p t; may push t later.
-     * @p commit distinguishes the real issue path from the timing
-     * probes in computeIssueTick(), which run on a copy of the rank
-     * state and must not touch the refresh counter.
+     * @p commit_refreshes distinguishes the real issue path (step()
+     * passes the live refresh counter) from the timing probes in
+     * computeIssueTick(), which run on a copy of the rank state and
+     * pass nullptr so probing never commits stats.
      */
-    Tick applyRefreshes(RankState &rank, Tick t, bool commit = true);
+    Tick applyRefreshes(RankState &rank, Tick t,
+                        std::uint64_t *commit_refreshes) const;
 
     /** Account rank-active time for the power model. */
     void accountActive(RankState &rank, Tick from, Tick to);
@@ -167,11 +203,16 @@ class Channel
     Tick busFreeAt = 0;
     Tick haltUntil = 0;
     Tick lastCommitAt = 0;
-    bool drainMode = false;
 
-    bool haveCand = false;
-    bool candIsWrite = false;
-    Tick candIssueAt = 0;
+    // Candidate cache: haveCand is the (inverted) dirty flag, cleared
+    // by enqueue/step/changeFrequency. drainMode is scheduler state,
+    // but it only ever changes inside selectCandidate() and its
+    // update is a pure function of the queue depths, so refreshing
+    // the cache from a const context is safe.
+    mutable bool drainMode = false;
+    mutable bool haveCand = false;
+    mutable bool candIsWrite = false;
+    mutable Tick candIssueAt = 0;
 
     ChannelCounters stats;
 };
@@ -191,11 +232,28 @@ class MemCtrl
     /** Route a transaction to its channel. */
     void enqueue(const MemReq &req);
 
-    /** Earliest pending command across channels. */
-    Tick nextEventTick();
+    /**
+     * Earliest pending command across channels (maxTick when idle).
+     * Cached with the winning channel behind a dirty flag so the
+     * event kernel's reschedule path and step() share one scan.
+     */
+    Tick
+    nextEventTick() const
+    {
+        return nextValid ? nextTick : recomputeNext();
+    }
 
     /** Issue the earliest pending command. */
     std::optional<MemCompletion> step();
+
+    /** Test hook: force a from-scratch next-event recompute. */
+    void
+    invalidateCandidatesForTest()
+    {
+        nextValid = false;
+        for (auto &ch : channels)
+            ch.invalidateCandidateForTest();
+    }
 
     /**
      * Change the bus frequency of every channel (Section 3: all
@@ -259,9 +317,18 @@ class MemCtrl
   private:
     void reseatChannelPointers();
 
+    /** Slow path of nextEventTick(): rescan channels into the cache. */
+    Tick recomputeNext() const;
+
     MemCtrlConfig config;
     std::vector<Channel> channels;
     int freqIdx = 0;
+
+    // Earliest-channel cache, invalidated by enqueue/step/frequency
+    // changes (mutable: refreshed from const nextEventTick()).
+    mutable bool nextValid = false;
+    mutable Tick nextTick = maxTick;
+    mutable int nextChan = -1;
 };
 
 } // namespace coscale

@@ -1,0 +1,23 @@
+#include "sim/event_queue.hh"
+
+#include "check/contract.hh"
+
+namespace coscale {
+
+void
+EventQueue::reset(int num_components)
+{
+    COSCALE_CHECK(num_components >= 0,
+                  "negative component count %d", num_components);
+    std::size_t n = static_cast<std::size_t>(num_components);
+    heap.resize(n);
+    pos.resize(n);
+    keys.assign(n, maxTick);
+    // All keys equal maxTick, so rank order is already heap order.
+    for (std::size_t i = 0; i < n; ++i) {
+        heap[i] = static_cast<int>(i);
+        pos[i] = i;
+    }
+}
+
+} // namespace coscale

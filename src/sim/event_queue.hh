@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The deterministic event-scheduler kernel: an indexed binary
+ * min-heap over a fixed set of component ranks, keyed by
+ * (tick, rank).
+ *
+ * Components do not poll; they (or rather the System on their
+ * behalf) *reschedule* their next-event tick whenever it changes, and
+ * the simulation loop pops the earliest entry. Every component is
+ * always present in the heap — an idle component is parked at the
+ * maxTick sentinel rather than removed — so schedule() is a pure
+ * re-key (sift up or down) and never allocates after reset().
+ *
+ * Tie-break contract (must never change — the golden trace fixtures
+ * depend on it): at equal ticks the lower rank fires first. The
+ * System assigns rank 0 to the memory controller and rank 1+i to
+ * core i, exactly replicating the historical polling loop's order
+ * (controller beats cores, cores in index order).
+ *
+ * Plain value type: copying a System copies the queue verbatim, and
+ * System::reseat() re-derives every key from the cloned components
+ * so queue membership always refers to the owning system's state.
+ */
+
+#ifndef COSCALE_SIM_EVENT_QUEUE_HH
+#define COSCALE_SIM_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace coscale {
+
+/** Indexed min-heap of per-component next-event ticks. */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    explicit EventQueue(int num_components) { reset(num_components); }
+
+    /** Rebuild for @p num_components ranks, all parked at maxTick. */
+    void reset(int num_components);
+
+    /** Number of component ranks (fixed between resets). */
+    int size() const { return static_cast<int>(keys.size()); }
+
+    /**
+     * (Re)schedule component @p rank's next event at @p t. Passing
+     * maxTick parks the component (cancels its pending event).
+     * Idempotent; O(log n) when the key actually moves. Inline: this
+     * is the kernel's hottest call (twice per dispatched event).
+     */
+    void
+    schedule(int rank, Tick t)
+    {
+        std::size_t r = static_cast<std::size_t>(rank);
+        Tick old = keys[r];
+        if (old == t)
+            return;
+        keys[r] = t;
+        if (t < old)
+            siftUp(pos[r]);
+        else
+            siftDown(pos[r]);
+    }
+
+    /** The tick currently scheduled for @p rank. */
+    Tick
+    tickOf(int rank) const
+    {
+        return keys[static_cast<std::size_t>(rank)];
+    }
+
+    /** Rank of the earliest event (lowest rank wins ties). */
+    int topRank() const { return heap[0]; }
+
+    /** Tick of the earliest event; maxTick when everything is idle. */
+    Tick
+    topTick() const
+    {
+        return heap.empty() ? maxTick
+                            : keys[static_cast<std::size_t>(heap[0])];
+    }
+
+  private:
+    /** Heap order: (tick, rank) lexicographic. */
+    bool
+    before(int a, int b) const
+    {
+        Tick ta = keys[static_cast<std::size_t>(a)];
+        Tick tb = keys[static_cast<std::size_t>(b)];
+        return ta != tb ? ta < tb : a < b;
+    }
+
+    void
+    place(std::size_t slot, int rank)
+    {
+        heap[slot] = rank;
+        pos[static_cast<std::size_t>(rank)] = slot;
+    }
+
+    void
+    siftUp(std::size_t slot)
+    {
+        int rank = heap[slot];
+        while (slot > 0) {
+            std::size_t parent = (slot - 1) / 2;
+            if (!before(rank, heap[parent]))
+                break;
+            place(slot, heap[parent]);
+            slot = parent;
+        }
+        place(slot, rank);
+    }
+
+    void
+    siftDown(std::size_t slot)
+    {
+        int rank = heap[slot];
+        std::size_t n = heap.size();
+        for (;;) {
+            std::size_t kid = 2 * slot + 1;
+            if (kid >= n)
+                break;
+            if (kid + 1 < n && before(heap[kid + 1], heap[kid]))
+                kid += 1;
+            if (!before(heap[kid], rank))
+                break;
+            place(slot, heap[kid]);
+            slot = kid;
+        }
+        place(slot, rank);
+    }
+
+    std::vector<int> heap;   //!< slot -> rank
+    std::vector<std::size_t> pos; //!< rank -> slot
+    std::vector<Tick> keys;  //!< rank -> scheduled tick
+};
+
+} // namespace coscale
+
+#endif // COSCALE_SIM_EVENT_QUEUE_HH

@@ -88,6 +88,9 @@ System::System(const SystemConfig &cfg_in, const std::vector<AppSpec> &apps)
        if (sched)
            coreVec.back().setBudgetMarker(cfg.instrBudget);
    }
+   eq.reset(1 + cfg.numCores);
+   syncQueue();
+
    appInstrs.assign(static_cast<size_t>(num_apps), 0);
    appCompletion.assign(static_cast<size_t>(num_apps), maxTick);
    for (int a = cfg.numCores; a < num_apps; ++a) {
@@ -104,6 +107,7 @@ System::System(const System &other)
    : cfg(other.cfg), coreCfg(other.coreCfg), coreVec(other.coreVec),
      cache(other.cache), mc(other.mc), perf(other.perf),
      power(other.power), curTick(other.curTick),
+     events(other.events),
      appOnCore(other.appOnCore), parked(other.parked),
      appInstrs(other.appInstrs), appCompletion(other.appCompletion),
      ticAtDispatch(other.ticAtDispatch), rotated(other.rotated),
@@ -124,6 +128,7 @@ System::operator=(const System &other)
        perf = other.perf;
        power = other.power;
        curTick = other.curTick;
+       events = other.events;
        appOnCore = other.appOnCore;
        parked = other.parked;
        appInstrs = other.appInstrs;
@@ -141,12 +146,25 @@ System::reseat()
 {
    for (auto &core : coreVec)
        core.reseatConfig(&coreCfg);
+   // Queue membership is not copied; re-derive it from the cloned
+   // components so the clone's keys reference the clone's state.
+   eq.reset(1 + numCores());
+   syncQueue();
+}
+
+void
+System::syncQueue()
+{
+   rescheduleMc();
+   for (int i = 0; i < numCores(); ++i)
+       rescheduleCore(i);
 }
 
 void
 System::handleLlcAccess(Core &core, const CoreEvent &ev)
 {
    LlcAccessResult res = cache.access(ev.addr, ev.write);
+   bool to_mem = false;
    if (res.hit) {
        core.completeHit(curTick, cache.hitLatency());
    } else {
@@ -158,6 +176,7 @@ System::handleLlcAccess(Core &core, const CoreEvent &ev)
        req.arrival = curTick;
        req.token = token;
        mc.enqueue(req);
+       to_mem = true;
    }
    if (res.writeback) {
        MemReq wb;
@@ -165,6 +184,7 @@ System::handleLlcAccess(Core &core, const CoreEvent &ev)
        wb.kind = ReqKind::Writeback;
        wb.arrival = curTick;
        mc.enqueue(wb);
+       to_mem = true;
    }
    if (res.prefetchIssued) {
        MemReq pf;
@@ -173,6 +193,7 @@ System::handleLlcAccess(Core &core, const CoreEvent &ev)
        pf.core = core.id();
        pf.arrival = curTick;
        mc.enqueue(pf);
+       to_mem = true;
    }
    if (res.prefetchWriteback) {
        MemReq wb;
@@ -180,22 +201,20 @@ System::handleLlcAccess(Core &core, const CoreEvent &ev)
        wb.kind = ReqKind::Writeback;
        wb.arrival = curTick;
        mc.enqueue(wb);
+       to_mem = true;
    }
+   if (to_mem)
+       rescheduleMc();
 }
 
 void
 System::run(Tick until)
 {
    while (curTick < until) {
-       Tick best = mc.nextEventTick();
-       Core *who = nullptr;
-       for (auto &core : coreVec) {
-           Tick t = core.nextEventTick();
-           if (t < best) {
-               best = t;
-               who = &core;
-           }
-       }
+       // Pop–dispatch: the queue key (tick, rank) reproduces the old
+       // polling scan's order exactly — the controller (rank 0) wins
+       // ties against cores, and cores tie-break by index.
+       Tick best = eq.topTick();
        if (best >= until) {
            curTick = until;
            return;
@@ -206,17 +225,24 @@ System::run(Tick until)
        // channel back-dates its issue to those floors.  Such events
        // are due immediately — the simulated clock never regresses.
        curTick = std::max(curTick, best);
-       if (who) {
-           CoreEvent ev = who->step(curTick);
-           if (ev.wantsLlc)
-               handleLlcAccess(*who, ev);
-       } else {
+       events += 1;
+       int rank = eq.topRank();
+       if (rank == mcRank) {
            auto done = mc.step();
-           if (done && done->kind != ReqKind::Writeback
-               && done->core >= 0 && done->kind == ReqKind::Read) {
-               coreVec[static_cast<size_t>(done->core)].memCompleted(
+           rescheduleMc();
+           if (done && done->kind == ReqKind::Read && done->core >= 0) {
+               int c = done->core;
+               coreVec[static_cast<size_t>(c)].memCompleted(
                    done->token, done->finishAt);
+               rescheduleCore(c);
            }
+       } else {
+           int i = rank - 1 - mcRank;
+           Core &who = coreVec[static_cast<size_t>(i)];
+           CoreEvent ev = who.step(curTick);
+           if (ev.wantsLlc)
+               handleLlcAccess(who, ev);
+           rescheduleCore(i);
        }
    }
 }
@@ -318,6 +344,7 @@ System::rotateApps()
        } else {
            core.setBudgetMarker(~std::uint64_t(0));
        }
+       rescheduleCore(i);  // swapTrace restarted the core's clock
    }
 }
 
@@ -341,6 +368,8 @@ System::applyConfig(const FreqConfig &fc)
                c, fc.chanIdx[static_cast<size_t>(c)], curTick);
        }
    }
+   // Transition halts moved every component's next-event tick.
+   syncQueue();
 }
 
 FreqConfig

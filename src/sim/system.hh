@@ -1,13 +1,20 @@
 /**
  * @file
  * The full simulated server: 16 trace-driven cores, the shared LLC,
- * and the four-channel DDR3 memory system, advanced by a polling
- * event loop (every component exposes nextEventTick()).
+ * and the four-channel DDR3 memory system, advanced by a
+ * deterministic event-driven kernel (sim/event_queue.hh): every
+ * component's cached nextEventTick() is registered in an indexed
+ * min-heap and rescheduled on state changes, and run() is a
+ * pop–dispatch loop. Rank order in the queue (memory controller
+ * first, then cores by index) replicates the historical polling
+ * loop's tie-break exactly, keeping golden traces byte-identical.
  *
  * The System is deep-copyable: the Offline policy clones it and runs
  * the clone one epoch ahead at maximum frequencies to obtain its
  * perfect profile. No component holds owning pointers into another;
- * the only cross-references (config pointers) are re-seated on copy.
+ * the only cross-references (config pointers) are re-seated on copy,
+ * and event-queue membership is re-derived from the cloned
+ * components at the same time.
  */
 
 #ifndef COSCALE_SIM_SYSTEM_HH
@@ -24,6 +31,7 @@
 #include "model/energy_model.hh"
 #include "model/perf_model.hh"
 #include "power/power_model.hh"
+#include "sim/event_queue.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace.hh"
 
@@ -176,6 +184,13 @@ class System
     /** Total applications (>= numCores in scheduling mode). */
     int numApps() const { return static_cast<int>(appInstrs.size()); }
 
+    /**
+     * Events dispatched by the kernel since construction (core steps
+     * plus memory-controller command issues). The denominator of the
+     * kernel-throughput benchmark's events/sec figure.
+     */
+    std::uint64_t eventsDispatched() const { return events; }
+
     const SystemConfig &config() const { return cfg; }
     const Llc &llc() const { return cache; }
     const MemCtrl &memCtrl() const { return mc; }
@@ -204,8 +219,31 @@ class System
     void attachDramAuditor(DramTimingAuditor *a) { mc.attachAuditor(a); }
 
   private:
+    /** The memory controller's rank in the event queue (cores follow). */
+    static constexpr int mcRank = 0;
+
     void reseat();
     void handleLlcAccess(Core &core, const CoreEvent &ev);
+
+    // --- event-kernel reschedule hooks ---
+    // Called after any operation that may move a component's cached
+    // nextEventTick(); the queue key must always equal the
+    // component's current value when run() pops.
+    void
+    rescheduleMc()
+    {
+        eq.schedule(mcRank, mc.nextEventTick());
+    }
+
+    void
+    rescheduleCore(int i)
+    {
+        eq.schedule(mcRank + 1 + i,
+                    coreVec[static_cast<size_t>(i)].nextEventTick());
+    }
+
+    /** Re-derive every queue key (construction, copy, applyConfig). */
+    void syncQueue();
 
     /** Credit a core's retired instructions to its current app. */
     void harvestCore(int i);
@@ -218,6 +256,8 @@ class System
     PerfModel perf;
     PowerModel power;
     Tick curTick = 0;
+    std::uint64_t events = 0;  //!< kernel events dispatched
+    EventQueue eq;             //!< rank 0 = mc, rank 1+i = core i
 
     // --- scheduling state (Section 3.3 context switching) ---
     struct ParkedApp

@@ -27,7 +27,7 @@ SyntheticTraceSource::SyntheticTraceSource(AppSpec spec, int addr_space,
     streamPtr = rng.range(streamRegionBlocks);
 }
 
-AppPhase
+const AppPhase &
 SyntheticTraceSource::blendedPhase() const
 {
     const AppPhase &cur = app.phases[phaseIdx];
@@ -46,12 +46,12 @@ SyntheticTraceSource::blendedPhase() const
                / static_cast<double>(ramp);
     auto lerp = [t](double a, double b) { return a + t * (b - a); };
 
-    AppPhase mix = cur;
-    mix.baseCpi = lerp(prev.baseCpi, cur.baseCpi);
-    mix.l1Mpki = lerp(prev.l1Mpki, cur.l1Mpki);
-    mix.llcMpki = lerp(prev.llcMpki, cur.llcMpki);
-    mix.writeFrac = lerp(prev.writeFrac, cur.writeFrac);
-    return mix;
+    blendBuf = cur;
+    blendBuf.baseCpi = lerp(prev.baseCpi, cur.baseCpi);
+    blendBuf.l1Mpki = lerp(prev.l1Mpki, cur.l1Mpki);
+    blendBuf.llcMpki = lerp(prev.llcMpki, cur.llcMpki);
+    blendBuf.writeFrac = lerp(prev.writeFrac, cur.writeFrac);
+    return blendBuf;
 }
 
 void
@@ -66,15 +66,25 @@ SyntheticTraceSource::advancePhase(std::uint64_t instrs)
     phaseInstrsLeft -= instrs;
 }
 
+void
+SyntheticTraceSource::refreshRates(const AppPhase &p)
+{
+    if (p.l1Mpki == rateKeyL1 && p.llcMpki == rateKeyLlc)
+        return;
+    rateKeyL1 = p.l1Mpki;
+    rateKeyLlc = p.llcMpki;
+    memoGapMean = p.l1Mpki > 0.0 ? 1000.0 / p.l1Mpki : 1000.0;
+    memoGapP = 1.0 / std::max(1.0, memoGapMean);
+    // Miss-intent ratio: what fraction of LLC accesses should stream
+    // (and therefore miss in a cache they have never touched).
+    memoMissRatio =
+        p.l1Mpki > 0.0 ? std::min(1.0, p.llcMpki / p.l1Mpki) : 0.0;
+}
+
 BlockAddr
 SyntheticTraceSource::pickAddress(const AppPhase &p)
 {
-    // Miss-intent ratio: what fraction of LLC accesses should stream
-    // (and therefore miss in a cache they have never touched).
-    double miss_ratio =
-        p.l1Mpki > 0.0 ? std::min(1.0, p.llcMpki / p.l1Mpki) : 0.0;
-
-    if (rng.bernoulli(miss_ratio)) {
+    if (rng.bernoulli(memoMissRatio)) {
         // Streaming access: advance the sequential cursor; jump to a
         // random far location when the current run ends.
         if (streamRunLeft == 0) {
@@ -89,19 +99,24 @@ SyntheticTraceSource::pickAddress(const AppPhase &p)
         return base + p.hotBlocks + a;
     }
 
-    // Reuse access within the hot working set.
+    // Reuse access within the hot working set. Same draw, same
+    // reduction as rng.range(hot) — just without the divide.
     std::uint64_t hot = std::max<std::uint64_t>(1, p.hotBlocks);
-    return base + rng.range(hot);
+    if (hot != hotMod.d)
+        hotMod.rebind(hot);
+    return base + hotMod(rng.next());
 }
 
 TraceRecord
 SyntheticTraceSource::next()
 {
-    const AppPhase p = blendedPhase();
+    // Reference, not copy: valid through this call since the phase
+    // only advances at the very end.
+    const AppPhase &p = blendedPhase();
+    refreshRates(p);
 
     TraceRecord r;
-    double gap_mean = p.l1Mpki > 0.0 ? 1000.0 / p.l1Mpki : 1000.0;
-    std::uint64_t gap = rng.geometric(1.0 / std::max(1.0, gap_mean));
+    std::uint64_t gap = rng.geometric(memoGapP);
     gap = std::min<std::uint64_t>(gap, 100'000);
     r.gapInstrs = static_cast<std::uint32_t>(gap);
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/intdiv.hh"
 #include "common/rng.hh"
 #include "trace/trace.hh"
 
@@ -67,11 +68,13 @@ class SyntheticTraceSource final : public TraceSource
     /**
      * Effective phase parameters, ramped linearly from the previous
      * phase over the first ~15% of the current phase (real programs
-     * shift behaviour gradually, not as step functions).
+     * shift behaviour gradually, not as step functions). The returned
+     * reference is valid until the next call or phase advance.
      */
-    AppPhase blendedPhase() const;
+    const AppPhase &blendedPhase() const;
     void advancePhase(std::uint64_t instrs);
     BlockAddr pickAddress(const AppPhase &p);
+    void refreshRates(const AppPhase &p);
 
     AppSpec app;
     BlockAddr base = 0;         //!< address-space base (block index)
@@ -81,6 +84,26 @@ class SyntheticTraceSource final : public TraceSource
     bool anyPhaseCompleted = false; //!< no blending before 1st switch
     BlockAddr streamPtr = 0;    //!< streaming cursor within region
     std::uint64_t streamRunLeft = 0;
+    mutable AppPhase blendBuf;  //!< blendedPhase() scratch (no copy
+                                //!< on the common non-ramp path)
+
+    // Memo for the per-record derived rates (three double divisions
+    // otherwise recomputed from the same phase parameters millions of
+    // times in a row). Keyed on the exact inputs and storing the exact
+    // computed doubles, so reuse is bit-identical to recomputation.
+    // Plain doubles keep the type trivially copyable (the Offline
+    // oracle deep-copies every generator). l1Mpki is never negative,
+    // so the -1 sentinel can't match a real key.
+    double rateKeyL1 = -1.0;    //!< memo key: p.l1Mpki
+    double rateKeyLlc = -1.0;   //!< memo key: p.llcMpki
+    double memoGapMean = 0.0;   //!< 1000 / l1Mpki (or 1000)
+    double memoGapP = 0.0;      //!< 1 / max(1, gapMean)
+    double memoMissRatio = 0.0; //!< min(1, llcMpki / l1Mpki) (or 0)
+
+    // Reciprocal for the hot-set reduction (one per reuse access);
+    // the hot-set size only changes at phase boundaries. Exact (see
+    // intdiv.hh), so results match the plain modulo bit for bit.
+    InvariantMod hotMod;
 };
 
 } // namespace coscale

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared golden-fixture helper for the trace byte-identity tests
+ * (test_obs, test_fault, test_golden). Fixtures live in the source
+ * tree (tests/golden/, path injected via the COSCALE_GOLDEN_DIR
+ * compile definition) so a mismatch shows up as a reviewable diff;
+ * COSCALE_REGEN_GOLDEN=1 in the environment rewrites them in place.
+ */
+
+#ifndef COSCALE_TESTS_GOLDEN_UTIL_HH
+#define COSCALE_TESTS_GOLDEN_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#ifndef COSCALE_GOLDEN_DIR
+#error "targets using golden_util.hh must define COSCALE_GOLDEN_DIR"
+#endif
+
+namespace coscale {
+
+/**
+ * Byte-compare @p got against the checked-in fixture, or rewrite the
+ * fixture when COSCALE_REGEN_GOLDEN is set in the environment.
+ */
+inline void
+checkGolden(const std::string &fixture, const std::string &got)
+{
+    std::string path = std::string(COSCALE_GOLDEN_DIR) + "/" + fixture;
+    if (std::getenv("COSCALE_REGEN_GOLDEN") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out) << "cannot write fixture " << path;
+        out << got;
+        GTEST_SKIP() << "regenerated " << path;
+    }
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << "missing fixture " << path
+                    << "; create it with COSCALE_REGEN_GOLDEN=1";
+    std::ostringstream want;
+    want << in.rdbuf();
+    ASSERT_EQ(got.size(), want.str().size())
+        << fixture << " changed size; if the simulator change is "
+        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
+        << "commit the diff";
+    EXPECT_TRUE(got == want.str())
+        << fixture << " changed content; if the simulator change is "
+        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
+        << "commit the diff";
+}
+
+} // namespace coscale
+
+#endif // COSCALE_TESTS_GOLDEN_UTIL_HH

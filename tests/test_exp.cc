@@ -104,6 +104,58 @@ TEST(ExperimentEngine, ParallelBatchBitIdenticalToSerial)
     }
 }
 
+TEST(ExperimentEngine, FaultedRunsBitIdenticalAcrossWorkerCounts)
+{
+    // Re-pin the bit-identical-under---jobs-N contract for the
+    // event-driven kernel with fault injection in the loop: faulted
+    // decisions hash (seed, epoch, stream), so worker interleaving
+    // must not leak into the event stream either.
+    SystemConfig cfg = smallConfig();
+    fault::FaultPlan plan;
+    plan.counterNoiseAmp = 0.05;
+    plan.counterNoiseProb = 0.25;
+    plan.transitionDenyProb = 0.4;
+
+    std::vector<RunRequest> requests;
+    for (const char *mix : {"MID3", "MEM1"}) {
+        requests.push_back(
+            RunRequest::forMix(cfg, mixByName(mix))
+                .with(exp::policyFactoryByName("CoScale", cfg.numCores,
+                                               cfg.gamma)));
+        requests.push_back(
+            RunRequest::forMix(cfg, mixByName(mix))
+                .with(exp::policyFactoryByName("CoScale", cfg.numCores,
+                                               cfg.gamma))
+                .withFaults(plan));
+    }
+
+    exp::EngineOptions serialOpts;
+    serialOpts.jobs = 1;
+    exp::ExperimentEngine serial(serialOpts);
+    std::vector<exp::RunOutcome> ser = serial.run(requests);
+
+    exp::EngineOptions parOpts;
+    parOpts.jobs = 4;
+    exp::ExperimentEngine parallel(parOpts);
+    std::vector<exp::RunOutcome> par = parallel.run(requests);
+
+    ASSERT_EQ(ser.size(), requests.size());
+    ASSERT_EQ(par.size(), requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_TRUE(ser[i].ok) << ser[i].error;
+        ASSERT_TRUE(par[i].ok) << par[i].error;
+        expectIdentical(ser[i].result, par[i].result);
+        EXPECT_EQ(ser[i].result.faults.transitionsDenied,
+                  par[i].result.faults.transitionsDenied);
+        EXPECT_EQ(ser[i].result.faults.noisyEpochs,
+                  par[i].result.faults.noisyEpochs);
+    }
+    // The faulted requests must actually have injected something.
+    EXPECT_GE(ser[1].result.faults.transitionsDenied
+                  + ser[1].result.faults.noisyEpochs,
+              1u);
+}
+
 TEST(ExperimentEngine, OutcomesStayInRequestOrder)
 {
     SystemConfig cfg = smallConfig();

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/rng.hh"
 #include "memctrl/mem_ctrl.hh"
 
 namespace coscale {
@@ -289,6 +290,57 @@ TEST(MemCtrl, CopyIsIndependent)
     auto done_a = drain(a);
     EXPECT_EQ(done_a.size(), 1u);
     EXPECT_EQ(done_a[0].finishAt, done_b[0].finishAt);
+}
+
+TEST(MemCtrl, CachedNextEventTickMatchesRecomputeOverRandomStream)
+{
+    // The event kernel trusts the dirty-flagged nextEventTick() caches
+    // (Channel candidate + MemCtrl earliest-channel). Pin the cache
+    // contract: after any interleaving of enqueues, issues, and
+    // frequency changes, the cached value equals a from-scratch
+    // recompute (test hooks drop the caches without touching state).
+    MemCtrlConfig cfg = makeConfig(/*open_page=*/true);
+    MemCtrl mc(cfg, 0);
+    Rng rng(97);
+    Tick now = 0;
+    std::uint64_t token = 1;
+
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t action = rng.range(10);
+        if (action < 5) {
+            now += rng.range(200 * tickPerNs);
+            if (rng.bernoulli(0.3))
+                mc.enqueue(writeReq(rng.next() & 0xffffff, now));
+            else
+                mc.enqueue(readReq(rng.next() & 0xffffff, now, 0,
+                                   token++));
+        } else if (action < 9) {
+            if (mc.nextEventTick() != maxTick)
+                mc.step();
+        } else {
+            int idx = static_cast<int>(rng.range(
+                static_cast<std::uint64_t>(cfg.ladder.size())));
+            if (rng.bernoulli(0.5)) {
+                mc.setFrequencyIndex(idx, now);
+            } else {
+                int ch = static_cast<int>(
+                    rng.range(static_cast<std::uint64_t>(
+                        cfg.geom.channels)));
+                mc.setChannelFrequencyIndex(ch, idx, now);
+            }
+        }
+
+        Tick cached = mc.nextEventTick();
+        mc.invalidateCandidatesForTest();
+        Tick recomputed = mc.nextEventTick();
+        ASSERT_EQ(cached, recomputed) << "operation " << i;
+    }
+    // The stream must actually have exercised pending work.
+    std::uint64_t issued = 0;
+    for (int c = 0; c < cfg.geom.channels; ++c)
+        issued += mc.channelCounters(c).readReqs
+                  + mc.channelCounters(c).writeReqs;
+    EXPECT_GT(issued, 1000u);
 }
 
 TEST(MemCtrl, PrefetchCompletionsKeepKind)

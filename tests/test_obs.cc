@@ -27,6 +27,7 @@
 
 #include "exp/engine.hh"
 #include "exp/policies.hh"
+#include "golden_util.hh"
 #include "obs/metrics.hh"
 #include "obs/trace_sink.hh"
 #include "policy/coscale_policy.hh"
@@ -290,35 +291,6 @@ traceBytes(const std::string &policy_name, TraceFormat format)
     coscale::run(req);
     sink->finish();
     return os.str();
-}
-
-/**
- * Byte-compare @p got against the checked-in fixture, or rewrite the
- * fixture when COSCALE_REGEN_GOLDEN is set in the environment.
- */
-void
-checkGolden(const std::string &fixture, const std::string &got)
-{
-    std::string path = std::string(COSCALE_GOLDEN_DIR) + "/" + fixture;
-    if (std::getenv("COSCALE_REGEN_GOLDEN") != nullptr) {
-        std::ofstream out(path, std::ios::binary);
-        ASSERT_TRUE(out) << "cannot write fixture " << path;
-        out << got;
-        GTEST_SKIP() << "regenerated " << path;
-    }
-    std::ifstream in(path, std::ios::binary);
-    ASSERT_TRUE(in) << "missing fixture " << path
-                    << "; create it with COSCALE_REGEN_GOLDEN=1";
-    std::ostringstream want;
-    want << in.rdbuf();
-    ASSERT_EQ(got.size(), want.str().size())
-        << fixture << " changed size; if the simulator change is "
-        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
-        << "commit the diff";
-    EXPECT_TRUE(got == want.str())
-        << fixture << " changed content; if the simulator change is "
-        << "intentional, regenerate with COSCALE_REGEN_GOLDEN=1 and "
-        << "commit the diff";
 }
 
 TEST(GoldenTrace, CoScaleJsonlMatchesFixture)
