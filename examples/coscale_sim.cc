@@ -199,7 +199,7 @@ parseArgs(int argc, char **argv)
         } else if (a == "--help" || a == "-h") {
             std::printf("see the header comment of "
                         "examples/coscale_sim.cc for options\n");
-            std::exit(0);
+            exitCleanly();
         } else {
             fatal("unknown option '%s' (try --help)", a.c_str());
         }

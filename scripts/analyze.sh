@@ -1,0 +1,61 @@
+#!/usr/bin/env sh
+# Deep static analysis: cppcheck over the exported compilation
+# database, with the checked-in baseline in
+# scripts/cppcheck_suppressions.txt. New findings fail the run
+# (exit 1); legacy/known ones are tracked in the baseline file with
+# reasons, and stale baseline entries fail as unmatchedSuppression so
+# the file cannot rot.
+#
+# Usage:
+#   scripts/analyze.sh [--require-tools] [build-dir]
+#
+# Environment:
+#   CPPCHECK      cppcheck executable (default: cppcheck on PATH)
+#   CPPCHECK_JOBS parallelism (default: nproc)
+set -eu
+
+REQUIRE_TOOLS=0
+if [ "${1:-}" = "--require-tools" ]; then
+    REQUIRE_TOOLS=1
+    shift
+fi
+
+BUILD_DIR="${1:-build}"
+
+cd "$(dirname "$0")/.."
+
+CPPCHECK="${CPPCHECK:-cppcheck}"
+if ! command -v "${CPPCHECK}" >/dev/null 2>&1; then
+    if [ "${REQUIRE_TOOLS}" = 1 ]; then
+        echo "analyze.sh: cppcheck not found but --require-tools was" \
+             "given" >&2
+        exit 2
+    fi
+    echo "analyze.sh: cppcheck not found on PATH; skipping deep" \
+         "static analysis." >&2
+    exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+    echo "analyze.sh: ${BUILD_DIR}/compile_commands.json missing;" >&2
+    echo "analyze.sh: run 'cmake -B ${BUILD_DIR} -S .' first." >&2
+    exit 1
+fi
+
+JOBS="${CPPCHECK_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+echo "analyze.sh: $(${CPPCHECK} --version)"
+# --enable=information reports unmatchedSuppression, which keeps the
+# baseline honest; --inline-suppr allows targeted
+# `// cppcheck-suppress <id>` with a reason where a finding is a
+# true-but-intended positive.
+exec "${CPPCHECK}" \
+    --project="${BUILD_DIR}/compile_commands.json" \
+    --enable=warning,performance,portability,information \
+    --inline-suppr \
+    --suppressions-list=scripts/cppcheck_suppressions.txt \
+    --library=googletest \
+    --inconclusive \
+    --error-exitcode=1 \
+    --quiet \
+    -j "${JOBS}"

@@ -1,22 +1,63 @@
 #!/usr/bin/env sh
-# Run clang-tidy over the simulator sources using the compilation
-# database cmake exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+# Static analysis driver: the CoScale invariant linter
+# (tools/lint/coscale_lint.py, python3 only) plus clang-tidy over the
+# compilation database cmake exports (CMAKE_EXPORT_COMPILE_COMMANDS is
+# always on).
 #
 # Usage:
-#   scripts/lint.sh [build-dir] [-- extra clang-tidy args]
+#   scripts/lint.sh [--require-tools] [build-dir] [-- extra clang-tidy args]
 #
 # Environment:
 #   CLANG_TIDY  clang-tidy executable to use (default: first of
 #               clang-tidy, clang-tidy-18 .. clang-tidy-14 on PATH).
 #
-# Exits 0 with a notice when no clang-tidy is installed, so the script
-# is safe to call from environments that only carry the gcc toolchain.
+# Tool-availability policy:
+#   default          missing optional tools (clang-tidy, clang-query)
+#                    print a notice and are skipped, so the script is
+#                    safe in gcc-only environments;
+#   --require-tools  a missing tool is an error (exit 2). CI passes
+#                    this flag, so a missing tool can never silently
+#                    green the lint job.
 set -eu
+
+REQUIRE_TOOLS=0
+if [ "${1:-}" = "--require-tools" ]; then
+    REQUIRE_TOOLS=1
+    shift
+fi
 
 BUILD_DIR="${1:-build}"
 [ $# -gt 0 ] && shift
 [ "${1:-}" = "--" ] && shift
 
+cd "$(dirname "$0")/.."
+
+fail_or_skip() {
+    # $1 = tool name
+    if [ "${REQUIRE_TOOLS}" = 1 ]; then
+        echo "lint.sh: $1 not found but --require-tools was given" >&2
+        exit 2
+    fi
+    echo "lint.sh: $1 not found on PATH; skipping that stage." >&2
+}
+
+# --- Stage 1: CoScale invariant linter (fixture self-test, then the
+# enforced whole-src/ run). Needs only python3.
+if command -v python3 >/dev/null 2>&1; then
+    echo "lint.sh: coscale_lint self-test"
+    python3 tools/lint/coscale_lint.py --self-test
+    echo "lint.sh: coscale_lint over src/"
+    if [ -f "${BUILD_DIR}/compile_commands.json" ] \
+           && command -v clang-query >/dev/null 2>&1; then
+        python3 tools/lint/coscale_lint.py -p "${BUILD_DIR}"
+    else
+        python3 tools/lint/coscale_lint.py
+    fi
+else
+    fail_or_skip python3
+fi
+
+# --- Stage 2: clang-tidy over every first-party translation unit.
 find_tidy() {
     if [ -n "${CLANG_TIDY:-}" ]; then
         command -v "${CLANG_TIDY}" && return 0
@@ -30,8 +71,7 @@ find_tidy() {
 
 TIDY="$(find_tidy || true)"
 if [ -z "${TIDY}" ]; then
-    echo "lint.sh: clang-tidy not found on PATH (set CLANG_TIDY to" >&2
-    echo "lint.sh: override); skipping static analysis." >&2
+    fail_or_skip clang-tidy
     exit 0
 fi
 
@@ -40,8 +80,6 @@ if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
     echo "lint.sh: run 'cmake -B ${BUILD_DIR} -S .' first." >&2
     exit 1
 fi
-
-cd "$(dirname "$0")/.."
 
 # All first-party translation units; generated/third-party code never
 # lands in these directories.

@@ -10,6 +10,7 @@ namespace {
 bool
 envRequestsAudit()
 {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; no setenv in the process
     const char *v = std::getenv("COSCALE_AUDIT");
     if (!v)
         return false;

@@ -142,7 +142,7 @@ class JsonWriter
   private:
     struct Frame
     {
-        bool isObject;
+        bool isObject = false;
         bool first = true;
     };
 

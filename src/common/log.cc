@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <cstdarg>
+#include <set>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace coscale {
 
@@ -13,6 +16,16 @@ namespace {
 // guard on the main thread never races experiment-engine workers that
 // hit a panic path.
 std::atomic<PanicBehavior> panicMode{PanicBehavior::Abort};
+
+// warnOnce bookkeeping. Process-wide reporting state, never part of a
+// simulation's observable output, so it does not threaten run purity.
+Mutex warnOnceMu;
+std::set<std::string> &
+warnedKeys() COSCALE_REQUIRES(warnOnceMu)
+{
+    static std::set<std::string> keys;
+    return keys;
+}
 
 } // namespace
 
@@ -65,6 +78,7 @@ void
 logFatal(const std::string &msg)
 {
     std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): fatal() is terminal by contract; no cleanup races with a process that is exiting
     std::exit(1);
 }
 
@@ -89,6 +103,13 @@ checkFailed(const char *expr, const char *file, int line,
 {
     logPanic(formatString("check '%s' failed: %s", expr, msg.c_str()),
              file, line);
+}
+
+bool
+shouldWarnOnce(const std::string &key)
+{
+    MutexLock lock(warnOnceMu);
+    return warnedKeys().insert(key).second;
 }
 
 } // namespace detail

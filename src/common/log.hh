@@ -21,6 +21,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/thread_annotations.hh"
+
 namespace coscale {
 
 /**
@@ -93,6 +95,13 @@ void logWarn(const std::string &msg);
 [[noreturn]] void checkFailed(const char *expr, const char *file,
                               int line, const std::string &msg);
 
+/**
+ * True the first time @p key is seen in this process. Thread-safe:
+ * the seen-key set is guarded by the logger's mutex, so concurrent
+ * engine workers racing on the same key elect exactly one winner.
+ */
+bool shouldWarnOnce(const std::string &key);
+
 std::string formatString(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
@@ -114,12 +123,37 @@ warn(const char *fmt, Args... args)
     detail::logWarn(detail::formatString(fmt, args...));
 }
 
+/**
+ * Like warn(), but each distinct @p key prints at most once per
+ * process — for diagnostics that would otherwise repeat per worker
+ * thread or per request in a large engine batch.
+ */
+template <typename... Args>
+void
+warnOnce(const std::string &key, const char *fmt, Args... args)
+{
+    if (detail::shouldWarnOnce(key))
+        detail::logWarn(detail::formatString(fmt, args...));
+}
+
 /** Terminate due to a user error (bad config, bad arguments). */
 template <typename... Args>
 [[noreturn]] void
 fatal(const char *fmt, Args... args)
 {
     detail::logFatal(detail::formatString(fmt, args...));
+}
+
+/**
+ * Terminate successfully after an informational code path (--help).
+ * Lives here so every process-exit site sits in this one audited
+ * file; the lint rule `raw-assert` bans std::exit anywhere else.
+ */
+[[noreturn]] inline void
+exitCleanly()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): only reached from single-threaded CLI parsing (--help)
+    std::exit(0);
 }
 
 /** Terminate due to an internal bug (abort or CheckFailure). */

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations plus the annotated locking
+ * primitives every shared-state component in src/ must use.
+ *
+ * The COSCALE_* macros expand to clang's capability attributes when
+ * the compiler supports them (-Wthread-safety turns violations into
+ * diagnostics; the COSCALE_THREAD_SAFETY CMake option promotes them
+ * to errors) and to nothing under gcc, so the tree builds identically
+ * with either toolchain.
+ *
+ * Conventions (enforced by tools/lint/coscale_lint.py rule
+ * `raw-mutex`):
+ *  - hold state behind coscale::Mutex, never a raw std::mutex;
+ *  - annotate every member the mutex protects with
+ *    COSCALE_GUARDED_BY(mu) (pointees with COSCALE_PT_GUARDED_BY);
+ *  - take the lock with the RAII MutexLock, never lock()/unlock()
+ *    pairs, so scopes and capabilities stay in sync;
+ *  - functions that expect the caller to hold a lock say so with
+ *    COSCALE_REQUIRES(mu);
+ *  - condition waits go through coscale::CondVar, whose wait methods
+ *    require the capability they temporarily release.
+ *
+ * Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+ */
+
+#ifndef COSCALE_COMMON_THREAD_ANNOTATIONS_HH
+#define COSCALE_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define COSCALE_THREAD_ATTR(x) __attribute__((x))
+#else
+#define COSCALE_THREAD_ATTR(x) // no-op outside clang
+#endif
+
+/** Marks a class as a lockable capability ("mutex"). */
+#define COSCALE_CAPABILITY(x) COSCALE_THREAD_ATTR(capability(x))
+
+/** Marks an RAII class that acquires in its ctor, releases in dtor. */
+#define COSCALE_SCOPED_CAPABILITY COSCALE_THREAD_ATTR(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define COSCALE_GUARDED_BY(x) COSCALE_THREAD_ATTR(guarded_by(x))
+
+/** Pointer member whose pointee is protected by @p x. */
+#define COSCALE_PT_GUARDED_BY(x) COSCALE_THREAD_ATTR(pt_guarded_by(x))
+
+/** Function that must be called with the capability held. */
+#define COSCALE_REQUIRES(...) \
+    COSCALE_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function that must be called with the capability NOT held. */
+#define COSCALE_EXCLUDES(...) \
+    COSCALE_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Function that acquires the capability and holds it on return. */
+#define COSCALE_ACQUIRE(...) \
+    COSCALE_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function that releases a held capability. */
+#define COSCALE_RELEASE(...) \
+    COSCALE_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+/** Function that acquires the capability iff it returns @p ret. */
+#define COSCALE_TRY_ACQUIRE(...) \
+    COSCALE_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Lock-ordering declaration: this capability after those. */
+#define COSCALE_ACQUIRED_AFTER(...) \
+    COSCALE_THREAD_ATTR(acquired_after(__VA_ARGS__))
+
+/** Lock-ordering declaration: this capability before those. */
+#define COSCALE_ACQUIRED_BEFORE(...) \
+    COSCALE_THREAD_ATTR(acquired_before(__VA_ARGS__))
+
+/** Function returning a reference to the capability guarding data. */
+#define COSCALE_RETURN_CAPABILITY(x) \
+    COSCALE_THREAD_ATTR(lock_returned(x))
+
+/** Escape hatch; every use needs a justifying comment. */
+#define COSCALE_NO_THREAD_SAFETY_ANALYSIS \
+    COSCALE_THREAD_ATTR(no_thread_safety_analysis)
+
+namespace coscale {
+
+/**
+ * The annotated mutex. Same semantics and cost as the std::mutex it
+ * wraps; exists so clang can associate COSCALE_GUARDED_BY members
+ * with acquisitions. Satisfies BasicLockable/Lockable, so it also
+ * works with std::condition_variable_any (see CondVar).
+ */
+class COSCALE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() COSCALE_ACQUIRE() { mu.lock(); }
+    void unlock() COSCALE_RELEASE() { mu.unlock(); }
+    bool try_lock() COSCALE_TRY_ACQUIRE(true) { return mu.try_lock(); }
+
+  private:
+    friend class CondVar;
+    std::mutex mu;
+};
+
+/**
+ * RAII scope lock over Mutex — the only sanctioned way to take one
+ * (lint rule `raw-mutex` bans std::lock_guard/std::unique_lock in
+ * src/). Not movable: a lock that changes owner mid-scope defeats
+ * the static analysis.
+ */
+class COSCALE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) COSCALE_ACQUIRE(m) : mu(m)
+    {
+        mu.lock();
+    }
+    ~MutexLock() COSCALE_RELEASE() { mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &mu;
+};
+
+/**
+ * Condition variable bound to the annotated Mutex. Wait methods take
+ * the Mutex itself (not the MutexLock) and REQUIRE its capability:
+ * from the analysis' point of view the capability is held across the
+ * wait, which matches the caller-visible contract — the guarded
+ * predicate may only be read before and after, never during.
+ */
+class CondVar
+{
+  public:
+    void notify_one() { cv.notify_one(); }
+    void notify_all() { cv.notify_all(); }
+
+    void
+    wait(Mutex &m) COSCALE_REQUIRES(m)
+    {
+        cv.wait(m.mu); // NOLINT(bugprone-spuriously-wake-up-functions)
+    }
+
+    template <typename Clock, typename Duration>
+    std::cv_status
+    waitUntil(Mutex &m,
+              const std::chrono::time_point<Clock, Duration> &deadline)
+        COSCALE_REQUIRES(m)
+    {
+        return cv.wait_until(m.mu, deadline);
+    }
+
+  private:
+    std::condition_variable_any cv;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_COMMON_THREAD_ANNOTATIONS_HH

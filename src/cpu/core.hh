@@ -134,8 +134,8 @@ class Core
 
     struct OutMiss
     {
-        std::uint64_t token;
-        std::uint64_t atInstr;     //!< retired-instruction position
+        std::uint64_t token = 0;
+        std::uint64_t atInstr = 0; //!< retired-instruction position
         Tick resolveAt = maxTick;  //!< known once the MC commits it
     };
 

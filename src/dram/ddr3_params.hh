@@ -143,11 +143,11 @@ struct ResolvedTiming
  */
 struct DramCoord
 {
-    int channel;
-    int rank;
-    int bank;
-    std::uint64_t row;
-    int column;
+    int channel = 0;
+    int rank = 0;
+    int bank = 0;
+    std::uint64_t row = 0;
+    int column = 0;
 };
 
 /** Map a block address to its DRAM coordinates under @p g. */

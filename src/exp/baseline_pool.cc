@@ -17,7 +17,7 @@ BaselinePool::baseline(const RunRequest &req)
     std::shared_future<RunResult> fut;
     std::shared_ptr<std::promise<RunResult>> prom;
     {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         auto it = entries.find(key);
         if (it == entries.end()) {
             prom = std::make_shared<std::promise<RunResult>>();
@@ -51,7 +51,7 @@ BaselinePool::baseline(const RunRequest &req)
 std::size_t
 BaselinePool::size() const
 {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return entries.size();
 }
 

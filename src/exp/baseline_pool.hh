@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <future>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 
+#include "common/thread_annotations.hh"
 #include "sim/runner.hh"
 
 namespace coscale {
@@ -65,8 +65,9 @@ class BaselinePool
     std::size_t size() const;
 
   private:
-    mutable std::mutex mu;
-    std::map<BaselineKey, std::shared_future<RunResult>> entries;
+    mutable Mutex mu;
+    std::map<BaselineKey, std::shared_future<RunResult>> entries
+        COSCALE_GUARDED_BY(mu);
     std::atomic<std::uint64_t> nHits{0};
     std::atomic<std::uint64_t> nMisses{0};
 };

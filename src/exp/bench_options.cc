@@ -102,7 +102,7 @@ parseBenchArgs(int argc, char **argv, double defaultScale)
         } else if (std::strcmp(arg, "--help") == 0
                    || std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);
-            std::exit(0);
+            exitCleanly();
         } else if (arg[0] != '-' && !scaleSet
                    && parseScale(arg, &opts.scale)) {
             // Historical form: bare positional scale as argv[1].
@@ -113,6 +113,7 @@ parseBenchArgs(int argc, char **argv, double defaultScale)
     }
 
     if (!scaleSet) {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; no setenv in the process
         if (const char *env = std::getenv("COSCALE_SCALE")) {
             parseScale(env, &opts.scale);
         }

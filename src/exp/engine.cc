@@ -2,12 +2,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <typeinfo>
@@ -17,6 +15,8 @@
 #include <cxxabi.h>
 #endif
 
+#include "common/log.hh"
+#include "common/thread_annotations.hh"
 #include "exp/digest.hh"
 
 namespace coscale {
@@ -64,10 +64,14 @@ resolveJobs(int requested)
 {
     if (requested > 0)
         return requested;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; the one setenv lives in a single-threaded test
     if (const char *env = std::getenv("COSCALE_JOBS")) {
         int n = std::atoi(env);
         if (n > 0)
             return n;
+        warnOnce("engine.jobs.env",
+                 "COSCALE_JOBS='%s' is not a positive integer; "
+                 "falling back to hardware concurrency", env);
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
@@ -121,12 +125,12 @@ ExperimentEngine::runAttempt(const RunRequest &req)
         // simulation can never touch freed memory.
         struct Shared
         {
-            std::mutex mu;
-            std::condition_variable cv;
-            bool done = false;
-            bool ok = false;
-            RunResult result;
-            std::exception_ptr error;
+            Mutex mu;
+            CondVar cv;
+            bool done COSCALE_GUARDED_BY(mu) = false;
+            bool ok COSCALE_GUARDED_BY(mu) = false;
+            RunResult result COSCALE_GUARDED_BY(mu);
+            std::exception_ptr error COSCALE_GUARDED_BY(mu);
             std::atomic<bool> cancel{false};
         };
         auto sh = std::make_shared<Shared>();
@@ -144,7 +148,7 @@ ExperimentEngine::runAttempt(const RunRequest &req)
                 err = std::current_exception();
             }
             {
-                std::lock_guard<std::mutex> lock(sh->mu);
+                MutexLock lock(sh->mu);
                 sh->result = std::move(r);
                 sh->ok = ok;
                 sh->error = err;
@@ -156,16 +160,24 @@ ExperimentEngine::runAttempt(const RunRequest &req)
         auto budget = std::chrono::duration<double>(options.timeoutSecs);
         bool finished;
         {
-            std::unique_lock<std::mutex> lock(sh->mu);
-            finished =
-                sh->cv.wait_for(lock, budget, [&] { return sh->done; });
+            MutexLock lock(sh->mu);
+            auto deadline = std::chrono::steady_clock::now() + budget;
+            while (!sh->done
+                   && sh->cv.waitUntil(sh->mu, deadline)
+                          != std::cv_status::timeout) {
+            }
+            finished = sh->done;
             if (!finished) {
                 sh->cancel.store(true, std::memory_order_relaxed);
                 // Grace period for the cooperative epoch-boundary
                 // exit; simulated epochs are short in host time, so
                 // one more budget's worth is generous.
-                finished = sh->cv.wait_for(lock, budget,
-                                           [&] { return sh->done; });
+                deadline = std::chrono::steady_clock::now() + budget;
+                while (!sh->done
+                       && sh->cv.waitUntil(sh->mu, deadline)
+                              != std::cv_status::timeout) {
+                }
+                finished = sh->done;
             }
         }
 
@@ -183,6 +195,10 @@ ExperimentEngine::runAttempt(const RunRequest &req)
         }
 
         runner.join();
+        // The join() already synchronizes, but take the lock anyway:
+        // it costs nothing uncontended and keeps every guarded access
+        // visible to the static analysis.
+        MutexLock lock(sh->mu);
         if (sh->ok) {
             a.result = std::move(sh->result);
             a.ok = true;
@@ -206,7 +222,7 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
 
     std::string key = quarantineKey(req);
     if (options.quarantineAfter > 0) {
-        std::lock_guard<std::mutex> lock(quarantineMu);
+        MutexLock lock(quarantineMu);
         auto it = exhaustedFailures.find(key);
         if (it != exhaustedFailures.end()
             && it->second >= options.quarantineAfter) {
@@ -251,7 +267,7 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
     }
 
     if (!out.ok && !out.quarantined && options.quarantineAfter > 0) {
-        std::lock_guard<std::mutex> lock(quarantineMu);
+        MutexLock lock(quarantineMu);
         exhaustedFailures[key] += 1;
     }
 
@@ -275,7 +291,7 @@ ExperimentEngine::run(const std::vector<RunRequest> &requests)
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
-    std::mutex progressMu;
+    Mutex progressMu; // serializes the stderr progress lines only
 
     auto worker = [&] {
         for (;;) {
@@ -286,7 +302,7 @@ ExperimentEngine::run(const std::vector<RunRequest> &requests)
             std::size_t finished =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (options.progress) {
-                std::lock_guard<std::mutex> lock(progressMu);
+                MutexLock lock(progressMu);
                 std::fprintf(stderr, "[exp] %zu/%zu %s (%.2fs)%s\n",
                              finished, requests.size(),
                              outcomes[i].label.c_str(),

@@ -33,10 +33,10 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "exp/baseline_pool.hh"
 #include "sim/runner.hh"
 
@@ -153,8 +153,9 @@ class ExperimentEngine
     // Exhausted-failure counts per request identity (see
     // EngineOptions::quarantineAfter). Engine-local on purpose: a
     // fresh engine starts with a clean slate.
-    std::mutex quarantineMu;
-    std::map<std::string, int> exhaustedFailures;
+    Mutex quarantineMu;
+    std::map<std::string, int> exhaustedFailures
+        COSCALE_GUARDED_BY(quarantineMu);
 };
 
 } // namespace exp

@@ -262,7 +262,7 @@ class System
     // --- scheduling state (Section 3.3 context switching) ---
     struct ParkedApp
     {
-        int app;
+        int app = -1; //!< -1 = unassigned; real ids start at 0
         TraceHandle trace;
     };
     std::vector<int> appOnCore;          //!< app id per core

@@ -31,6 +31,7 @@ inline void
 checkGolden(const std::string &fixture, const std::string &got)
 {
     std::string path = std::string(COSCALE_GOLDEN_DIR) + "/" + fixture;
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe in a test harness
     if (std::getenv("COSCALE_REGEN_GOLDEN") != nullptr) {
         std::ofstream out(path, std::ios::binary);
         ASSERT_TRUE(out) << "cannot write fixture " << path;

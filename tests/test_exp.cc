@@ -306,10 +306,12 @@ TEST(ExperimentEngine, ResolveJobsPrecedence)
 {
     EXPECT_EQ(exp::resolveJobs(7), 7);
 
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test; no engine running
     ASSERT_EQ(setenv("COSCALE_JOBS", "3", 1), 0);
     EXPECT_EQ(exp::resolveJobs(0), 3);
     EXPECT_EQ(exp::resolveJobs(5), 5);
 
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded test; no engine running
     ASSERT_EQ(unsetenv("COSCALE_JOBS"), 0);
     EXPECT_GE(exp::resolveJobs(0), 1);
 }

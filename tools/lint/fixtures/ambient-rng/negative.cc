@@ -1,0 +1,13 @@
+// Fixture: run-owned seeded streams are the sanctioned randomness;
+// identifiers merely containing the banned words stay silent.
+#include "common/rng.hh"
+
+int
+jitterEpoch(coscale::Rng &rng, int span)
+{
+    // Deterministic: every draw comes from the run's seeded stream.
+    return static_cast<int>(rng.nextU64() % span);
+}
+
+void
+operandFetch();  // contains "rand" but is not a call to it

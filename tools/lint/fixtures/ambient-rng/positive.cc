@@ -1,0 +1,13 @@
+// Fixture: ambient RNG must fire — rand() and std::random_device
+// break the bit-identical-under---jobs-N contract.
+#include <cstdlib>
+#include <random>
+
+int
+jitterEpoch(int span)
+{
+    std::random_device entropy;
+    (void)entropy;
+    srand(42);
+    return rand() % span;
+}

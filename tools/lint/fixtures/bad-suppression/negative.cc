@@ -1,0 +1,10 @@
+// Fixture: a justified allow() on a real violation is the sanctioned
+// escape hatch — it suppresses the finding and counts as used.
+#include <ctime>
+
+long
+hostEpochForLogFilename()
+{
+    // coscale-lint: allow(wall-clock) -- log filenames carry host time by design; never read back into the simulation
+    return static_cast<long>(time(nullptr));
+}

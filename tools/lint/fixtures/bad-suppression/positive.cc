@@ -1,0 +1,8 @@
+// Fixture: an allow() without a justification is itself a finding —
+// a waiver with no recorded reason cannot be audited or retired.
+
+void
+setupHostTelemetry()
+{
+    // coscale-lint: allow(wall-clock)
+}

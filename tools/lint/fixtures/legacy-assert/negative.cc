@@ -1,0 +1,8 @@
+// Fixture: COSCALE_CHECK is the sanctioned spelling.
+#include "check/contract.hh"
+
+void
+checkTick(long tick)
+{
+    COSCALE_CHECK(tick >= 0, "tick=%ld", tick);
+}

@@ -1,0 +1,8 @@
+// Fixture: the deprecated coscale_assert spelling must fire.
+#include "common/log.hh"
+
+void
+checkTick(long tick)
+{
+    coscale_assert(tick >= 0, "tick=%ld", tick);
+}

@@ -1,0 +1,31 @@
+// Fixture: initialized scalars, class-type members (which
+// default-construct), constants, and ctor-managed structs stay
+// silent.
+#ifndef FIXTURE_MISSING_FIELD_INIT_NEGATIVE_HH
+#define FIXTURE_MISSING_FIELD_INIT_NEGATIVE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct EpochProfile
+{
+    double cpuEnergy = 0.0;
+    std::uint64_t memCycles = 0;
+    bool converged = false;
+    std::string label;                //!< default-constructs empty
+    std::vector<double> perCore;      //!< default-constructs empty
+
+    static constexpr int kMaxCores = 4096;
+};
+
+struct Interval
+{
+    // A user-declared constructor owns member initialization; the
+    // textual rule stays out of its way.
+    Interval(long lo, long hi);
+    long lo;
+    long hi;
+};
+
+#endif

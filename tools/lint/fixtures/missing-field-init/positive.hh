@@ -1,0 +1,15 @@
+// Fixture: scalar struct members without default initializers must
+// fire — a forgotten field reads indeterminate garbage.
+#ifndef FIXTURE_MISSING_FIELD_INIT_POSITIVE_HH
+#define FIXTURE_MISSING_FIELD_INIT_POSITIVE_HH
+
+#include <cstdint>
+
+struct EpochProfile
+{
+    double cpuEnergy;
+    std::uint64_t memCycles;
+    bool converged;
+};
+
+#endif

@@ -1,0 +1,32 @@
+// Fixture: the sanctioned global forms stay silent — constants,
+// atomics, and Mutex-guarded state annotated with COSCALE_GUARDED_BY.
+#include <atomic>
+#include <map>
+#include <string>
+
+#include "common/thread_annotations.hh"
+
+namespace coscale {
+
+constexpr int kMaxChannels = 8;
+
+const char *const kPhaseNames[] = {"warm", "measure"};
+
+static const double kNominalVoltage = 1.05;
+
+std::atomic<unsigned long> totalRuns{0};
+
+Mutex registryMu;
+
+std::map<std::string, int> registry COSCALE_GUARDED_BY(registryMu);
+
+int
+bumpLocal()
+{
+    // Function-local state is out of scope for this rule (and the
+    // engine never shares it).
+    static int calls = 0;
+    return ++calls;
+}
+
+} // namespace coscale

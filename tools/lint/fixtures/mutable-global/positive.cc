@@ -1,0 +1,13 @@
+// Fixture: unguarded mutable globals must fire — they are both a
+// data race under the experiment engine and a run-purity hazard.
+#include <string>
+
+namespace coscale {
+
+int liveRequests = 0;
+
+static double lastObservedEnergy;
+
+std::string currentPhase = "idle";
+
+} // namespace coscale

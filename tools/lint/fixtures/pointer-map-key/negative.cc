@@ -1,0 +1,15 @@
+// Fixture: stable-id keys are fine, and pointer *values* are fine —
+// only the key position orders iteration.
+#include <map>
+#include <string>
+
+struct Node;
+
+void
+track(int nodeId, Node *n)
+{
+    static thread_local std::map<int, Node *> byId;
+    static thread_local std::map<std::string, double> byName;
+    byId[nodeId] = n;
+    byName["root"] = 1.0;
+}

@@ -1,0 +1,15 @@
+// Fixture: pointer-valued map keys must fire — they order by
+// allocation address, which varies run to run.
+#include <map>
+#include <set>
+
+struct Node;
+
+void
+track(Node *n)
+{
+    static thread_local std::map<Node *, int> refCount;
+    std::set<const Node *> visited;
+    refCount[n]++;
+    visited.insert(n);
+}

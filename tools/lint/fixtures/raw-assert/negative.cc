@@ -1,0 +1,21 @@
+// Fixture: the sanctioned spellings must stay silent — the contract
+// macros, static_assert, and identifiers that merely contain the
+// banned words.
+#include "check/contract.hh"
+
+static_assert(sizeof(long) >= 8, "simulator ticks need 64 bits");
+
+void
+validate(int cores)
+{
+    COSCALE_CHECK(cores > 0, "cores=%d", cores);
+    COSCALE_DCHECK(cores <= 4096);
+}
+
+void
+reassert_topology();  // contains "assert" but is not one
+
+struct Port
+{
+    void abort_drain();  // member named abort_* is fine
+};

@@ -1,0 +1,14 @@
+// Fixture: raw-assert must fire on assert/abort/exit in simulator
+// code. (Fixtures are linted, never compiled.)
+#include <cassert>
+#include <cstdlib>
+
+void
+validate(int cores)
+{
+    assert(cores > 0);
+    if (cores > 4096)
+        std::abort();
+    if (cores < 0)
+        exit(1);
+}

@@ -1,0 +1,20 @@
+// Fixture: the annotated primitives from common/thread_annotations.hh
+// are the sanctioned spelling; -Wthread-safety can see these.
+#include "common/thread_annotations.hh"
+
+class WorkQueue
+{
+  public:
+    void
+    push()
+    {
+        coscale::MutexLock lock(mu);
+        ++pending;
+        cv.notify_one();
+    }
+
+  private:
+    coscale::Mutex mu;
+    coscale::CondVar cv;
+    int pending COSCALE_GUARDED_BY(mu) = 0;
+};

@@ -1,0 +1,21 @@
+// Fixture: raw std locking primitives must fire — they are invisible
+// to the clang thread-safety capability analysis.
+#include <condition_variable>
+#include <mutex>
+
+class WorkQueue
+{
+  public:
+    void
+    push()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ++pending;
+        cv.notify_one();
+    }
+
+  private:
+    std::mutex mu;
+    std::condition_variable cv;
+    int pending = 0;
+};

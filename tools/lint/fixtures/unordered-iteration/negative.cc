@@ -1,0 +1,17 @@
+// Fixture: ordered-map iteration is fine, and point lookups into an
+// unordered container (no iteration) are fine too.
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+void
+dumpCounters(const std::map<std::string, long> &counters,
+             const std::unordered_map<std::string, long> &cache)
+{
+    for (const auto &kv : counters)
+        std::printf("%s=%ld\n", kv.first.c_str(), kv.second);
+    auto hit = cache.find("llc.misses");
+    if (hit != cache.end())
+        std::printf("cached=%ld\n", hit->second);
+}

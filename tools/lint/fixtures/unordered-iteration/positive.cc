@@ -1,0 +1,12 @@
+// Fixture: iterating an unordered container must fire — hash order
+// would scramble JSONL traces and golden fixtures.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+void
+dumpCounters(const std::unordered_map<std::string, long> &counters)
+{
+    for (const auto &kv : counters)
+        std::printf("%s=%ld\n", kv.first.c_str(), kv.second);
+}

@@ -1,0 +1,10 @@
+// Fixture: a justified allow() that matches a live violation is used,
+// so nothing fires.
+#include <ctime>
+
+long
+hostEpochForLogFilename()
+{
+    // coscale-lint: allow(wall-clock) -- log filenames carry host time by design; never read back into the simulation
+    return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,9 @@
+// Fixture: an allow() that suppresses nothing must fire — stale
+// waivers hide future regressions at that site.
+
+long
+epochLength()
+{
+    // coscale-lint: allow(wall-clock) -- was time(nullptr) before the tick refactor
+    return 1000000L;
+}

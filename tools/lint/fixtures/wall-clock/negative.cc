@@ -1,0 +1,22 @@
+// Fixture: sim ticks carry model time; steady_clock is monotonic
+// host time, allowed for watchdogs/benchmarks because it is never
+// serialized into traces or reports.
+#include <chrono>
+
+#include "common/types.hh"
+
+double
+watchdogSeconds(std::chrono::steady_clock::time_point since)
+{
+    auto dt = std::chrono::steady_clock::now() - since;
+    return std::chrono::duration<double>(dt).count();
+}
+
+coscale::Tick
+epochEnd(coscale::Tick start, coscale::Tick quantum)
+{
+    return start + quantum;  // model time advances by ticks only
+}
+
+void
+realtime_scale();  // identifier containing "time" is fine

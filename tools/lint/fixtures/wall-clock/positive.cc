@@ -1,0 +1,12 @@
+// Fixture: wall-clock sources must fire — host time leaking into a
+// simulation makes traces nondeterministic.
+#include <chrono>
+#include <ctime>
+
+long
+stampEpoch()
+{
+    auto now = std::chrono::system_clock::now();
+    (void)now;
+    return static_cast<long>(time(nullptr));
+}
