@@ -73,7 +73,7 @@ main(int argc, char **argv)
     double gamma = 0.0;
     std::vector<RunRequest> requests;
     for (const Variant &v : variants) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.warmupEpochs = v.warmupEpochs;
         gamma = cfg.gamma;
         for (const auto &mix : mixes) {

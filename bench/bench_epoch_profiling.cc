@@ -66,7 +66,7 @@ main(int argc, char **argv)
 
     std::vector<Setting> profiling, epochs;
     for (double frac : {0.25, 0.5, 1.0, 2.0}) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.profileLen = static_cast<Tick>(cfg.profileLen * frac);
         char label[64];
         std::snprintf(label, sizeof(label), "profiling %.0f us (%.2gx)",
@@ -74,7 +74,7 @@ main(int argc, char **argv)
         profiling.push_back({label, cfg});
     }
     for (double frac : {0.5, 1.0, 2.0}) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.epochLen = static_cast<Tick>(cfg.epochLen * frac);
         char label[64];
         std::snprintf(label, sizeof(label), "epoch %.2f ms (%.2gx)",

@@ -33,7 +33,7 @@ main(int argc, char **argv)
 
     std::vector<RunRequest> requests;
     for (double gamma : bounds) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.gamma = gamma;
         for (const auto &mix : mixes) {
             requests.push_back(

@@ -33,7 +33,7 @@ main(int argc, char **argv)
     double gamma = 0.0;
     std::vector<RunRequest> requests;
     for (double frac : fracs) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.power.otherFrac = frac;
         gamma = cfg.gamma;
         for (const auto &mix : mixes) {

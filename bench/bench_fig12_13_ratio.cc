@@ -28,11 +28,11 @@ const struct Ratio
 } kRatios[] = {{"2:1", 1.0}, {"1:1", 2.0}, {"1:2", 4.0}};
 
 std::vector<RunRequest>
-classRequests(const std::string &wl_class, double scale)
+classRequests(const std::string &wl_class, const exp::BenchOptions &opts)
 {
     std::vector<RunRequest> requests;
     for (const auto &r : kRatios) {
-        SystemConfig cfg = makeScaledConfig(scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.power.mem.memPowerMultiplier = r.multiplier;
         for (const auto &mix : mixesByClass(wl_class)) {
             requests.push_back(
@@ -91,10 +91,10 @@ main(int argc, char **argv)
     benchutil::printHeader(
         "Figures 12 & 13: impact of the CPU:memory power ratio");
 
-    double gamma = makeScaledConfig(opts.scale).gamma;
+    double gamma = opts.makeSystemConfig().gamma;
 
-    std::vector<RunRequest> requests = classRequests("MID", opts.scale);
-    for (RunRequest &req : classRequests("MEM", opts.scale))
+    std::vector<RunRequest> requests = classRequests("MID", opts);
+    for (RunRequest &req : classRequests("MEM", opts))
         requests.push_back(std::move(req));
     auto outcomes = benchutil::runBatch(opts, requests);
 

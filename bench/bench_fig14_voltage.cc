@@ -38,7 +38,7 @@ main(int argc, char **argv)
     double gamma = 0.0;
     std::vector<RunRequest> requests;
     for (const auto &r : ranges) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         if (r.half)
             cfg.coreLadder = halfVoltageCoreLadder();
         gamma = cfg.gamma;

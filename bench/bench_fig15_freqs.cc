@@ -33,7 +33,7 @@ main(int argc, char **argv)
     double gamma = 0.0;
     std::vector<RunRequest> requests;
     for (int steps : stepCounts) {
-        SystemConfig cfg = makeScaledConfig(opts.scale);
+        SystemConfig cfg = opts.makeSystemConfig();
         cfg.coreLadder = defaultCoreLadder(steps);
         cfg.memLadder = defaultMemLadder(steps);
         gamma = cfg.gamma;

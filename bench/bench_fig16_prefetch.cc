@@ -41,7 +41,7 @@ main(int argc, char **argv)
     std::vector<RunRequest> requests;
     for (const std::string &cls : classes) {
         for (const auto &mix : mixesByClass(cls)) {
-            SystemConfig plain = makeScaledConfig(opts.scale);
+            SystemConfig plain = opts.makeSystemConfig();
             SystemConfig pref = plain;
             pref.llc.prefetchNextLine = true;
             for (const SystemConfig *cfg : {&plain, &pref}) {

@@ -53,7 +53,7 @@ main(int argc, char **argv)
     std::vector<RunRequest> requests;
     for (const std::string &cls : classes) {
         for (const auto &mix : mixesByClass(cls)) {
-            SystemConfig in_order = makeScaledConfig(opts.scale);
+            SystemConfig in_order = opts.makeSystemConfig();
             SystemConfig ooo = in_order;
             ooo.ooo = true;
             for (const char *pname : {"baseline", "CoScale"}) {
@@ -90,7 +90,7 @@ main(int argc, char **argv)
             const RunResult &oo_cs = o_oo_cs.result;
 
             std::uint64_t budget =
-                makeScaledConfig(opts.scale).instrBudget;
+                opts.makeSystemConfig().instrBudget;
             double t0 = avgTpi(io, budget);
             cpi_io.sample(1.0);
             cpi_ooo.sample(avgTpi(oo, budget) / t0);

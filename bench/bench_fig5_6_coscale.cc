@@ -23,7 +23,7 @@ int
 main(int argc, char **argv)
 {
     exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
-    SystemConfig cfg = makeScaledConfig(opts.scale);
+    SystemConfig cfg = opts.makeSystemConfig();
 
     benchutil::printHeader(
         "Figures 5 & 6: CoScale energy savings and performance");

@@ -65,7 +65,7 @@ int
 main(int argc, char **argv)
 {
     exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.2);
-    SystemConfig cfg = makeScaledConfig(opts.scale);
+    SystemConfig cfg = opts.makeSystemConfig();
 
     benchutil::printHeader(
         "Figure 7: milc (MIX2) frequency timeline per policy");

@@ -27,7 +27,7 @@ int
 main(int argc, char **argv)
 {
     exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
-    SystemConfig cfg = makeScaledConfig(opts.scale);
+    SystemConfig cfg = opts.makeSystemConfig();
 
     benchutil::printHeader(
         "Figures 8 & 9: policy comparison over all 16 mixes");

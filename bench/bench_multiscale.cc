@@ -33,7 +33,7 @@ main(int argc, char **argv)
                 "MemScale full/mem %", "MultiScale full/mem %",
                 "channel freqs (MHz, mid-run)");
 
-    SystemConfig cfg = makeScaledConfig(opts.scale);
+    SystemConfig cfg = opts.makeSystemConfig();
     cfg.geom.addrMap = AddrMap::RegionPerChannel;
     cfg.power.geom = cfg.geom;
 

@@ -20,7 +20,7 @@ int
 main(int argc, char **argv)
 {
     exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 0.1);
-    SystemConfig cfg = makeScaledConfig(opts.scale);
+    SystemConfig cfg = opts.makeSystemConfig();
 
     benchutil::printHeader("Table 1: workload mixes (measured vs paper)");
     std::printf("scale %.2f (%.0fM instructions per application)\n\n",

@@ -16,7 +16,7 @@ int
 main(int argc, char **argv)
 {
     exp::BenchOptions opts = exp::parseBenchArgs(argc, argv, 1.0);
-    SystemConfig cfg = makeScaledConfig(opts.scale);
+    SystemConfig cfg = opts.makeSystemConfig();
 
     benchutil::printHeader("Table 2: main system settings");
 

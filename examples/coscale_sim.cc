@@ -22,7 +22,10 @@
  *                        (default: COSCALE_JOBS, then hardware)
  *     --ooo              enable the OoO/MLP window
  *     --prefetch         enable the next-line prefetcher
- *     --open-page        open-page row-buffer policy
+ *     --mem-sched S      channel scheduler: fcfs (paper) or frfcfs
+ *     --row-policy P     row-buffer policy: closed (paper) or open
+ *     --dram-standard D  DRAM standard: ddr3 (paper), ddr4, lpddr4
+ *     --open-page        alias for --row-policy open
  *     --region-map       region-per-channel placement (MultiScale)
  *     --freq-steps N     ladder steps for both domains (default 10)
  *     --half-voltage     use the 0.95-1.2 V core range
@@ -84,7 +87,8 @@ struct Options
     int jobs = 0;
     bool ooo = false;
     bool prefetch = false;
-    bool openPage = false;
+    MemBackendSel memBackend;
+    bool memBackendSet = false;
     bool regionMap = false;
     int freqSteps = 10;
     bool halfVoltage = false;
@@ -141,8 +145,21 @@ parseArgs(int argc, char **argv)
             opt.ooo = true;
         } else if (a == "--prefetch") {
             opt.prefetch = true;
+        } else if (a == "--mem-sched") {
+            if (!parseMemSched(need(i), &opt.memBackend.sched))
+                fatal("--mem-sched must be fcfs or frfcfs");
+            opt.memBackendSet = true;
+        } else if (a == "--row-policy") {
+            if (!parseRowPolicy(need(i), &opt.memBackend.rowPolicy))
+                fatal("--row-policy must be closed or open");
+            opt.memBackendSet = true;
+        } else if (a == "--dram-standard") {
+            if (!parseDramStandard(need(i), &opt.memBackend.standard))
+                fatal("--dram-standard must be ddr3, ddr4, or lpddr4");
+            opt.memBackendSet = true;
         } else if (a == "--open-page") {
-            opt.openPage = true;
+            opt.memBackend.rowPolicy = RowPolicy::Open;
+            opt.memBackendSet = true;
         } else if (a == "--region-map") {
             opt.regionMap = true;
         } else if (a == "--freq-steps") {
@@ -215,7 +232,8 @@ makeConfig(const Options &opt)
     cfg.gamma = opt.bound / 100.0;
     cfg.ooo = opt.ooo;
     cfg.llc.prefetchNextLine = opt.prefetch;
-    cfg.openPage = opt.openPage;
+    if (opt.memBackendSet)
+        applyMemBackend(cfg, opt.memBackend);
     if (opt.regionMap || opt.policy == "multiscale") {
         cfg.geom.addrMap = AddrMap::RegionPerChannel;
         cfg.power.geom = cfg.geom;
@@ -223,7 +241,8 @@ makeConfig(const Options &opt)
     cfg.seed = opt.seed;
     if (opt.freqSteps != 10) {
         cfg.coreLadder = defaultCoreLadder(opt.freqSteps);
-        cfg.memLadder = defaultMemLadder(opt.freqSteps);
+        cfg.memLadder =
+            standardMemLadder(opt.memBackend.standard, opt.freqSteps);
     }
     if (opt.halfVoltage)
         cfg.coreLadder = halfVoltageCoreLadder(opt.freqSteps);

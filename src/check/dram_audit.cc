@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/contract.hh"
+#include "dram/row_policy.hh"
 
 namespace coscale {
 
@@ -20,7 +21,7 @@ DramTimingAuditor::seedChannel(int channel, const ChannelAuditSeed &seed)
     ChannelShadow &sh = chans[c];
     sh.seeded = true;
     sh.t = seed.timing;
-    sh.openPage = seed.openPage;
+    sh.policy = &RowPolicyModel::get(seed.rowPolicy);
     sh.banksPerRank = seed.banksPerRank;
     sh.busFreeAt = seed.busFreeAt;
     sh.haltUntil = seed.haltUntil;
@@ -137,7 +138,7 @@ DramTimingAuditor::onCommand(const DramCmdEvent &ev)
     if (ev.rowHit) {
         // CAS without ACT: legal only under open-page management and
         // only once the bank's previous burst window has cleared.
-        COSCALE_CHECK(sh.openPage,
+        COSCALE_CHECK(sh.policy->keepsRowsOpen(),
                       "row-hit CAS under closed-page policy "
                       "(channel %d rank %d bank %d)",
                       ev.channel, ev.rank, ev.bank);
@@ -162,6 +163,7 @@ DramTimingAuditor::onCommand(const DramCmdEvent &ev)
             ev.isWrite ? cas_eff + t.tCWL + t.tBURST + t.tWR
                        : cas_eff + t.tRTP);
         bank.actFloor = pre_ready + t.tRP;
+        nRowHits += 1;
     } else {
         // ACT path: bank cycle, tRRD, and tFAW constraints.
         COSCALE_CHECK(ev.issue >= bank.actFloor,
@@ -212,6 +214,7 @@ DramTimingAuditor::onCommand(const DramCmdEvent &ev)
         rank.actWindow[static_cast<size_t>(rank.actCursor)] = ev.issue;
         rank.actCursor = (rank.actCursor + 1) % 4;
         rank.actCount += 1;
+        nActs += 1;
     }
 
     // Shared data bus: in-order, non-overlapping, exactly one burst.

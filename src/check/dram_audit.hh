@@ -41,8 +41,11 @@
 
 #include "common/types.hh"
 #include "dram/ddr3_params.hh"
+#include "dram/mem_backend.hh"
 
 namespace coscale {
+
+class RowPolicyModel;
 
 /** One committed DRAM command, as reported by Channel::step(). */
 struct DramCmdEvent
@@ -78,7 +81,7 @@ struct RankAuditSeed
 struct ChannelAuditSeed
 {
     ResolvedTiming timing;
-    bool openPage = false;
+    RowPolicy rowPolicy = RowPolicy::ClosedAuto;
     int ranks = 0;
     int banksPerRank = 0;
     Tick busFreeAt = 0;
@@ -111,6 +114,12 @@ class DramTimingAuditor
     /** Refresh windows replayed so far (all channels). */
     std::uint64_t refreshesReplayed() const { return nRefreshes; }
 
+    /** ACT commands validated so far (all channels). */
+    std::uint64_t actsObserved() const { return nActs; }
+
+    /** Row-hit CAS commands validated so far (all channels). */
+    std::uint64_t rowHitsObserved() const { return nRowHits; }
+
     /** True if seedChannel() was called for @p channel. */
     bool
     tracksChannel(int channel) const
@@ -141,7 +150,10 @@ class DramTimingAuditor
     {
         bool seeded = false;
         ResolvedTiming t;
-        bool openPage = false;
+        /** The same RowPolicyModel singleton the channel schedules
+         *  with (dram/row_policy.hh), resolved from the seed's
+         *  RowPolicy enum; decides row-hit legality. */
+        const RowPolicyModel *policy = nullptr;
         int banksPerRank = 0;
         Tick busFreeAt = 0;
         Tick haltUntil = 0;
@@ -155,6 +167,8 @@ class DramTimingAuditor
     std::vector<ChannelShadow> chans;
     std::uint64_t nAudited = 0;
     std::uint64_t nRefreshes = 0;
+    std::uint64_t nActs = 0;
+    std::uint64_t nRowHits = 0;
 };
 
 } // namespace coscale

@@ -1,0 +1,209 @@
+#include "dram/mem_backend.hh"
+
+#include <cstring>
+
+namespace coscale {
+
+namespace {
+
+/**
+ * DDR3-800: the default-constructed parameter structs ARE the Table 2
+ * package; building the registry entry from them (rather than
+ * repeating the numbers) keeps the default backend bit-identical to
+ * the pre-registry simulator by construction.
+ */
+DramStandardInfo
+makeDdr3()
+{
+    DramStandardInfo info;
+    info.name = "ddr3";
+    info.timing = DramTimingParams{};
+    info.currents = DramCurrentParams{};
+    info.busMax = 800 * MHz;
+    info.busMin = 200 * MHz;
+    return info;
+}
+
+/**
+ * DDR4-1600 (4Gb-class x8 device, 1.2 V). Core timing stays analog
+ * and ns-fixed like DDR3; the cycle-quoted constraints are re-quoted
+ * at the 1600 MHz reference clock. The larger device pays a longer
+ * refresh cycle (tRFC), and the ladder spans 1600 down to 400 MHz.
+ */
+DramStandardInfo
+makeDdr4()
+{
+    DramStandardInfo info;
+    info.name = "ddr4";
+    DramTimingParams &t = info.timing;
+    t.tRCDns = 13.75;
+    t.tRPns = 13.75;
+    t.tCLns = 13.75;
+    t.tCWLns = 10.0;
+    t.tWRns = 15.0;
+    t.tRFCns = 260.0;      // 4Gb device
+    t.refClock = 1600 * MHz;
+    t.tFAWcycles = 40;     // 25 ns
+    t.tRTPcycles = 12;     // 7.5 ns
+    t.tRAScycles = 56;     // 35 ns
+    t.tRRDcycles = 8;      // 5 ns
+    t.burstCycles = 4;     // BL8 on a DDR bus
+    t.tREFIus = 7.8;
+    t.recalCycles = 512;
+    t.recalExtraNs = 28.0;
+
+    DramCurrentParams &c = info.currents;
+    c.vdd = 1.2;
+    c.iRowRead = 160.0;
+    c.iRowWrite = 160.0;
+    c.iActPre = 100.0;
+    c.iActiveStandby = 50.0;
+    c.iActivePowerdown = 32.0;
+    c.iPrechargeStandby = 52.0;
+    c.iPrechargePowerdown = 30.0;
+    c.iRefresh = 280.0;
+
+    info.busMax = 1600 * MHz;
+    info.busMin = 400 * MHz;
+    return info;
+}
+
+/**
+ * LPDDR4-1600 (mobile-class device, 1.1 V). Slower DRAM core than
+ * DDR4 (longer tRCD/tRP/tRAS, double-width tFAW/tRRD) but much lower
+ * currents, a BL16 burst, and the widest DVFS range of the three —
+ * the interesting corner for CoScale's coordination question.
+ */
+DramStandardInfo
+makeLpddr4()
+{
+    DramStandardInfo info;
+    info.name = "lpddr4";
+    DramTimingParams &t = info.timing;
+    t.tRCDns = 18.0;
+    t.tRPns = 18.0;
+    t.tCLns = 17.5;
+    t.tCWLns = 11.25;
+    t.tWRns = 18.0;
+    t.tRFCns = 180.0;
+    t.refClock = 1600 * MHz;
+    t.tFAWcycles = 64;     // 40 ns
+    t.tRTPcycles = 12;     // 7.5 ns
+    t.tRAScycles = 67;     // 42 ns
+    t.tRRDcycles = 16;     // 10 ns
+    t.burstCycles = 8;     // BL16
+    t.tREFIus = 3.9;       // per-bank refresh granularity
+    t.recalCycles = 512;
+    t.recalExtraNs = 28.0;
+
+    DramCurrentParams &c = info.currents;
+    c.vdd = 1.1;
+    c.iRowRead = 120.0;
+    c.iRowWrite = 120.0;
+    c.iActPre = 70.0;
+    c.iActiveStandby = 28.0;
+    c.iActivePowerdown = 10.0;
+    c.iPrechargeStandby = 30.0;
+    c.iPrechargePowerdown = 8.0;
+    c.iRefresh = 150.0;
+
+    info.busMax = 1600 * MHz;
+    info.busMin = 200 * MHz;
+    return info;
+}
+
+} // namespace
+
+const DramStandardInfo &
+dramStandardInfo(DramStandard s)
+{
+    static const DramStandardInfo ddr3 = makeDdr3();
+    static const DramStandardInfo ddr4 = makeDdr4();
+    static const DramStandardInfo lpddr4 = makeLpddr4();
+    switch (s) {
+      case DramStandard::Ddr4:
+        return ddr4;
+      case DramStandard::Lpddr4:
+        return lpddr4;
+      case DramStandard::Ddr3:
+      default:
+        return ddr3;
+    }
+}
+
+FreqLadder
+standardMemLadder(DramStandard s, int steps)
+{
+    if (s == DramStandard::Ddr3)
+        return defaultMemLadder(steps);
+    const DramStandardInfo &info = dramStandardInfo(s);
+    // MC voltage range matches the cores (Section 4.1), as for DDR3.
+    return FreqLadder::linear(info.busMax, info.busMin, steps, 1.20,
+                              0.65);
+}
+
+const char *
+memSchedName(MemSched s)
+{
+    return s == MemSched::FrFcfs ? "frfcfs" : "fcfs";
+}
+
+const char *
+rowPolicyName(RowPolicy p)
+{
+    return p == RowPolicy::Open ? "open" : "closed";
+}
+
+const char *
+dramStandardName(DramStandard s)
+{
+    return dramStandardInfo(s).name;
+}
+
+bool
+parseMemSched(const char *text, MemSched *out)
+{
+    if (std::strcmp(text, "fcfs") == 0) {
+        *out = MemSched::FcfsDrain;
+        return true;
+    }
+    if (std::strcmp(text, "frfcfs") == 0) {
+        *out = MemSched::FrFcfs;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseRowPolicy(const char *text, RowPolicy *out)
+{
+    if (std::strcmp(text, "closed") == 0) {
+        *out = RowPolicy::ClosedAuto;
+        return true;
+    }
+    if (std::strcmp(text, "open") == 0) {
+        *out = RowPolicy::Open;
+        return true;
+    }
+    return false;
+}
+
+bool
+parseDramStandard(const char *text, DramStandard *out)
+{
+    if (std::strcmp(text, "ddr3") == 0) {
+        *out = DramStandard::Ddr3;
+        return true;
+    }
+    if (std::strcmp(text, "ddr4") == 0) {
+        *out = DramStandard::Ddr4;
+        return true;
+    }
+    if (std::strcmp(text, "lpddr4") == 0) {
+        *out = DramStandard::Lpddr4;
+        return true;
+    }
+    return false;
+}
+
+} // namespace coscale

@@ -1,0 +1,138 @@
+#include "dram/row_policy.hh"
+
+#include <algorithm>
+
+namespace coscale {
+
+namespace {
+
+/** Closed-page auto-precharge (the paper's Section 4.1 policy). */
+class ClosedAutoPolicy final : public RowPolicyModel
+{
+  public:
+    const char *name() const override { return "closed"; }
+    bool keepsRowsOpen() const override { return false; }
+
+    bool
+    isHit(const BankState &, const DramCoord &) const override
+    {
+        // Auto-precharge closes the row with every CAS; nothing to hit.
+        return false;
+    }
+
+    Tick
+    actReady(const BankState &bank, Tick,
+             const ResolvedTiming &) const override
+    {
+        // readyAt already includes the auto-precharge.
+        return bank.readyAt;
+    }
+
+    void
+    onAct(BankState &bank, const DramCoord &, Tick act, Tick bank_ready,
+          Tick, const ResolvedTiming &) const override
+    {
+        bank.readyAt = bank_ready;
+        bank.lastActAt = act;
+    }
+
+    Tick
+    onHit(BankState &, bool, Tick, Tick,
+          const ResolvedTiming &) const override
+    {
+        // Unreachable: isHit() never holds under closed page.
+        return 0;
+    }
+
+    Tick
+    auditActFloor(const BankState &bank,
+                  const ResolvedTiming &) const override
+    {
+        return bank.readyAt;
+    }
+};
+
+/** Open-page: rows stay open; hits skip the ACT, conflicts pay tRP. */
+class OpenPagePolicy final : public RowPolicyModel
+{
+  public:
+    const char *name() const override { return "open"; }
+    bool keepsRowsOpen() const override { return true; }
+
+    bool
+    isHit(const BankState &bank, const DramCoord &c) const override
+    {
+        return bank.rowOpen && bank.openRow == c.row;
+    }
+
+    Tick
+    actReady(const BankState &bank, Tick arrival,
+             const ResolvedTiming &t) const override
+    {
+        // Row conflict: the precharge is only issued once the
+        // conflicting request shows up, so it pays tRP on the
+        // critical path (the cost of gambling on row reuse and
+        // losing).
+        return bank.rowOpen
+                   ? std::max(arrival, bank.preReadyAt) + t.tRP
+                   : bank.readyAt;
+    }
+
+    void
+    onAct(BankState &bank, const DramCoord &c, Tick act, Tick bank_ready,
+          Tick data_end, const ResolvedTiming &t) const override
+    {
+        bank.rowOpen = true;
+        bank.openRow = c.row;
+        bank.casReadyAt = act + t.tRCD;
+        bank.lastActAt = act;
+        bank.lastCasEnd = data_end;
+        // The row stays open. A future conflict pays tRP from
+        // preReadyAt at demand time; a future hit goes through
+        // casReadyAt.
+        bank.preReadyAt = bank_ready - t.tRP;
+        bank.readyAt = bank_ready;
+    }
+
+    Tick
+    onHit(BankState &bank, bool is_write, Tick data_start, Tick cas_lat,
+          const ResolvedTiming &t) const override
+    {
+        bank.casReadyAt = data_start - cas_lat + t.tBURST;
+        bank.lastCasEnd = data_start + t.tBURST;
+        // The open row may be precharged tRTP/tWR after this CAS.
+        Tick cas_eff = data_start - cas_lat;
+        bank.preReadyAt = std::max(
+            bank.lastActAt + t.tRAS,
+            is_write ? cas_eff + t.tCWL + t.tBURST + t.tWR
+                     : cas_eff + t.tRTP);
+        // Keep the closed-row gate consistent too: if the row is later
+        // force-closed (frequency recalibration), the next ACT must
+        // still clear this hit's implied precharge window.
+        bank.readyAt = std::max(bank.readyAt, bank.preReadyAt + t.tRP);
+        return bank.preReadyAt + t.tRP;
+    }
+
+    Tick
+    auditActFloor(const BankState &bank,
+                  const ResolvedTiming &t) const override
+    {
+        // A conflicting ACT pays preReadyAt + tRP; an idle bank is
+        // gated by readyAt alone.
+        return bank.rowOpen ? bank.preReadyAt + t.tRP : bank.readyAt;
+    }
+};
+
+} // namespace
+
+const RowPolicyModel &
+RowPolicyModel::get(RowPolicy policy)
+{
+    static const ClosedAutoPolicy closed;
+    static const OpenPagePolicy open;
+    if (policy == RowPolicy::Open)
+        return open;
+    return closed;
+}
+
+} // namespace coscale

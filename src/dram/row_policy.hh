@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Row-buffer management behind the RowPolicy enum: a stateless
+ * interface over the per-bank timing state, shared by the channel
+ * scheduler (memctrl/mem_ctrl.cc) and the timing auditor
+ * (check/dram_audit.cc) so both always apply the *same* policy rules.
+ *
+ * Implementations are immutable singletons resolved with
+ * RowPolicyModel::get(policy); all mutable state lives in the
+ * caller-owned BankState values. That keeps Channel/MemCtrl plain
+ * deep-copyable value types (the Offline oracle clones the whole
+ * System mid-run): copying a channel copies its BankStates, and the
+ * singleton pointers are re-bound from the config on re-seat, never
+ * cloned.
+ */
+
+#ifndef COSCALE_DRAM_ROW_POLICY_HH
+#define COSCALE_DRAM_ROW_POLICY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/ddr3_params.hh"
+#include "dram/mem_backend.hh"
+
+namespace coscale {
+
+/** Per-bank timing state owned by a Channel (one per rank x bank). */
+struct BankState
+{
+    Tick readyAt = 0;          //!< earliest next ACT (closed page)
+    bool rowOpen = false;      //!< open-page state
+    std::uint64_t openRow = 0;
+    Tick casReadyAt = 0;       //!< open-page: earliest next CAS
+    Tick preReadyAt = 0;       //!< open-page: earliest precharge
+    Tick lastActAt = 0;
+    Tick lastCasEnd = 0;
+};
+
+/**
+ * The row-buffer policy interface. Pure with respect to the caller's
+ * state except for the explicit on*() commit hooks: isHit() and
+ * actReady() may be probed any number of times between commits and
+ * always answer the same (the scheduler's candidate cache and the
+ * auditor's independent floor re-derivation both rely on this).
+ */
+class RowPolicyModel
+{
+  public:
+    virtual ~RowPolicyModel() = default;
+
+    /** Short lowercase policy name (matches rowPolicyName()). */
+    virtual const char *name() const = 0;
+
+    /**
+     * True if rows stay open after a CAS. The auditor uses this to
+     * decide whether a row-hit CAS (a CAS without an ACT) is legal at
+     * all; closed-page auto-precharge never leaves a row to hit.
+     */
+    virtual bool keepsRowsOpen() const = 0;
+
+    /** Would @p c hit @p bank's open row right now? */
+    virtual bool isHit(const BankState &bank,
+                       const DramCoord &c) const = 0;
+
+    /**
+     * Earliest tick the bank admits a new ACT for a request arriving
+     * at @p arrival. Open page charges the demand-time precharge of a
+     * conflicting open row (tRP past preReadyAt); closed page has
+     * auto-precharged already, so readyAt is the whole answer.
+     */
+    virtual Tick actReady(const BankState &bank, Tick arrival,
+                          const ResolvedTiming &t) const = 0;
+
+    /**
+     * Commit an ACT + CAS at @p act whose burst ends at @p data_end,
+     * with the bank's next-ACT floor already computed as
+     * @p bank_ready; updates the bank's row/floor state.
+     */
+    virtual void onAct(BankState &bank, const DramCoord &c, Tick act,
+                       Tick bank_ready, Tick data_end,
+                       const ResolvedTiming &t) const = 0;
+
+    /**
+     * Commit a row-hit CAS (only ever called when isHit() held) whose
+     * data starts at @p data_start after a @p cas_lat latency.
+     * Returns the bank's new next-ACT floor.
+     */
+    virtual Tick onHit(BankState &bank, bool is_write, Tick data_start,
+                       Tick cas_lat, const ResolvedTiming &t) const = 0;
+
+    /**
+     * The bank's earliest-legal-ACT floor as the auditor should seed
+     * it when attaching mid-run (check/dram_audit.cc).
+     */
+    virtual Tick auditActFloor(const BankState &bank,
+                               const ResolvedTiming &t) const = 0;
+
+    /** The immutable singleton implementing @p policy. */
+    static const RowPolicyModel &get(RowPolicy policy);
+};
+
+} // namespace coscale
+
+#endif // COSCALE_DRAM_ROW_POLICY_HH

@@ -29,6 +29,7 @@ printUsage(const char *prog)
         "usage: %s [scale] [--scale X] [--jobs N] [--jsonl PATH]\n"
         "          [--progress] [--trace PATH] [--trace-format FMT]\n"
         "          [--metrics] [--timeout SECS] [--retries N]\n"
+        "          [--mem-sched S] [--row-policy P] [--dram-standard D]\n"
         "  scale / --scale X  time scale in (0, 1]; 1.0 is the paper's\n"
         "                     full setup (default via COSCALE_SCALE or\n"
         "                     the harness default)\n"
@@ -42,7 +43,13 @@ printUsage(const char *prog)
         "                     (chrome://tracing / Perfetto JSON)\n"
         "  --metrics          collect and print per-run metrics\n"
         "  --timeout SECS     per-run wall-clock watchdog (0 = off)\n"
-        "  --retries N        retry failed runs up to N times\n",
+        "  --retries N        retry failed runs up to N times\n"
+        "  --mem-sched S      channel scheduler: fcfs (paper) or\n"
+        "                     frfcfs\n"
+        "  --row-policy P     row-buffer policy: closed (paper) or\n"
+        "                     open\n"
+        "  --dram-standard D  DRAM standard: ddr3 (paper), ddr4, or\n"
+        "                     lpddr4\n",
         prog);
 }
 
@@ -95,6 +102,24 @@ parseBenchArgs(int argc, char **argv, double defaultScale)
                 fatal("--retries must be a non-negative integer, "
                       "got '%s'", v);
             opts.retries = n;
+        } else if (std::strcmp(arg, "--mem-sched") == 0) {
+            const char *v = nextValue("--mem-sched");
+            if (!parseMemSched(v, &opts.memBackend.sched))
+                fatal("--mem-sched must be fcfs or frfcfs, got '%s'",
+                      v);
+            opts.memBackendSet = true;
+        } else if (std::strcmp(arg, "--row-policy") == 0) {
+            const char *v = nextValue("--row-policy");
+            if (!parseRowPolicy(v, &opts.memBackend.rowPolicy))
+                fatal("--row-policy must be closed or open, got '%s'",
+                      v);
+            opts.memBackendSet = true;
+        } else if (std::strcmp(arg, "--dram-standard") == 0) {
+            const char *v = nextValue("--dram-standard");
+            if (!parseDramStandard(v, &opts.memBackend.standard))
+                fatal("--dram-standard must be ddr3, ddr4, or lpddr4, "
+                      "got '%s'", v);
+            opts.memBackendSet = true;
         } else if (std::strcmp(arg, "--metrics") == 0) {
             opts.metrics = true;
         } else if (std::strcmp(arg, "--progress") == 0) {

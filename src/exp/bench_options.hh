@@ -11,8 +11,10 @@
 
 #include <string>
 
+#include "dram/mem_backend.hh"
 #include "exp/engine.hh"
 #include "obs/trace_sink.hh"
+#include "sim/system.hh"
 
 namespace coscale {
 namespace exp {
@@ -51,6 +53,29 @@ struct BenchOptions
     int retries = 0;
 
     /**
+     * Memory backend picked by --mem-sched / --row-policy /
+     * --dram-standard; memBackendSet records whether any of the three
+     * flags appeared (an untouched harness keeps makeScaledConfig()'s
+     * default-or-environment behaviour).
+     */
+    MemBackendSel memBackend;
+    bool memBackendSet = false;
+
+    /**
+     * The harness's base SystemConfig: makeScaledConfig(scale) with
+     * the backend flags applied on top. Every harness builds its
+     * configs through this so the backend flags work uniformly.
+     */
+    SystemConfig
+    makeSystemConfig() const
+    {
+        SystemConfig cfg = makeScaledConfig(scale);
+        if (memBackendSet)
+            applyMemBackend(cfg, memBackend);
+        return cfg;
+    }
+
+    /**
      * Apply the trace/metrics surface to one request of a batch of
      * @p total (suffixes the trace path for multi-request batches).
      */
@@ -83,9 +108,11 @@ struct BenchOptions
 /**
  * Parse the shared harness options. Accepts `--scale X` (or a bare
  * positional scale in (0, 1], the historical form), `--jobs N`,
- * `--jsonl PATH`, `--progress`, and `--help`; falls back to the
- * COSCALE_SCALE environment variable, then @p defaultScale. Unknown
- * flags are fatal.
+ * `--jsonl PATH`, `--progress`, the memory-backend selection
+ * (`--mem-sched fcfs|frfcfs`, `--row-policy closed|open`,
+ * `--dram-standard ddr3|ddr4|lpddr4`), and `--help`; falls back to
+ * the COSCALE_SCALE environment variable, then @p defaultScale.
+ * Unknown flags are fatal.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             double defaultScale = 0.1);

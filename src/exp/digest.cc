@@ -111,7 +111,12 @@ configDigest(const SystemConfig &cfg)
     d.add(cfg.writeHighWater);
     d.add(cfg.writeLowWater);
     d.add(cfg.respFixedNs);
-    d.add(cfg.openPage);
+    // The full backend selection: two configs differing in any of
+    // scheduler / row policy / DRAM standard must never alias in the
+    // BaselinePool memo.
+    d.add(static_cast<int>(cfg.memBackend.sched));
+    d.add(static_cast<int>(cfg.memBackend.rowPolicy));
+    d.add(static_cast<int>(cfg.memBackend.standard));
     d.add(cfg.coreTransitionTicks);
     d.add(cfg.ooo);
     d.add(cfg.oooWindow);

@@ -11,6 +11,7 @@ Channel::Channel(const MemCtrlConfig *cfg, int id, int freq_idx,
                  Tick start)
     : cfg(cfg), chanId(id), freqIdx(freq_idx)
 {
+    bindBackend();
     t = ResolvedTiming::resolve(cfg->timing, cfg->ladder.freq(freq_idx));
     banks.resize(static_cast<size_t>(cfg->geom.totalBanksPerChannel()));
     ranks.resize(static_cast<size_t>(cfg->geom.ranksPerChannel()));
@@ -29,10 +30,12 @@ Channel::attachAuditor(DramTimingAuditor *a)
     if (!a)
         return;
     // Seed the shadow from the live floors so attaching mid-run does
-    // not report pre-attach history as violations.
+    // not report pre-attach history as violations. The floors are
+    // derived through the same RowPolicyModel the scheduler uses, so
+    // auditor and controller can never disagree about the policy.
     ChannelAuditSeed seed;
     seed.timing = t;
-    seed.openPage = cfg->openPage;
+    seed.rowPolicy = cfg->backend.rowPolicy;
     seed.ranks = cfg->geom.ranksPerChannel();
     seed.banksPerRank = cfg->geom.banksPerRank;
     seed.busFreeAt = busFreeAt;
@@ -52,11 +55,7 @@ Channel::attachAuditor(DramTimingAuditor *a)
     seed.bankActFloor.reserve(banks.size());
     seed.bankCasFloor.reserve(banks.size());
     for (const BankState &b : banks) {
-        // Open page: a conflicting ACT pays preReadyAt + tRP; closed
-        // page: readyAt already includes the auto-precharge.
-        seed.bankActFloor.push_back(
-            cfg->openPage && b.rowOpen ? b.preReadyAt + t.tRP
-                                       : b.readyAt);
+        seed.bankActFloor.push_back(rowPol->auditActFloor(b, t));
         seed.bankCasFloor.push_back(b.casReadyAt);
     }
     a->seedChannel(chanId, seed);
@@ -65,27 +64,27 @@ Channel::attachAuditor(DramTimingAuditor *a)
 void
 Channel::enqueue(const MemReq &req)
 {
-    // Selective invalidation: an arrival appends at the back of an
-    // FCFS queue, so a cached front candidate stays valid unless the
-    // arrival changes *which* queue the scheduler serves. The
-    // write-drain hysteresis flag must still advance exactly when the
-    // always-recompute code would have advanced it, hence the eager
-    // high-watermark check (the low watermark can only trip after a
-    // dequeue, which always invalidates).
+    // Selective invalidation: whether an arrival at the back of a
+    // queue can displace the cached candidate is the scheduler's
+    // call (FCFS: only on a hysteresis queue switch; FR-FCFS: always,
+    // a new arrival may hit an open row). The write-drain hysteresis
+    // flag must still advance exactly when the always-recompute code
+    // would have advanced it, hence the eager high-watermark check
+    // (the low watermark can only trip after a dequeue, which always
+    // invalidates).
     if (req.kind == ReqKind::Writeback) {
         writeQ.push_back(req);
         if (static_cast<int>(writeQ.size()) >= cfg->writeHighWater)
             drainMode = true;
-        // A writeback steals candidacy from a read only in drain mode.
-        if (haveCand && !candIsWrite && drainMode)
+        if (haveCand
+            && sched->invalidateOnArrival(true, candIsWrite, drainMode))
             haveCand = false;
     } else {
         stats.queueLenSum += readQ.size();
         stats.queueSamples += 1;
         readQ.push_back(req);
-        // A read preempts a cached write candidate only when that
-        // write was selected for lack of reads (not in drain mode).
-        if (haveCand && candIsWrite && !drainMode)
+        if (haveCand
+            && sched->invalidateOnArrival(false, candIsWrite, drainMode))
             haveCand = false;
     }
 }
@@ -104,8 +103,25 @@ Channel::selectCandidate() const
     else if (static_cast<int>(writeQ.size()) <= cfg->writeLowWater)
         drainMode = false;
 
-    candIsWrite = (drainMode || readQ.empty()) && !writeQ.empty();
-    const MemReq &req = candIsWrite ? writeQ.front() : readQ.front();
+    Scheduler::QueueView view;
+    view.readQ = &readQ;
+    view.writeQ = &writeQ;
+    view.drainMode = drainMode;
+    view.frontBypasses = frontBypasses;
+    RowHitProbe probe(this, [](const void *ctx, const MemReq &r) {
+        const auto *self = static_cast<const Channel *>(ctx);
+        const DramCoord &c = r.coord;
+        const BankState &bank = self->banks[static_cast<size_t>(
+            c.rank * self->cfg->geom.banksPerRank + c.bank)];
+        return self->rowPol->isHit(bank, c);
+    });
+    Scheduler::Pick p = sched->pick(view, probe);
+
+    candIsWrite = p.isWrite;
+    candIndex = p.index;
+    const MemReq &req = candIsWrite
+                            ? writeQ[candIndex]
+                            : readQ[candIndex];
     candIssueAt = std::max(computeIssueTick(req), lastCommitAt);
     haveCand = true;
     return true;
@@ -134,7 +150,7 @@ Channel::computeIssueTick(const MemReq &req) const
         banks[static_cast<size_t>(c.rank * cfg->geom.banksPerRank + c.bank)];
     RankState rank_probe = ranks[static_cast<size_t>(c.rank)];
 
-    if (cfg->openPage && bank.rowOpen && bank.openRow == c.row) {
+    if (rowPol->isHit(bank, c)) {
         // Row hit: next CAS, no ACT required.
         Tick cas = std::max({req.arrival, bank.casReadyAt, haltUntil});
         return applyRefreshes(rank_probe, cas, /*commit=*/nullptr);
@@ -146,13 +162,7 @@ Channel::computeIssueTick(const MemReq &req) const
         rank_probe.actCount >= 4
             ? rank_probe.actWindow[rank_probe.actCursor] + t.tFAW
             : 0;
-    // Open-page row conflict: the precharge is only issued once the
-    // conflicting request shows up, so it pays tRP on the critical
-    // path (the cost of gambling on row reuse and losing).
-    Tick bank_ready =
-        cfg->openPage && bank.rowOpen
-            ? std::max(req.arrival, bank.preReadyAt) + t.tRP
-            : bank.readyAt;
+    Tick bank_ready = rowPol->actReady(bank, req.arrival, t);
     Tick act = std::max({req.arrival, bank_ready, haltUntil,
                          rrd_ready, faw_ready});
     return applyRefreshes(rank_probe, act, /*commit=*/nullptr);
@@ -174,8 +184,18 @@ Channel::step()
     COSCALE_CHECK(haveCand, "step() without a pending candidate");
 
     std::deque<MemReq> &q = candIsWrite ? writeQ : readQ;
-    MemReq req = q.front();
-    q.pop_front();
+    COSCALE_DCHECK(candIndex < q.size(),
+                   "candidate index outlived its queue");
+    MemReq req = q[candIndex];
+    if (candIndex == 0) {
+        q.pop_front();
+        frontBypasses = 0;
+    } else {
+        // FR-FCFS row-hit bypass: serve out of order and advance the
+        // anti-starvation counter the scheduler's pick() consults.
+        q.erase(q.begin() + candIndex);
+        frontBypasses += 1;
+    }
     haveCand = false;
 
     const DramCoord &c = req.coord;
@@ -183,8 +203,7 @@ Channel::step()
         banks[static_cast<size_t>(c.rank * cfg->geom.banksPerRank + c.bank)];
     RankState &rank = ranks[static_cast<size_t>(c.rank)];
 
-    bool row_hit =
-        cfg->openPage && bank.rowOpen && bank.openRow == c.row;
+    bool row_hit = rowPol->isHit(bank, c);
 
     // Re-run the issue computation against the *live* rank state so
     // refresh bookkeeping mutates for real this time.
@@ -198,10 +217,7 @@ Channel::step()
             rank.actCount >= 4
                 ? rank.actWindow[rank.actCursor] + t.tFAW
                 : 0;
-        Tick bank_ready =
-            cfg->openPage && bank.rowOpen
-                ? std::max(req.arrival, bank.preReadyAt) + t.tRP
-                : bank.readyAt;
+        Tick bank_ready = rowPol->actReady(bank, req.arrival, t);
         Tick act = std::max({req.arrival, bank_ready, haltUntil,
                              rrd_ready, faw_ready});
         issue = applyRefreshes(rank, act, &stats.refreshes);
@@ -218,16 +234,7 @@ Channel::step()
         Tick cas = issue;
         data_start = std::max(cas + cas_lat, busFreeAt);
         stats.rowHits += 1;
-        bank.casReadyAt = data_start - cas_lat + t.tBURST;
-        bank.lastCasEnd = data_start + t.tBURST;
-        // The open row may be precharged tRTP/tWR after this CAS.
-        Tick cas_eff = data_start - cas_lat;
-        bank.preReadyAt = std::max(bank.lastActAt + t.tRAS,
-                                   is_write
-                                       ? cas_eff + t.tCWL + t.tBURST
-                                             + t.tWR
-                                       : cas_eff + t.tRTP);
-        bank_ready = bank.preReadyAt + t.tRP;
+        bank_ready = rowPol->onHit(bank, is_write, data_start, cas_lat, t);
     } else {
         Tick act = issue;
         data_start = std::max(act + t.tRCD + cas_lat, busFreeAt);
@@ -241,23 +248,17 @@ Channel::step()
         }
         stats.activations += 1;
         stats.precharges += 1;
-        if (cfg->openPage) {
+        if (rowPol->keepsRowsOpen()) {
+            // Open page classifies every ACT as a miss; the subset
+            // that had to close another row first is also a conflict
+            // (rowConflicts <= rowMisses, and rowHits + rowMisses
+            // covers every row-managed access).
             stats.rowMisses += 1;
-            bank.rowOpen = true;
-            bank.openRow = c.row;
-            bank.casReadyAt = act + t.tRCD;
-            bank.lastActAt = act;
-            bank.lastCasEnd = data_start + t.tBURST;
-            // Open page: the row stays open. A future conflict pays
-            // tRP from preReadyAt at demand time; a future hit goes
-            // through casReadyAt.
-            bank.preReadyAt = bank_ready - t.tRP;
-            bank.readyAt = bank_ready;
-        } else {
-            // Closed page: auto-precharge; bank closed afterwards.
-            bank.readyAt = bank_ready;
-            bank.lastActAt = act;
+            if (bank.rowOpen)
+                stats.rowConflicts += 1;
         }
+        rowPol->onAct(bank, c, act, bank_ready,
+                      data_start + t.tBURST, t);
         rank.lastActAt = act;
         rank.actWindow[rank.actCursor] = act;
         rank.actCursor = (rank.actCursor + 1) % 4;
@@ -325,7 +326,7 @@ Channel::changeFrequency(int freq_idx, Tick halt_until)
         bank.readyAt = std::max(bank.readyAt, halt_until);
         bank.casReadyAt = std::max(bank.casReadyAt, halt_until);
         // Re-calibration passes through precharge powerdown: open
-        // rows are closed.
+        // rows are closed (a no-op under closed-page management).
         bank.rowOpen = false;
     }
     haveCand = false;
@@ -363,11 +364,12 @@ MemCtrl::operator=(const MemCtrl &other)
 void
 MemCtrl::reseatChannelPointers()
 {
-    // Channels keep only a pointer to the shared config; fix it up
-    // after copying so it refers to *this* controller's config.
-    // Auditor pointers are dropped: a clone (the Offline oracle)
-    // would otherwise feed a divergent command stream into the
-    // original's shadow state.
+    // Channels keep only a pointer to the shared config (plus the
+    // immutable backend singletons it names); fix them up after
+    // copying so they refer to *this* controller's config. Auditor
+    // pointers are dropped: a clone (the Offline oracle) would
+    // otherwise feed a divergent command stream into the original's
+    // shadow state.
     for (auto &ch : channels) {
         ch.reseatConfig(&config);
         ch.attachAuditor(nullptr);
@@ -390,12 +392,13 @@ MemCtrl::enqueue(const MemReq &req)
     Channel &ch = channels[static_cast<size_t>(stamped.coord.channel)];
     // The earliest-channel cache only depends on each channel's
     // next-event tick. An arrival that leaves this channel's tick
-    // unchanged (its cached front candidate survived the selective
-    // invalidation in Channel::enqueue) cannot move the cross-channel
-    // minimum, so the scan result stays valid. Probing before the
-    // append is idempotent: the kernel re-evaluates every channel
-    // after each dispatched event, so the candidate/hysteresis state
-    // already reflects the current queue depths.
+    // unchanged (its cached candidate survived the scheduler's
+    // selective invalidation in Channel::enqueue) cannot move the
+    // cross-channel minimum, so the scan result stays valid. Probing
+    // before the append is idempotent: the kernel re-evaluates every
+    // channel after each dispatched event, so the
+    // candidate/hysteresis state already reflects the current queue
+    // depths.
     Tick before = ch.nextEventTick();
     ch.enqueue(stamped);
     if (ch.nextEventTick() != before)
@@ -431,22 +434,19 @@ MemCtrl::step()
 }
 
 void
-MemCtrl::setFrequencyIndex(int idx, Tick now)
+MemCtrl::setFrequency(ChannelSel sel, int idx, Tick now)
 {
     COSCALE_CHECK(idx >= 0 && idx < config.ladder.size(),
                   "bad memory frequency index %d", idx);
-    freqIdx = idx;
-    for (int c = 0; c < numChannels(); ++c)
-        setChannelFrequencyIndex(c, idx, now);
-}
-
-void
-MemCtrl::setChannelFrequencyIndex(int ch, int idx, Tick now)
-{
-    COSCALE_CHECK(idx >= 0 && idx < config.ladder.size(),
-                  "bad memory frequency index %d", idx);
-    COSCALE_CHECK(ch >= 0 && ch < numChannels(), "bad channel %d", ch);
-    Channel &channel = channels[static_cast<size_t>(ch)];
+    if (sel.isAll()) {
+        freqIdx = idx;
+        for (int c = 0; c < numChannels(); ++c)
+            setFrequency(ChannelSel::one(c), idx, now);
+        return;
+    }
+    COSCALE_CHECK(sel.ch >= 0 && sel.ch < numChannels(),
+                  "bad channel %d", sel.ch);
+    Channel &channel = channels[static_cast<size_t>(sel.ch)];
     if (idx == channel.freqIndex())
         return;
     Tick t_ck_new = periodTicks(config.ladder.freq(idx));

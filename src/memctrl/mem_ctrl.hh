@@ -1,25 +1,34 @@
 /**
  * @file
- * The on-chip memory controller and per-channel DDR3 scheduling model.
+ * The on-chip memory controller and per-channel DRAM scheduling model.
  *
- * Scheduling follows the paper (Section 4.1): FCFS among reads, reads
- * prioritized over writebacks until the writeback queue is half full,
- * closed-page row-buffer management with auto-precharge, and bank
- * interleaving. An open-page mode is provided as an extension.
+ * The backend is pluggable (dram/mem_backend.hh): a Scheduler picks
+ * the next request (paper FCFS-with-write-drain or FR-FCFS), a
+ * RowPolicyModel manages the row buffer (closed-page auto-precharge
+ * or open-page), and a DramStandard names the timing/current package
+ * (DDR3-800, DDR4-1600, LPDDR4-1600). The default MemBackendSel is
+ * the paper's Section 4.1 configuration and reproduces the
+ * pre-refactor controller bit-for-bit.
  *
  * Timing constraints modelled per channel: bank cycle time (tRCD /
  * tCL / tRAS / tRTP / tWR / tRP), same-rank ACT-to-ACT spacing (tRRD),
- * the four-activate window (tFAW), shared data-bus occupancy (BL8
- * bursts), periodic per-rank refresh (tREFI / tRFC), and
- * frequency-recalibration halts (512 memory cycles + 28 ns).
+ * the four-activate window (tFAW), shared data-bus occupancy (burst
+ * cycles per the standard), periodic per-rank refresh (tREFI / tRFC),
+ * and frequency-recalibration halts (recalCycles memory cycles plus
+ * recalExtraNs, both per-standard).
  *
  * Everything is a plain value type so the whole simulator can be
- * deep-copied (needed by the Offline oracle policy).
+ * deep-copied (needed by the Offline oracle policy): the Scheduler
+ * and RowPolicyModel are immutable singletons re-bound from the
+ * config on copy, and every piece of mutable scheduling state (queues,
+ * bank/rank state, drain hysteresis, the FR-FCFS anti-starvation
+ * counter) is an ordinary copyable member.
  */
 
 #ifndef COSCALE_MEMCTRL_MEM_CTRL_HH
 #define COSCALE_MEMCTRL_MEM_CTRL_HH
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -27,42 +36,15 @@
 #include "common/dvfs.hh"
 #include "common/types.hh"
 #include "dram/ddr3_params.hh"
+#include "dram/mem_backend.hh"
+#include "dram/row_policy.hh"
+#include "memctrl/mem_req.hh"
+#include "memctrl/scheduler.hh"
 #include "stats/perf_counters.hh"
 
 namespace coscale {
 
 class DramTimingAuditor;
-
-/** Kinds of memory transactions the LLC can issue. */
-enum class ReqKind { Read, Writeback, Prefetch };
-
-/** A memory transaction as seen by the controller. */
-struct MemReq
-{
-    BlockAddr addr = 0;
-    ReqKind kind = ReqKind::Read;
-    CoreId core = -1;  //!< requesting core for Read/Prefetch
-    Tick arrival = 0;
-    std::uint64_t token = 0; //!< matches completions to MSHRs
-
-    /**
-     * DRAM coordinates of @p addr, stamped once by MemCtrl::enqueue
-     * (the geometry never changes mid-run). The channel scheduler
-     * probes a candidate's timing many times between queue changes;
-     * carrying the mapping with the request keeps the repeated
-     * div/mod address decomposition off that path.
-     */
-    DramCoord coord{};
-};
-
-/** Notification that a read or prefetch finished. */
-struct MemCompletion
-{
-    CoreId core = -1;
-    ReqKind kind = ReqKind::Read;
-    Tick finishAt = 0;  //!< data back at the LLC
-    std::uint64_t token = 0;
-};
 
 /** Memory-controller configuration. */
 struct MemCtrlConfig
@@ -73,10 +55,24 @@ struct MemCtrlConfig
     int writeHighWater = 16;  //!< write-drain trigger (half of 32-deep)
     int writeLowWater = 8;    //!< write-drain release
     double respFixedNs = 10.0; //!< MC pipeline + link overhead per read
-    bool openPage = false;     //!< row-buffer policy (paper: closed)
+    MemBackendSel backend;     //!< scheduler / row policy / standard
 };
 
-/** One DDR3 channel: queues, bank/rank state, and the scheduler. */
+/**
+ * Which channel a frequency change targets: one channel (the
+ * MultiScale per-channel domains) or all of them (the paper's shared
+ * bus domain).
+ */
+struct ChannelSel
+{
+    int ch = -1;  //!< channel index, or -1 for every channel
+
+    static constexpr ChannelSel all() { return ChannelSel{}; }
+    static constexpr ChannelSel one(int c) { return ChannelSel{c}; }
+    constexpr bool isAll() const { return ch < 0; }
+};
+
+/** One DRAM channel: queues, bank/rank state, and the scheduler. */
 class Channel
 {
   public:
@@ -118,8 +114,16 @@ class Channel
     /** Apply a bus-frequency change taking effect after @p halt_until. */
     void changeFrequency(int freq_idx, Tick halt_until);
 
-    /** Re-point at the owning controller's config after a copy. */
-    void reseatConfig(const MemCtrlConfig *c) { cfg = c; }
+    /**
+     * Re-point at the owning controller's config after a copy and
+     * re-bind the backend singletons it names.
+     */
+    void
+    reseatConfig(const MemCtrlConfig *c)
+    {
+        cfg = c;
+        bindBackend();
+    }
 
     /**
      * Attach a timing-legality auditor (check/dram_audit.hh), seeding
@@ -143,17 +147,6 @@ class Channel
     bool drainingWrites() const { return drainMode; }
 
   private:
-    struct BankState
-    {
-        Tick readyAt = 0;          //!< earliest next ACT (closed page)
-        bool rowOpen = false;      //!< open-page state
-        std::uint64_t openRow = 0;
-        Tick casReadyAt = 0;       //!< open-page: earliest next CAS
-        Tick preReadyAt = 0;       //!< open-page: earliest precharge
-        Tick lastActAt = 0;
-        Tick lastCasEnd = 0;
-    };
-
     struct RankState
     {
         Tick actWindow[4] = {0, 0, 0, 0}; //!< last four ACT ticks
@@ -165,12 +158,20 @@ class Channel
         Tick activeUntil = 0;      //!< power accounting (union of use)
     };
 
+    /** Resolve the backend singletons named by the config. */
+    void
+    bindBackend()
+    {
+        sched = &Scheduler::get(cfg->backend.sched);
+        rowPol = &RowPolicyModel::get(cfg->backend.rowPolicy);
+    }
+
     /**
      * Pick the next request to issue into the candidate cache;
      * updates drainMode. Const because it only refreshes the cache:
      * recomputing from identical queue state always reproduces the
      * same candidate (the drain-hysteresis update is idempotent
-     * between queue changes).
+     * between queue changes, and Scheduler::pick() is pure).
      */
     bool selectCandidate() const;
 
@@ -191,6 +192,8 @@ class Channel
     void accountActive(RankState &rank, Tick from, Tick to);
 
     const MemCtrlConfig *cfg = nullptr;
+    const Scheduler *sched = nullptr;     //!< singleton; see bindBackend
+    const RowPolicyModel *rowPol = nullptr; //!< singleton
     DramTimingAuditor *auditor = nullptr; //!< non-owning; not copied
     ResolvedTiming t;
     int chanId = 0;
@@ -204,6 +207,14 @@ class Channel
     Tick haltUntil = 0;
     Tick lastCommitAt = 0;
 
+    /**
+     * Consecutive commits that served a request other than the front
+     * of its queue (FR-FCFS row-hit bypasses). Committed state — only
+     * step() updates it — feeding Scheduler::pick()'s anti-starvation
+     * guard through QueueView.
+     */
+    std::uint32_t frontBypasses = 0;
+
     // Candidate cache: haveCand is the (inverted) dirty flag, cleared
     // by enqueue/step/changeFrequency. drainMode is scheduler state,
     // but it only ever changes inside selectCandidate() and its
@@ -212,12 +223,13 @@ class Channel
     mutable bool drainMode = false;
     mutable bool haveCand = false;
     mutable bool candIsWrite = false;
+    mutable std::uint32_t candIndex = 0;
     mutable Tick candIssueAt = 0;
 
     ChannelCounters stats;
 };
 
-/** The four-channel memory controller with a shared frequency domain. */
+/** The multi-channel memory controller with a shared frequency domain. */
 class MemCtrl
 {
   public:
@@ -256,18 +268,28 @@ class MemCtrl
     }
 
     /**
-     * Change the bus frequency of every channel (Section 3: all
-     * accesses halt for the re-calibration of 512 memory cycles plus
-     * 28 ns).
+     * Change the bus frequency of @p sel: every channel
+     * (ChannelSel::all(), the paper's shared domain — all accesses
+     * halt for the re-calibration of recalCycles memory cycles plus
+     * recalExtraNs) or a single channel (ChannelSel::one(), the
+     * MultiScale per-channel domains — only that channel halts). The
+     * single audited entry point for memory-frequency changes.
      */
-    void setFrequencyIndex(int idx, Tick now);
+    void setFrequency(ChannelSel sel, int idx, Tick now);
 
-    /**
-     * Change one channel's bus frequency independently (the
-     * MultiScale extension: per-channel frequency domains). Only that
-     * channel halts for re-calibration.
-     */
-    void setChannelFrequencyIndex(int ch, int idx, Tick now);
+    /** Compatibility shim for setFrequency(ChannelSel::all(), ...). */
+    void
+    setFrequencyIndex(int idx, Tick now)
+    {
+        setFrequency(ChannelSel::all(), idx, now);
+    }
+
+    /** Compatibility shim for setFrequency(ChannelSel::one(ch), ...). */
+    void
+    setChannelFrequencyIndex(int ch, int idx, Tick now)
+    {
+        setFrequency(ChannelSel::one(ch), idx, now);
+    }
 
     int frequencyIndex() const { return freqIdx; }
     Freq busFreq() const { return config.ladder.freq(freqIdx); }

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The memory-transaction types exchanged between the LLC and the
+ * memory controller, split out of mem_ctrl.hh so the scheduler
+ * interface (memctrl/scheduler.hh) can name them without pulling in
+ * the whole controller.
+ */
+
+#ifndef COSCALE_MEMCTRL_MEM_REQ_HH
+#define COSCALE_MEMCTRL_MEM_REQ_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/ddr3_params.hh"
+
+namespace coscale {
+
+/** Kinds of memory transactions the LLC can issue. */
+enum class ReqKind { Read, Writeback, Prefetch };
+
+/** A memory transaction as seen by the controller. */
+struct MemReq
+{
+    BlockAddr addr = 0;
+    ReqKind kind = ReqKind::Read;
+    CoreId core = -1;  //!< requesting core for Read/Prefetch
+    Tick arrival = 0;
+    std::uint64_t token = 0; //!< matches completions to MSHRs
+
+    /**
+     * DRAM coordinates of @p addr, stamped once by MemCtrl::enqueue
+     * (the geometry never changes mid-run). The channel scheduler
+     * probes a candidate's timing many times between queue changes;
+     * carrying the mapping with the request keeps the repeated
+     * div/mod address decomposition off that path.
+     */
+    DramCoord coord{};
+};
+
+/** Notification that a read or prefetch finished. */
+struct MemCompletion
+{
+    CoreId core = -1;
+    ReqKind kind = ReqKind::Read;
+    Tick finishAt = 0;  //!< data back at the LLC
+    std::uint64_t token = 0;
+};
+
+} // namespace coscale
+
+#endif // COSCALE_MEMCTRL_MEM_REQ_HH

@@ -1,0 +1,107 @@
+#include "memctrl/scheduler.hh"
+
+#include <algorithm>
+
+namespace coscale {
+
+namespace {
+
+/**
+ * The paper's scheduler (Section 4.1): FCFS among reads, reads
+ * prioritized over writebacks until the write queue reaches the high
+ * watermark, then drain to the low watermark. The queue choice below
+ * and the selective invalidation rules reproduce the pre-interface
+ * channel logic exactly — golden fixtures depend on it.
+ */
+class FcfsDrainScheduler final : public Scheduler
+{
+  public:
+    const char *name() const override { return "fcfs"; }
+
+    Pick
+    pick(const QueueView &q, const RowHitProbe &) const override
+    {
+        Pick p;
+        p.isWrite = (q.drainMode || q.readQ->empty())
+                    && !q.writeQ->empty();
+        p.index = 0;
+        return p;
+    }
+
+    bool
+    invalidateOnArrival(bool arrival_is_write, bool cand_is_write,
+                        bool drain_mode) const override
+    {
+        // An arrival appends at the back of an FCFS queue, so a
+        // cached front candidate stays valid unless the arrival
+        // changes *which* queue gets served: a writeback steals
+        // candidacy from a read only in drain mode, and a read
+        // preempts a cached write only when that write was selected
+        // for lack of reads (not in drain mode).
+        return arrival_is_write ? (!cand_is_write && drain_mode)
+                                : (cand_is_write && !drain_mode);
+    }
+};
+
+/**
+ * First-ready FCFS: same write-drain queue choice, but within the
+ * served queue the oldest *row-hitting* request (searched over the
+ * first searchWindow entries) goes first; with no hit, plain FCFS.
+ * Under closed-page management nothing ever hits, so FR-FCFS
+ * degenerates to FCFS exactly.
+ *
+ * Anti-starvation: once starvationLimit consecutive commits have
+ * bypassed the served queue's front (Channel::step() keeps the
+ * count), the next pick is forced to the front, so the oldest
+ * request's delay is bounded no matter how long the row-hit stream
+ * runs.
+ */
+class FrFcfsScheduler final : public Scheduler
+{
+  public:
+    const char *name() const override { return "frfcfs"; }
+
+    Pick
+    pick(const QueueView &q, const RowHitProbe &is_hit) const override
+    {
+        Pick p;
+        p.isWrite = (q.drainMode || q.readQ->empty())
+                    && !q.writeQ->empty();
+        p.index = 0;
+        const std::deque<MemReq> &served =
+            p.isWrite ? *q.writeQ : *q.readQ;
+        if (q.frontBypasses >= starvationLimit)
+            return p;
+        std::uint32_t n = std::min(
+            static_cast<std::uint32_t>(served.size()), searchWindow);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (is_hit(served[i])) {
+                p.index = i;
+                break;
+            }
+        }
+        return p;
+    }
+
+    bool
+    invalidateOnArrival(bool, bool, bool) const override
+    {
+        // A new arrival can hit an open row and out-rank the cached
+        // candidate from anywhere in the window; always recompute.
+        return true;
+    }
+};
+
+} // namespace
+
+const Scheduler &
+Scheduler::get(MemSched kind)
+{
+    static const FcfsDrainScheduler fcfs;
+    static const FrFcfsScheduler frfcfs;
+    if (kind == MemSched::FrFcfs)
+        return frfcfs;
+    return fcfs;
+}
+
+} // namespace coscale

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Channel command scheduling behind the MemSched enum: which queued
+ * request a channel serves next.
+ *
+ * Like RowPolicyModel (dram/row_policy.hh), implementations are
+ * immutable singletons — all mutable scheduler state (the write-drain
+ * hysteresis flag, the FR-FCFS anti-starvation counter) lives in the
+ * Channel as plain value members, so deep-copying a controller never
+ * clones a scheduler.
+ *
+ * pick() must be a pure function of its inputs: the channel's
+ * candidate cache (Channel::nextEventTick()) assumes recomputing the
+ * pick between queue changes reproduces the same answer, and the
+ * cached == recomputed conformance test in tests/test_memctrl.cc
+ * pins that for every scheduler. Anything a scheduler wants to
+ * remember across commits must flow through the QueueView fields and
+ * be updated by Channel::step(), never from inside pick().
+ */
+
+#ifndef COSCALE_MEMCTRL_SCHEDULER_HH
+#define COSCALE_MEMCTRL_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "dram/mem_backend.hh"
+#include "memctrl/mem_req.hh"
+
+namespace coscale {
+
+/**
+ * Non-owning callable the channel hands to pick() for row-hit
+ * probing: would this request hit its bank's open row right now?
+ * (A plain function-pointer pair, so building one allocates nothing.)
+ */
+class RowHitProbe
+{
+  public:
+    using Fn = bool (*)(const void *ctx, const MemReq &req);
+    RowHitProbe(const void *ctx, Fn fn) : ctx(ctx), fn(fn) {}
+    bool operator()(const MemReq &req) const { return fn(ctx, req); }
+
+  private:
+    const void *ctx;
+    Fn fn;
+};
+
+/** The channel command scheduler interface. */
+class Scheduler
+{
+  public:
+    /**
+     * After this many consecutive commits that skipped the oldest
+     * request of the served queue, FR-FCFS falls back to plain FCFS
+     * for one pick. Bounds worst-case queueing delay: the oldest
+     * request is served at latest every starvationLimit + 1 commits.
+     */
+    static constexpr std::uint32_t starvationLimit = 8;
+
+    /** How far into a queue a scheduler searches for a better pick. */
+    static constexpr std::uint32_t searchWindow = 32;
+
+    /** The chosen request: which queue, and the index within it. */
+    struct Pick
+    {
+        bool isWrite = false;
+        std::uint32_t index = 0;
+    };
+
+    /** Read-only scheduling inputs handed to pick(). */
+    struct QueueView
+    {
+        const std::deque<MemReq> *readQ = nullptr;
+        const std::deque<MemReq> *writeQ = nullptr;
+        /** Write-drain hysteresis flag, already updated for this pick. */
+        bool drainMode = false;
+        /** Consecutive commits that bypassed the served queue's front. */
+        std::uint32_t frontBypasses = 0;
+    };
+
+    virtual ~Scheduler() = default;
+
+    /** Short lowercase scheduler name (matches memSchedName()). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Choose the next request. At least one queue is non-empty. Must
+     * be pure (see file comment); @p is_hit may be called freely.
+     */
+    virtual Pick pick(const QueueView &q,
+                      const RowHitProbe &is_hit) const = 0;
+
+    /**
+     * Does an arrival at the back of a queue invalidate the cached
+     * candidate? Called by Channel::enqueue() with the cached pick
+     * still in place; returning false keeps it (the selective-
+     * invalidation fast path the FCFS event kernel relies on).
+     */
+    virtual bool invalidateOnArrival(bool arrival_is_write,
+                                     bool cand_is_write,
+                                     bool drain_mode) const = 0;
+
+    /** The immutable singleton implementing @p kind. */
+    static const Scheduler &get(MemSched kind);
+};
+
+} // namespace coscale
+
+#endif // COSCALE_MEMCTRL_SCHEDULER_HH

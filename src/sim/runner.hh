@@ -310,9 +310,10 @@ struct RunRequest
 
 /**
  * Run the experiment described by @p req on a fresh System and return
- * its results. This is the single entry point every harness, example,
- * and test goes through. (The old runWorkload/runApps wrappers have
- * been removed; build requests with RunRequest::forMix/forApps.)
+ * its results. run(RunRequest) is the single entry point every
+ * harness, example, and test goes through: build a request with
+ * RunRequest::forMix or RunRequest::forApps, layer options on with
+ * the with*() chain, and pass it here.
  *
  * Audit wiring: when req.auditSet is given, its three auditors
  * (check/audit.hh) observe the whole run — the DRAM timing auditor is

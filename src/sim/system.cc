@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include <cstdlib>
+
 #include "check/contract.hh"
 #include "common/log.hh"
 #include "trace/synthetic.hh"
@@ -31,7 +33,53 @@ makeScaledConfig(double scale)
    cfg.power.geom = cfg.geom;
    cfg.power.timing = cfg.timing;
    cfg.power.numCores = cfg.numCores;
+
+   // CI's non-default-backend leg steers every config built through
+   // this funnel via the environment; unset (or empty) variables
+   // leave the paper's backend untouched, and backend-pinned tests
+   // re-apply their explicit selection afterwards.
+   MemBackendSel sel = cfg.memBackend;
+   bool overridden = false;
+   // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; no setenv in the process
+   if (const char *e = std::getenv("COSCALE_MEM_SCHED"); e && *e) {
+       COSCALE_CHECK(parseMemSched(e, &sel.sched),
+                     "bad COSCALE_MEM_SCHED '%s'", e);
+       overridden = true;
+   }
+   // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; no setenv in the process
+   if (const char *e = std::getenv("COSCALE_ROW_POLICY"); e && *e) {
+       COSCALE_CHECK(parseRowPolicy(e, &sel.rowPolicy),
+                     "bad COSCALE_ROW_POLICY '%s'", e);
+       overridden = true;
+   }
+   // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; no setenv in the process
+   if (const char *e = std::getenv("COSCALE_DRAM_STANDARD"); e && *e) {
+       COSCALE_CHECK(parseDramStandard(e, &sel.standard),
+                     "bad COSCALE_DRAM_STANDARD '%s'", e);
+       overridden = true;
+   }
+   if (overridden)
+       applyMemBackend(cfg, sel);
    return cfg;
+}
+
+void
+applyMemBackend(SystemConfig &cfg, const MemBackendSel &sel)
+{
+   cfg.memBackend = sel;
+   const DramStandardInfo &info = dramStandardInfo(sel.standard);
+   DramTimingParams timing = info.timing;
+   // Rescale the recalibration penalty with the time scale, matching
+   // makeScaledConfig()'s treatment of the DDR3 default.
+   timing.recalCycles = std::max(
+       1, static_cast<int>(info.timing.recalCycles * cfg.timeScale
+                           + 0.5));
+   timing.recalExtraNs = info.timing.recalExtraNs * cfg.timeScale;
+   cfg.timing = timing;
+   cfg.memLadder = standardMemLadder(sel.standard);
+   cfg.power.timing = cfg.timing;
+   cfg.power.mem.currents = info.currents;
+   cfg.power.mem.fRef = info.busMax;
 }
 
 System::System(const SystemConfig &cfg_in, const std::vector<AppSpec> &apps)
@@ -66,7 +114,7 @@ System::System(const SystemConfig &cfg_in, const std::vector<AppSpec> &apps)
    mcc.writeHighWater = cfg.writeHighWater;
    mcc.writeLowWater = cfg.writeLowWater;
    mcc.respFixedNs = cfg.respFixedNs;
-   mcc.openPage = cfg.openPage;
+   mcc.backend = cfg.memBackend;
    mc = MemCtrl(mcc, 0);
 
    perf = PerfModel(cfg.timing, cfg.respFixedNs, cfg.llc.hitLatencyNs);
@@ -358,14 +406,14 @@ System::applyConfig(const FreqConfig &fc)
            fc.coreIdx[static_cast<size_t>(i)], curTick);
    }
    if (fc.chanIdx.empty()) {
-       mc.setFrequencyIndex(fc.memIdx, curTick);
+       mc.setFrequency(ChannelSel::all(), fc.memIdx, curTick);
    } else {
        COSCALE_CHECK(static_cast<int>(fc.chanIdx.size())
                           == mc.numChannels(),
                       "per-channel decision size mismatch");
        for (int c = 0; c < mc.numChannels(); ++c) {
-           mc.setChannelFrequencyIndex(
-               c, fc.chanIdx[static_cast<size_t>(c)], curTick);
+           mc.setFrequency(ChannelSel::one(c),
+                           fc.chanIdx[static_cast<size_t>(c)], curTick);
        }
    }
    // Transition halts moved every component's next-event tick.

@@ -50,7 +50,13 @@ struct SystemConfig
     int writeHighWater = 16;
     int writeLowWater = 8;
     double respFixedNs = 10.0;
-    bool openPage = false;
+    /**
+     * Memory-backend selection (dram/mem_backend.hh): scheduler, row
+     * policy, DRAM standard. The single source of truth — anything
+     * standard-dependent (timing, memLadder, power.mem) is derived
+     * from it by applyMemBackend(). Defaults to the paper's backend.
+     */
+    MemBackendSel memBackend;
 
     Tick coreTransitionTicks = 30 * tickPerUs;
     bool ooo = false;
@@ -99,6 +105,22 @@ struct SystemConfig
  * 100M-instruction setup.
  */
 SystemConfig makeScaledConfig(double scale = 0.2);
+
+/**
+ * Select @p sel as @p cfg's memory backend and re-derive everything
+ * that depends on the DRAM standard: cfg.timing and cfg.power.timing
+ * from the standard's table (with the recalibration penalty rescaled
+ * by cfg.timeScale, exactly as makeScaledConfig() scales the DDR3
+ * default), cfg.memLadder from the standard's bus-frequency range,
+ * and cfg.power.mem currents/fRef from its electrical package. With
+ * the default MemBackendSel this reproduces makeScaledConfig()'s
+ * output bit-for-bit, so tests that depend on the paper's backend
+ * (golden fixtures, DDR3 timing arithmetic) call this to pin it
+ * explicitly, immune to the COSCALE_MEM_SCHED / COSCALE_ROW_POLICY /
+ * COSCALE_DRAM_STANDARD environment overrides that makeScaledConfig()
+ * honours (the CI non-default-backend leg sets those).
+ */
+void applyMemBackend(SystemConfig &cfg, const MemBackendSel &sel);
 
 /** Snapshot of all cumulative counters, for window deltas. */
 struct CounterSnapshot

@@ -103,6 +103,12 @@ struct ChannelCounters
     // --- Row-buffer statistics ---
     std::uint64_t rowHits = 0;
     std::uint64_t rowMisses = 0;
+    /**
+     * Open-page ACTs that first had to close another row (a strict
+     * subset of rowMisses, so hit-rate denominators are unchanged).
+     * Always zero under closed-page auto-precharge.
+     */
+    std::uint64_t rowConflicts = 0;
 
     // --- Power counters ---
     std::uint64_t activations = 0;   //!< page open events (ACT)
@@ -127,6 +133,7 @@ struct ChannelCounters
         d.queueSamples = queueSamples - o.queueSamples;
         d.rowHits = rowHits - o.rowHits;
         d.rowMisses = rowMisses - o.rowMisses;
+        d.rowConflicts = rowConflicts - o.rowConflicts;
         d.activations = activations - o.activations;
         d.precharges = precharges - o.precharges;
         d.readBursts = readBursts - o.readBursts;
@@ -150,6 +157,7 @@ struct ChannelCounters
         queueSamples += o.queueSamples;
         rowHits += o.rowHits;
         rowMisses += o.rowMisses;
+        rowConflicts += o.rowConflicts;
         activations += o.activations;
         precharges += o.precharges;
         readBursts += o.readBursts;

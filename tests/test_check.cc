@@ -109,7 +109,7 @@ memConfig(bool open_page = false)
 {
     MemCtrlConfig cfg;
     cfg.ladder = defaultMemLadder();
-    cfg.openPage = open_page;
+    cfg.backend.rowPolicy = open_page ? RowPolicy::Open : RowPolicy::ClosedAuto;
     return cfg;
 }
 
@@ -261,7 +261,7 @@ syntheticSeed(int ranks = 1, bool open_page = false)
 {
     ChannelAuditSeed seed;
     seed.timing = ResolvedTiming::resolve(DramTimingParams{}, 800 * MHz);
-    seed.openPage = open_page;
+    seed.rowPolicy = open_page ? RowPolicy::Open : RowPolicy::ClosedAuto;
     seed.ranks = ranks;
     seed.banksPerRank = 8;
     seed.rankSeeds.resize(static_cast<size_t>(ranks));

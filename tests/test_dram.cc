@@ -254,5 +254,72 @@ TEST(MemRecalibration, TransitionHaltsTheChannel512CyclesPlus28ns)
     }
 }
 
+// ---------------------------------------------------------------------
+// Per-standard timing packages (dram/mem_backend.hh).
+// ---------------------------------------------------------------------
+
+TEST(DramStandards, Ddr3PackageIsThePaperDefault)
+{
+    // The DDR3 package must be bit-identical to the historical
+    // defaults so selecting it explicitly changes nothing.
+    const DramStandardInfo &info = dramStandardInfo(DramStandard::Ddr3);
+    DramTimingParams def;
+    EXPECT_EQ(info.timing.tRCDns, def.tRCDns);
+    EXPECT_EQ(info.timing.tCLns, def.tCLns);
+    EXPECT_EQ(info.timing.tWRns, def.tWRns);
+    EXPECT_EQ(info.timing.refClock, def.refClock);
+    EXPECT_EQ(info.busMax, 800 * MHz);
+    FreqLadder ladder = standardMemLadder(DramStandard::Ddr3);
+    FreqLadder hist = defaultMemLadder();
+    ASSERT_EQ(ladder.size(), hist.size());
+    for (int i = 0; i < ladder.size(); ++i) {
+        EXPECT_EQ(ladder.freq(i), hist.freq(i)) << "step " << i;
+        EXPECT_EQ(ladder.voltage(i), hist.voltage(i)) << "step " << i;
+    }
+}
+
+TEST(DramStandards, EveryPackageResolvesToSaneTiming)
+{
+    for (DramStandard s : {DramStandard::Ddr3, DramStandard::Ddr4,
+                           DramStandard::Lpddr4}) {
+        SCOPED_TRACE(dramStandardName(s));
+        const DramStandardInfo &info = dramStandardInfo(s);
+        EXPECT_GT(info.busMax, info.busMin);
+        FreqLadder ladder = standardMemLadder(s);
+        ASSERT_GE(ladder.size(), 2);
+        EXPECT_EQ(ladder.freq(0), info.busMax);
+        EXPECT_EQ(ladder.freq(ladder.size() - 1), info.busMin);
+        for (int i = 1; i < ladder.size(); ++i)
+            EXPECT_LT(ladder.freq(i), ladder.freq(i - 1)) << "step " << i;
+        // Timing must resolve at both ends of the ladder with
+        // positive core-latency components.
+        for (Freq f : {info.busMax, info.busMin}) {
+            ResolvedTiming t = ResolvedTiming::resolve(info.timing, f);
+            EXPECT_GT(t.tRCD, 0u);
+            EXPECT_GT(t.tCL, 0u);
+            EXPECT_GT(t.tRP, 0u);
+            EXPECT_GT(t.tBURST, 0u);
+            EXPECT_GT(t.tRFC, 0u);
+        }
+        EXPECT_GT(info.currents.iActPre, 0.0);
+        EXPECT_GT(info.currents.vdd, 0.0);
+    }
+}
+
+TEST(DramStandards, PackagesAreDistinct)
+{
+    const DramStandardInfo &d3 = dramStandardInfo(DramStandard::Ddr3);
+    const DramStandardInfo &d4 = dramStandardInfo(DramStandard::Ddr4);
+    const DramStandardInfo &lp = dramStandardInfo(DramStandard::Lpddr4);
+    // DDR4/LPDDR4 run a faster bus than DDR3-800...
+    EXPECT_GT(d4.busMax, d3.busMax);
+    EXPECT_GT(lp.busMax, d3.busMax);
+    // ...and LPDDR4 trades latency for power: slower row activation,
+    // lower supply voltage and background current than DDR4.
+    EXPECT_GT(lp.timing.tRCDns, d4.timing.tRCDns);
+    EXPECT_LT(lp.currents.vdd, d4.currents.vdd);
+    EXPECT_LT(lp.currents.iActiveStandby, d4.currents.iActiveStandby);
+}
+
 } // namespace
 } // namespace coscale

@@ -422,6 +422,9 @@ faultConfig()
 {
     SystemConfig cfg = makeScaledConfig(0.02);
     cfg.numCores = 2;
+    // Pin the paper-default backend so the fixtures stay byte-identical
+    // even under CI's COSCALE_MEM_SCHED/ROW_POLICY/DRAM_STANDARD leg.
+    applyMemBackend(cfg, MemBackendSel{});
     return cfg;
 }
 

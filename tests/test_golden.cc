@@ -244,6 +244,9 @@ fixtureConfig()
 {
     SystemConfig cfg = makeScaledConfig(0.02);
     cfg.numCores = 2;
+    // Pin the paper-default backend so the fixtures stay byte-identical
+    // even under CI's COSCALE_MEM_SCHED/ROW_POLICY/DRAM_STANDARD leg.
+    applyMemBackend(cfg, MemBackendSel{});
     return cfg;
 }
 
@@ -283,6 +286,31 @@ TEST(KernelGolden, FaultedTraceBytesMatchPollingEraFixture)
         sink.finish();
     }
     checkGolden("mid1_2core_coscale_faulted.jsonl", os.str());
+}
+
+/**
+ * A non-default backend fixture: FR-FCFS scheduling, open-page rows,
+ * DDR4 timing. Pins the pluggable-backend plumbing end to end — if a
+ * refactor silently changes how any of the three interfaces feeds the
+ * controller, these bytes move.
+ */
+TEST(KernelGolden, FrFcfsOpenDdr4TraceBytesMatchFixture)
+{
+    SystemConfig cfg = fixtureConfig();
+    applyMemBackend(cfg, MemBackendSel{MemSched::FrFcfs,
+                                       RowPolicy::Open,
+                                       DramStandard::Ddr4});
+    RunRequest req = RunRequest::forMix(cfg, mixByName("MID1"))
+                         .with(exp::requirePolicyFactory(
+                             "coscale", cfg.numCores, cfg.gamma));
+    std::ostringstream os;
+    {
+        JsonlTraceSink sink(os);
+        req.withTrace(sink);
+        coscale::run(req);
+        sink.finish();
+    }
+    checkGolden("mid1_2core_frfcfs_open_ddr4.jsonl", os.str());
 }
 
 /**

@@ -226,7 +226,8 @@ TEST(PagePolicy, ClosedPageWinsForMultiprogrammedMixes)
     // interleaved traffic.
     SystemConfig closed_cfg = testConfig();
     SystemConfig open_cfg = closed_cfg;
-    open_cfg.openPage = true;
+    open_cfg.memBackend.rowPolicy = RowPolicy::Open;
+    applyMemBackend(open_cfg, open_cfg.memBackend);
     BaselinePolicy b1, b2;
     RunResult closed_run = coscale::run(RunRequest::forMix(closed_cfg, mixByName("MEM3")).with(b1));
     RunResult open_run = coscale::run(RunRequest::forMix(open_cfg, mixByName("MEM3")).with(b2));

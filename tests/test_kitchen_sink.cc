@@ -78,7 +78,8 @@ TEST(KitchenSink, CoarseLaddersEndToEnd)
 TEST(KitchenSink, OpenPagePlusCoScale)
 {
     SystemConfig cfg = makeScaledConfig(0.05);
-    cfg.openPage = true;
+    cfg.memBackend.rowPolicy = RowPolicy::Open;
+    applyMemBackend(cfg, cfg.memBackend);
     BaselinePolicy b;
     RunResult base = coscale::run(RunRequest::forMix(cfg, mixByName("MID1")).with(b));
     CoScalePolicy policy(cfg.numCores, cfg.gamma);

@@ -144,6 +144,22 @@ RULES = {
                 "(common/thread_annotations.hh)",
         "exempt": ["src/common/thread_annotations.hh"],  # the wrapper
     },
+    "backend-probe": {
+        "desc": "memory-backend probing (openPage bool or backend-enum "
+                "comparison) outside memctrl/ and dram/",
+        "why": "the pluggable backend (dram/mem_backend.hh) keeps "
+               "scheduler/row-policy/standard behaviour behind the "
+               "Scheduler and RowPolicyModel interfaces; code that "
+               "branches on the selection re-creates the hard-coded "
+               "coupling the refactor removed, and the openPage bool "
+               "it replaced must not come back.",
+        "hint": "pass the MemBackendSel through and let memctrl/dram "
+                "resolve behaviour, or add a virtual to the backend "
+                "interface",
+        # Trailing "/" marks a directory prefix: the backend's own
+        # implementation layers legitimately dispatch on the enums.
+        "exempt": ["src/memctrl/", "src/dram/"],
+    },
     # Meta-rules about the suppression mechanism itself.
     "bad-suppression": {
         "desc": "coscale-lint allow() without a justification",
@@ -322,6 +338,17 @@ BANNED_NAME_RULES = [
                 r"lock_guard|unique_lock|scoped_lock|shared_lock|"
                 r"condition_variable|condition_variable_any)\b"),
      "raw 'std::%s'"),
+    ("backend-probe",
+     re.compile(r"\b(openPage)\b"),
+     "'%s' resurrects the deleted row-policy bool"),
+    ("backend-probe",
+     re.compile(r"(?:==|!=)\s*(?:coscale\s*::\s*)?"
+                r"(MemSched|RowPolicy|DramStandard)\s*::"),
+     "comparison against backend enum '%s'"),
+    ("backend-probe",
+     re.compile(r"\b(MemSched|RowPolicy|DramStandard)\s*::\s*\w+\s*"
+                r"(?:==|!=)"),
+     "comparison against backend enum '%s'"),
 ]
 
 PTR_KEY_RE = re.compile(
@@ -677,6 +704,18 @@ def run_clang_query(binary, build_dir, files):
 # Driver.
 # ---------------------------------------------------------------------------
 
+def is_exempt(rel, rule):
+    """Exempt entries ending in '/' are directory prefixes; the rest
+    are exact repo-relative paths."""
+    for ex in RULES[rule]["exempt"]:
+        if ex.endswith("/"):
+            if rel.startswith(ex):
+                return True
+        elif rel == ex:
+            return True
+    return False
+
+
 def lint_file(path, rel, enabled):
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
@@ -687,7 +726,7 @@ def lint_file(path, rel, enabled):
     check_mutable_globals(rel, code_lines, raw)
     check_missing_field_init(rel, code_lines, raw)
     raw = [f for f in raw
-           if f.rule in enabled and rel not in RULES[f.rule]["exempt"]]
+           if f.rule in enabled and not is_exempt(rel, f.rule)]
     return apply_suppressions(rel, comment_lines, raw)
 
 
@@ -819,7 +858,7 @@ def main(argv):
             ast = [f for f in run_clang_query(binary, args.build_dir,
                                               files)
                    if f.rule in enabled and f.path in relset
-                   and f.path not in RULES[f.rule]["exempt"]]
+                   and not is_exempt(f.path, f.rule)]
             # Route AST findings through the same inline-suppression
             # machinery as the textual ones.
             by_path = {}

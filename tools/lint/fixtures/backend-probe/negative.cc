@@ -1,0 +1,18 @@
+// Consuming the backend vocabulary without branching on it is fine:
+// carry the selection, print its names, and let the memctrl/dram
+// layers resolve the behavioural interfaces.
+#include "dram/mem_backend.hh"
+
+namespace coscale {
+
+const char *
+describesBackend(const MemBackendSel &sel)
+{
+    MemBackendSel copy = sel;
+    copy.rowPolicy = RowPolicy::Open;  // assignment, not a probe
+    if (copy != sel)
+        return memSchedName(copy.sched);
+    return dramStandardName(copy.standard);
+}
+
+} // namespace coscale

@@ -1,0 +1,19 @@
+// Backend probing outside memctrl/ and dram/: both the resurrected
+// openPage bool and direct comparisons against the backend enums put
+// scheduling/row-policy knowledge back where the pluggable-backend
+// refactor removed it.
+#include "dram/mem_backend.hh"
+
+namespace coscale {
+
+bool
+probesBackend(const MemBackendSel &sel, bool openPage)
+{
+    if (sel.sched == MemSched::FrFcfs)
+        return true;
+    if (RowPolicy::Open == sel.rowPolicy)
+        return true;
+    return openPage;
+}
+
+} // namespace coscale
