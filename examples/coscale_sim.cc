@@ -44,6 +44,23 @@
  *     --timeout SECS     per-run wall-clock watchdog (0 = off)
  *     --retries N        retry a failed run up to N times
  *
+ *   Cluster mode (src/cluster/; --nodes > 0 switches to it):
+ *     --nodes N          simulate an N-node fleet (0 = single node)
+ *     --node-cores C     cores per fleet node (default 2)
+ *     --power-cap W      global cluster power budget in watts
+ *                        (0 = uncapped; grants re-divided per epoch)
+ *     --cluster-epochs E cluster epochs to run (default 12)
+ *     --arrival SPEC     request stream, e.g.
+ *                        "rate=2e5,diurnal=0.25,period=12,burst=0.1,
+ *                        burstx=4,ipr=250e3,slo=2e-3,seed=7"
+ *                        (default: ~1.5 requests/node/epoch)
+ *     --lb NAME          load balancer: rr, least-loaded, weighted
+ *   In cluster mode --policy selects the per-node policy (fastcap
+ *   couples with the allocator; anything else ignores its grants),
+ *   --mix the per-node workload ('all' is rejected), --jobs the node
+ *   fan-out width, and --trace/--json/--csv/--metrics emit
+ *   cluster-scope output.
+ *
  *   Deterministic fault injection (src/fault/; all default off):
  *     --fault-seed S     fault stream seed (0 = derive from --seed)
  *     --fault-noise A    counter noise amplitude (relative, e.g. 0.1)
@@ -65,6 +82,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hh"
 #include "common/csv.hh"
 #include "common/log.hh"
 #include "exp/engine.hh"
@@ -104,6 +122,14 @@ struct Options
     double timeoutSecs = 0.0;
     int retries = 0;
     fault::FaultPlan faults;
+
+    // Cluster mode (--nodes > 0).
+    int nodes = 0;
+    int nodeCores = 2;
+    double powerCap = 0.0;
+    int clusterEpochs = 12;
+    std::string arrival;
+    std::string lb = "weighted";
 };
 
 /** Parse a probability/amplitude fault knob; reject negatives. */
@@ -213,6 +239,18 @@ parseArgs(int argc, char **argv)
             opt.faults.transitionClampProb = faultKnob(a, need(i));
         } else if (a == "--fault-jitter") {
             opt.faults.epochJitterFrac = faultKnob(a, need(i));
+        } else if (a == "--nodes") {
+            opt.nodes = std::atoi(need(i));
+        } else if (a == "--node-cores") {
+            opt.nodeCores = std::atoi(need(i));
+        } else if (a == "--power-cap") {
+            opt.powerCap = std::atof(need(i));
+        } else if (a == "--cluster-epochs") {
+            opt.clusterEpochs = std::atoi(need(i));
+        } else if (a == "--arrival") {
+            opt.arrival = need(i);
+        } else if (a == "--lb") {
+            opt.lb = need(i);
         } else if (a == "--help" || a == "-h") {
             std::printf("see the header comment of "
                         "examples/coscale_sim.cc for options\n");
@@ -299,12 +337,137 @@ printOutcome(const Options &opt, const SystemConfig &cfg,
     }
 }
 
+/** Cluster mode: build the fleet, run it, print/emit per scope. */
+int
+runCluster(const Options &opt)
+{
+    if (opt.mix == "all")
+        fatal("--mix all is a single-node sweep; cluster mode runs "
+              "one mix per fleet (pick one)");
+
+    cluster::ClusterConfig ccfg;
+    ccfg.numNodes = opt.nodes;
+    Options nopt = opt;
+    nopt.cores = opt.nodeCores;
+    ccfg.node = makeConfig(nopt);
+    // Node-sizing, as cluster::makeNodeConfig: no warmup (a warming
+    // node runs all-max through any cap) and a one-channel memory
+    // system (a 2-core node with the 16-core server's four channels
+    // would be all background power).
+    ccfg.node.warmupEpochs = 0;
+    ccfg.node.geom.channels = 1;
+    ccfg.node.geom.dimmsPerChannel = 1;
+    ccfg.node.power.geom = ccfg.node.geom;
+    ccfg.mix = opt.mix;
+    ccfg.policy = opt.policy;
+    ccfg.budgetW = opt.powerCap;
+    ccfg.epochs = opt.clusterEpochs;
+    ccfg.seed = opt.seed;
+    ccfg.faults = opt.faults;
+    ccfg.jobs = opt.jobs;
+    try {
+        ccfg.lb = cluster::parseLbPolicy(opt.lb);
+        if (!opt.arrival.empty()) {
+            ccfg.arrival = cluster::parseArrivalSpec(opt.arrival);
+        } else {
+            double epoch_secs = ticksToSeconds(ccfg.node.epochLen);
+            ccfg.arrival.ratePerSec =
+                1.5 * static_cast<double>(opt.nodes) / epoch_secs;
+            ccfg.arrival.sloSecs = 6.0 * epoch_secs;
+        }
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+
+    std::unique_ptr<TraceSink> sink;
+    if (opt.trace.enabled())
+        sink = openTraceSink(opt.trace);
+    std::unique_ptr<MetricsRegistry> metrics;
+    if (opt.metrics)
+        metrics = std::make_unique<MetricsRegistry>();
+
+    cluster::ClusterSim sim(ccfg);
+    sim.attachObs(sink.get(), metrics.get());
+    cluster::ClusterResult result = sim.run();
+    if (sink)
+        sink->finish();
+
+    std::printf("cluster: %d nodes x %d cores, mix %s, policy %s, "
+                "lb %s%s\n",
+                opt.nodes, opt.nodeCores, opt.mix.c_str(),
+                opt.policy.c_str(), cluster::lbPolicyName(ccfg.lb),
+                opt.powerCap > 0.0 ? "" : ", uncapped");
+    for (const cluster::ClusterEpochStats &e : result.epochs) {
+        std::printf("  epoch %3llu: arrivals %5llu, grant "
+                    "%7.1f W, power %7.1f W, done %5llu, "
+                    "queued %5llu%s\n",
+                    static_cast<unsigned long long>(e.epoch),
+                    static_cast<unsigned long long>(e.arrivals),
+                    e.grantSumW, e.powerW,
+                    static_cast<unsigned long long>(e.completed),
+                    static_cast<unsigned long long>(e.queued),
+                    e.capExceeded ? "  <-- over budget" : "");
+    }
+    std::printf("total: %llu arrivals, %llu completed, %llu SLO "
+                "violations, %llu queued at end\n",
+                static_cast<unsigned long long>(result.totalArrivals),
+                static_cast<unsigned long long>(
+                    result.totalCompleted),
+                static_cast<unsigned long long>(
+                    result.totalSloViolations),
+                static_cast<unsigned long long>(result.finalQueued));
+    std::printf("power: worst %.1f W over %zu epochs",
+                result.worstPowerW, result.epochs.size());
+    if (opt.powerCap > 0.0) {
+        std::printf(", budget %.1f W, %llu violation epochs",
+                    opt.powerCap,
+                    static_cast<unsigned long long>(
+                        result.capViolationEpochs));
+    }
+    std::printf("\n");
+
+    if (!opt.csvPath.empty()) {
+        CsvWriter csv(opt.csvPath);
+        csv.header({"epoch", "arrivals", "grant_sum_w", "power_w",
+                    "completed", "slo_violations", "queued",
+                    "mean_latency_s", "cap_exceeded"});
+        for (const cluster::ClusterEpochStats &e : result.epochs) {
+            csv.row()
+                .cell(static_cast<double>(e.epoch))
+                .cell(static_cast<double>(e.arrivals))
+                .cell(e.grantSumW)
+                .cell(e.powerW)
+                .cell(static_cast<double>(e.completed))
+                .cell(static_cast<double>(e.sloViolations))
+                .cell(static_cast<double>(e.queued))
+                .cell(e.meanLatencySecs)
+                .cell(e.capExceeded ? 1.0 : 0.0);
+        }
+        csv.endRow();
+    }
+    if (!opt.jsonPath.empty()) {
+        std::ofstream jf(opt.jsonPath);
+        if (!jf)
+            fatal("cannot open '%s'", opt.jsonPath.c_str());
+        cluster::writeClusterJsonReport(ccfg, result, jf);
+    }
+    if (metrics) {
+        std::ostringstream ms;
+        metrics->writeJson(ms);
+        std::fprintf(stderr, "[metrics] cluster %s\n",
+                     ms.str().c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
+    if (opt.nodes > 0)
+        return runCluster(opt);
     SystemConfig cfg = makeConfig(opt);
 
     PolicyFactory factory;

@@ -1,0 +1,401 @@
+#include "cluster/cluster.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "check/contract.hh"
+#include "cluster/allocator.hh"
+#include "common/json.hh"
+#include "exp/engine.hh"
+#include "exp/policies.hh"
+#include "workloads/spec_catalogue.hh"
+
+namespace coscale {
+namespace cluster {
+
+namespace {
+
+/**
+ * Nodes run open-ended: the mix is a compute substrate for the
+ * request stream, not a finite job, so the per-app budget is pushed
+ * out of reach (phase lengths were already expanded from the real
+ * budget before this override).
+ */
+constexpr std::uint64_t openEndedBudget = 1'000'000'000'000ULL;
+
+/** Effectively-uncapped watts for policies built without a budget. */
+constexpr double uncappedWatts = 1e9;
+
+} // namespace
+
+LbPolicy
+parseLbPolicy(const std::string &name)
+{
+    if (name == "rr" || name == "round-robin" || name == "roundrobin")
+        return LbPolicy::RoundRobin;
+    if (name == "least-loaded" || name == "leastloaded" || name == "ll")
+        return LbPolicy::LeastLoaded;
+    if (name == "weighted" || name == "capacity"
+        || name == "weighted-capacity") {
+        return LbPolicy::WeightedCapacity;
+    }
+    throw std::invalid_argument(
+        "unknown load-balancer policy '" + name
+        + "'; valid names: rr, least-loaded, weighted");
+}
+
+const char *
+lbPolicyName(LbPolicy lb)
+{
+    switch (lb) {
+      case LbPolicy::RoundRobin:
+        return "rr";
+      case LbPolicy::LeastLoaded:
+        return "least-loaded";
+      case LbPolicy::WeightedCapacity:
+        return "weighted";
+    }
+    return "?";
+}
+
+SystemConfig
+makeNodeConfig(double scale, int cores)
+{
+    SystemConfig c = makeScaledConfig(scale);
+    COSCALE_CHECK(cores >= 1 && cores <= c.numCores,
+                  "node cores must be in [1, %d]", c.numCores);
+    c.numCores = cores;
+    c.power.numCores = cores;
+    // Node-sized memory system: one channel, one DIMM. The 16-core
+    // server's four-channel background power would swamp a small
+    // node's dynamic range and leave nothing for a cap to trade.
+    c.geom.channels = 1;
+    c.geom.dimmsPerChannel = 1;
+    c.power.geom = c.geom;
+    c.warmupEpochs = 0;
+    return c;
+}
+
+ClusterSim::ClusterSim(const ClusterConfig &cfg_in) : cfg(cfg_in)
+{
+    COSCALE_CHECK(cfg.numNodes >= 1, "cluster needs at least 1 node");
+    COSCALE_CHECK(cfg.epochs >= 1, "cluster needs at least 1 epoch");
+
+    const WorkloadMix &mix = mixByName(cfg.mix);
+    std::vector<AppSpec> apps =
+        expandMix(mix, cfg.node.numCores, cfg.node.instrBudget);
+
+    double node_cap = cfg.budgetW > 0.0
+                          ? cfg.budgetW / cfg.numNodes
+                          : uncappedWatts;
+    PolicyFactory factory = exp::requirePolicyFactory(
+        cfg.policy, cfg.node.numCores, cfg.node.gamma, node_cap);
+
+    nodes.reserve(static_cast<size_t>(cfg.numNodes));
+    for (int i = 0; i < cfg.numNodes; ++i) {
+        SystemConfig nc = cfg.node;
+        std::uint64_t s = arrivalHash(
+            cfg.seed, static_cast<std::uint64_t>(i),
+            ArrivalStream::NodeSeed);
+        nc.seed = s ? s : 1;
+        nc.instrBudget = openEndedBudget;
+        nodes.push_back(std::make_unique<NodeSim>(i, nc, apps,
+                                                  factory,
+                                                  cfg.faults));
+    }
+    if (cfg.budgetW > 0.0) {
+        // Safe boot: a capped fleet starts all-min, so epoch 0 (which
+        // profiles under the boot configuration) stays under any
+        // feasible budget instead of opening flat-out at all-max.
+        FreqConfig low;
+        low.coreIdx.assign(
+            static_cast<size_t>(cfg.node.numCores),
+            cfg.node.coreLadder.size() - 1);
+        low.memIdx = cfg.node.memLadder.size() - 1;
+        for (std::unique_ptr<NodeSim> &nd : nodes)
+            nd->presetConfig(low);
+    }
+    outcomes.assign(static_cast<size_t>(cfg.numNodes),
+                    NodeEpochOutcome{});
+}
+
+void
+ClusterSim::attachObs(TraceSink *sink_, MetricsRegistry *metrics_)
+{
+    sink = sink_;
+    metrics = metrics_;
+}
+
+std::vector<std::uint64_t>
+ClusterSim::route(std::uint64_t arrivals)
+{
+    size_t n = nodes.size();
+    std::vector<std::uint64_t> counts(n, 0);
+    if (arrivals == 0)
+        return counts;
+
+    std::vector<double> w(n, 1.0);
+    if (cfg.lb == LbPolicy::LeastLoaded) {
+        for (size_t i = 0; i < n; ++i) {
+            w[i] = 1.0
+                   / (1.0
+                      + static_cast<double>(
+                          nodes[i]->queuedRequests()));
+        }
+    } else if (cfg.lb == LbPolicy::WeightedCapacity && epochNo > 0) {
+        for (size_t i = 0; i < n; ++i)
+            w[i] = static_cast<double>(outcomes[i].instrs);
+    }
+    double total = 0.0;
+    for (double v : w)
+        total += v;
+    if (!(total > 0.0)) {
+        w.assign(n, 1.0);
+        total = static_cast<double>(n);
+    }
+
+    // Largest-remainder apportionment: exact integer split, biased
+    // only by the fractional parts (deterministic tie-break by node
+    // index; RoundRobin rotates the leftover start so small streams
+    // do not always favour node 0).
+    std::vector<double> frac(n, 0.0);
+    std::uint64_t assigned = 0;
+    for (size_t i = 0; i < n; ++i) {
+        double share = static_cast<double>(arrivals) * w[i] / total;
+        double fl = std::floor(share);
+        counts[i] = static_cast<std::uint64_t>(fl);
+        frac[i] = share - fl;
+        assigned += counts[i];
+    }
+    std::uint64_t leftover =
+        arrivals > assigned ? arrivals - assigned : 0;
+    if (cfg.lb == LbPolicy::RoundRobin) {
+        size_t start = static_cast<size_t>(epochNo % n);
+        for (std::uint64_t k = 0; k < leftover; ++k)
+            counts[(start + k) % n] += 1;
+    } else {
+        std::vector<size_t> order(n);
+        for (size_t i = 0; i < n; ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&frac](size_t a, size_t b) {
+                             return frac[a] > frac[b];
+                         });
+        for (std::uint64_t k = 0; k < leftover; ++k)
+            counts[order[static_cast<size_t>(k) % n]] += 1;
+    }
+    return counts;
+}
+
+std::vector<double>
+ClusterSim::computeGrants()
+{
+    size_t n = nodes.size();
+    std::vector<double> grants(n, 0.0);
+    if (cfg.budgetW <= 0.0)
+        return grants; // uncapped: advanceEpoch(0) leaves caps alone
+
+    if (epochNo == 0) {
+        // No outcomes to size demands from yet: even split.
+        double share = cfg.budgetW / static_cast<double>(n);
+        grants.assign(n, share);
+        return grants;
+    }
+    std::vector<NodePowerDemand> demands(n);
+    for (size_t i = 0; i < n; ++i) {
+        demands[i].minW = outcomes[i].minW;
+        demands[i].maxW = outcomes[i].maxW;
+        demands[i].demand =
+            static_cast<double>(nodes[i]->queuedRequests());
+    }
+    return fastcapAllocate(cfg.budgetW, demands);
+}
+
+ClusterEpochStats
+ClusterSim::step()
+{
+    size_t n = nodes.size();
+    std::uint64_t arrivals = arrivalsInEpoch(
+        cfg.arrival, epochNo, ticksToSeconds(cfg.node.epochLen));
+    std::vector<std::uint64_t> routed = route(arrivals);
+    for (size_t i = 0; i < n; ++i)
+        nodes[i]->enqueue(routed[i], epochNo);
+    std::vector<double> grants = computeGrants();
+
+    double epoch_secs = ticksToSeconds(cfg.node.epochLen);
+    std::vector<NodeServiceStats> svc(n);
+
+    // The parallel quantum: each node epoch is a sealed deterministic
+    // unit; outcomes land in pre-sized slots, so worker scheduling
+    // cannot reorder anything observable.
+    exp::parallelFor(
+        exp::resolveJobs(cfg.jobs), n, [&](std::size_t i) {
+            outcomes[i] = nodes[i]->advanceEpoch(grants[i]);
+            svc[i] = nodes[i]->serveQueue(
+                epochNo, epoch_secs, cfg.arrival.instrPerRequest,
+                cfg.arrival.sloSecs);
+        });
+
+    // Serial aggregation and tracing, in node-index order.
+    ClusterEpochStats st;
+    st.epoch = epochNo;
+    st.arrivals = arrivals;
+    double latency_sum = 0.0;
+    Tick tick = static_cast<Tick>(epochNo + 1) * cfg.node.epochLen;
+    for (size_t i = 0; i < n; ++i) {
+        const NodeEpochOutcome &o = outcomes[i];
+        st.grantSumW += o.grantW;
+        st.powerW += o.avgPowerW;
+        st.completed += svc[i].completed;
+        st.sloViolations += svc[i].sloViolations;
+        st.queued += nodes[i]->queuedRequests();
+        latency_sum += svc[i].latencySecsSum;
+        if (svc[i].maxLatencySecs > st.maxLatencySecs)
+            st.maxLatencySecs = svc[i].maxLatencySecs;
+        if (sink) {
+            sink->write(
+                TraceEvent(tick, "cluster", "node")
+                    .f("epoch", st.epoch)
+                    .f("node", static_cast<std::uint64_t>(i))
+                    .f("grant_w", o.grantW)
+                    .f("power_w", o.avgPowerW)
+                    .f("pred_w", o.predictedW)
+                    .f("min_w", o.minW)
+                    .f("max_w", o.maxW)
+                    .f("instrs", o.instrs)
+                    .f("queue", nodes[i]->queuedRequests())
+                    .f("completed", svc[i].completed)
+                    .f("slo_viol", svc[i].sloViolations)
+                    .f("mem_idx", o.memIdx)
+                    .f("avg_core_idx", o.avgCoreIdx));
+        }
+    }
+    st.meanLatencySecs =
+        st.completed
+            ? latency_sum / static_cast<double>(st.completed)
+            : 0.0;
+    st.capExceeded = cfg.budgetW > 0.0 && st.powerW > cfg.budgetW;
+
+    if (sink) {
+        sink->write(
+            TraceEvent(tick, "cluster", "epoch")
+                .f("epoch", st.epoch)
+                .f("arrivals", st.arrivals)
+                .f("grant_sum_w", st.grantSumW)
+                .f("power_w", st.powerW)
+                .f("budget_w", cfg.budgetW)
+                .f("completed", st.completed)
+                .f("slo_violations", st.sloViolations)
+                .f("queued", st.queued)
+                .f("mean_latency_s", st.meanLatencySecs)
+                .f("max_latency_s", st.maxLatencySecs)
+                .f("cap_exceeded",
+                   static_cast<std::uint64_t>(st.capExceeded ? 1
+                                                             : 0)));
+    }
+    if (metrics) {
+        metrics->counter("cluster.epochs").inc();
+        metrics->counter("cluster.arrivals").inc(st.arrivals);
+        metrics->counter("cluster.completed").inc(st.completed);
+        metrics->counter("cluster.slo_violations")
+            .inc(st.sloViolations);
+        if (st.capExceeded)
+            metrics->counter("cluster.cap_violations").inc();
+        metrics->accum("cluster.power_w").sample(st.powerW);
+        metrics->accum("cluster.queued").sample(
+            static_cast<double>(st.queued));
+    }
+    epochNo += 1;
+    return st;
+}
+
+ClusterResult
+ClusterSim::run()
+{
+    ClusterResult r;
+    r.epochs.reserve(static_cast<size_t>(cfg.epochs));
+    for (int e = 0; e < cfg.epochs; ++e) {
+        ClusterEpochStats st = step();
+        r.totalArrivals += st.arrivals;
+        r.totalCompleted += st.completed;
+        r.totalSloViolations += st.sloViolations;
+        if (st.powerW > r.worstPowerW)
+            r.worstPowerW = st.powerW;
+        if (st.capExceeded)
+            r.capViolationEpochs += 1;
+        r.epochs.push_back(st);
+    }
+    for (const std::unique_ptr<NodeSim> &nd : nodes) {
+        r.finalQueued += nd->queuedRequests();
+        r.totalEvents += nd->eventsDispatched();
+        fault::FaultSummary fs = nd->faultSummary();
+        r.faults.noisyEpochs += fs.noisyEpochs;
+        r.faults.staleProfiles += fs.staleProfiles;
+        r.faults.counterDropouts += fs.counterDropouts;
+        r.faults.transitionsDenied += fs.transitionsDenied;
+        r.faults.transitionsDelayed += fs.transitionsDelayed;
+        r.faults.transitionsClamped += fs.transitionsClamped;
+        r.faults.jitteredEpochs += fs.jitteredEpochs;
+    }
+    return r;
+}
+
+void
+writeClusterJsonReport(const ClusterConfig &cfg,
+                       const ClusterResult &result, std::ostream &os)
+{
+    JsonWriter j(os);
+    j.beginObject();
+    j.field("nodes", cfg.numNodes);
+    j.field("policy", cfg.policy);
+    j.field("mix", cfg.mix);
+    j.field("budget_w", cfg.budgetW);
+    j.field("lb", lbPolicyName(cfg.lb));
+    j.field("arrival", formatArrivalSpec(cfg.arrival));
+    j.field("seed", cfg.seed);
+    j.field("cluster_epochs",
+            static_cast<std::uint64_t>(cfg.epochs));
+    j.field("total_arrivals", result.totalArrivals);
+    j.field("total_completed", result.totalCompleted);
+    j.field("total_slo_violations", result.totalSloViolations);
+    j.field("final_queued", result.finalQueued);
+    j.field("worst_power_w", result.worstPowerW);
+    j.field("cap_violation_epochs", result.capViolationEpochs);
+    if (cfg.faults.enabled()) {
+        j.beginObject("faults");
+        j.field("noisy_epochs", result.faults.noisyEpochs);
+        j.field("stale_profiles", result.faults.staleProfiles);
+        j.field("counter_dropouts", result.faults.counterDropouts);
+        j.field("transitions_denied",
+                result.faults.transitionsDenied);
+        j.field("transitions_delayed",
+                result.faults.transitionsDelayed);
+        j.field("transitions_clamped",
+                result.faults.transitionsClamped);
+        j.field("jittered_epochs", result.faults.jitteredEpochs);
+        j.endObject();
+    }
+    j.beginArray("epochs");
+    for (const ClusterEpochStats &st : result.epochs) {
+        j.beginObject();
+        j.field("epoch", st.epoch);
+        j.field("arrivals", st.arrivals);
+        j.field("grant_sum_w", st.grantSumW);
+        j.field("power_w", st.powerW);
+        j.field("completed", st.completed);
+        j.field("slo_violations", st.sloViolations);
+        j.field("queued", st.queued);
+        j.field("mean_latency_s", st.meanLatencySecs);
+        j.field("max_latency_s", st.maxLatencySecs);
+        j.field("cap_exceeded", st.capExceeded);
+        j.endObject();
+    }
+    j.endArray();
+    j.endObject();
+    os << "\n";
+}
+
+} // namespace cluster
+} // namespace coscale

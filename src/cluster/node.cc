@@ -1,0 +1,202 @@
+#include "cluster/node.hh"
+
+#include <cmath>
+
+#include "check/contract.hh"
+
+namespace coscale {
+namespace cluster {
+
+NodeSim::NodeSim(int node_id, const SystemConfig &cfg,
+                 const std::vector<AppSpec> &apps,
+                 const PolicyFactory &factory,
+                 const fault::FaultPlan &faults)
+    : nodeId(node_id), sys(cfg, apps), em(sys.energyModel()),
+      policy(factory())
+{
+    COSCALE_CHECK(policy != nullptr,
+                  "node %d: policy factory returned null", node_id);
+    if (faults.enabled()) {
+        inj = std::make_unique<fault::FaultInjector>(faults,
+                                                     cfg.seed);
+    }
+}
+
+NodeEpochOutcome
+NodeSim::advanceEpoch(double granted_cap_w)
+{
+    const SystemConfig &cfg = sys.config();
+    NodeEpochOutcome out;
+    out.grantW = granted_cap_w;
+
+    // A transition the fault layer delayed lands at this epoch
+    // boundary, exactly as in the single-machine loop. No sink: the
+    // cluster layer owns tracing (nodes advance concurrently).
+    if (inj) {
+        FreqConfig pend;
+        if (inj->takePending(&pend))
+            sys.applyConfig(pend);
+    }
+
+    Tick epoch_start = sys.now();
+    CounterSnapshot epoch_snap = sys.snapshot();
+
+    // Profiling phase under the previous configuration.
+    sys.run(epoch_start + cfg.profileLen);
+
+    const std::uint64_t fepoch = static_cast<std::uint64_t>(epochNo);
+    SystemProfile prof = policy->wantsOracleProfile()
+                             ? sys.oracleProfile(cfg.epochLen)
+                             : sys.makeProfile(epoch_snap);
+    if (inj) {
+        prof = inj->perturbProfile(prof, fepoch, sys.now(), nullptr,
+                                   nullptr);
+    }
+    FreqConfig prev_cfg = sys.currentConfig();
+    policy->setObsTick(sys.now());
+    if (granted_cap_w > 0.0)
+        policy->setPowerCap(granted_cap_w);
+    FreqConfig decision =
+        epochNo < cfg.warmupEpochs
+            ? prev_cfg
+            : policy->safeDecide(prof, em, prev_cfg, cfg.epochLen);
+    FreqConfig granted =
+        inj ? inj->filterTransition(decision, prev_cfg, fepoch,
+                                    sys.now(), nullptr, nullptr)
+            : decision;
+    epochNo += 1;
+
+    // Profiling-window power, accounted before frequencies change.
+    PowerBreakdown prof_pb = sys.windowPower(epoch_snap);
+    CounterSnapshot mid_snap = sys.snapshot();
+    double prof_secs = ticksToSeconds(mid_snap.tick - epoch_snap.tick);
+
+    Tick epoch_len =
+        inj ? inj->jitteredEpochLen(cfg.epochLen, cfg.profileLen,
+                                    fepoch, sys.now(), nullptr,
+                                    nullptr)
+            : cfg.epochLen;
+    sys.applyConfig(granted);
+    sys.run(epoch_start + epoch_len);
+
+    PowerBreakdown run_pb = sys.windowPower(mid_snap);
+    double run_secs = ticksToSeconds(sys.now() - mid_snap.tick);
+
+    EpochObservation obs;
+    obs.epochProfile = sys.makeProfile(epoch_snap);
+    obs.instrs = sys.instrsSince(epoch_snap);
+    obs.epochTicks = sys.now() - epoch_start;
+    obs.applied = granted;
+    if (sys.numApps() > sys.numCores())
+        obs.appOnCore = sys.appAssignment();
+    policy->observeEpoch(obs, em);
+
+    // Epoch energy/power: time-weighted across the two windows.
+    double secs = prof_secs + run_secs;
+    out.energyJ = prof_pb.totalW() * prof_secs
+                  + run_pb.totalW() * run_secs;
+    out.avgPowerW = secs > 0.0 ? out.energyJ / secs : 0.0;
+    out.cpuW = secs > 0.0 ? (prof_pb.cpuW * prof_secs
+                             + run_pb.cpuW * run_secs)
+                                / secs
+                          : 0.0;
+    out.memW = secs > 0.0 ? (prof_pb.memW * prof_secs
+                             + run_pb.memW * run_secs)
+                                / secs
+                          : 0.0;
+
+    // Model views for the allocator: what the policy thought it
+    // applied, and the feasibility envelope on the *measured* epoch
+    // profile (clean by construction — faults only touch the profile
+    // the policy reads). Non-finite predictions (fault-poisoned
+    // profile reached the decision) carry the previous envelope.
+    double pred = em.systemPower(prof, granted);
+    out.predictedW = std::isfinite(pred) ? pred : out.avgPowerW;
+    int n = sys.numCores();
+    FreqConfig all_max = FreqConfig::allMax(n);
+    FreqConfig all_min;
+    all_min.coreIdx.assign(static_cast<size_t>(n),
+                           em.cores().size() - 1);
+    all_min.memIdx = em.mem().size() - 1;
+    double min_w = em.systemPower(obs.epochProfile, all_min);
+    double max_w = em.systemPower(obs.epochProfile, all_max);
+    if (std::isfinite(min_w))
+        lastMinW = min_w;
+    if (std::isfinite(max_w))
+        lastMaxW = max_w;
+    out.minW = lastMinW;
+    out.maxW = lastMaxW;
+    out.overCap = granted_cap_w > 0.0
+                  && out.predictedW > granted_cap_w;
+
+    std::uint64_t instrs = 0;
+    for (std::uint64_t v : obs.instrs)
+        instrs += v;
+    out.instrs = instrs;
+    lastInstrs = instrs;
+
+    out.memIdx = granted.memIdx;
+    double idx_sum = 0.0;
+    for (int idx : granted.coreIdx)
+        idx_sum += idx;
+    out.avgCoreIdx = granted.coreIdx.empty()
+                         ? 0.0
+                         : idx_sum / static_cast<double>(
+                               granted.coreIdx.size());
+    return out;
+}
+
+void
+NodeSim::enqueue(std::uint64_t requests, std::uint64_t epoch)
+{
+    if (requests == 0)
+        return;
+    Batch b;
+    b.arrivalEpoch = epoch;
+    b.remaining = requests;
+    queue.push_back(b);
+}
+
+NodeServiceStats
+NodeSim::serveQueue(std::uint64_t epoch, double epoch_secs,
+                    double instr_per_request, double slo_secs)
+{
+    NodeServiceStats stats;
+    COSCALE_CHECK(instr_per_request >= 1.0,
+                  "instr_per_request must be >= 1");
+    std::uint64_t capacity = static_cast<std::uint64_t>(
+        static_cast<double>(lastInstrs) / instr_per_request);
+    while (capacity > 0 && !queue.empty()) {
+        Batch &b = queue.front();
+        std::uint64_t served =
+            b.remaining < capacity ? b.remaining : capacity;
+        b.remaining -= served;
+        capacity -= served;
+        stats.completed += served;
+        // Arrival epoch through serving epoch inclusive: a request
+        // served the epoch it arrived still waited one epoch.
+        double latency =
+            static_cast<double>(epoch - b.arrivalEpoch + 1)
+            * epoch_secs;
+        stats.latencySecsSum += latency * static_cast<double>(served);
+        if (latency > stats.maxLatencySecs)
+            stats.maxLatencySecs = latency;
+        if (latency > slo_secs)
+            stats.sloViolations += served;
+        if (b.remaining == 0)
+            queue.pop_front();
+    }
+    return stats;
+}
+
+std::uint64_t
+NodeSim::queuedRequests() const
+{
+    std::uint64_t total = 0;
+    for (const Batch &b : queue)
+        total += b.remaining;
+    return total;
+}
+
+} // namespace cluster
+} // namespace coscale

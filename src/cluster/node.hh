@@ -1,0 +1,164 @@
+/**
+ * @file
+ * One node of the simulated cluster: a full System (cores, LLC, DRAM)
+ * driven epoch-by-epoch under an externally granted power cap, plus
+ * an open-loop request queue served by the instructions the node
+ * actually retired.
+ *
+ * NodeSim::advanceEpoch mirrors one iteration of the single-machine
+ * epoch loop (sim/runner.cc) — profile, decide, transition, run the
+ * epoch out, observe — with two cluster-specific twists: the granted
+ * cap is pushed into the policy (Policy::setPowerCap) before it
+ * decides, and the node runs open-ended (the workload is a compute
+ * substrate, not a finite job), so there is no completion handling.
+ *
+ * Determinism: a node owns every bit of its state (System, policy
+ * instance, fault injector) and advanceEpoch touches nothing shared,
+ * so the cluster may advance nodes on any thread in any order and the
+ * per-node outcomes are bit-identical. Trace emission is deliberately
+ * left to the cluster layer, which serializes it in node-index order.
+ */
+
+#ifndef COSCALE_CLUSTER_NODE_HH
+#define COSCALE_CLUSTER_NODE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_injector.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+
+namespace coscale {
+namespace cluster {
+
+/** What one epoch under a grant did, as the allocator and traces see it. */
+struct NodeEpochOutcome
+{
+    /** The cap this epoch ran under (0 = uncapped). */
+    double grantW = 0.0;
+
+    /** Measured average power over the whole epoch (profiling included). */
+    double avgPowerW = 0.0;
+    double cpuW = 0.0;
+    double memW = 0.0;
+
+    /** Measured energy of the whole epoch, joules. */
+    double energyJ = 0.0;
+
+    /** Model-predicted power of the applied configuration. */
+    double predictedW = 0.0;
+
+    /**
+     * Model-predicted power envelope of this node on this epoch's
+     * measured profile: all-min and all-max configurations. The
+     * allocator's feasibility bounds for the next grant round. When
+     * the model output is non-finite (a fault-poisoned profile) the
+     * previous finite values are carried.
+     */
+    double minW = 0.0;
+    double maxW = 0.0;
+
+    /** The policy predicted over its grant (grant > 0 only). */
+    bool overCap = false;
+
+    /** Instructions retired this epoch — the request-serving capacity. */
+    std::uint64_t instrs = 0;
+
+    /** Applied memory ladder index and mean core ladder index. */
+    int memIdx = 0;
+    double avgCoreIdx = 0.0;
+};
+
+/** Queue outcome of one epoch's request service. */
+struct NodeServiceStats
+{
+    std::uint64_t completed = 0;
+    std::uint64_t sloViolations = 0;
+    double latencySecsSum = 0.0;
+    double maxLatencySecs = 0.0;
+};
+
+class NodeSim
+{
+  public:
+    /**
+     * @param node_id position in the cluster (labels and traces)
+     * @param cfg complete node configuration (cfg.seed must already
+     *        be the per-node seed — the cluster derives one per node)
+     * @param apps one AppSpec per core (the compute substrate)
+     * @param factory fresh policy instance for this node
+     * @param faults fault plan (disabled plan = clean node)
+     */
+    NodeSim(int node_id, const SystemConfig &cfg,
+            const std::vector<AppSpec> &apps,
+            const PolicyFactory &factory,
+            const fault::FaultPlan &faults);
+
+    /**
+     * Run one epoch under @p granted_cap_w (0 = uncapped: the policy
+     * keeps whatever cap it was built with untouched).
+     */
+    NodeEpochOutcome advanceEpoch(double granted_cap_w);
+
+    /**
+     * Force a configuration before the first epoch. Capped clusters
+     * boot every node in the all-min state: epoch 0 profiles under
+     * it, so even the first epoch cannot overshoot the budget the
+     * way an all-max cold start would.
+     */
+    void presetConfig(const FreqConfig &c) { sys.applyConfig(c); }
+
+    /** Add @p requests arrivals routed here at @p epoch. */
+    void enqueue(std::uint64_t requests, std::uint64_t epoch);
+
+    /**
+     * Serve queued requests with the capacity the last advanceEpoch
+     * earned: floor(instrs / instr_per_request) whole requests, FIFO.
+     * A request's latency spans its arrival epoch through the serving
+     * epoch inclusive, at @p epoch_secs per epoch.
+     */
+    NodeServiceStats serveQueue(std::uint64_t epoch, double epoch_secs,
+                                double instr_per_request,
+                                double slo_secs);
+
+    std::uint64_t queuedRequests() const;
+
+    int id() const { return nodeId; }
+    const System &system() const { return sys; }
+    Policy &nodePolicy() { return *policy; }
+    std::uint64_t eventsDispatched() const
+    {
+        return sys.eventsDispatched();
+    }
+    fault::FaultSummary faultSummary() const
+    {
+        return inj ? inj->summary() : fault::FaultSummary{};
+    }
+
+  private:
+    struct Batch
+    {
+        std::uint64_t arrivalEpoch = 0;
+        std::uint64_t remaining = 0;
+    };
+
+    int nodeId;
+    System sys;
+    EnergyModel em;
+    std::unique_ptr<Policy> policy;
+    std::unique_ptr<fault::FaultInjector> inj;
+
+    int epochNo = 0;
+    std::uint64_t lastInstrs = 0;
+    double lastMinW = 0.0;
+    double lastMaxW = 0.0;
+    std::deque<Batch> queue;
+};
+
+} // namespace cluster
+} // namespace coscale
+
+#endif // COSCALE_CLUSTER_NODE_HH

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -75,6 +76,72 @@ resolveJobs(int requested)
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+parallelFor(int jobs, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    if (jobs <= 1 || n <= 1) {
+        // Serial path mirrors the parallel exception contract: every
+        // index runs, then the lowest failing index's error surfaces.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; ++i) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    struct ErrState
+    {
+        Mutex mu;
+        std::size_t index COSCALE_GUARDED_BY(mu) =
+            std::numeric_limits<std::size_t>::max();
+        std::exception_ptr error COSCALE_GUARDED_BY(mu);
+    };
+    ErrState err;
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                MutexLock lock(err.mu);
+                if (i < err.index) {
+                    err.index = i;
+                    err.error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::size_t workers = static_cast<std::size_t>(jobs) < n
+                              ? static_cast<std::size_t>(jobs)
+                              : n;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    MutexLock lock(err.mu);
+    if (err.error)
+        std::rethrow_exception(err.error);
 }
 
 ExperimentEngine::ExperimentEngine(EngineOptions options_)
@@ -289,56 +356,29 @@ ExperimentEngine::run(const std::vector<RunRequest> &requests)
     if (requests.empty())
         return outcomes;
 
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     Mutex progressMu; // serializes the stderr progress lines only
 
-    auto worker = [&] {
-        for (;;) {
-            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= requests.size())
-                return;
-            outcomes[i] = runOne(requests[i], i);
-            std::size_t finished =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (options.progress) {
-                MutexLock lock(progressMu);
-                std::fprintf(stderr, "[exp] %zu/%zu %s (%.2fs)%s\n",
-                             finished, requests.size(),
-                             outcomes[i].label.c_str(),
-                             outcomes[i].wallSecs,
-                             outcomes[i].ok ? ""
-                                            : " (FAILED)");
-            }
+    parallelFor(jobCount, requests.size(), [&](std::size_t i) {
+        outcomes[i] = runOne(requests[i], i);
+        std::size_t finished =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (options.progress) {
+            MutexLock lock(progressMu);
+            std::fprintf(stderr, "[exp] %zu/%zu %s (%.2fs)%s\n",
+                         finished, requests.size(),
+                         outcomes[i].label.c_str(),
+                         outcomes[i].wallSecs,
+                         outcomes[i].ok ? "" : " (FAILED)");
         }
-    };
+    });
 
-    int workers = jobCount;
-    if (static_cast<std::size_t>(workers) > requests.size())
-        workers = static_cast<int>(requests.size());
-
-    auto poolSummary = [&] {
-        if (!options.progress)
-            return;
+    if (options.progress) {
         std::fprintf(stderr,
                      "[exp] baseline pool: %llu hits, %llu misses\n",
                      static_cast<unsigned long long>(pool().hits()),
                      static_cast<unsigned long long>(pool().misses()));
-    };
-
-    if (workers <= 1) {
-        worker();
-        poolSummary();
-        return outcomes;
     }
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t)
-        threads.emplace_back(worker);
-    for (std::thread &t : threads)
-        t.join();
-    poolSummary();
     return outcomes;
 }
 

@@ -32,6 +32,7 @@
 #define COSCALE_EXP_ENGINE_HH
 
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -49,6 +50,27 @@ namespace exp {
  * (minimum 1).
  */
 int resolveJobs(int requested);
+
+/**
+ * Run fn(0) .. fn(n-1), each exactly once, on up to @p jobs worker
+ * threads (atomic-next-index pool; serial in index order when
+ * @p jobs <= 1 or @p n <= 1). The index argument is taken literally —
+ * callers wanting COSCALE_JOBS / hardware-concurrency resolution pass
+ * resolveJobs(requested).
+ *
+ * Exception semantics match the engine's determinism contract: every
+ * index runs regardless of failures elsewhere (no early abort, so the
+ * set of executed indices never depends on thread timing), and after
+ * all indices complete the exception from the LOWEST failing index is
+ * rethrown. Callers therefore see the same error for jobs = 1 and
+ * jobs = N.
+ *
+ * fn must be safe to invoke concurrently from distinct threads for
+ * distinct indices; parallelFor itself never invokes it twice for the
+ * same index.
+ */
+void parallelFor(int jobs, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
 
 struct EngineOptions
 {

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "policy/coscale_policy.hh"
+#include "policy/fastcap.hh"
 #include "policy/multiscale.hh"
 #include "policy/offline.hh"
 #include "policy/power_cap.hh"
@@ -50,6 +51,7 @@ knownPolicyNames()
         "cpuonly",   "uncoordinated",    "semi",
         "semi-alt",  "coscale",          "coscale-chipwide",
         "offline",   "multiscale",       "powercap",
+        "fastcap",
     };
     return names;
 }
@@ -118,6 +120,12 @@ policyFactoryByName(const std::string &name, int cores, double gamma,
     if (p == "powercap") {
         return [capWatts] {
             return std::make_unique<PowerCapPolicy>(capWatts);
+        };
+    }
+    if (p == "fastcap") {
+        return [cores, gamma, capWatts] {
+            return std::make_unique<FastCapPolicy>(cores, gamma,
+                                                   capWatts);
         };
     }
     return {};

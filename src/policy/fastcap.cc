@@ -1,0 +1,92 @@
+#include "policy/fastcap.hh"
+
+#include <algorithm>
+
+#include "policy/power_cap.hh"
+
+namespace coscale {
+
+FreqConfig
+FastCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
+                      const FreqConfig &, Tick)
+{
+    // Phase 1 — fit: the shared greedy descent, aiming slightly below
+    // the cap for model-error headroom (same 4% margin as PowerCap).
+    double target = capWatts * 0.96;
+    std::uint64_t candidates = 0;
+    std::uint64_t mem_steps = 0;
+    FreqConfig cfg = greedyCapDescent(profile, em, target, &overCap,
+                                      &candidates, &mem_steps);
+
+    // Phase 2 — fairness upgrade: the utility-greedy descent can
+    // overshoot (its last, highest-utility step is not necessarily
+    // the cheapest one that fits), leaving headroom another dimension
+    // could use. Repeatedly take the single upgrade that most reduces
+    // predicted relative time while still fitting under the target.
+    // Each iteration raises one ladder index, so the loop is bounded
+    // by the total rung count.
+    constexpr double eps = 1e-12;
+    while (!overCap) {
+        int n = static_cast<int>(profile.cores.size());
+        double cur_rel = em.relativeTime(profile, cfg);
+        double best_rel = cur_rel - eps;
+        FreqConfig best_next = cfg;
+        bool any = false;
+
+        if (cfg.memIdx > 0) {
+            FreqConfig next = cfg;
+            next.memIdx -= 1;
+            candidates += 1;
+            if (em.systemPower(profile, next) <= target) {
+                double rel = em.relativeTime(profile, next);
+                if (rel < best_rel) {
+                    best_rel = rel;
+                    best_next = next;
+                    any = true;
+                }
+            }
+        }
+        for (int i = 0; i < n; ++i) {
+            if (cfg.coreIdx[static_cast<size_t>(i)] == 0)
+                continue;
+            FreqConfig next = cfg;
+            next.coreIdx[static_cast<size_t>(i)] -= 1;
+            candidates += 1;
+            if (em.systemPower(profile, next) <= target) {
+                double rel = em.relativeTime(profile, next);
+                if (rel < best_rel) {
+                    best_rel = rel;
+                    best_next = next;
+                    any = true;
+                }
+            }
+        }
+        if (!any)
+            break;
+        if (best_next.memIdx != cfg.memIdx)
+            mem_steps += 1;
+        cfg = best_next;
+    }
+
+    if (obsEnabled())
+        traceSearch(candidates, mem_steps, 0, 0, -1.0);
+    return cfg;
+}
+
+void
+FastCapPolicy::observeEpoch(const EpochObservation &obs,
+                            const EnergyModel &em)
+{
+    // Honest all-max reference, like CoScale: the ledger records how
+    // far the cap pushed each application behind its nominal pace.
+    // Reporting only — decide() never reads it (see the header).
+    int n = static_cast<int>(obs.epochProfile.cores.size());
+    double secs = ticksToSeconds(obs.epochTicks);
+    for (int i = 0; i < n; ++i) {
+        int app = appOf(obs.appOnCore, i);
+        tracker.update(app, em.tpiAtMax(obs.epochProfile, i),
+                       obs.instrs[static_cast<size_t>(i)], secs);
+    }
+}
+
+} // namespace coscale

@@ -185,6 +185,15 @@ class Policy
      */
     virtual const SlackTracker *slackLedger() const { return nullptr; }
 
+    /**
+     * Update the power cap this policy optimizes under, in watts. A
+     * no-op for uncapped policies; the capped ones (PowerCap,
+     * FastCap) honour it from the next decide(). The cluster layer's
+     * allocator calls this every cluster epoch with the node's
+     * granted share of the global budget.
+     */
+    virtual void setPowerCap(double) {}
+
     // --- observability wiring (obs/) ---
 
     /**

@@ -5,21 +5,17 @@
 namespace coscale {
 
 FreqConfig
-PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
-                       const FreqConfig &, Tick)
+greedyCapDescent(const SystemProfile &profile, const EnergyModel &em,
+                 double target_w, bool *over_cap,
+                 std::uint64_t *candidates, std::uint64_t *mem_steps)
 {
     int n = static_cast<int>(profile.cores.size());
     FreqConfig cfg = FreqConfig::allMax(n);
-    overCap = false;
+    *over_cap = false;
 
-    // Aim slightly below the cap: the prediction is model-based and
-    // the epoch's actual activity can run a little hotter than the
-    // profiling window suggested.
-    double target = capWatts * 0.96;
     constexpr double eps = 1e-15;
-    std::uint64_t candidates = 1;
-    std::uint64_t mem_steps = 0;
-    while (em.systemPower(profile, cfg) > target) {
+    *candidates += 1;
+    while (em.systemPower(profile, cfg) > target_w) {
         // Candidate steps: one memory step or one step on any core.
         double best_utility = -1.0;
         FreqConfig best_next = cfg;
@@ -35,7 +31,7 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
                     - em.relativeTime(profile, cfg),
                 eps);
             double u = d_power / d_perf;
-            candidates += 1;
+            *candidates += 1;
             if (u > best_utility) {
                 best_utility = u;
                 best_next = next;
@@ -56,7 +52,7 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
                     - em.relativeTime(profile, cfg),
                 eps);
             double u = d_power / d_perf;
-            candidates += 1;
+            *candidates += 1;
             if (u > best_utility) {
                 best_utility = u;
                 best_next = next;
@@ -65,13 +61,28 @@ PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
         }
 
         if (!any) {
-            overCap = true;  // everything already at minimum
+            *over_cap = true;  // everything already at minimum
             break;
         }
         if (best_next.memIdx != cfg.memIdx)
-            mem_steps += 1;
+            *mem_steps += 1;
         cfg = best_next;
     }
+    return cfg;
+}
+
+FreqConfig
+PowerCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
+                       const FreqConfig &, Tick)
+{
+    // Aim slightly below the cap: the prediction is model-based and
+    // the epoch's actual activity can run a little hotter than the
+    // profiling window suggested.
+    double target = capWatts * 0.96;
+    std::uint64_t candidates = 0;
+    std::uint64_t mem_steps = 0;
+    FreqConfig cfg = greedyCapDescent(profile, em, target, &overCap,
+                                      &candidates, &mem_steps);
     // The capping walk optimises power fit, not SER, so no best_ser.
     if (obsEnabled())
         traceSearch(candidates, mem_steps, 0, 0, -1.0);

@@ -16,6 +16,20 @@
 
 namespace coscale {
 
+/**
+ * The shared capping walk: start from all-max and greedily take the
+ * highest-utility (delta power / delta performance) single step —
+ * one memory rung or one rung on one core — until the predicted
+ * system power fits under @p target_w. Sets *over_cap when even
+ * all-min cannot fit; accumulates search telemetry into
+ * *candidates / *mem_steps (all three pointers required). Used by
+ * PowerCapPolicy and FastCapPolicy.
+ */
+FreqConfig greedyCapDescent(const SystemProfile &profile,
+                            const EnergyModel &em, double target_w,
+                            bool *over_cap, std::uint64_t *candidates,
+                            std::uint64_t *mem_steps);
+
 /** Greedy power-capping controller built on the CoScale machinery. */
 class PowerCapPolicy final : public Policy
 {
@@ -36,6 +50,8 @@ class PowerCapPolicy final : public Policy
     }
 
     double cap() const { return capWatts; }
+
+    void setPowerCap(double watts) override { capWatts = watts; }
 
     /** True if the last decision could not fit under the cap. */
     bool lastDecisionOverCap() const { return overCap; }
