@@ -13,9 +13,17 @@
  * can track the cluster path's throughput trajectory alongside the
  * kernel benchmark.
  *
+ * With --churn SPEC the sweep runs a second, churned leg: the same
+ * budgets with node crashes, hangs, flaps, and telemetry blackouts
+ * injected (cluster/churn.hh). The exit code then additionally
+ * asserts the failure-domain headline: the measured cluster power
+ * never exceeds the budget during any churn event, and availability
+ * and the degraded/clean SLO attribution are reported per run.
+ *
  * Usage: bench_cluster [--nodes N] [--epochs E] [--scale S]
  *                      [--node-cores C] [--jobs J] [--mix NAME]
  *                      [--arrival SPEC] [--fracs a,b,c]
+ *                      [--churn SPEC]
  *                      [--csv-out PATH] [--json-out PATH]
  */
 
@@ -51,6 +59,14 @@ struct SweepRow
     std::uint64_t events = 0;
     double wallS = 0.0;
     double floorW = 0.0; //!< model all-min power, summed over nodes
+
+    // Failure-domain leg (zero / 1.0 for clean runs).
+    bool churned = false;
+    double availability = 1.0;
+    std::uint64_t churnEvents = 0;
+    std::uint64_t rerouted = 0;
+    std::uint64_t sloDegraded = 0;
+    std::uint64_t sloClean = 0;
 };
 
 SweepRow
@@ -83,6 +99,12 @@ runConfig(const ClusterConfig &cfg, const std::string &name)
     for (const coscale::cluster::NodeEpochOutcome &o :
          sim.lastOutcomes())
         row.floorW += o.minW;
+    row.churned = cfg.churn.enabled();
+    row.availability = r.availability;
+    row.churnEvents = r.churn.total();
+    row.rerouted = r.churn.reroutedRequests;
+    row.sloDegraded = r.sloViolationsDegraded;
+    row.sloClean = r.sloViolationsClean;
     return row;
 }
 
@@ -128,6 +150,7 @@ main(int argc, char **argv)
     int jobs = 0; // auto
     std::string mix = "MID1";
     std::string arrival;
+    std::string churn;
     std::string csv_out = "bench_cluster.csv";
     std::string json_out = "BENCH_cluster.json";
     std::vector<double> fracs = {0.85, 0.7, 0.55};
@@ -148,6 +171,8 @@ main(int argc, char **argv)
             mix = argStr(argc, argv, i, a);
         else if (!std::strcmp(a, "--arrival"))
             arrival = argStr(argc, argv, i, a);
+        else if (!std::strcmp(a, "--churn"))
+            churn = argStr(argc, argv, i, a);
         else if (!std::strcmp(a, "--csv-out"))
             csv_out = argStr(argc, argv, i, a);
         else if (!std::strcmp(a, "--json-out"))
@@ -166,6 +191,16 @@ main(int argc, char **argv)
             }
         } else {
             std::fprintf(stderr, "unknown flag '%s'\n", a);
+            return 2;
+        }
+    }
+
+    coscale::cluster::ChurnPlan churn_plan;
+    if (!churn.empty()) {
+        try {
+            churn_plan = coscale::cluster::parseChurnSpec(churn);
+        } catch (const coscale::cluster::ChurnParseError &e) {
+            std::fprintf(stderr, "bad --churn: %s\n", e.what());
             return 2;
         }
     }
@@ -236,25 +271,60 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("%-28s %9s %9s %9s %5s %9s %7s\n", "run", "budget_w",
-                "worst_w", "mean_w", "viol", "completed", "slo");
+    // Churned leg: the same fastcap budgets with the failure domain
+    // armed. The budget stays a hard invariant through crashes,
+    // hangs, fences, and re-routing — that is the claim the exit
+    // code checks.
+    if (churn_plan.enabled()) {
+        for (double frac : fracs) {
+            double budget = floor_w + frac * (p0 - floor_w);
+            ClusterConfig cfg = base;
+            cfg.policy = "fastcap";
+            cfg.budgetW = budget;
+            cfg.churn = churn_plan;
+            std::snprintf(label, sizeof(label),
+                          "cluster%d_fastcap_cap%02d_churn", nodes,
+                          static_cast<int>(frac * 100.0 + 0.5));
+            rows.push_back(runConfig(cfg, label));
+        }
+    }
+
+    std::printf("%-34s %9s %9s %9s %5s %9s %7s %6s\n", "run",
+                "budget_w", "worst_w", "mean_w", "viol", "completed",
+                "slo", "avail");
     for (const SweepRow &r : rows) {
-        std::printf("%-28s %9.1f %9.1f %9.1f %5llu %9llu %7llu%s\n",
-                    r.name.c_str(), r.budgetW, r.worstPowerW,
-                    r.meanPowerW,
-                    static_cast<unsigned long long>(r.capViolations),
-                    static_cast<unsigned long long>(r.completed),
-                    static_cast<unsigned long long>(r.sloViolations),
-                    r.capViolations > 0 ? "   <-- VIOLATES" : "");
+        std::printf(
+            "%-34s %9.1f %9.1f %9.1f %5llu %9llu %7llu %6.3f%s\n",
+            r.name.c_str(), r.budgetW, r.worstPowerW, r.meanPowerW,
+            static_cast<unsigned long long>(r.capViolations),
+            static_cast<unsigned long long>(r.completed),
+            static_cast<unsigned long long>(r.sloViolations),
+            r.availability,
+            r.capViolations > 0 ? "   <-- VIOLATES" : "");
+    }
+    for (const SweepRow &r : rows) {
+        if (!r.churned)
+            continue;
+        std::printf("%s: %llu churn events, %llu rerouted, "
+                    "availability %.3f, slo degraded/clean "
+                    "%llu/%llu\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.churnEvents),
+                    static_cast<unsigned long long>(r.rerouted),
+                    r.availability,
+                    static_cast<unsigned long long>(r.sloDegraded),
+                    static_cast<unsigned long long>(r.sloClean));
     }
 
     std::ofstream csv(csv_out, std::ios::binary);
     csv << "name,policy,budget_w,worst_power_w,mean_power_w,"
-           "cap_violation_epochs,completed,slo_violations,queued\n";
+           "cap_violation_epochs,completed,slo_violations,queued,"
+           "availability,churn_events,rerouted\n";
     for (const SweepRow &r : rows) {
-        char line[256];
+        char line[320];
         std::snprintf(line, sizeof(line),
-                      "%s,%s,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu\n",
+                      "%s,%s,%.3f,%.3f,%.3f,%llu,%llu,%llu,%llu,"
+                      "%.6f,%llu,%llu\n",
                       r.name.c_str(), r.policy.c_str(), r.budgetW,
                       r.worstPowerW, r.meanPowerW,
                       static_cast<unsigned long long>(
@@ -262,7 +332,10 @@ main(int argc, char **argv)
                       static_cast<unsigned long long>(r.completed),
                       static_cast<unsigned long long>(
                           r.sloViolations),
-                      static_cast<unsigned long long>(r.queued));
+                      static_cast<unsigned long long>(r.queued),
+                      r.availability,
+                      static_cast<unsigned long long>(r.churnEvents),
+                      static_cast<unsigned long long>(r.rerouted));
         csv << line;
     }
     csv.close();
@@ -288,6 +361,13 @@ main(int argc, char **argv)
         j.field("budget_w", r.budgetW);
         j.field("worst_power_w", r.worstPowerW);
         j.field("cap_violation_epochs", r.capViolations);
+        if (r.churned) {
+            j.field("availability", r.availability);
+            j.field("churn_events", r.churnEvents);
+            j.field("rerouted_requests", r.rerouted);
+            j.field("slo_violations_degraded", r.sloDegraded);
+            j.field("slo_violations_clean", r.sloClean);
+        }
         j.endObject();
     }
     j.endArray();
@@ -298,9 +378,14 @@ main(int argc, char **argv)
 
     // The headline claim, machine-checked: with the allocator armed,
     // FastCap never exceeds any budget; plain CoScale does at least
-    // once (it ignores the cap by design).
+    // once (it ignores the cap by design). With churn armed the cap
+    // invariant must additionally survive every churn event, churn
+    // must actually have happened (otherwise the leg proves
+    // nothing), and availability must reflect the lost node-epochs.
     bool fastcap_clean = true;
     bool coscale_violates = false;
+    bool churn_happened = !churn_plan.enabled();
+    bool churn_observed = !churn_plan.enabled();
     for (const SweepRow &r : rows) {
         if (r.budgetFrac == 0.0 && r.budgetW == 0.0)
             continue;
@@ -308,10 +393,23 @@ main(int argc, char **argv)
             fastcap_clean = false;
         if (r.policy == "coscale" && r.capViolations > 0)
             coscale_violates = true;
+        if (r.churned && r.churnEvents > 0)
+            churn_happened = true;
+        if (r.churned && r.availability < 1.0)
+            churn_observed = true;
     }
     std::printf("fastcap respects every budget: %s\n",
                 fastcap_clean ? "yes" : "NO");
     std::printf("uncapped-policy fleet violates: %s\n",
                 coscale_violates ? "yes" : "NO (unexpected)");
-    return fastcap_clean && coscale_violates ? 0 : 1;
+    if (churn_plan.enabled()) {
+        std::printf("churn events occurred: %s\n",
+                    churn_happened ? "yes" : "NO (plan too weak)");
+        std::printf("availability reflects downtime: %s\n",
+                    churn_observed ? "yes" : "NO (no node lost)");
+    }
+    return fastcap_clean && coscale_violates && churn_happened
+                   && churn_observed
+               ? 0
+               : 1;
 }

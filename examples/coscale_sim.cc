@@ -55,6 +55,11 @@
  *                        burstx=4,ipr=250e3,slo=2e-3,seed=7"
  *                        (default: ~1.5 requests/node/epoch)
  *     --lb NAME          load balancer: rr, least-loaded, weighted
+ *     --churn SPEC       node churn plan, e.g.
+ *                        "crash=0.05,reboot=3,ramp=2,flap=0.02,
+ *                        hang=0.05,hangx=2,blackout=0.1,blackoutx=1,
+ *                        suspect=1,dead=3,seed=7"
+ *                        (default: no churn; see DESIGN.md §12)
  *   In cluster mode --policy selects the per-node policy (fastcap
  *   couples with the allocator; anything else ignores its grants),
  *   --mix the per-node workload ('all' is rejected), --jobs the node
@@ -130,6 +135,7 @@ struct Options
     int clusterEpochs = 12;
     std::string arrival;
     std::string lb = "weighted";
+    std::string churn;
 };
 
 /** Parse a probability/amplitude fault knob; reject negatives. */
@@ -251,6 +257,8 @@ parseArgs(int argc, char **argv)
             opt.arrival = need(i);
         } else if (a == "--lb") {
             opt.lb = need(i);
+        } else if (a == "--churn") {
+            opt.churn = need(i);
         } else if (a == "--help" || a == "-h") {
             std::printf("see the header comment of "
                         "examples/coscale_sim.cc for options\n");
@@ -367,6 +375,8 @@ runCluster(const Options &opt)
     ccfg.jobs = opt.jobs;
     try {
         ccfg.lb = cluster::parseLbPolicy(opt.lb);
+        if (!opt.churn.empty())
+            ccfg.churn = cluster::parseChurnSpec(opt.churn);
         if (!opt.arrival.empty()) {
             ccfg.arrival = cluster::parseArrivalSpec(opt.arrival);
         } else {
@@ -425,6 +435,22 @@ runCluster(const Options &opt)
                         result.capViolationEpochs));
     }
     std::printf("\n");
+    if (ccfg.churn.enabled()) {
+        const cluster::ChurnSummary &cs = result.churn;
+        std::printf(
+            "churn: %llu crashes, %llu flaps, %llu hangs, %llu "
+            "blackouts, %llu deaths (%llu fenced), %llu rejoins, "
+            "%llu rerouted; availability %.3f\n",
+            static_cast<unsigned long long>(cs.crashes),
+            static_cast<unsigned long long>(cs.flaps),
+            static_cast<unsigned long long>(cs.hangs),
+            static_cast<unsigned long long>(cs.blackouts),
+            static_cast<unsigned long long>(cs.deaths),
+            static_cast<unsigned long long>(cs.fences),
+            static_cast<unsigned long long>(cs.rejoins),
+            static_cast<unsigned long long>(cs.reroutedRequests),
+            result.availability);
+    }
 
     if (!opt.csvPath.empty()) {
         CsvWriter csv(opt.csvPath);
@@ -542,6 +568,8 @@ main(int argc, char **argv)
         }
     }
     exp::appendJsonlReport(outcomes, opt.jsonlPath);
+    exp::appendQuarantineSummary(engine.quarantinedKeys(),
+                                 opt.jsonlPath);
 
     if (opt.metrics) {
         for (const auto &out : outcomes) {

@@ -33,10 +33,31 @@ fastcapAllocate(double budget_w,
     std::vector<double> weight(n, 0.0);
     double sum_min = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-        min_w[i] = finiteOrZero(nodes[i].minW);
-        double max_w = std::max(min_w[i], finiteOrZero(nodes[i].maxW));
-        headroom[i] = max_w - min_w[i];
-        weight[i] = finiteOrZero(nodes[i].demand);
+        switch (nodes[i].trust) {
+          case NodeTrust::Dead:
+            // Fenced and drawing nothing: reclaim the whole grant.
+            min_w[i] = 0.0;
+            headroom[i] = 0.0;
+            weight[i] = 0.0;
+            break;
+          case NodeTrust::Stale:
+            // Silent but possibly still drawing: reserve the
+            // conservative envelope as a hard floor with no upside —
+            // the node cannot be steered, so it gets no demand share
+            // and no headroom, just its reservation.
+            min_w[i] = std::max(finiteOrZero(nodes[i].minW),
+                                finiteOrZero(nodes[i].maxW));
+            headroom[i] = 0.0;
+            weight[i] = 0.0;
+            break;
+          case NodeTrust::Fresh:
+            min_w[i] = finiteOrZero(nodes[i].minW);
+            headroom[i] =
+                std::max(min_w[i], finiteOrZero(nodes[i].maxW))
+                - min_w[i];
+            weight[i] = finiteOrZero(nodes[i].demand);
+            break;
+        }
         sum_min += min_w[i];
     }
 

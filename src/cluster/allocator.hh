@@ -18,6 +18,31 @@
 namespace coscale {
 namespace cluster {
 
+/**
+ * How much the allocator may trust one node's report this round
+ * (health monitoring feeds this; cluster/health.hh).
+ */
+enum class NodeTrust
+{
+    /** Report is current: full minW/maxW/demand participation. */
+    Fresh,
+
+    /**
+     * Report is stale or the node is silent but possibly still
+     * drawing (suspect, hung, telemetry blackout): the node is
+     * budgeted a fixed conservative reservation — max(minW, maxW) as
+     * both floor and ceiling, no demand share — so the global cap
+     * stays safe without trusting a word it says.
+     */
+    Stale,
+
+    /**
+     * Declared dead and fenced: zero reservation, its whole grant is
+     * reclaimed for the survivors.
+     */
+    Dead,
+};
+
 /** One node's inputs to the allocator, from its last epoch profile. */
 struct NodePowerDemand
 {
@@ -34,6 +59,9 @@ struct NodePowerDemand
      *  zero-demand nodes receive just their minimum; when every
      *  demand is zero the remainder is shared equally. */
     double demand = 0.0;
+
+    /** Telemetry trust level (default preserves PR 8 behaviour). */
+    NodeTrust trust = NodeTrust::Fresh;
 };
 
 /**
@@ -46,11 +74,17 @@ struct NodePowerDemand
  *  - monotone in budget_w: more budget never shrinks any grant,
  *  - symmetric: identical nodes receive identical grants,
  *  - demand-monotone: raising one node's demand (all else equal)
- *    never shrinks that node's grant.
+ *    never shrinks that node's grant,
+ *  - Dead nodes are granted exactly 0 regardless of their reported
+ *    envelope (their watts go back into the shared pool),
+ *  - Stale nodes are granted exactly their reservation
+ *    max(minW, maxW) when the budget covers all floors, never more.
  *
  * When the budget cannot even cover the minima, grants scale the
  * minima proportionally — every node is over-capped and its
  * controller pins all-min (the overCap condition nodes report).
+ * Stale reservations scale down with everyone else's floors in that
+ * regime: the budget stays a hard invariant even mid-churn.
  */
 std::vector<double> fastcapAllocate(
     double budget_w, const std::vector<NodePowerDemand> &nodes);

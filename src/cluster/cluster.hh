@@ -32,7 +32,11 @@
 #include <string>
 #include <vector>
 
+#include <deque>
+
 #include "cluster/arrival.hh"
+#include "cluster/churn.hh"
+#include "cluster/health.hh"
 #include "cluster/node.hh"
 #include "fault/fault_plan.hh"
 #include "obs/metrics.hh"
@@ -52,6 +56,24 @@ enum class LbPolicy
 /** Parse "rr" / "least-loaded" / "weighted". Throws on unknown names. */
 LbPolicy parseLbPolicy(const std::string &name);
 const char *lbPolicyName(LbPolicy lb);
+
+/**
+ * Weighted largest-remainder apportionment: split @p total into
+ * integer counts proportional to @p weights, exactly conserving the
+ * total. Non-positive and non-finite weights contribute nothing
+ * while any weight is positive; when no weight is positive the split
+ * falls back to equal weights. Leftover units go to the largest
+ * fractional parts (stable, index-ordered tie-break), or rotate from
+ * index (@p rotation % n) when @p rotate_leftovers is set (the
+ * RoundRobin balancer's anti-bias).
+ *
+ * Pure and deterministic; property-tested in tests/test_cluster.cc
+ * (conservation, zero-weight nodes, all-equal weights,
+ * single-survivor routing).
+ */
+std::vector<std::uint64_t> largestRemainderSplit(
+    std::uint64_t total, const std::vector<double> &weights,
+    std::uint64_t rotation, bool rotate_leftovers);
 
 /**
  * A node SystemConfig sized for fleet runs: makeScaledConfig(scale)
@@ -88,6 +110,14 @@ struct ClusterConfig
     /** Fault plan applied to every node (per-node fault seeds). */
     fault::FaultPlan faults;
 
+    /**
+     * Node churn plan (crashes, hangs, flaps, telemetry blackouts)
+     * plus the health monitor's suspicion thresholds. A disabled
+     * plan (the default) skips the failure domain entirely and the
+     * run is bit-identical to a pre-churn cluster.
+     */
+    ChurnPlan churn;
+
     /** Worker threads for the node fan-out (resolveJobs semantics). */
     int jobs = 1;
 };
@@ -105,6 +135,14 @@ struct ClusterEpochStats
     double meanLatencySecs = 0.0;
     double maxLatencySecs = 0.0;
     bool capExceeded = false; //!< budget armed and powerW > budget
+
+    // Failure-domain view of the epoch (all zero when churn is off).
+    std::uint64_t downNodes = 0;    //!< physically down this epoch
+    std::uint64_t hungNodes = 0;    //!< wedged this epoch
+    std::uint64_t suspectNodes = 0; //!< monitor belief after deadline
+    std::uint64_t deadNodes = 0;    //!< monitor belief after deadline
+    std::uint64_t reroutedRequests = 0; //!< drained and re-routed
+    bool degraded = false; //!< any node not Up this epoch
 };
 
 /** Whole-run aggregate. */
@@ -119,6 +157,16 @@ struct ClusterResult
     std::uint64_t finalQueued = 0;
     std::uint64_t totalEvents = 0; //!< kernel events, all nodes
     fault::FaultSummary faults;    //!< summed over nodes
+
+    // Failure-domain aggregates (zero / 1.0 when churn is off).
+    ChurnSummary churn;
+    std::uint64_t nodeEpochs = 0;        //!< nodes x epochs
+    std::uint64_t nodeEpochsServing = 0; //!< phase Up or Ramping
+    double availability = 1.0; //!< serving node-epochs / node-epochs
+
+    /** SLO attribution: violations in degraded vs clean epochs. */
+    std::uint64_t sloViolationsDegraded = 0;
+    std::uint64_t sloViolationsClean = 0;
 };
 
 class ClusterSim
@@ -145,10 +193,31 @@ class ClusterSim
     {
         return outcomes;
     }
+    const ChurnSummary &churnSummary() const { return churnSum; }
+    const HealthMonitor &healthMonitor() const { return monitor; }
+
+    /** Requests parked while no node was routable (counts as queue). */
+    std::uint64_t unroutedRequests() const;
 
   private:
-    std::vector<std::uint64_t> route(std::uint64_t arrivals);
+    /**
+     * The serial churn pre-phase for one epoch: advance lifecycle
+     * clocks, draw new failure episodes, evaluate every heartbeat
+     * deadline, fence and drain freshly-dead nodes (their batches
+     * land in @p drained), and promote finished ramps.
+     */
+    void applyChurn(std::vector<QueuedBatch> &drained);
+
+    /** Balancer weights for this epoch, churn-masked; all-zero means
+     *  no routable node (the caller parks the work). */
+    std::vector<double> routeWeights() const;
+
+    std::vector<std::uint64_t> route(std::uint64_t arrivals,
+                                     const std::vector<double> &w);
     std::vector<double> computeGrants();
+
+    void emitChurnEvent(Tick tick, std::uint64_t node,
+                        const char *kind, std::uint64_t spanEpochs);
 
     ClusterConfig cfg;
     std::vector<std::unique_ptr<NodeSim>> nodes;
@@ -156,6 +225,12 @@ class ClusterSim
     std::uint64_t epochNo = 0;
     TraceSink *sink = nullptr;
     MetricsRegistry *metrics = nullptr;
+
+    // Failure domain (inert when cfg.churn is disabled).
+    HealthMonitor monitor;
+    std::uint64_t churnSeedVal = 0;
+    ChurnSummary churnSum;
+    std::deque<QueuedBatch> unrouted; //!< parked: no routable node
 };
 
 /** Machine-readable run report (deterministic; epoch series + totals). */

@@ -1,0 +1,100 @@
+#include "cluster/health.hh"
+
+#include "check/contract.hh"
+
+namespace coscale {
+namespace cluster {
+
+const char *
+nodeHealthName(NodeHealth h)
+{
+    switch (h) {
+      case NodeHealth::Alive:
+        return "alive";
+      case NodeHealth::Suspect:
+        return "suspect";
+      case NodeHealth::Dead:
+        return "dead";
+      case NodeHealth::Rejoining:
+        return "rejoining";
+    }
+    return "?";
+}
+
+HealthMonitor::HealthMonitor(int nodes, int suspect_after,
+                             int dead_after)
+    : suspectAfter(suspect_after), deadAfter(dead_after),
+      entries(static_cast<std::size_t>(nodes))
+{
+    COSCALE_CHECK(nodes >= 1, "monitor needs at least 1 node");
+    COSCALE_CHECK(suspect_after >= 1,
+                  "suspect threshold must be >= 1");
+    COSCALE_CHECK(dead_after >= suspect_after,
+                  "dead threshold must be >= suspect threshold");
+}
+
+HealthMonitor::Verdict
+HealthMonitor::observe(int node, bool heartbeat)
+{
+    Entry &e = entries[static_cast<std::size_t>(node)];
+    Verdict v;
+    if (heartbeat) {
+        e.missed = 0;
+        switch (e.health) {
+          case NodeHealth::Alive:
+          case NodeHealth::Rejoining:
+            break; // rejoining resolves via markRampDone, not here
+          case NodeHealth::Suspect:
+            e.health = NodeHealth::Alive;
+            break;
+          case NodeHealth::Dead:
+            e.health = NodeHealth::Rejoining;
+            v.justRejoined = true;
+            break;
+        }
+    } else {
+        e.missed += 1;
+        if (e.health != NodeHealth::Dead && e.missed >= deadAfter) {
+            e.health = NodeHealth::Dead;
+            v.justDied = true;
+        } else if ((e.health == NodeHealth::Alive
+                    || e.health == NodeHealth::Rejoining)
+                   && e.missed >= suspectAfter) {
+            e.health = NodeHealth::Suspect;
+        }
+    }
+    v.health = e.health;
+    return v;
+}
+
+void
+HealthMonitor::markRampDone(int node)
+{
+    Entry &e = entries[static_cast<std::size_t>(node)];
+    if (e.health == NodeHealth::Rejoining)
+        e.health = NodeHealth::Alive;
+}
+
+NodeHealth
+HealthMonitor::health(int node) const
+{
+    return entries[static_cast<std::size_t>(node)].health;
+}
+
+int
+HealthMonitor::missedHeartbeats(int node) const
+{
+    return entries[static_cast<std::size_t>(node)].missed;
+}
+
+int
+HealthMonitor::countWith(NodeHealth h) const
+{
+    int n = 0;
+    for (const Entry &e : entries)
+        n += e.health == h ? 1 : 0;
+    return n;
+}
+
+} // namespace cluster
+} // namespace coscale

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Cluster health monitoring: per-epoch heartbeat deadlines with
+ * configurable suspicion thresholds, driving the alive -> suspect ->
+ * dead -> rejoining lifecycle the allocator and load balancer react
+ * to (DESIGN.md §12).
+ *
+ * The monitor only sees what a real control plane would: whether a
+ * node's heartbeat made this epoch's deadline. It cannot distinguish
+ * a crashed node from a hung or partitioned one — that asymmetry is
+ * the point, and the reason a dead verdict fences the node
+ * (STONITH-style forced power-off) before its grant is reclaimed.
+ *
+ * Deterministic and single-threaded by design: ClusterSim drives
+ * observe() serially in node-index order during its epoch pre-phase,
+ * so the monitor's state never depends on worker scheduling.
+ */
+
+#ifndef COSCALE_CLUSTER_HEALTH_HH
+#define COSCALE_CLUSTER_HEALTH_HH
+
+#include <vector>
+
+namespace coscale {
+namespace cluster {
+
+/** The monitor's belief about one node (not its physical state). */
+enum class NodeHealth
+{
+    Alive,     //!< heartbeats on deadline; routable, trusted
+    Suspect,   //!< missed >= suspectAfter deadlines; not routable,
+               //!< budgeted conservatively
+    Dead,      //!< missed >= deadAfter deadlines; fenced, drained,
+               //!< grant reclaimed
+    Rejoining, //!< heartbeat returned after death; ramping from
+               //!< all-min before full trust
+};
+
+const char *nodeHealthName(NodeHealth h);
+
+class HealthMonitor
+{
+  public:
+    /** What one observe() call decided, with edge triggers. */
+    struct Verdict
+    {
+        NodeHealth health = NodeHealth::Alive;
+        bool justDied = false;     //!< crossed the dead threshold now
+        bool justRejoined = false; //!< dead -> rejoining now
+    };
+
+    /**
+     * @param nodes fleet size
+     * @param suspect_after missed heartbeats before suspect (>= 1)
+     * @param dead_after missed heartbeats before dead (>= suspect)
+     */
+    HealthMonitor(int nodes, int suspect_after, int dead_after);
+
+    /**
+     * Record @p node's heartbeat outcome for the current epoch and
+     * return the (possibly updated) verdict. Called once per node per
+     * epoch, serially.
+     */
+    Verdict observe(int node, bool heartbeat);
+
+    /**
+     * Promote a rejoining node to alive once its warm-up ramp is
+     * done (the cluster tracks ramp progress; the monitor tracks
+     * belief).
+     */
+    void markRampDone(int node);
+
+    NodeHealth health(int node) const;
+    int missedHeartbeats(int node) const;
+
+    /** Fleet counts by current belief, for traces and stats. */
+    int countWith(NodeHealth h) const;
+
+  private:
+    struct Entry
+    {
+        NodeHealth health = NodeHealth::Alive;
+        int missed = 0;
+    };
+
+    int suspectAfter;
+    int deadAfter;
+    std::vector<Entry> entries;
+};
+
+} // namespace cluster
+} // namespace coscale
+
+#endif // COSCALE_CLUSTER_HEALTH_HH

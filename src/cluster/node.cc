@@ -7,6 +7,22 @@
 namespace coscale {
 namespace cluster {
 
+const char *
+nodePhaseName(NodePhase p)
+{
+    switch (p) {
+      case NodePhase::Up:
+        return "up";
+      case NodePhase::Hung:
+        return "hung";
+      case NodePhase::Down:
+        return "down";
+      case NodePhase::Ramping:
+        return "ramping";
+    }
+    return "?";
+}
+
 NodeSim::NodeSim(int node_id, const SystemConfig &cfg,
                  const std::vector<AppSpec> &apps,
                  const PolicyFactory &factory,
@@ -143,7 +159,128 @@ NodeSim::advanceEpoch(double granted_cap_w)
                          ? 0.0
                          : idx_sum / static_cast<double>(
                                granted.coreIdx.size());
+
+    // A completed epoch is the lifecycle's reference point: the last
+    // grant actually received, the hold template for a future hang,
+    // and a fresh telemetry report for the allocator.
+    lastGrantW = granted_cap_w;
+    lastOut = out;
+    telemetryFresh = true;
     return out;
+}
+
+void
+NodeSim::beginEpoch()
+{
+    if (phaseNow == NodePhase::Down) {
+        downLeft -= 1;
+        if (downLeft <= 0) {
+            // Reboot: warm restart into the all-min configuration.
+            // The workload state survives (warm reboot), but the
+            // machine comes back at its power floor and ramps.
+            FreqConfig low;
+            low.coreIdx.assign(
+                static_cast<size_t>(sys.numCores()),
+                em.cores().size() - 1);
+            low.memIdx = em.mem().size() - 1;
+            sys.applyConfig(low);
+            rampLeft = pendingRamp;
+            phaseNow = rampLeft > 0 ? NodePhase::Ramping
+                                    : NodePhase::Up;
+        }
+    } else if (phaseNow == NodePhase::Hung) {
+        hangLeft -= 1;
+        if (hangLeft <= 0)
+            phaseNow = NodePhase::Up;
+    } else if (phaseNow == NodePhase::Ramping) {
+        rampLeft -= 1;
+        if (rampLeft <= 0)
+            phaseNow = NodePhase::Up;
+    }
+    if (blackoutLeft > 0)
+        blackoutLeft -= 1;
+}
+
+void
+NodeSim::crash(int down_epochs, int ramp_epochs)
+{
+    COSCALE_CHECK(down_epochs >= 1, "downtime must be >= 1 epoch");
+    phaseNow = NodePhase::Down;
+    downLeft = down_epochs;
+    pendingRamp = ramp_epochs >= 0 ? ramp_epochs : 0;
+    hangLeft = 0;
+    blackoutLeft = 0;
+    lastInstrs = 0;
+    telemetryFresh = false;
+}
+
+void
+NodeSim::hang(int epochs)
+{
+    COSCALE_CHECK(epochs >= 1, "hang must last >= 1 epoch");
+    if (phaseNow != NodePhase::Up)
+        return;
+    phaseNow = NodePhase::Hung;
+    hangLeft = epochs;
+}
+
+void
+NodeSim::blackout(int epochs)
+{
+    COSCALE_CHECK(epochs >= 1, "blackout must last >= 1 epoch");
+    if (epochs > blackoutLeft)
+        blackoutLeft = epochs;
+}
+
+NodeEpochOutcome
+NodeSim::holdEpoch()
+{
+    // Wedged: the machine neither advances nor obeys new grants, but
+    // it is still powered — stuck drawing what it drew last epoch.
+    // This is exactly why silent nodes get conservative reservations:
+    // reclaiming a hung node's grant would double-spend its watts.
+    NodeEpochOutcome out = lastOut;
+    out.grantW = lastGrantW;
+    out.instrs = 0;
+    out.overCap = false;
+    lastInstrs = 0;
+    telemetryFresh = false;
+    return out;
+}
+
+NodeEpochOutcome
+NodeSim::downEpoch()
+{
+    lastInstrs = 0;
+    telemetryFresh = false;
+    return NodeEpochOutcome{};
+}
+
+std::vector<QueuedBatch>
+NodeSim::drainQueue()
+{
+    std::vector<QueuedBatch> drained(queue.begin(), queue.end());
+    queue.clear();
+    return drained;
+}
+
+void
+NodeSim::enqueueAged(std::uint64_t arrival_epoch,
+                     std::uint64_t requests)
+{
+    if (requests == 0)
+        return;
+    QueuedBatch b;
+    b.arrivalEpoch = arrival_epoch;
+    b.remaining = requests;
+    // The queue is nondecreasing in arrival epoch (normal enqueues
+    // append the current epoch); keep it that way so FIFO latency
+    // accounting stays exact for re-routed work.
+    auto it = std::find_if(queue.begin(), queue.end(),
+                           [arrival_epoch](const QueuedBatch &q) {
+                               return q.arrivalEpoch > arrival_epoch;
+                           });
+    queue.insert(it, b);
 }
 
 void
@@ -151,7 +288,7 @@ NodeSim::enqueue(std::uint64_t requests, std::uint64_t epoch)
 {
     if (requests == 0)
         return;
-    Batch b;
+    QueuedBatch b;
     b.arrivalEpoch = epoch;
     b.remaining = requests;
     queue.push_back(b);
@@ -167,7 +304,7 @@ NodeSim::serveQueue(std::uint64_t epoch, double epoch_secs,
     std::uint64_t capacity = static_cast<std::uint64_t>(
         static_cast<double>(lastInstrs) / instr_per_request);
     while (capacity > 0 && !queue.empty()) {
-        Batch &b = queue.front();
+        QueuedBatch &b = queue.front();
         std::uint64_t served =
             b.remaining < capacity ? b.remaining : capacity;
         b.remaining -= served;
@@ -193,7 +330,7 @@ std::uint64_t
 NodeSim::queuedRequests() const
 {
     std::uint64_t total = 0;
-    for (const Batch &b : queue)
+    for (const QueuedBatch &b : queue)
         total += b.remaining;
     return total;
 }

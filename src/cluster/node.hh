@@ -22,17 +22,41 @@
 #ifndef COSCALE_CLUSTER_NODE_HH
 #define COSCALE_CLUSTER_NODE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <vector>
 
+#include "cluster/health.hh"
 #include "fault/fault_injector.hh"
 #include "sim/runner.hh"
 #include "sim/system.hh"
 
 namespace coscale {
 namespace cluster {
+
+/**
+ * The node's physical condition, as churn actually leaves it —
+ * distinct from NodeHealth, which is only the monitor's belief.
+ */
+enum class NodePhase
+{
+    Up,      //!< running normally under its grant
+    Hung,    //!< wedged: powered (stuck at last power) but retiring
+             //!< and serving nothing, heartbeats missed
+    Down,    //!< crashed or fenced: zero power, zero service
+    Ramping, //!< rebooted at all-min, warming up before full load
+};
+
+const char *nodePhaseName(NodePhase p);
+
+/** One routed batch of requests, FIFO by arrival epoch. */
+struct QueuedBatch
+{
+    std::uint64_t arrivalEpoch = 0;
+    std::uint64_t remaining = 0;
+};
 
 /** What one epoch under a grant did, as the allocator and traces see it. */
 struct NodeEpochOutcome
@@ -126,6 +150,83 @@ class NodeSim
 
     std::uint64_t queuedRequests() const;
 
+    // --- failure-domain lifecycle (driven serially by ClusterSim's
+    // --- epoch pre-phase; see cluster.cc and DESIGN.md §12) ---
+
+    NodePhase phase() const { return phaseNow; }
+    NodeHealth health() const { return healthNow; }
+    void setHealth(NodeHealth h) { healthNow = h; }
+
+    /**
+     * Advance the lifecycle clocks one epoch: a finished downtime
+     * reboots into the all-min configuration (Ramping, or Up when the
+     * ramp is zero), a finished hang resumes Up, a finished ramp
+     * resumes Up, and an active blackout ticks down.
+     */
+    void beginEpoch();
+
+    /**
+     * Power loss (a drawn crash/flap, or a dead-verdict fence): down
+     * for @p down_epochs, then reboot into all-min and ramp for
+     * @p ramp_epochs.
+     */
+    void crash(int down_epochs, int ramp_epochs);
+
+    /** Wedge for @p epochs: powered but inert, heartbeats missed. */
+    void hang(int epochs);
+
+    /** Suppress telemetry toward the allocator for @p epochs. */
+    void blackout(int epochs);
+
+    bool blackoutActive() const { return blackoutLeft > 0; }
+
+    /**
+     * True when the allocator holds a trustworthy report of this
+     * node's last epoch (false right after hangs and reboots until
+     * the next normal epoch completes).
+     */
+    bool telemetryOk() const { return telemetryFresh; }
+
+    /**
+     * Conservative power reservation for a node whose telemetry is
+     * stale or whose heartbeats are missing: the larger of the last
+     * grant it is known to have received and the last all-max
+     * envelope it reported. Budgeting a silent node at this level
+     * keeps the global cap safe even if it is hung and still drawing.
+     */
+    double
+    staleReserveW() const
+    {
+        return std::max(lastGrantW, lastMaxW);
+    }
+
+    /** Last-known all-min power: the warm-up grant after a reboot. */
+    double rebootFloorW() const { return lastMinW; }
+
+    /**
+     * The epoch of a hung node: nothing advances, nothing retires,
+     * but the machine is still powered and stuck drawing its last
+     * measured power. Service capacity collapses to zero.
+     */
+    NodeEpochOutcome holdEpoch();
+
+    /** The epoch of a crashed/fenced node: zero power, zero service. */
+    NodeEpochOutcome downEpoch();
+
+    /**
+     * Hand the queue over for re-routing (dead-node drain). The
+     * queue is left empty; batches keep their arrival epochs so
+     * latency accounting survives the move.
+     */
+    std::vector<QueuedBatch> drainQueue();
+
+    /**
+     * Re-enqueue a drained batch, preserving FIFO-by-arrival order
+     * (inserted before the first batch that arrived later).
+     */
+    void enqueueAged(std::uint64_t arrival_epoch,
+                     std::uint64_t requests);
+
     int id() const { return nodeId; }
     const System &system() const { return sys; }
     Policy &nodePolicy() { return *policy; }
@@ -139,12 +240,6 @@ class NodeSim
     }
 
   private:
-    struct Batch
-    {
-        std::uint64_t arrivalEpoch = 0;
-        std::uint64_t remaining = 0;
-    };
-
     int nodeId;
     System sys;
     EnergyModel em;
@@ -155,7 +250,20 @@ class NodeSim
     std::uint64_t lastInstrs = 0;
     double lastMinW = 0.0;
     double lastMaxW = 0.0;
-    std::deque<Batch> queue;
+    std::deque<QueuedBatch> queue;
+
+    // Lifecycle state (mutated only in the cluster's serial phases
+    // and by this node's own epoch — never shared across workers).
+    NodePhase phaseNow = NodePhase::Up;
+    NodeHealth healthNow = NodeHealth::Alive;
+    int downLeft = 0;     //!< epochs of downtime remaining
+    int hangLeft = 0;     //!< epochs of hang remaining
+    int blackoutLeft = 0; //!< epochs of telemetry blackout remaining
+    int rampLeft = 0;     //!< warm-up epochs remaining
+    int pendingRamp = 0;  //!< ramp length to apply at reboot
+    bool telemetryFresh = true;
+    double lastGrantW = 0.0;
+    NodeEpochOutcome lastOut; //!< the hold template for hung epochs
 };
 
 } // namespace cluster

@@ -165,6 +165,40 @@ ExperimentEngine::quarantineKey(const RunRequest &req) const
            + std::to_string(workloadDigest(req.apps));
 }
 
+bool
+ExperimentEngine::quarantineExpired(const QuarantineEntry &e) const
+{
+    if (options.quarantineResetSecs <= 0.0)
+        return false;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - e.last)
+               .count()
+           >= options.quarantineResetSecs;
+}
+
+std::vector<std::string>
+ExperimentEngine::quarantinedKeys()
+{
+    std::vector<std::string> keys;
+    if (options.quarantineAfter <= 0)
+        return keys;
+    MutexLock lock(quarantineMu);
+    for (const auto &kv : exhaustedFailures) {
+        if (kv.second.count >= options.quarantineAfter
+            && !quarantineExpired(kv.second)) {
+            keys.push_back(kv.first); // map order: already sorted
+        }
+    }
+    return keys;
+}
+
+void
+ExperimentEngine::resetQuarantine()
+{
+    MutexLock lock(quarantineMu);
+    exhaustedFailures.clear();
+}
+
 ExperimentEngine::Attempt
 ExperimentEngine::runAttempt(const RunRequest &req)
 {
@@ -291,14 +325,19 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
     if (options.quarantineAfter > 0) {
         MutexLock lock(quarantineMu);
         auto it = exhaustedFailures.find(key);
-        if (it != exhaustedFailures.end()
-            && it->second >= options.quarantineAfter) {
-            out.quarantined = true;
-            out.error = "request '" + req.label
-                        + "': quarantined after "
-                        + std::to_string(it->second)
-                        + " exhausted failures";
-            return out;
+        if (it != exhaustedFailures.end()) {
+            if (quarantineExpired(it->second)) {
+                // Strikes aged out: parole the identity and let it
+                // prove itself with a fresh record.
+                exhaustedFailures.erase(it);
+            } else if (it->second.count >= options.quarantineAfter) {
+                out.quarantined = true;
+                out.error = "request '" + req.label
+                            + "': quarantined after "
+                            + std::to_string(it->second.count)
+                            + " exhausted failures";
+                return out;
+            }
         }
     }
 
@@ -335,7 +374,9 @@ ExperimentEngine::runOne(const RunRequest &req, std::size_t index)
 
     if (!out.ok && !out.quarantined && options.quarantineAfter > 0) {
         MutexLock lock(quarantineMu);
-        exhaustedFailures[key] += 1;
+        QuarantineEntry &e = exhaustedFailures[key];
+        e.count += 1;
+        e.last = std::chrono::steady_clock::now();
     }
 
     out.wallSecs = std::chrono::duration<double>(

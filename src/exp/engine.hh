@@ -31,6 +31,7 @@
 #ifndef COSCALE_EXP_ENGINE_HH
 #define COSCALE_EXP_ENGINE_HH
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -103,6 +104,15 @@ struct EngineOptions
      * requests are refused without running. 0 disables quarantine.
      */
     int quarantineAfter = 3;
+
+    /**
+     * Host seconds after which an identity's failure strikes expire:
+     * a request whose last exhausted failure is older than this runs
+     * again with a clean record (transient-environment recovery
+     * without restarting the engine). 0 = strikes never expire;
+     * resetQuarantine() clears everything immediately either way.
+     */
+    double quarantineResetSecs = 0.0;
 };
 
 /** Outcome of one request in a batch (index = request position). */
@@ -157,6 +167,18 @@ class ExperimentEngine
 
     BaselinePool &pool() const;
 
+    /**
+     * Request identities currently refused by quarantine (strike
+     * count at the threshold and, with quarantineResetSecs set, not
+     * yet expired), sorted. Batch harnesses append these to the JSONL
+     * summary so a refused identity is visible without grepping for
+     * individual "quarantined" outcome lines.
+     */
+    std::vector<std::string> quarantinedKeys();
+
+    /** Forgive every identity: clear all quarantine strikes. */
+    void resetQuarantine();
+
   private:
     struct Attempt
     {
@@ -166,17 +188,29 @@ class ExperimentEngine
         RunResult result;
     };
 
+    /** Strike record for one request identity. */
+    struct QuarantineEntry
+    {
+        int count = 0;
+
+        /** Host time of the last exhausted failure (expiry clock). */
+        std::chrono::steady_clock::time_point last;
+    };
+
     Attempt runAttempt(const RunRequest &req);
     std::string quarantineKey(const RunRequest &req) const;
+
+    /** Strikes expired? (reset knob armed and the record is old.) */
+    bool quarantineExpired(const QuarantineEntry &e) const;
 
     EngineOptions options;
     int jobCount;
 
-    // Exhausted-failure counts per request identity (see
+    // Exhausted-failure records per request identity (see
     // EngineOptions::quarantineAfter). Engine-local on purpose: a
     // fresh engine starts with a clean slate.
     Mutex quarantineMu;
-    std::map<std::string, int> exhaustedFailures
+    std::map<std::string, QuarantineEntry> exhaustedFailures
         COSCALE_GUARDED_BY(quarantineMu);
 };
 

@@ -56,6 +56,34 @@ appendJsonlReport(const std::vector<RunOutcome> &outcomes,
     return outcomes.size();
 }
 
+void
+writeQuarantineSummary(const std::vector<std::string> &keys,
+                       std::ostream &os)
+{
+    if (keys.empty())
+        return;
+    JsonWriter w(os);
+    w.beginObject();
+    w.beginArray("quarantined_keys");
+    for (const std::string &key : keys)
+        w.value(key);
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+void
+appendQuarantineSummary(const std::vector<std::string> &keys,
+                        const std::string &path)
+{
+    if (keys.empty() || path.empty())
+        return;
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        fatal("cannot open '%s' for JSONL output", path.c_str());
+    writeQuarantineSummary(keys, os);
+}
+
 std::size_t
 reportFailures(const std::vector<RunOutcome> &outcomes)
 {

@@ -150,6 +150,17 @@ enum class FaultStream : std::uint64_t
     Stale = 5,
     Transition = 6,
     EpochJitter = 7,
+
+    // Cluster churn lanes (cluster/churn.hh). Values start at 200 so
+    // they can never collide with the single-machine streams above or
+    // with cluster::ArrivalStream (100+) draws sharing a seed. The
+    // sub-index is the node id.
+    ChurnCrash = 200,       //!< does this node crash this epoch?
+    ChurnFlap = 201,        //!< 1-epoch crash blip
+    ChurnHang = 202,        //!< hang/straggler episode gate
+    ChurnHangLen = 203,     //!< hang episode length draw
+    ChurnBlackout = 204,    //!< telemetry blackout gate
+    ChurnBlackoutLen = 205, //!< blackout length draw
 };
 
 /** One round of splitmix64's output mix (bijective, well-avalanched). */

@@ -277,20 +277,6 @@ class MemCtrl
      */
     void setFrequency(ChannelSel sel, int idx, Tick now);
 
-    /** Compatibility shim for setFrequency(ChannelSel::all(), ...). */
-    void
-    setFrequencyIndex(int idx, Tick now)
-    {
-        setFrequency(ChannelSel::all(), idx, now);
-    }
-
-    /** Compatibility shim for setFrequency(ChannelSel::one(ch), ...). */
-    void
-    setChannelFrequencyIndex(int ch, int idx, Tick now)
-    {
-        setFrequency(ChannelSel::one(ch), idx, now);
-    }
-
     int frequencyIndex() const { return freqIdx; }
     Freq busFreq() const { return config.ladder.freq(freqIdx); }
 

@@ -186,11 +186,11 @@ TEST(DramAudit, AcceptsTrafficAcrossFrequencyTransitions)
     // Step down, then back up; the auditor must follow the resolved
     // timing and the re-calibration halts.
     Tick now = 10 * tickPerMs;
-    mc.setFrequencyIndex(mc.cfgRef().ladder.size() - 1, now);
+    mc.setFrequency(ChannelSel::all(), mc.cfgRef().ladder.size() - 1, now);
     burst(1000, now);
     drainAll(mc);
     now = 20 * tickPerMs;
-    mc.setFrequencyIndex(0, now);
+    mc.setFrequency(ChannelSel::all(), 0, now);
     burst(2000, now);
     drainAll(mc);
     EXPECT_GE(audit.commandsAudited(), 192u);

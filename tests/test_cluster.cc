@@ -22,8 +22,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -193,6 +195,170 @@ TEST(FastCapAllocator, AllZeroDemandSharesSurplusEqually)
     std::vector<double> g = cluster::fastcapAllocate(80.0, d);
     for (double gi : g)
         EXPECT_NEAR(gi, 20.0, 1e-9);
+}
+
+TEST(FastCapAllocator, DeadNodeGrantsZeroAndSurvivorsReclaim)
+{
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        int n = 2 + static_cast<int>(k % 8);
+        std::vector<NodePowerDemand> d = randomDemands(k, n);
+        double budget = sumMin(d) + uni(k, 999, 0.0, 80.0);
+        std::vector<double> fresh = cluster::fastcapAllocate(budget, d);
+        size_t who = static_cast<size_t>(k) % d.size();
+        d[who].trust = cluster::NodeTrust::Dead;
+        std::vector<double> g = cluster::fastcapAllocate(budget, d);
+        EXPECT_DOUBLE_EQ(g[who], 0.0) << "case " << k;
+        // Its watts flow back to the pool: no survivor shrinks.
+        for (size_t i = 0; i < d.size(); ++i) {
+            if (i != who) {
+                EXPECT_GE(g[i], fresh[i] - 1e-9)
+                    << "case " << k << " node " << i;
+            }
+        }
+    }
+}
+
+TEST(FastCapAllocator, StaleNodeGetsExactlyItsReservation)
+{
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        int n = 2 + static_cast<int>(k % 8);
+        std::vector<NodePowerDemand> d = randomDemands(k, n);
+        size_t who = static_cast<size_t>(k) % d.size();
+        d[who].trust = cluster::NodeTrust::Stale;
+        double reserve = std::max(d[who].minW, d[who].maxW);
+        // Feasible budget: the reservation is honoured exactly — the
+        // node is budgeted for the worst it could be drawing, no
+        // demand share on top.
+        double budget = sumMin(d) + reserve + uni(k, 999, 1.0, 80.0);
+        std::vector<double> g = cluster::fastcapAllocate(budget, d);
+        EXPECT_NEAR(g[who], reserve, 1e-9) << "case " << k;
+        double s = 0.0;
+        for (double gi : g)
+            s += gi;
+        EXPECT_LE(s, budget * (1.0 + 1e-9)) << "case " << k;
+    }
+}
+
+TEST(FastCapAllocator, StaleReservationScalesWhenBudgetIsScarce)
+{
+    // Mid-churn the budget stays a hard invariant: when it cannot
+    // cover the floors (stale reservations included), everything
+    // scales down proportionally instead of overshooting.
+    std::vector<NodePowerDemand> d = randomDemands(13, 6);
+    d[1].trust = cluster::NodeTrust::Stale;
+    double reserve = std::max(d[1].minW, d[1].maxW);
+    double floors = sumMin(d) - d[1].minW + reserve;
+    double budget = 0.5 * floors;
+    std::vector<double> g = cluster::fastcapAllocate(budget, d);
+    double s = 0.0;
+    for (double gi : g)
+        s += gi;
+    EXPECT_LE(s, budget * (1.0 + 1e-9));
+    EXPECT_NEAR(g[1], reserve * budget / floors, 1e-9);
+}
+
+// --- largestRemainderSplit: apportionment properties ---
+
+std::uint64_t
+splitSum(const std::vector<std::uint64_t> &v)
+{
+    std::uint64_t s = 0;
+    for (std::uint64_t x : v)
+        s += x;
+    return s;
+}
+
+TEST(LargestRemainderSplit, ConservesTheTotalExactly)
+{
+    for (std::uint64_t k = 0; k < 200; ++k) {
+        int n = 1 + static_cast<int>(k % 12);
+        std::vector<double> w;
+        for (int i = 0; i < n; ++i)
+            w.push_back(uni(k, static_cast<std::uint64_t>(i) + 50,
+                            0.0, 10.0));
+        std::uint64_t total = k * 37 % 1000;
+        std::vector<std::uint64_t> g = cluster::largestRemainderSplit(
+            total, w, k, (k % 2) == 0);
+        ASSERT_EQ(g.size(), w.size());
+        EXPECT_EQ(splitSum(g), total) << "case " << k;
+    }
+}
+
+TEST(LargestRemainderSplit, ZeroWeightNodesGetNothing)
+{
+    std::vector<double> w = {0.0, 3.0, 0.0, 1.0};
+    std::vector<std::uint64_t> g =
+        cluster::largestRemainderSplit(100, w, 0, false);
+    EXPECT_EQ(g[0], 0u);
+    EXPECT_EQ(g[2], 0u);
+    EXPECT_EQ(splitSum(g), 100u);
+    // Proportionality among the positive weights.
+    EXPECT_EQ(g[1], 75u);
+    EXPECT_EQ(g[3], 25u);
+}
+
+TEST(LargestRemainderSplit, NegativeAndNonFiniteWeightsAreSanitized)
+{
+    std::vector<double> w = {-5.0,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             2.0};
+    std::vector<std::uint64_t> g =
+        cluster::largestRemainderSplit(40, w, 0, false);
+    EXPECT_EQ(g[0], 0u);
+    EXPECT_EQ(g[1], 0u);
+    EXPECT_EQ(g[2], 0u);
+    EXPECT_EQ(g[3], 40u);
+}
+
+TEST(LargestRemainderSplit, AllEqualWeightsSplitWithinOne)
+{
+    for (std::uint64_t total : {0ull, 1ull, 7ull, 8ull, 103ull}) {
+        std::vector<double> w(8, 3.5);
+        std::vector<std::uint64_t> g = cluster::largestRemainderSplit(
+            total, w, 0, false);
+        EXPECT_EQ(splitSum(g), total);
+        std::uint64_t lo = *std::min_element(g.begin(), g.end());
+        std::uint64_t hi = *std::max_element(g.begin(), g.end());
+        EXPECT_LE(hi - lo, 1u) << "total " << total;
+    }
+}
+
+TEST(LargestRemainderSplit, AllZeroWeightsFallBackToEqual)
+{
+    std::vector<double> w(5, 0.0);
+    std::vector<std::uint64_t> g =
+        cluster::largestRemainderSplit(10, w, 0, false);
+    EXPECT_EQ(splitSum(g), 10u);
+    for (std::uint64_t gi : g)
+        EXPECT_EQ(gi, 2u);
+}
+
+TEST(LargestRemainderSplit, SingleSurvivorTakesEverything)
+{
+    // The self-healing routing case: every node but one is masked
+    // out, so the whole epoch's arrivals land on the survivor.
+    for (size_t who = 0; who < 6; ++who) {
+        std::vector<double> w(6, 0.0);
+        w[who] = 0.25;
+        std::vector<std::uint64_t> g =
+            cluster::largestRemainderSplit(57, w, 3, true);
+        for (size_t i = 0; i < g.size(); ++i)
+            EXPECT_EQ(g[i], i == who ? 57u : 0u) << "survivor " << who;
+    }
+}
+
+TEST(LargestRemainderSplit, RotationMovesLeftoversNotTotals)
+{
+    std::vector<double> w(4, 1.0);
+    // 4 nodes, 6 units: everyone gets 1, two leftovers rotate.
+    std::vector<std::uint64_t> r0 =
+        cluster::largestRemainderSplit(6, w, 0, true);
+    std::vector<std::uint64_t> r1 =
+        cluster::largestRemainderSplit(6, w, 1, true);
+    EXPECT_EQ(splitSum(r0), 6u);
+    EXPECT_EQ(splitSum(r1), 6u);
+    EXPECT_NE(r0, r1);
 }
 
 // --- arrival-spec parser: round trips, error kinds, fuzzing ---
@@ -920,6 +1086,354 @@ TEST(ClusterSim, JsonReportCarriesTheRunShape)
     EXPECT_NE(s.find("fastcap"), std::string::npos);
 }
 
+// --- churn spec parser: round trips and structured errors ---
+
+cluster::ChurnParseError
+expectChurnError(const std::string &spec,
+                 cluster::ChurnParseError::Kind kind)
+{
+    try {
+        cluster::parseChurnSpec(spec);
+    } catch (const cluster::ChurnParseError &e) {
+        EXPECT_EQ(static_cast<int>(e.kind()), static_cast<int>(kind))
+            << "spec '" << spec << "': " << e.what();
+        return e;
+    }
+    ADD_FAILURE() << "spec '" << spec << "' parsed without error";
+    return cluster::ChurnParseError(
+        cluster::ChurnParseError::Kind::EmptySpec, "", 0, "");
+}
+
+TEST(ChurnParse, FormatRoundTrips)
+{
+    cluster::ChurnPlan p;
+    p.seed = 99;
+    p.crashProb = 0.05;
+    p.rebootEpochs = 4;
+    p.rampEpochs = 3;
+    p.flapProb = 0.02;
+    p.hangProb = 0.07;
+    p.hangEpochs = 5;
+    p.blackoutProb = 0.15;
+    p.blackoutEpochs = 2;
+    p.suspectAfter = 2;
+    p.deadAfter = 4;
+    cluster::ChurnPlan q =
+        cluster::parseChurnSpec(cluster::formatChurnSpec(p));
+    EXPECT_EQ(q.seed, p.seed);
+    EXPECT_DOUBLE_EQ(q.crashProb, p.crashProb);
+    EXPECT_EQ(q.rebootEpochs, p.rebootEpochs);
+    EXPECT_EQ(q.rampEpochs, p.rampEpochs);
+    EXPECT_DOUBLE_EQ(q.flapProb, p.flapProb);
+    EXPECT_DOUBLE_EQ(q.hangProb, p.hangProb);
+    EXPECT_EQ(q.hangEpochs, p.hangEpochs);
+    EXPECT_DOUBLE_EQ(q.blackoutProb, p.blackoutProb);
+    EXPECT_EQ(q.blackoutEpochs, p.blackoutEpochs);
+    EXPECT_EQ(q.suspectAfter, p.suspectAfter);
+    EXPECT_EQ(q.deadAfter, p.deadAfter);
+    EXPECT_TRUE(q.enabled());
+}
+
+TEST(ChurnParse, UnsetKeysKeepDefaults)
+{
+    cluster::ChurnPlan p = cluster::parseChurnSpec("crash=0.1");
+    EXPECT_DOUBLE_EQ(p.crashProb, 0.1);
+    EXPECT_EQ(p.rebootEpochs, cluster::ChurnPlan{}.rebootEpochs);
+    EXPECT_EQ(p.deadAfter, cluster::ChurnPlan{}.deadAfter);
+    EXPECT_EQ(p.seed, 0u);
+    EXPECT_TRUE(p.enabled());
+    EXPECT_FALSE(cluster::ChurnPlan{}.enabled());
+}
+
+TEST(ChurnParse, StructuredErrorKinds)
+{
+    using Kind = cluster::ChurnParseError::Kind;
+    expectChurnError("", Kind::EmptySpec);
+    expectChurnError("crash", Kind::BadToken);
+    expectChurnError("=0.1", Kind::BadToken);
+    expectChurnError("crash=", Kind::BadToken);
+    expectChurnError("crash=0.1,,", Kind::BadToken);
+    expectChurnError("bogus=3", Kind::UnknownKey);
+    expectChurnError("crash=abc", Kind::BadValue);
+    expectChurnError("seed=-3", Kind::BadValue);
+    expectChurnError("crash=nan", Kind::BadValue);
+    expectChurnError("crash=1.5", Kind::OutOfRange);
+    expectChurnError("crash=-0.1", Kind::OutOfRange);
+    expectChurnError("reboot=0", Kind::OutOfRange);
+    expectChurnError("hangx=0", Kind::OutOfRange);
+    expectChurnError("crash=0.1,crash=0.2", Kind::DuplicateKey);
+    // The cross-field check: dead must be >= suspect.
+    expectChurnError("suspect=3,dead=2", Kind::OutOfRange);
+}
+
+TEST(ChurnParse, ErrorCarriesTokenAndOffset)
+{
+    cluster::ChurnParseError e = expectChurnError(
+        "crash=0.05,bogus=3",
+        cluster::ChurnParseError::Kind::UnknownKey);
+    EXPECT_EQ(e.token(), "bogus=3");
+    EXPECT_EQ(e.charOffset(), 11u);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+}
+
+// --- churn draws: stateless determinism ---
+
+TEST(ChurnDraw, PureFunctionOfPlanSeedEpochNode)
+{
+    cluster::ChurnPlan p;
+    p.crashProb = 0.3;
+    p.hangProb = 0.3;
+    p.hangEpochs = 4;
+    p.blackoutProb = 0.3;
+    p.blackoutEpochs = 3;
+    int crashes = 0;
+    for (std::uint64_t e = 0; e < 64; ++e) {
+        for (std::uint64_t nd = 0; nd < 8; ++nd) {
+            bool c = cluster::churnCrashAt(p, 42, e, nd);
+            EXPECT_EQ(c, cluster::churnCrashAt(p, 42, e, nd));
+            crashes += c ? 1 : 0;
+            int h = cluster::churnHangLenAt(p, 42, e, nd);
+            EXPECT_EQ(h, cluster::churnHangLenAt(p, 42, e, nd));
+            EXPECT_GE(h, 0);
+            EXPECT_LE(h, p.hangEpochs);
+            int b = cluster::churnBlackoutLenAt(p, 42, e, nd);
+            EXPECT_GE(b, 0);
+            EXPECT_LE(b, p.blackoutEpochs);
+        }
+    }
+    // With prob 0.3 over 512 draws, some crash and some do not.
+    EXPECT_GT(crashes, 0);
+    EXPECT_LT(crashes, 512);
+}
+
+TEST(ChurnDraw, ZeroAndCertainProbabilitiesPin)
+{
+    cluster::ChurnPlan none;
+    cluster::ChurnPlan sure;
+    sure.crashProb = 1.0;
+    sure.flapProb = 1.0;
+    sure.hangProb = 1.0;
+    for (std::uint64_t e = 0; e < 32; ++e) {
+        EXPECT_FALSE(cluster::churnCrashAt(none, 7, e, 0));
+        EXPECT_EQ(cluster::churnHangLenAt(none, 7, e, 0), 0);
+        EXPECT_TRUE(cluster::churnCrashAt(sure, 7, e, 0));
+        EXPECT_TRUE(cluster::churnFlapAt(sure, 7, e, 0));
+        EXPECT_GE(cluster::churnHangLenAt(sure, 7, e, 0), 1);
+    }
+}
+
+TEST(ChurnDraw, SeedDerivationIsStableAndNonZero)
+{
+    cluster::ChurnPlan p;
+    // Explicit plan seed wins; otherwise derived from cluster seed.
+    p.seed = 123;
+    EXPECT_EQ(cluster::churnSeed(p, 7), 123u);
+    p.seed = 0;
+    EXPECT_NE(cluster::churnSeed(p, 7), 0u);
+    EXPECT_EQ(cluster::churnSeed(p, 7), cluster::churnSeed(p, 7));
+    EXPECT_NE(cluster::churnSeed(p, 7), cluster::churnSeed(p, 8));
+}
+
+// --- HealthMonitor: the belief lifecycle ---
+
+TEST(HealthMonitor, LifecycleAliveSuspectDeadRejoining)
+{
+    using cluster::NodeHealth;
+    cluster::HealthMonitor m(2, 1, 3);
+    EXPECT_EQ(m.health(0), NodeHealth::Alive);
+
+    // One missed deadline: suspect, not dead.
+    cluster::HealthMonitor::Verdict v = m.observe(0, false);
+    EXPECT_EQ(v.health, NodeHealth::Suspect);
+    EXPECT_FALSE(v.justDied);
+    EXPECT_EQ(m.missedHeartbeats(0), 1);
+
+    // A heartbeat clears the suspicion entirely.
+    v = m.observe(0, true);
+    EXPECT_EQ(v.health, NodeHealth::Alive);
+    EXPECT_EQ(m.missedHeartbeats(0), 0);
+
+    // Three consecutive misses: dead, with the edge fired once.
+    m.observe(0, false);
+    m.observe(0, false);
+    v = m.observe(0, false);
+    EXPECT_EQ(v.health, NodeHealth::Dead);
+    EXPECT_TRUE(v.justDied);
+    v = m.observe(0, false);
+    EXPECT_EQ(v.health, NodeHealth::Dead);
+    EXPECT_FALSE(v.justDied); // edge, not level
+
+    // Heartbeat returns: rejoining (ramping), then alive once the
+    // cluster reports the ramp finished.
+    v = m.observe(0, true);
+    EXPECT_EQ(v.health, NodeHealth::Rejoining);
+    EXPECT_TRUE(v.justRejoined);
+    v = m.observe(0, true);
+    EXPECT_FALSE(v.justRejoined);
+    m.markRampDone(0);
+    EXPECT_EQ(m.health(0), NodeHealth::Alive);
+
+    // Node 1 was never touched and stays alive throughout.
+    EXPECT_EQ(m.health(1), NodeHealth::Alive);
+    EXPECT_EQ(m.countWith(NodeHealth::Alive), 2);
+    EXPECT_EQ(m.countWith(NodeHealth::Dead), 0);
+}
+
+// --- ClusterSim under churn: self-healing properties ---
+
+/** testCluster with every failure mode armed. */
+ClusterConfig
+churnedCluster(int nodes, int epochs)
+{
+    ClusterConfig cfg = testCluster(nodes, epochs);
+    cfg.churn.crashProb = 0.08;
+    cfg.churn.rebootEpochs = 3;
+    cfg.churn.rampEpochs = 2;
+    cfg.churn.flapProb = 0.05;
+    cfg.churn.hangProb = 0.05;
+    cfg.churn.hangEpochs = 3;
+    cfg.churn.blackoutProb = 0.1;
+    cfg.churn.suspectAfter = 1;
+    cfg.churn.deadAfter = 2;
+    cfg.churn.seed = 11;
+    return cfg;
+}
+
+TEST(ClusterChurn, BooksBalanceAndAvailabilityDegrades)
+{
+    ClusterConfig cfg = churnedCluster(8, 12);
+    cfg.policy = "coscale";
+    ClusterSim sim(cfg);
+    ClusterResult r = sim.run();
+
+    // Request conservation survives crashes, drains, and re-routes:
+    // parked (unrouted) work is part of the final backlog.
+    EXPECT_EQ(r.totalArrivals, r.totalCompleted + r.finalQueued);
+    EXPECT_GT(r.totalArrivals, 0u);
+
+    // Churn actually bit, and the availability accounting agrees
+    // with the per-epoch phase counts.
+    EXPECT_GT(r.churn.total(), 0u);
+    EXPECT_EQ(r.nodeEpochs,
+              static_cast<std::uint64_t>(cfg.numNodes)
+                  * static_cast<std::uint64_t>(cfg.epochs));
+    EXPECT_LT(r.availability, 1.0);
+    EXPECT_GT(r.availability, 0.0);
+    EXPECT_DOUBLE_EQ(r.availability,
+                     static_cast<double>(r.nodeEpochsServing)
+                         / static_cast<double>(r.nodeEpochs));
+    EXPECT_EQ(r.totalSloViolations,
+              r.sloViolationsDegraded + r.sloViolationsClean);
+
+    std::uint64_t down_epochs = 0;
+    for (const ClusterEpochStats &e : r.epochs) {
+        down_epochs += e.downNodes;
+        if (e.downNodes + e.hungNodes > 0) {
+            EXPECT_TRUE(e.degraded) << "epoch " << e.epoch;
+        }
+    }
+    EXPECT_EQ(down_epochs, r.churn.downNodeEpochs);
+}
+
+TEST(ClusterChurn, FastCapHoldsTheCapThroughChurn)
+{
+    // The headline robustness property: node crashes, hangs, and
+    // telemetry blackouts never let measured fleet power exceed a
+    // feasible budget — stale nodes are budgeted at their last-known
+    // worst case, dead nodes are fenced before reclaim.
+    ClusterConfig cfg = churnedCluster(8, 12);
+    cfg.policy = "fastcap";
+    ClusterConfig clean = cfg;
+    clean.churn = cluster::ChurnPlan{};
+    cfg.budgetW = feasibleBudget(clean, 0.7);
+    ClusterSim sim(cfg);
+    ClusterResult r = sim.run();
+    EXPECT_GT(r.churn.total(), 0u);
+    EXPECT_EQ(r.capViolationEpochs, 0u);
+    EXPECT_LE(r.worstPowerW, cfg.budgetW);
+    for (const ClusterEpochStats &e : r.epochs) {
+        EXPECT_LE(e.grantSumW, cfg.budgetW * (1.0 + 1e-9))
+            << "epoch " << e.epoch;
+    }
+}
+
+TEST(ClusterChurn, DeadNodesAreDrainedAndRerouted)
+{
+    // Force deaths: every miss counts, a crash outlives the dead
+    // threshold, so the monitor must declare death, drain the
+    // victim's queue, and re-route it to survivors.
+    ClusterConfig cfg = testCluster(6, 10);
+    cfg.policy = "coscale";
+    cfg.churn.crashProb = 0.15;
+    cfg.churn.rebootEpochs = 4;
+    cfg.churn.rampEpochs = 1;
+    cfg.churn.suspectAfter = 1;
+    cfg.churn.deadAfter = 2;
+    cfg.churn.seed = 5;
+    ClusterSim sim(cfg);
+    ClusterResult r = sim.run();
+    EXPECT_GT(r.churn.crashes, 0u);
+    EXPECT_GT(r.churn.deaths, 0u);
+    EXPECT_GT(r.churn.reroutedRequests, 0u);
+    EXPECT_EQ(r.totalArrivals, r.totalCompleted + r.finalQueued);
+    // Books stay balanced per epoch too (rerouted work is moved,
+    // never duplicated or dropped).
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    for (const ClusterEpochStats &e : r.epochs) {
+        arrivals += e.arrivals;
+        completed += e.completed;
+        EXPECT_EQ(arrivals, completed + e.queued)
+            << "epoch " << e.epoch;
+    }
+}
+
+TEST(ClusterChurn, RebootedNodesRampBackToService)
+{
+    ClusterConfig cfg = churnedCluster(8, 16);
+    cfg.policy = "fastcap";
+    ClusterConfig clean = cfg;
+    clean.churn = cluster::ChurnPlan{};
+    cfg.budgetW = feasibleBudget(clean, 0.7);
+    ClusterSim sim(cfg);
+    ClusterResult r = sim.run();
+    // Crashes happened and at least one node completed the full
+    // down -> reboot -> ramp -> alive arc.
+    EXPECT_GT(r.churn.crashes + r.churn.flaps, 0u);
+    EXPECT_GT(r.churn.rejoins, 0u);
+    EXPECT_GT(r.nodeEpochsServing, 0u);
+}
+
+TEST(ClusterChurn, DisabledPlanIsByteIdenticalToPreChurn)
+{
+    // cfg.churn default-constructs disabled; the golden fixtures
+    // below pin the exact pre-churn bytes. Here: a disabled plan is
+    // the same object as "no churn config at all".
+    ClusterConfig a = testCluster(4, 3);
+    ClusterConfig b = testCluster(4, 3);
+    b.churn = cluster::ChurnPlan{};
+    EXPECT_FALSE(b.churn.enabled());
+    EXPECT_EQ(runTraced(a), runTraced(b));
+}
+
+TEST(ClusterChurn, SerialAndJobs4ChurnedRunsAreByteIdentical)
+{
+    // The acceptance gate: a 32-node churned, capped run — crashes,
+    // fences, drains, re-routes and all — must be byte-for-byte
+    // identical between --jobs 1 and --jobs 4.
+    ClusterConfig cfg = churnedCluster(32, 4);
+    cfg.policy = "fastcap";
+    cfg.budgetW = 32.0 * 30.0;
+    cfg.jobs = 1;
+    std::string serial = runTraced(cfg);
+    cfg.jobs = 4;
+    std::string parallel = runTraced(cfg);
+    EXPECT_FALSE(serial.empty());
+    ASSERT_EQ(serial.size(), parallel.size());
+    EXPECT_TRUE(serial == parallel)
+        << "32-node churned run diverges between jobs=1 and jobs=4";
+}
+
 // --- golden fixtures: the cluster trace format, pinned ---
 
 ClusterConfig
@@ -952,6 +1466,30 @@ TEST(ClusterGolden, FaultedTwinMatchesFixtureAndDiverges)
     EXPECT_GT(r.faults.total(), 0u);
     EXPECT_NE(faulted, runTraced(goldenConfig()));
     checkGolden("cluster_8node_fastcap_faulted.jsonl", faulted);
+}
+
+TEST(ClusterGolden, ChurnedTwinMatchesFixtureAndDiverges)
+{
+    // Pins the failure-domain trace format: churn events, per-epoch
+    // phase/health fields, and the churn summary block in the
+    // report. The clean fixture above stays untouched — a disabled
+    // plan emits none of these.
+    ClusterConfig cfg = goldenConfig();
+    cfg.churn.crashProb = 0.08;
+    cfg.churn.rebootEpochs = 2;
+    cfg.churn.rampEpochs = 1;
+    cfg.churn.hangProb = 0.05;
+    cfg.churn.blackoutProb = 0.1;
+    cfg.churn.suspectAfter = 1;
+    cfg.churn.deadAfter = 2;
+    cfg.churn.seed = 11;
+    ASSERT_TRUE(cfg.churn.enabled());
+    std::string churned = runTraced(cfg);
+    ClusterSim sim(cfg);
+    ClusterResult r = sim.run();
+    EXPECT_GT(r.churn.total(), 0u);
+    EXPECT_NE(churned, runTraced(goldenConfig()));
+    checkGolden("cluster_8node_fastcap_churned.jsonl", churned);
 }
 
 } // namespace

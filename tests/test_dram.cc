@@ -171,7 +171,7 @@ refreshesUnderLoad(Tick until, int second_idx, std::uint64_t *half_out)
         now += 100 * tickPerNs;
         if (!switched && now >= until / 2) {
             *half_out = mc.totalCounters().refreshes;
-            mc.setFrequencyIndex(second_idx, now);
+            mc.setFrequency(ChannelSel::all(), second_idx, now);
             switched = true;
         }
         MemReq r;
@@ -221,7 +221,7 @@ TEST(MemRecalibration, TransitionHaltsTheChannel512CyclesPlus28ns)
 
     auto readFinish = [&](int target, Tick switch_at) -> Tick {
         MemCtrl mc(cfg, 0);
-        mc.setFrequencyIndex(target, switch_at);
+        mc.setFrequency(ChannelSel::all(), target, switch_at);
         MemReq r;
         r.addr = 0x1234;
         r.kind = ReqKind::Read;

@@ -592,5 +592,81 @@ TEST(ExperimentEngine, RepeatedlyFailingRequestGetsQuarantined)
     EXPECT_NE(os.str().find("\"quarantined\":true"), std::string::npos);
 }
 
+TEST(ExperimentEngine, QuarantinedKeysListedAndClearedByReset)
+{
+    SystemConfig cfg = smallConfig();
+    auto makeReq = [&] {
+        return RunRequest::forMix(cfg, mixByName("MEM2"))
+            .with([]() -> std::unique_ptr<Policy> {
+                throw std::runtime_error("always broken");
+            });
+    };
+
+    exp::EngineOptions opts;
+    opts.jobs = 1;
+    opts.quarantineAfter = 2;
+    exp::ExperimentEngine engine(opts);
+
+    EXPECT_TRUE(engine.quarantinedKeys().empty());
+    engine.runOne(makeReq());
+    // One strike is not a quarantine yet.
+    EXPECT_TRUE(engine.quarantinedKeys().empty());
+    engine.runOne(makeReq());
+
+    std::vector<std::string> keys = engine.quarantinedKeys();
+    ASSERT_EQ(keys.size(), 1u);
+    EXPECT_FALSE(keys[0].empty());
+
+    // The summary line carries exactly those keys; an empty set emits
+    // nothing so clean batches stay byte-stable.
+    std::ostringstream os;
+    exp::writeQuarantineSummary(keys, os);
+    EXPECT_EQ(os.str(),
+              "{\"quarantined_keys\":[\"" + keys[0] + "\"]}\n");
+    std::ostringstream empty;
+    exp::writeQuarantineSummary({}, empty);
+    EXPECT_TRUE(empty.str().empty());
+
+    // Reset forgives the strikes: the request runs (and fails) again
+    // instead of being refused up front.
+    engine.resetQuarantine();
+    EXPECT_TRUE(engine.quarantinedKeys().empty());
+    exp::RunOutcome after = engine.runOne(makeReq());
+    EXPECT_FALSE(after.ok);
+    EXPECT_FALSE(after.quarantined);
+    EXPECT_GT(after.attempts, 0);
+}
+
+TEST(ExperimentEngine, QuarantineExpiresAfterResetWindow)
+{
+    SystemConfig cfg = smallConfig();
+    auto makeReq = [&] {
+        return RunRequest::forMix(cfg, mixByName("MEM2"))
+            .with([]() -> std::unique_ptr<Policy> {
+                throw std::runtime_error("always broken");
+            });
+    };
+
+    exp::EngineOptions opts;
+    opts.jobs = 1;
+    opts.quarantineAfter = 2;
+    opts.quarantineResetSecs = 0.05;
+    exp::ExperimentEngine engine(opts);
+
+    engine.runOne(makeReq());
+    engine.runOne(makeReq());
+    EXPECT_EQ(engine.quarantinedKeys().size(), 1u);
+
+    // After the reset window the strikes lapse: the key drops out of
+    // the summary and the next submission is paroled (runs again)
+    // rather than refused.
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_TRUE(engine.quarantinedKeys().empty());
+    exp::RunOutcome paroled = engine.runOne(makeReq());
+    EXPECT_FALSE(paroled.ok);
+    EXPECT_FALSE(paroled.quarantined);
+    EXPECT_GT(paroled.attempts, 0);
+}
+
 } // namespace
 } // namespace coscale

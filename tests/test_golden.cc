@@ -129,7 +129,7 @@ avgLatencyNs(int freq_idx, double reads_per_us, std::uint64_t seed)
     MemCtrlConfig cfg;
     cfg.ladder = defaultMemLadder();
     MemCtrl mc(cfg, 0);
-    mc.setFrequencyIndex(freq_idx, 0);
+    mc.setFrequency(ChannelSel::all(), freq_idx, 0);
     Tick start = 20 * tickPerUs;  // past any recalibration halt
 
     Rng rng(seed);

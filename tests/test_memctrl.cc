@@ -184,7 +184,7 @@ TEST(MemCtrl, RequestsRouteToTheirChannel)
 TEST(MemCtrl, FrequencyChangeHaltsAccesses)
 {
     MemCtrl mc(makeConfig(), 0);
-    mc.setFrequencyIndex(9, 0);  // to 200 MHz
+    mc.setFrequency(ChannelSel::all(), 9, 0);  // to 200 MHz
     EXPECT_EQ(mc.frequencyIndex(), 9);
     EXPECT_DOUBLE_EQ(mc.busFreq(), 200 * MHz);
     mc.enqueue(readReq(0, 0, 0, 1));
@@ -203,7 +203,7 @@ TEST(MemCtrl, SlowerBusStretchesOnlyBurst)
     Tick t_fast = drain(fast)[0].finishAt;
 
     MemCtrl slow(makeConfig(), 0);
-    slow.setFrequencyIndex(9, 0);
+    slow.setFrequency(ChannelSel::all(), 9, 0);
     Tick halt = 512u * 5000u + nsToTicks(28);
     slow.enqueue(readReq(0, halt, 0, 1));
     Tick t_slow = drain(slow)[0].finishAt - halt;
@@ -323,12 +323,12 @@ TEST(MemCtrl, CachedNextEventTickMatchesRecomputeOverRandomStream)
             int idx = static_cast<int>(rng.range(
                 static_cast<std::uint64_t>(cfg.ladder.size())));
             if (rng.bernoulli(0.5)) {
-                mc.setFrequencyIndex(idx, now);
+                mc.setFrequency(ChannelSel::all(), idx, now);
             } else {
                 int ch = static_cast<int>(
                     rng.range(static_cast<std::uint64_t>(
                         cfg.geom.channels)));
-                mc.setChannelFrequencyIndex(ch, idx, now);
+                mc.setFrequency(ChannelSel::one(ch), idx, now);
             }
         }
 
@@ -470,8 +470,14 @@ TEST(RowPolicyConformance, OpenPageCountersReconcileWithAuditor)
     EXPECT_GT(audit.commandsAudited(), 0u);
 }
 
-TEST(MemCtrlApi, SetFrequencyMatchesCompatShims)
+TEST(MemCtrlApi, SetFrequencyIsDeterministicAcrossInstances)
 {
+    // setFrequency is the single audited entry point for memory
+    // frequency changes (the PR 7 compat shims are gone — the lint
+    // rule memctrl-set-frequency-index keeps them from coming back).
+    // Two controllers fed identical traffic and identical frequency
+    // calls must stay bit-identical through uniform and per-channel
+    // transitions.
     MemCtrlConfig cfg = makeConfig();
     MemCtrl a(cfg, 0), b(cfg, 0);
     auto feed = [](MemCtrl &mc, Tick now, std::uint64_t base) {
@@ -482,9 +488,9 @@ TEST(MemCtrlApi, SetFrequencyMatchesCompatShims)
     feed(a, 0, 1);
     feed(b, 0, 1);
     a.setFrequency(ChannelSel::all(), 3, 5000);
-    b.setFrequencyIndex(3, 5000);
+    b.setFrequency(ChannelSel::all(), 3, 5000);
     a.setFrequency(ChannelSel::one(2), 1, 9000);
-    b.setChannelFrequencyIndex(2, 1, 9000);
+    b.setFrequency(ChannelSel::one(2), 1, 9000);
     feed(a, 10000, 100);
     feed(b, 10000, 100);
     EXPECT_EQ(fingerprint(drain(a)), fingerprint(drain(b)));

@@ -47,13 +47,13 @@ TEST(MemCtrlPerChannel, IndependentFrequencies)
     cfg.ladder = defaultMemLadder();
     MemCtrl mc(cfg, 0);
     EXPECT_FALSE(mc.perChannelFrequencies());
-    mc.setChannelFrequencyIndex(2, 7, 0);
+    mc.setFrequency(ChannelSel::one(2), 7, 0);
     EXPECT_TRUE(mc.perChannelFrequencies());
     EXPECT_EQ(mc.channelFrequencyIndex(0), 0);
     EXPECT_EQ(mc.channelFrequencyIndex(2), 7);
     EXPECT_DOUBLE_EQ(mc.channelBusFreq(2), cfg.ladder.freq(7));
     // Uniform change overrides all channels.
-    mc.setFrequencyIndex(3, 1000);
+    mc.setFrequency(ChannelSel::all(), 3, 1000);
     EXPECT_FALSE(mc.perChannelFrequencies());
     EXPECT_EQ(mc.channelFrequencyIndex(2), 3);
 }
@@ -63,7 +63,7 @@ TEST(MemCtrlPerChannel, OnlyThatChannelHalts)
     MemCtrlConfig cfg;
     cfg.ladder = defaultMemLadder();
     MemCtrl mc(cfg, 0);
-    mc.setChannelFrequencyIndex(0, 9, 0);
+    mc.setFrequency(ChannelSel::one(0), 9, 0);
     // Block 0 -> channel 0 (interleave); block 1 -> channel 1.
     MemReq slow_read;
     slow_read.addr = 0;

@@ -160,6 +160,20 @@ RULES = {
         # implementation layers legitimately dispatch on the enums.
         "exempt": ["src/memctrl/", "src/dram/"],
     },
+    "memctrl-set-frequency-index": {
+        "desc": "deleted MemCtrl compat shims setFrequencyIndex()/"
+                "setChannelFrequencyIndex()",
+        "why": "MemCtrl::setFrequency(ChannelSel, idx, now) is the "
+               "single audited entry point for memory-frequency "
+               "changes; the per-spelling shims it replaced bypassed "
+               "the ChannelSel vocabulary and must not come back.",
+        "hint": "call setFrequency(ChannelSel::all()/::one(ch), "
+                "idx, now)",
+        # Core DVFS has its own (unrelated, still-supported)
+        # Core::setFrequencyIndex API.
+        "exempt": ["src/cpu/core.hh", "src/cpu/core.cc",
+                   "src/sim/system.cc"],
+    },
     # Meta-rules about the suppression mechanism itself.
     "bad-suppression": {
         "desc": "coscale-lint allow() without a justification",
@@ -322,6 +336,10 @@ BANNED_CALL_RULES = [
                 r"(time|clock|gettimeofday|clock_gettime|ftime|"
                 r"localtime|localtime_r|gmtime|gmtime_r|mktime)\s*\("),
      "wall-clock call '%s('"),
+    ("memctrl-set-frequency-index",
+     re.compile(r"\b(setFrequencyIndex|setChannelFrequencyIndex)"
+                r"\s*\("),
+     "'%s(' is a deleted MemCtrl compat shim"),
 ]
 
 BANNED_NAME_RULES = [

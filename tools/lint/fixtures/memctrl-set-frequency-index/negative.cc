@@ -1,0 +1,15 @@
+// The sanctioned entry point: frequency changes name their target
+// through ChannelSel. Reading frequency indices back is fine.
+#include "memctrl/mem_ctrl.hh"
+
+namespace coscale {
+
+int
+bumpsFrequencyViaChannelSel(MemCtrl &mc, Tick now)
+{
+    mc.setFrequency(ChannelSel::all(), 1, now);
+    mc.setFrequency(ChannelSel::one(0), 2, now);
+    return mc.frequencyIndex() + mc.channelFrequencyIndex(0);
+}
+
+} // namespace coscale

@@ -1,0 +1,15 @@
+// The pre-ChannelSel MemCtrl compat shims: both spellings route
+// around the single audited setFrequency(ChannelSel, ...) entry
+// point and were deleted.
+#include "memctrl/mem_ctrl.hh"
+
+namespace coscale {
+
+void
+bumpsFrequencyViaShims(MemCtrl &mc, Tick now)
+{
+    mc.setFrequencyIndex(1, now);
+    mc.setChannelFrequencyIndex(0, 2, now);
+}
+
+} // namespace coscale
