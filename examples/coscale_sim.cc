@@ -43,6 +43,7 @@
  *     --metrics          print each run's metrics registry (JSON)
  *     --timeout SECS     per-run wall-clock watchdog (0 = off)
  *     --retries N        retry a failed run up to N times
+ *     --list-policies    print the registered policy roster and exit
  *
  *   Cluster mode (src/cluster/; --nodes > 0 switches to it):
  *     --nodes N          simulate an N-node fleet (0 = single node)
@@ -90,6 +91,7 @@
 #include "cluster/cluster.hh"
 #include "common/csv.hh"
 #include "common/log.hh"
+#include "exp/bench_options.hh"
 #include "exp/engine.hh"
 #include "exp/policies.hh"
 #include "exp/report.hh"
@@ -259,6 +261,9 @@ parseArgs(int argc, char **argv)
             opt.lb = need(i);
         } else if (a == "--churn") {
             opt.churn = need(i);
+        } else if (a == "--list-policies") {
+            exp::printPolicyRoster();
+            exitCleanly();
         } else if (a == "--help" || a == "-h") {
             std::printf("see the header comment of "
                         "examples/coscale_sim.cc for options\n");

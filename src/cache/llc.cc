@@ -87,20 +87,127 @@ Llc::probe(BlockAddr addr) const
     return findWay(addr & setMask, tagOf(addr)) >= 0;
 }
 
+void
+Llc::setPartition(const std::vector<int> &counts)
+{
+    COSCALE_CHECK(!counts.empty(), "empty partition");
+    int sum = 0;
+    for (int c : counts) {
+        COSCALE_CHECK(c >= 1, "partition way count %d < 1", c);
+        sum += c;
+    }
+    COSCALE_CHECK(sum <= config.ways,
+                  "partition allocates %d of %d ways", sum,
+                  config.ways);
+    partCount = counts;
+    partBase.clear();
+    int base = 0;
+    for (int c : counts) {
+        partBase.push_back(base);
+        base += c;
+    }
+    partActive = true;
+}
+
+void
+Llc::setShadowTracking(int num_cores)
+{
+    COSCALE_CHECK(num_cores > 0, "shadow tracking needs cores");
+    std::uint64_t n = static_cast<std::uint64_t>(num_cores)
+                      * static_cast<std::uint64_t>(sets)
+                      * static_cast<std::uint64_t>(config.ways);
+    shadowTags.assign(n, invalidTag);
+    shadowStamps.assign(n, 0);
+    shadowHitsCtr.assign(static_cast<std::uint64_t>(num_cores)
+                             * static_cast<std::uint64_t>(config.ways),
+                         0);
+    shadowMissCtr.assign(static_cast<std::uint64_t>(num_cores), 0);
+}
+
+void
+Llc::shadowAccess(int core, std::uint64_t set, StoredTag tag)
+{
+    std::uint64_t ways = static_cast<std::uint64_t>(config.ways);
+    std::uint64_t base = (static_cast<std::uint64_t>(core)
+                              * static_cast<std::uint64_t>(sets)
+                          + set)
+                         * ways;
+    StoredTag *stags = &shadowTags[base];
+    std::uint64_t *stamps = &shadowStamps[base];
+    int hit_w = -1;
+    for (std::uint64_t w = 0; w < ways; ++w) {
+        if (stags[w] == tag) {
+            hit_w = static_cast<int>(w);
+            break;
+        }
+    }
+    if (hit_w >= 0) {
+        // Stack distance: how many lines in this set were touched
+        // more recently. A hit at depth d needs >= d+1 ways to stay
+        // a hit under LRU, which is what builds the miss curve.
+        std::uint64_t my_stamp = stamps[static_cast<std::uint64_t>(hit_w)];
+        int depth = 0;
+        for (std::uint64_t w = 0; w < ways; ++w) {
+            if (stamps[w] > my_stamp)
+                depth += 1;
+        }
+        shadowHitsCtr[static_cast<std::uint64_t>(core) * ways
+                      + static_cast<std::uint64_t>(depth)] += 1;
+        stamps[static_cast<std::uint64_t>(hit_w)] = ++shadowClock;
+    } else {
+        shadowMissCtr[static_cast<std::uint64_t>(core)] += 1;
+        int slot = -1;
+        for (std::uint64_t w = 0; w < ways; ++w) {
+            if (stags[w] == invalidTag) {
+                slot = static_cast<int>(w);
+                break;
+            }
+        }
+        if (slot < 0) {
+            slot = 0;
+            for (std::uint64_t w = 1; w < ways; ++w) {
+                if (stamps[w] < stamps[static_cast<std::uint64_t>(slot)])
+                    slot = static_cast<int>(w);
+            }
+        }
+        stags[static_cast<std::uint64_t>(slot)] = tag;
+        stamps[static_cast<std::uint64_t>(slot)] = ++shadowClock;
+    }
+}
+
 bool
-Llc::insert(BlockAddr addr, bool dirty, bool prefetched, BlockAddr &victim)
+Llc::insert(BlockAddr addr, bool dirty, bool prefetched,
+            BlockAddr &victim, int core)
 {
     std::uint64_t set = addr & setMask;
     std::uint64_t base = set * static_cast<std::uint64_t>(config.ways);
     StoredTag *tag_base = &tags[base];
-    // First empty way, if any: same "first match" scan as a tag probe
-    // (the sentinel is just another needle), so reuse the fast path.
-    int slot = findWay(set, invalidTag);
+    int lo = 0;
+    int hi = config.ways;
+    int slot;
+    if (partActive && core >= 0
+        && core < static_cast<int>(partCount.size())) {
+        // Allocation restricted to the core's contiguous way range.
+        lo = partBase[static_cast<size_t>(core)];
+        hi = lo + partCount[static_cast<size_t>(core)];
+        slot = -1;
+        for (int w = lo; w < hi; ++w) {
+            if (tag_base[w] == invalidTag) {
+                slot = w;
+                break;
+            }
+        }
+    } else {
+        // First empty way, if any: same "first match" scan as a tag
+        // probe (the sentinel is just another needle), so reuse the
+        // fast path.
+        slot = findWay(set, invalidTag);
+    }
     bool dirty_evict = false;
     if (slot < 0) {
         LineMeta *meta_base = &meta[base];
-        slot = 0;
-        for (int w = 1; w < config.ways; ++w) {
+        slot = lo;
+        for (int w = lo + 1; w < hi; ++w) {
             // Packed compare: unique stamps dominate the flag bits.
             if (meta_base[w].word < meta_base[slot].word)
                 slot = w;
@@ -119,7 +226,7 @@ Llc::insert(BlockAddr addr, bool dirty, bool prefetched, BlockAddr &victim)
 }
 
 LlcAccessResult
-Llc::access(BlockAddr addr, bool write)
+Llc::access(BlockAddr addr, bool write, int core)
 {
     LlcAccessResult res;
     stats.accesses += 1;
@@ -127,6 +234,9 @@ Llc::access(BlockAddr addr, bool write)
     COSCALE_DCHECK((addr >> setShift) < invalidTag,
                    "block address overflows the stored tag");
     std::uint64_t set = addr & setMask;
+    if (core >= 0 && !shadowMissCtr.empty()
+        && core < static_cast<int>(shadowMissCtr.size()))
+        shadowAccess(core, set, tagOf(addr));
     bool want_prefetch = false;
     int way = findWay(set, tagOf(addr));
     if (way >= 0) {
@@ -148,7 +258,8 @@ Llc::access(BlockAddr addr, bool write)
         line.set(++clock, line.dirty() || write, false);
     } else {
         stats.misses += 1;
-        res.writeback = insert(addr, write, false, res.writebackAddr);
+        res.writeback =
+            insert(addr, write, false, res.writebackAddr, core);
         want_prefetch = true;
     }
 
@@ -158,8 +269,9 @@ Llc::access(BlockAddr addr, bool write)
             res.prefetchIssued = true;
             res.prefetchAddr = next;
             stats.prefetchIssued += 1;
-            res.prefetchWriteback =
-                insert(next, false, true, res.prefetchWritebackAddr);
+            res.prefetchWriteback = insert(next, false, true,
+                                           res.prefetchWritebackAddr,
+                                           core);
         }
     }
     return res;

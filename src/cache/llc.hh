@@ -49,8 +49,51 @@ class Llc
     Llc() = default;
     explicit Llc(const LlcConfig &cfg);
 
-    /** Perform a demand access; returns hit/miss and side effects. */
-    LlcAccessResult access(BlockAddr addr, bool write);
+    /**
+     * Perform a demand access; returns hit/miss and side effects.
+     * @p core attributes the access for way-partitioning and the
+     * shadow monitors; -1 (unknown) keeps legacy unattributed
+     * behaviour — lookups always probe the whole set either way,
+     * only miss *allocation* is restricted (CAT semantics).
+     */
+    LlcAccessResult access(BlockAddr addr, bool write, int core = -1);
+
+    /**
+     * Install a per-core way partition: core i may allocate only in
+     * a contiguous range of @p counts[i] ways (each >= 1, summing to
+     * at most the associativity; slack ways are simply unallocated).
+     * Takes effect on subsequent misses — resident lines are not
+     * flushed, matching way-mask hardware.
+     */
+    void setPartition(const std::vector<int> &counts);
+
+    bool partitionActive() const { return partActive; }
+
+    /** The installed per-core way counts (empty when inactive). */
+    const std::vector<int> &partition() const { return partCount; }
+
+    /**
+     * Enable per-core UMON shadow tag directories: every demand
+     * access with a known core also probes a private full-
+     * associativity LRU stack, yielding the per-core miss curve
+     * m_i(w) = shadowMiss(i) + sum_{d >= w} shadowHits(i)[d]
+     * independent of the installed partition. Zero cost when off.
+     */
+    void setShadowTracking(int num_cores);
+
+    bool shadowTracking() const { return !shadowMissCtr.empty(); }
+
+    /** Shadow hit counters, core-major [core * ways + depth]. */
+    const std::vector<std::uint64_t> &shadowHits() const
+    {
+        return shadowHitsCtr;
+    }
+
+    /** Shadow (full-associativity) misses per core. */
+    const std::vector<std::uint64_t> &shadowMisses() const
+    {
+        return shadowMissCtr;
+    }
 
     /** True if @p addr is currently resident (no state change). */
     bool probe(BlockAddr addr) const;
@@ -125,15 +168,20 @@ class Llc
     }
 
     /**
-     * Insert @p addr into its set, evicting LRU if needed.
+     * Insert @p addr into its set, evicting LRU if needed. With an
+     * active partition and a known @p core the victim scan is
+     * restricted to the core's way range.
      * @return true and the victim address via @p victim if a dirty
      *         line was evicted.
      */
     bool insert(BlockAddr addr, bool dirty, bool prefetched,
-                BlockAddr &victim);
+                BlockAddr &victim, int core = -1);
 
     /** Way index of @p addr's line within its set, or -1. */
     int findWay(std::uint64_t set, StoredTag tag) const;
+
+    /** One demand access against @p core's shadow tag directory. */
+    void shadowAccess(int core, std::uint64_t set, StoredTag tag);
 
     LlcConfig config;
     Tick hitLatTicks = 0;         //!< nsToTicks(hitLatencyNs), cached
@@ -144,6 +192,18 @@ class Llc
     std::vector<LineMeta> meta;   //!< parallel to tags
     std::uint64_t clock = 0;      //!< LRU stamp source
     LlcCounters stats;
+
+    // Way partition (empty / inactive by default).
+    bool partActive = false;
+    std::vector<int> partBase;    //!< first way per core
+    std::vector<int> partCount;   //!< ways per core
+
+    // Shadow monitors (allocated only by setShadowTracking).
+    std::vector<StoredTag> shadowTags;     //!< [core][set][way]
+    std::vector<std::uint64_t> shadowStamps; //!< parallel LRU stamps
+    std::uint64_t shadowClock = 0;
+    std::vector<std::uint64_t> shadowHitsCtr; //!< [core][depth]
+    std::vector<std::uint64_t> shadowMissCtr; //!< [core]
 };
 
 } // namespace coscale

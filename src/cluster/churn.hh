@@ -129,8 +129,10 @@ struct ChurnPlan
 
 /**
  * Parse a comma-separated key=value spec, e.g.
- *   "crash=0.05,reboot=3,ramp=2,hang=0.05,hangx=2,flap=0.02,
+ *   "crash=0.05,reboot=3,ramp=2,flap=0.02,hang=0.05,hangx=2,
  *    blackout=0.1,blackoutx=1,suspect=1,dead=3,seed=7"
+ * (formatChurnSpec()'s canonical key order; keys may appear in any
+ * order on input).
  * Unset keys keep their ChurnPlan defaults. Throws ChurnParseError
  * on malformed input (including dead < suspect).
  */

@@ -75,6 +75,11 @@ makeNodeConfig(double scale, int cores)
     c.geom.dimmsPerChannel = 1;
     c.power.geom = c.geom;
     c.warmupEpochs = 0;
+    // Fleet nodes keep the DVFS-only knob space: the LLC way
+    // dimension is a single-server study, and small nodes (2 cores,
+    // 16 ways) would otherwise open the partition gate under CI's
+    // COSCALE_KNOB_LLC_WAYS=1 leg and break the cluster goldens.
+    c.knobs.llcWays = false;
     return c;
 }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "exp/policies.hh"
 
 namespace coscale {
 namespace exp {
@@ -49,11 +50,20 @@ printUsage(const char *prog)
         "  --row-policy P     row-buffer policy: closed (paper) or\n"
         "                     open\n"
         "  --dram-standard D  DRAM standard: ddr3 (paper), ddr4, or\n"
-        "                     lpddr4\n",
+        "                     lpddr4\n"
+        "  --list-policies    print the registered policy roster and\n"
+        "                     exit\n",
         prog);
 }
 
 } // namespace
+
+void
+printPolicyRoster()
+{
+    for (const std::string &name : knownPolicyNames())
+        std::printf("%s\n", name.c_str());
+}
 
 BenchOptions
 parseBenchArgs(int argc, char **argv, double defaultScale)
@@ -124,6 +134,9 @@ parseBenchArgs(int argc, char **argv, double defaultScale)
             opts.metrics = true;
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
+        } else if (std::strcmp(arg, "--list-policies") == 0) {
+            printPolicyRoster();
+            exitCleanly();
         } else if (std::strcmp(arg, "--help") == 0
                    || std::strcmp(arg, "-h") == 0) {
             printUsage(argv[0]);

@@ -110,12 +110,19 @@ struct BenchOptions
  * positional scale in (0, 1], the historical form), `--jobs N`,
  * `--jsonl PATH`, `--progress`, the memory-backend selection
  * (`--mem-sched fcfs|frfcfs`, `--row-policy closed|open`,
- * `--dram-standard ddr3|ddr4|lpddr4`), and `--help`; falls back to
- * the COSCALE_SCALE environment variable, then @p defaultScale.
- * Unknown flags are fatal.
+ * `--dram-standard ddr3|ddr4|lpddr4`), `--list-policies`, and
+ * `--help`; falls back to the COSCALE_SCALE environment variable,
+ * then @p defaultScale. Unknown flags are fatal.
  */
 BenchOptions parseBenchArgs(int argc, char **argv,
                             double defaultScale = 0.1);
+
+/**
+ * Print the registered policy roster (knownPolicyNames(), one per
+ * line) — the `--list-policies` body shared by the harnesses and
+ * coscale_sim.
+ */
+void printPolicyRoster();
 
 } // namespace exp
 } // namespace coscale

@@ -49,9 +49,9 @@ knownPolicyNames()
     static const std::vector<std::string> names = {
         "baseline",  "reactive",         "memscale",
         "cpuonly",   "uncoordinated",    "semi",
-        "semi-alt",  "coscale",          "coscale-chipwide",
-        "offline",   "multiscale",       "powercap",
-        "fastcap",
+        "semi-alt",  "coscale",          "coscale-dvfs",
+        "coscale-chipwide", "offline",   "multiscale",
+        "powercap",  "fastcap",
     };
     return names;
 }
@@ -98,6 +98,16 @@ policyFactoryByName(const std::string &name, int cores, double gamma,
     if (p == "coscale") {
         return [cores, gamma] {
             return std::make_unique<CoScalePolicy>(cores, gamma);
+        };
+    }
+    if (p == "coscaledvfs") {
+        // Ablation baseline for the generalized knob walk: identical
+        // controller, way-partition dimension held.
+        return [cores, gamma] {
+            CoScaleOptions o;
+            o.useWayPartitioning = false;
+            o.nameOverride = "CoScale-DVFS";
+            return std::make_unique<CoScalePolicy>(cores, gamma, o);
         };
     }
     if (p == "coscalechipwide") {

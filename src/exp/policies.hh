@@ -27,8 +27,8 @@ const std::vector<std::string> &paperPolicyNames();
 /**
  * Every accepted CLI spelling, in the order factories resolve them:
  * baseline, reactive, memscale, cpuonly, uncoordinated, semi,
- * semi-alt, coscale, coscale-chipwide, offline, multiscale, powercap,
- * fastcap.
+ * semi-alt, coscale, coscale-dvfs, coscale-chipwide, offline,
+ * multiscale, powercap, fastcap.
  */
 const std::vector<std::string> &knownPolicyNames();
 

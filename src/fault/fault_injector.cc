@@ -152,7 +152,8 @@ FaultInjector::filterTransition(const FreqConfig &requested,
 {
     bool changed = requested.memIdx != prev.memIdx
                    || requested.coreIdx != prev.coreIdx
-                   || requested.chanIdx != prev.chanIdx;
+                   || requested.chanIdx != prev.chanIdx
+                   || requested.wayIdx != prev.wayIdx;
     if (!changed)
         return requested;
 
@@ -197,6 +198,11 @@ FaultInjector::filterTransition(const FreqConfig &requested,
         for (size_t i = 0; i < nch; ++i)
             granted.chanIdx[i] = shy(prev.chanIdx[i],
                                      requested.chanIdx[i]);
+        // The way partition is one atomic register write, not a
+        // rung-by-rung sequencer — and a per-way shy() could break
+        // the sum-to-W budget (donor held back, recipient advanced).
+        // A clamped transition keeps the previous partition whole.
+        granted.wayIdx = prev.wayIdx;
         counts.transitionsClamped += 1;
         verdict = "clamped";
     }
@@ -209,13 +215,18 @@ FaultInjector::filterTransition(const FreqConfig &requested,
             .inc();
     }
     if (sink) {
-        sink->write(TraceEvent(now, "fault", "transition")
-                        .f("epoch", epoch)
-                        .f("verdict", std::string(verdict))
-                        .f("req_mem_idx", requested.memIdx)
-                        .f("granted_mem_idx", granted.memIdx)
-                        .f("req_core_idx", requested.coreIdx)
-                        .f("granted_core_idx", granted.coreIdx));
+        TraceEvent ev(now, "fault", "transition");
+        ev.f("epoch", epoch)
+            .f("verdict", std::string(verdict))
+            .f("req_mem_idx", requested.memIdx)
+            .f("granted_mem_idx", granted.memIdx)
+            .f("req_core_idx", requested.coreIdx)
+            .f("granted_core_idx", granted.coreIdx);
+        if (!requested.wayIdx.empty())
+            ev.f("req_way_idx", requested.wayIdx);
+        if (!granted.wayIdx.empty())
+            ev.f("granted_way_idx", granted.wayIdx);
+        sink->write(ev);
     }
     return granted;
 }

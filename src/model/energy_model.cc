@@ -6,11 +6,56 @@
 
 namespace coscale {
 
+namespace {
+
+/**
+ * Predicted LLC misses per instruction of @p c when allocated @p w
+ * ways, from the shadow-monitor miss curve: the mandatory misses plus
+ * every profiled hit whose reuse (stack) depth needs more than @p w
+ * ways. Monotone non-increasing in @p w.
+ */
+double
+missesAtWays(const CoreProfile &c, int w)
+{
+    double misses = c.shadowMissPerInstr;
+    for (size_t d = static_cast<size_t>(w);
+         d < c.wayHitsPerInstr.size(); ++d)
+        misses += c.wayHitsPerInstr[d];
+    return misses;
+}
+
+} // namespace
+
+double
+EnergyModel::missScale(const SystemProfile &prof, int i,
+                       int ways) const
+{
+    if (prof.waysTotal <= 0)
+        return 1.0;
+    const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+    if (c.wayHitsPerInstr.empty())
+        return 1.0;
+    int wp = static_cast<int>(prof.profiledWayIdx.size())
+                     == static_cast<int>(prof.cores.size())
+                 ? prof.profiledWayIdx[static_cast<size_t>(i)]
+                 : prof.waysTotal;
+    double den = missesAtWays(c, wp);
+    if (den <= 0.0)
+        return 1.0;
+    return missesAtWays(c, ways) / den;
+}
+
 double
 EnergyModel::tpi(const SystemProfile &prof, int i,
                  const FreqConfig &cfg) const
 {
     const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+    if (!cfg.wayIdx.empty()) {
+        return perf->tpiSecs(
+            c, coreLadder->freq(cfg.coreIdx[static_cast<size_t>(i)]),
+            prof.mem, memLadder->freq(cfg.memIdx),
+            missScale(prof, i, cfg.wayIdx[static_cast<size_t>(i)]));
+    }
     return perf->tpiSecs(c,
                          coreLadder->freq(cfg.coreIdx[static_cast<size_t>(i)]),
                          prof.mem, memLadder->freq(cfg.memIdx));
@@ -20,6 +65,14 @@ double
 EnergyModel::tpiAtMax(const SystemProfile &prof, int i) const
 {
     const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
+    // Under a way-partition snapshot the reference is each core's
+    // best case — all-max frequencies at the full associativity —
+    // mirroring the paper's all-max reference for frequencies.
+    if (prof.waysTotal > 0) {
+        return perf->tpiSecs(c, coreLadder->fMax(), prof.mem,
+                             memLadder->fMax(),
+                             missScale(prof, i, prof.waysTotal));
+    }
     return perf->tpiSecs(c, coreLadder->fMax(), prof.mem,
                          memLadder->fMax());
 }
@@ -76,8 +129,15 @@ EnergyModel::memRates(const SystemProfile &prof, const FreqConfig &cfg,
     for (int i = 0; i < n; ++i) {
         const CoreProfile &c = prof.cores[static_cast<size_t>(i)];
         double t_cand = tpi(prof, i, cfg);
-        if (t_cand > 0.0)
-            reads_cand += c.memReadPerInstr / t_cand;
+        if (t_cand > 0.0) {
+            double reads = c.memReadPerInstr / t_cand;
+            // A smaller way allocation turns hits into misses: the
+            // demand-read rate scales with the miss curve too.
+            if (!cfg.wayIdx.empty())
+                reads *= missScale(prof, i,
+                                   cfg.wayIdx[static_cast<size_t>(i)]);
+            reads_cand += reads;
+        }
     }
     double traffic_scale =
         reads_prof > 0.0 ? reads_cand / reads_prof : 1.0;
@@ -155,6 +215,8 @@ EnergyModel::ser(const SystemProfile &prof, const FreqConfig &cfg) const
 {
     FreqConfig all_max =
         FreqConfig::allMax(static_cast<int>(prof.cores.size()));
+    if (prof.waysTotal > 0)
+        all_max.wayIdx.assign(prof.cores.size(), prof.waysTotal);
     double p_base = systemPower(prof, all_max);
     if (p_base <= 0.0)
         return 1.0;
@@ -229,6 +291,7 @@ SerEvaluator::SerEvaluator(const EnergyModel &em_in,
     }
 
     // --- per-core tables ---
+    waysTotal = prof->waysTotal;
     for (int i = 0; i < numCores; ++i) {
         const CoreProfile &c = prof->cores[static_cast<size_t>(i)];
         cyc.push_back(c.cyclesPerInstr);
@@ -243,16 +306,39 @@ SerEvaluator::SerEvaluator(const EnergyModel &em_in,
             stallPerInstr.push_back(perf.memStallPerInstrSecs(
                 c, prof->mem, em->memLadder->freq(m)));
         }
-        tpiMax.push_back(tpi(i, 0, 0));
+        if (waysTotal > 0) {
+            for (int w = 0; w <= waysTotal; ++w)
+                wayScale.push_back(em->missScale(*prof, i, w));
+        }
+        tpiMax.push_back(waysTotal > 0 ? tpi(i, 0, 0, waysTotal)
+                                       : tpi(i, 0, 0));
     }
 
     readsProf = em->profiledReadRate(*prof);
-    pBase = systemPower(FreqConfig::allMax(numCores));
+    FreqConfig base = FreqConfig::allMax(numCores);
+    if (waysTotal > 0)
+        base.wayIdx.assign(static_cast<size_t>(numCores), waysTotal);
+    pBase = systemPower(base);
 }
 
 double
 SerEvaluator::relativeTime(const FreqConfig &cfg) const
 {
+    if (!cfg.wayIdx.empty()) {
+        double worst = 1.0;
+        for (int i = 0; i < numCores; ++i) {
+            size_t si = static_cast<size_t>(i);
+            double t_max = tpiMax[si];
+            if (t_max <= 0.0)
+                continue;
+            double r = tpi(i, cfg.coreIdx[si], cfg.memIdx,
+                           cfg.wayIdx[si])
+                       / t_max;
+            if (r > worst)
+                worst = r;
+        }
+        return worst;
+    }
     double worst = 1.0;
     for (int i = 0; i < numCores; ++i) {
         double t_max = tpiMax[static_cast<size_t>(i)];
@@ -292,6 +378,34 @@ SerEvaluator::memPowerFast(int m, double reads_cand) const
 double
 SerEvaluator::systemPower(const FreqConfig &cfg) const
 {
+    if (!cfg.wayIdx.empty()) {
+        double total = em->power->otherPower();
+        double llc_rate = 0.0;
+        double reads_cand = 0.0;
+        int m = cfg.memIdx;
+        for (int i = 0; i < numCores; ++i) {
+            size_t si = static_cast<size_t>(i);
+            int c = cfg.coreIdx[si];
+            int w = cfg.wayIdx[si];
+            double t = tpi(i, c, m, w);
+            double ips = t > 0.0 ? 1.0 / t : 0.0;
+            total += clockW[static_cast<size_t>(c)]
+                     + eventNj[si] * 1e-9
+                           * coreV2[static_cast<size_t>(c)] * ips
+                     + leakW[static_cast<size_t>(c)];
+            // LLC accesses are allocation-invariant; demand reads
+            // (misses) scale with the miss curve.
+            llc_rate += llcPerInstr[si] * ips;
+            reads_cand +=
+                wayScale[si * static_cast<size_t>(waysTotal + 1)
+                         + static_cast<size_t>(w)]
+                * readPerInstr[si] * ips;
+        }
+        const L2PowerParams &l2 = em->power->params().l2;
+        total += l2.leakW + l2.accessNj * 1e-9 * llc_rate;
+        total += memPowerFast(m, reads_cand);
+        return total;
+    }
     double total = em->power->otherPower();
     double llc_rate = 0.0;
     double reads_cand = 0.0;

@@ -19,31 +19,18 @@
 
 #include "check/contract.hh"
 #include "common/dvfs.hh"
+#include "model/knobs.hh"
 #include "model/perf_model.hh"
 #include "power/power_model.hh"
 
 namespace coscale {
 
-/** A candidate DVFS configuration. */
-struct FreqConfig
-{
-    std::vector<int> coreIdx;  //!< ladder index per core
-    int memIdx = 0;
-    /**
-     * Optional per-channel memory indices (MultiScale extension).
-     * Empty means the uniform memIdx applies to every channel.
-     */
-    std::vector<int> chanIdx;
-
-    static FreqConfig
-    allMax(int num_cores)
-    {
-        FreqConfig c;
-        c.coreIdx.assign(static_cast<size_t>(num_cores), 0);
-        c.memIdx = 0;
-        return c;
-    }
-};
+/**
+ * A candidate configuration. Historically the DVFS-only pair; now the
+ * full knob vector (model/knobs.hh) — the optional dimensions default
+ * to empty, which preserves the legacy arithmetic exactly.
+ */
+using FreqConfig = KnobVector;
 
 /** Predicts TPI, power, and SER for candidate configurations. */
 class EnergyModel
@@ -100,6 +87,16 @@ class EnergyModel
     /** memPower with the profiled read rate precomputed. */
     double memPower(const SystemProfile &prof, const FreqConfig &cfg,
                     double reads_prof) const;
+
+    /**
+     * LLC-miss scaling factor for core @p i when allocated @p ways
+     * ways, relative to the profiled allocation: predicted misses at
+     * @p ways over predicted misses at the profiled way count, from
+     * the shadow-monitor miss curve in the profile. Exactly 1.0 when
+     * the profile carries no way-partition snapshot (DVFS-only
+     * identity) or @p ways equals the profiled allocation.
+     */
+    double missScale(const SystemProfile &prof, int i, int ways) const;
 
   private:
     friend class SerEvaluator;
@@ -161,6 +158,37 @@ class SerEvaluator
                + leakW[sc];
     }
 
+    /**
+     * TPI of core @p i at indices (c, m) with @p w LLC ways. O(1).
+     * Only callable when the profile carried a way-partition
+     * snapshot (waysTotal > 0).
+     */
+    double
+    tpi(int i, int c, int m, int w) const
+    {
+        COSCALE_DCHECK(waysTotal > 0, "no way dimension");
+        COSCALE_DCHECK(w >= 0 && w <= waysTotal, "ways %d", w);
+        size_t si = static_cast<size_t>(i);
+        return cyc[si] * invCoreFreq[static_cast<size_t>(c)]
+               + l2Part[si]
+               + wayScale[si * static_cast<size_t>(waysTotal + 1)
+                          + static_cast<size_t>(w)]
+                     * stallPerInstr[si * static_cast<size_t>(numMem)
+                                     + static_cast<size_t>(m)];
+    }
+
+    /** Power of core @p i at indices (c, m) with @p w ways. O(1). */
+    double
+    corePower(int i, int c, int m, int w) const
+    {
+        size_t si = static_cast<size_t>(i);
+        size_t sc = static_cast<size_t>(c);
+        double t = tpi(i, c, m, w);
+        double ips = t > 0.0 ? 1.0 / t : 0.0;
+        return clockW[sc] + eventNj[si] * 1e-9 * coreV2[sc] * ips
+               + leakW[sc];
+    }
+
     double relativeTime(const FreqConfig &cfg) const;
     double systemPower(const FreqConfig &cfg) const;
     double ser(const FreqConfig &cfg) const;
@@ -185,6 +213,11 @@ class SerEvaluator
     std::vector<double> eventNj;    //!< total event energy per instr
     std::vector<double> llcPerInstr;
     std::vector<double> readPerInstr;
+
+    // Way-partition tables (empty when the profile has no way
+    // snapshot; every candidate then takes the legacy paths).
+    int waysTotal = 0;
+    std::vector<double> wayScale;   //!< [core][ways] miss scaling
 
     // Per-core-frequency constants.
     std::vector<double> invCoreFreq;

@@ -186,10 +186,13 @@ PerfModel::memStallPerInstrSecs(const CoreProfile &c,
 
 double
 PerfModel::tpiSecs(const CoreProfile &c, Freq f_core,
-                   const MemProfile &m, Freq bus_freq) const
+                   const MemProfile &m, Freq bus_freq,
+                   double miss_scale) const
 {
+    // miss_scale == 1.0 multiplies exactly (IEEE identity), so the
+    // DVFS-only callers are bit-identical to the pre-knob code.
     return c.cyclesPerInstr / f_core + c.alpha * c.tpiL2Secs
-           + memStallPerInstrSecs(c, m, bus_freq);
+           + miss_scale * memStallPerInstrSecs(c, m, bus_freq);
 }
 
 } // namespace coscale

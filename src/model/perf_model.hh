@@ -53,6 +53,17 @@ struct CoreProfile
     double memReadPerInstr = 0.0; //!< DRAM reads per instruction
 
     /**
+     * Shadow-monitor miss curve (partitioned LLC only; empty
+     * otherwise): wayHitsPerInstr[d] is the rate of hits at reuse
+     * (stack) depth d — hits needing at least d+1 ways — and
+     * shadowMissPerInstr the mandatory misses even at the full
+     * associativity. Misses at w ways = shadowMissPerInstr +
+     * sum_{d >= w} wayHitsPerInstr[d].
+     */
+    std::vector<double> wayHitsPerInstr;
+    double shadowMissPerInstr = 0.0;
+
+    /**
      * The memory channel this core's accesses land on under the
      * RegionPerChannel mapping; -1 under interleaving (all channels).
      */
@@ -83,6 +94,13 @@ struct SystemProfile
     Tick windowTicks = 0;
     std::vector<int> profiledCoreIdx; //!< DVFS state during the window
     int profiledMemIdx = 0;
+    /**
+     * LLC way-partition snapshot (0 / empty when partitioning is
+     * off, which keeps the model on the legacy DVFS-only paths).
+     */
+    int waysTotal = 0;     //!< LLC associativity when partitioned
+    int wayFloor = 1;      //!< QoS floor: min ways per core
+    std::vector<int> profiledWayIdx; //!< allocation during the window
     /**
      * Application id per core (Section 3.3 context switching). Empty
      * means the identity mapping (app i on core i).
@@ -135,9 +153,16 @@ class PerfModel
                                 const MemProfile &m,
                                 Freq bus_freq) const;
 
-    /** Predicted time per instruction at (fc, fm), seconds. */
+    /**
+     * Predicted time per instruction at (fc, fm), seconds.
+     * @p miss_scale multiplies the memory-stall term (LLC way-
+     * partition candidates: predicted misses at the candidate
+     * allocation over misses at the profiled one); the default 1.0
+     * is an exact no-op.
+     */
     double tpiSecs(const CoreProfile &c, Freq f_core,
-                   const MemProfile &m, Freq bus_freq) const;
+                   const MemProfile &m, Freq bus_freq,
+                   double miss_scale = 1.0) const;
 
   private:
     DramTimingParams timing;

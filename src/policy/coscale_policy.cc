@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/log.hh"
+#include "model/knobs.hh"
 
 namespace coscale {
 
 namespace {
 
 constexpr double perfEpsilon = 1e-15;
+
+/** Accept a way transfer only on a strict SER descent. */
+constexpr double wayDescentEps = 1e-12;
 
 /** Sorted-list entry for the Fig. 3 group-formation sub-algorithm. */
 struct CoreEntry
@@ -18,6 +23,93 @@ struct CoreEntry
     double dPerf;   //!< relative TPI increase of one step down
     double dPower;  //!< power reduction of one step down
 };
+
+/**
+ * The starting way allocation for the pre-balance phase: the profiled
+ * partition (the model's miss curves are anchored there), each count
+ * clamped to [floor, W]; if clamping broke the budget, fall back to
+ * the even split the System installs at construction.
+ */
+std::vector<int>
+startingWays(const SystemProfile &profile, const KnobSpace &space)
+{
+    int n = space.numCores;
+    int total = space.waysTotal;
+    std::vector<int> way = profile.profiledWayIdx;
+    int sum = 0;
+    for (int &w : way) {
+        w = std::min(std::max(w, space.wayFloor), total);
+        sum += w;
+    }
+    if (sum > total) {
+        int base = total / n;
+        int rem = total - base * n;
+        for (int i = 0; i < n; ++i)
+            way[static_cast<size_t>(i)] = base + (i < rem ? 1 : 0);
+    }
+    return way;
+}
+
+/**
+ * Phase A of the generalized walk: greedy single-way transfers at
+ * all-max frequencies. Each iteration tries every (donor, recipient)
+ * pair — the donor must stay above the QoS floor and meet its allowed
+ * TPI after the loss — and applies the transfer with the lowest SER,
+ * stopping when no transfer is a strict descent. The frequency walk
+ * (Phase B) then runs at the resulting fixed allocation.
+ * @return the number of SER evaluations spent.
+ */
+std::uint64_t
+preBalanceWays(const SerEvaluator &ev, const KnobSpace &space,
+               const std::vector<double> &allowed, FreqConfig &cfg,
+               std::vector<SearchStep> *walk)
+{
+    int n = space.numCores;
+    std::uint64_t cands = 0;
+    double cur = ev.ser(cfg);
+    cands += 1;
+    int max_iters = n * space.waysTotal;
+    for (int iter = 0; iter < max_iters; ++iter) {
+        double step_ser = cur;
+        int step_from = -1;
+        int step_to = -1;
+        for (int j = 0; j < n; ++j) {
+            int w_j = cfg.wayIdx[static_cast<size_t>(j)];
+            if (w_j <= space.wayFloor)
+                continue;
+            double t_down =
+                ev.tpi(j, cfg.coreIdx[static_cast<size_t>(j)],
+                       cfg.memIdx, w_j - 1);
+            if (t_down > allowed[static_cast<size_t>(j)])
+                continue;
+            for (int k = 0; k < n; ++k) {
+                if (k == j
+                    || cfg.wayIdx[static_cast<size_t>(k)]
+                           >= space.waysTotal) {
+                    continue;
+                }
+                FreqConfig cand = cfg;
+                cand.wayIdx[static_cast<size_t>(j)] -= 1;
+                cand.wayIdx[static_cast<size_t>(k)] += 1;
+                double s = ev.ser(cand);
+                cands += 1;
+                if (s < step_ser) {
+                    step_ser = s;
+                    step_from = j;
+                    step_to = k;
+                }
+            }
+        }
+        if (step_from < 0 || step_ser >= cur - wayDescentEps)
+            break;
+        cfg.wayIdx[static_cast<size_t>(step_from)] -= 1;
+        cfg.wayIdx[static_cast<size_t>(step_to)] += 1;
+        cur = step_ser;
+        if (walk)
+            walk->push_back(SearchStep{cfg, cur, false, 0});
+    }
+    return cands;
+}
 
 } // namespace
 
@@ -29,8 +121,33 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     int n = static_cast<int>(profile.cores.size());
     walk.clear();
 
+    // The space this system exposes; the way dimension joins the walk
+    // only when the profile carries a usable partition snapshot.
+    KnobSpace space = makeKnobSpace(em, profile);
+    bool use_ways =
+        opts.useWayPartitioning && space.llcWays
+        && static_cast<int>(profile.profiledWayIdx.size()) == n
+        && n * space.wayFloor <= space.waysTotal;
+
     FreqConfig all_max = FreqConfig::allMax(n);
-    std::vector<double> ref = refTpis(em, profile, all_max);
+    // The performance reference is the machine the measured bound is
+    // taken against: all-max frequencies at the baseline partition
+    // (the even split the System installs and the baseline policy
+    // never moves). Anchoring at reference()'s per-core full
+    // associativity instead would compare against an unattainable
+    // machine and strangle the walk exactly when the LLC is
+    // contended — the case the way dimension exists for.
+    FreqConfig ref_cfg = all_max;
+    if (use_ways)
+        ref_cfg.wayIdx = space.baselinePartition();
+    std::vector<double> ref = refTpis(em, profile, ref_cfg);
+    if (use_ways) {
+        // Hold back the way-mode margin (see CoScaleOptions): the
+        // even-split reference is extrapolated, not measured, once
+        // the installed partition has moved away from it.
+        for (double &r : ref)
+            r *= 1.0 - opts.wayRefSafetyFrac;
+    }
     std::vector<double> allowed =
         allowedTpis(tracker, ref, epoch_len, profile.appOnCore);
 
@@ -40,16 +157,54 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     SerEvaluator ev(em, profile);
 
     FreqConfig cfg = all_max;
+    std::uint64_t way_candidates = 0;
+    bool repartitioned = false;
+    if (use_ways) {
+        // Phase A: settle the way allocation at all-max frequencies,
+        // then hold it fixed through the frequency walk below.
+        cfg.wayIdx = startingWays(profile, space);
+        way_candidates = preBalanceWays(ev, space, allowed, cfg,
+                                        recording ? &walk : nullptr);
+        repartitioned = cfg.wayIdx != profile.profiledWayIdx;
+    }
     FreqConfig best = cfg;
     double best_ser = ev.ser(cfg);
     if (recording)
         walk.push_back(SearchStep{cfg, best_ser, false, 0});
 
+    // A repartition epoch is a settling epoch: the recipients' new
+    // ways are cold, so the epoch runs at all-max frequencies while
+    // the refill transient plays out, and the next profile — which
+    // prices the new allocation with measured counters — decides how
+    // far the frequency walk may descend. Stacking a deep downclock
+    // on top of an unpriced repartition is how bounds get blown.
+    if (repartitioned) {
+        if (obsEnabled())
+            traceSearch(1 + way_candidates, 0, 0, 0, best_ser);
+        return best;
+    }
+
+    // Candidate evaluation for the frequency walk: always the
+    // profiled-partition arithmetic (the pre-refactor math, bit for
+    // bit). A way transfer settled in Phase A pays a refill transient
+    // this epoch — the recipient's new ways are cold — so the bound
+    // checks must not bank the partition's steady-state benefit
+    // before the profile confirms it next epoch. (At the profiled
+    // allocation missScale is exactly 1, so evaluating there IS the
+    // legacy arithmetic; the SER objective below still sees the
+    // steady-state estimate through ev.ser's way-aware tables.)
+    auto tpi_at = [&](int i, int c, int m) -> double {
+        return ev.tpi(i, c, m);
+    };
+    auto core_power_at = [&](int i, int c, int m) -> double {
+        return ev.corePower(i, c, m);
+    };
+
     // Cached per-core TPI at the current walk position and at max.
     std::vector<double> tpi_cur(static_cast<size_t>(n));
     std::vector<double> tpi_max(static_cast<size_t>(n));
     for (int i = 0; i < n; ++i) {
-        tpi_cur[static_cast<size_t>(i)] = ev.tpi(i, 0, 0);
+        tpi_cur[static_cast<size_t>(i)] = tpi_at(i, 0, 0);
         tpi_max[static_cast<size_t>(i)] = ev.tpiAtMax(i);
     }
 
@@ -57,16 +212,16 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     std::vector<CoreEntry> list;
     auto make_entry = [&](int i, CoreEntry &e) -> bool {
         int idx = cfg.coreIdx[static_cast<size_t>(i)];
-        if (idx + 1 >= em.cores().size())
+        if (idx + 1 >= space.coreSteps)
             return false;
-        double t_down = ev.tpi(i, idx + 1, cfg.memIdx);
+        double t_down = tpi_at(i, idx + 1, cfg.memIdx);
         if (t_down > allowed[static_cast<size_t>(i)])
             return false;
         e.core = i;
         e.dPerf = (t_down - tpi_cur[static_cast<size_t>(i)])
                   / std::max(tpi_max[static_cast<size_t>(i)], perfEpsilon);
-        e.dPower = ev.corePower(i, idx, cfg.memIdx)
-                   - ev.corePower(i, idx + 1, cfg.memIdx);
+        e.dPower = core_power_at(i, idx, cfg.memIdx)
+                   - core_power_at(i, idx + 1, cfg.memIdx);
         return true;
     };
     auto insert_sorted = [&](const CoreEntry &e) {
@@ -91,10 +246,10 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     int best_group = 0;
 
     auto mem_feasible = [&]() -> bool {
-        if (cfg.memIdx + 1 >= em.mem().size())
+        if (cfg.memIdx + 1 >= space.memSteps)
             return false;
         for (int i = 0; i < n; ++i) {
-            if (ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+            if (tpi_at(i, cfg.coreIdx[static_cast<size_t>(i)],
                        cfg.memIdx + 1)
                 > allowed[static_cast<size_t>(i)]) {
                 return false;
@@ -108,7 +263,7 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
         down.memIdx += 1;
         d_perf_mem = perfEpsilon;
         for (int i = 0; i < n; ++i) {
-            double d = (ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+            double d = (tpi_at(i, cfg.coreIdx[static_cast<size_t>(i)],
                                cfg.memIdx + 1)
                         - tpi_cur[static_cast<size_t>(i)])
                        / std::max(tpi_max[static_cast<size_t>(i)],
@@ -147,7 +302,7 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
         cfg.memIdx += 1;
         for (int i = 0; i < n; ++i) {
             tpi_cur[static_cast<size_t>(i)] =
-                ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                tpi_at(i, cfg.coreIdx[static_cast<size_t>(i)],
                        cfg.memIdx);
         }
         mem_dirty = true;
@@ -172,7 +327,7 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
         for (int i : members) {
             cfg.coreIdx[static_cast<size_t>(i)] += 1;
             tpi_cur[static_cast<size_t>(i)] =
-                ev.tpi(i, cfg.coreIdx[static_cast<size_t>(i)],
+                tpi_at(i, cfg.coreIdx[static_cast<size_t>(i)],
                        cfg.memIdx);
             CoreEntry e;
             if (make_entry(i, e))
@@ -182,8 +337,8 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     };
 
     // Search telemetry (obs/): candidates = SER evaluations,
-    // including the all-max starting point.
-    std::uint64_t candidates = 1;
+    // including the starting point and any way pre-balance spend.
+    std::uint64_t candidates = 1 + way_candidates;
     std::uint64_t mem_steps = 0;
     std::uint64_t group_steps = 0;
     int max_group = 0;
@@ -197,7 +352,7 @@ CoScalePolicy::decide(const SystemProfile &profile, const EnergyModel &em,
             // the ladder floor is eligible (slack-feasible).
             int scalable = 0;
             for (int idx : cfg.coreIdx) {
-                if (idx + 1 < em.cores().size())
+                if (idx + 1 < space.coreSteps)
                     scalable += 1;
             }
             cores_ok = scalable > 0
@@ -269,9 +424,21 @@ CoScalePolicy::observeEpoch(const EpochObservation &obs,
     }
     int n = static_cast<int>(obs.epochProfile.cores.size());
     FreqConfig all_max = FreqConfig::allMax(n);
+    bool way_ref = opts.useWayPartitioning && obs.epochProfile.waysTotal > 0;
+    if (way_ref) {
+        // Slack accrues against the same baseline-partition reference
+        // the walk's allowed TPIs were computed from.
+        all_max.wayIdx = evenWaySplit(obs.epochProfile.waysTotal, n);
+    }
     double secs = ticksToSeconds(obs.epochTicks);
     for (int i = 0; i < n; ++i) {
         double ref = em.tpi(obs.epochProfile, i, all_max);
+        if (way_ref) {
+            // Deflated like decide()'s allowed TPIs (wayRefSafetyFrac):
+            // banking slack against the undeflated pace would hand the
+            // next walk back the margin this option holds in reserve.
+            ref *= 1.0 - opts.wayRefSafetyFrac;
+        }
         tracker.update(appOf(obs.appOnCore, i), ref,
                        obs.instrs[static_cast<size_t>(i)], secs);
     }

@@ -20,6 +20,7 @@
 #ifndef COSCALE_POLICY_COSCALE_POLICY_HH
 #define COSCALE_POLICY_COSCALE_POLICY_HH
 
+#include <string>
 #include <vector>
 
 #include "policy/policy.hh"
@@ -68,6 +69,31 @@ struct CoScaleOptions
      * this knob quantifies what that assumption is worth.
      */
     bool chipWideCpuDvfs = false;
+
+    /**
+     * Walk the LLC way-partition dimension when the knob space
+     * exposes it (profile carries miss curves, DESIGN.md §13): a
+     * greedy way pre-balance phase at all-max frequencies precedes
+     * the Fig. 2/3 frequency walk, which then evaluates candidates at
+     * the chosen allocation. Inert — bit for bit — when the system
+     * runs DVFS-only. Disabled by the "coscale-dvfs" roster entry to
+     * give the generalized controller its ablation baseline.
+     */
+    bool useWayPartitioning = true;
+
+    /**
+     * Extra reference margin while the way dimension is active. The
+     * DVFS-only reference is anchored at measured counters, but once
+     * the installed partition differs from the even-split baseline
+     * the reference is an extrapolation along the shadow miss curve,
+     * and repartition epochs add unmodeled refill transients; both
+     * biases eat into the measured bound, so the reference pace is
+     * deflated by this fraction whenever the walk uses the ways knob.
+     */
+    double wayRefSafetyFrac = 0.03;
+
+    /** Report a different policy name (empty keeps "CoScale"). */
+    std::string nameOverride;
 };
 
 /** The CoScale controller. */
@@ -80,7 +106,11 @@ class CoScalePolicy : public Policy
     {
     }
 
-    std::string name() const override { return "CoScale"; }
+    std::string
+    name() const override
+    {
+        return opts.nameOverride.empty() ? "CoScale" : opts.nameOverride;
+    }
 
     FreqConfig decide(const SystemProfile &profile, const EnergyModel &em,
                       const FreqConfig &current, Tick epoch_len) override;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "model/knobs.hh"
 #include "policy/power_cap.hh"
 
 namespace coscale {
@@ -26,6 +27,7 @@ FastCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
     // Each iteration raises one ladder index, so the loop is bounded
     // by the total rung count.
     constexpr double eps = 1e-12;
+    KnobSpace space = makeKnobSpace(em, profile, target);
     while (!overCap) {
         int n = static_cast<int>(profile.cores.size());
         double cur_rel = em.relativeTime(profile, cfg);
@@ -37,7 +39,7 @@ FastCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
             FreqConfig next = cfg;
             next.memIdx -= 1;
             candidates += 1;
-            if (em.systemPower(profile, next) <= target) {
+            if (space.underCap(em, profile, next)) {
                 double rel = em.relativeTime(profile, next);
                 if (rel < best_rel) {
                     best_rel = rel;
@@ -52,7 +54,7 @@ FastCapPolicy::decide(const SystemProfile &profile, const EnergyModel &em,
             FreqConfig next = cfg;
             next.coreIdx[static_cast<size_t>(i)] -= 1;
             candidates += 1;
-            if (em.systemPower(profile, next) <= target) {
+            if (space.underCap(em, profile, next)) {
                 double rel = em.relativeTime(profile, next);
                 if (rel < best_rel) {
                     best_rel = rel;

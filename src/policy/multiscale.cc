@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "model/knobs.hh"
 
 namespace coscale {
 
@@ -79,7 +80,9 @@ MultiScalePolicy::decide(const SystemProfile &profile,
 
     SerEvaluator ev(em, profile);
     double p_base = ev.basePower();
-    int mem_steps = em.mem().size();
+    // Ladder bounds come from the knob space (DESIGN.md §13); the
+    // per-channel dimension is this policy's native axis.
+    int mem_steps = makeKnobSpace(em, profile).memSteps;
 
     // Precompute, per channel and frequency step: the worst relative
     // slowdown among the cores homed on it, its power, and per-core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "model/knobs.hh"
+
 namespace coscale {
 
 FreqConfig
@@ -9,19 +11,23 @@ greedyCapDescent(const SystemProfile &profile, const EnergyModel &em,
                  double target_w, bool *over_cap,
                  std::uint64_t *candidates, std::uint64_t *mem_steps)
 {
-    int n = static_cast<int>(profile.cores.size());
+    // The cap is a feasibility predicate over the knob space
+    // (DESIGN.md §13), not a separate search mode: walk until the
+    // vector becomes feasible.
+    KnobSpace space = makeKnobSpace(em, profile, target_w);
+    int n = space.numCores;
     FreqConfig cfg = FreqConfig::allMax(n);
     *over_cap = false;
 
     constexpr double eps = 1e-15;
     *candidates += 1;
-    while (em.systemPower(profile, cfg) > target_w) {
+    while (!space.underCap(em, profile, cfg)) {
         // Candidate steps: one memory step or one step on any core.
         double best_utility = -1.0;
         FreqConfig best_next = cfg;
         bool any = false;
 
-        if (cfg.memIdx + 1 < em.mem().size()) {
+        if (cfg.memIdx + 1 < space.memSteps) {
             FreqConfig next = cfg;
             next.memIdx += 1;
             double d_power = em.systemPower(profile, cfg)
@@ -40,7 +46,7 @@ greedyCapDescent(const SystemProfile &profile, const EnergyModel &em,
         }
         for (int i = 0; i < n; ++i) {
             if (cfg.coreIdx[static_cast<size_t>(i)] + 1
-                >= em.cores().size()) {
+                >= space.coreSteps) {
                 continue;
             }
             FreqConfig next = cfg;

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/log.hh"
+#include "model/knobs.hh"
 
 namespace coscale {
 
@@ -161,21 +162,11 @@ bool
 decisionSane(const EnergyModel &em, const SystemProfile &profile,
              const FreqConfig &cfg)
 {
+    // Structural validity is exactly knob-space membership: ladder
+    // ranges, vector widths, the way floor and budget.
+    if (!makeKnobSpace(em, profile).contains(cfg))
+        return false;
     size_t n = profile.cores.size();
-    if (cfg.coreIdx.size() != n)
-        return false;
-    int core_steps = em.cores().size();
-    int mem_steps = em.mem().size();
-    if (cfg.memIdx < 0 || cfg.memIdx >= mem_steps)
-        return false;
-    for (int c : cfg.coreIdx) {
-        if (c < 0 || c >= core_steps)
-            return false;
-    }
-    for (int c : cfg.chanIdx) {
-        if (c < 0 || c >= mem_steps)
-            return false;
-    }
     for (size_t i = 0; i < n; ++i) {
         double t = em.tpi(profile, static_cast<int>(i), cfg);
         if (!std::isfinite(t) || t <= 0.0)

@@ -230,6 +230,11 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
             epoch_no < cfg.warmupEpochs
                 ? prev_cfg
                 : policy.safeDecide(prof, em, prev_cfg, cfg.epochLen);
+        // A policy that does not speak the way dimension (empty
+        // wayIdx) holds the installed partition rather than dropping
+        // it — the knob is "held", never implicitly reset.
+        if (decision.wayIdx.empty() && !prev_cfg.wayIdx.empty())
+            decision.wayIdx = prev_cfg.wayIdx;
         // Requested vs granted: the fault layer may deny, delay, or
         // clamp the transition. Everything downstream — applyConfig,
         // the epoch log, slack observation, energy — follows granted.
@@ -328,6 +333,8 @@ runEpochLoop(const SystemConfig &cfg, const std::string &label,
                     .f("act_tpi", act_tpi);
                 if (!granted.chanIdx.empty())
                     ev.f("chan_idx", granted.chanIdx);
+                if (!granted.wayIdx.empty())
+                    ev.f("way_idx", granted.wayIdx);
                 if (const SlackTracker *ledger = policy.slackLedger()) {
                     std::vector<double> slack;
                     slack.reserve(
@@ -589,6 +596,12 @@ writeJsonReport(const RunResult &run, const Comparison *vs_baseline,
         if (!e.applied.chanIdx.empty()) {
             j.beginArray("chan_idx");
             for (int idx : e.applied.chanIdx)
+                j.value(idx);
+            j.endArray();
+        }
+        if (!e.applied.wayIdx.empty()) {
+            j.beginArray("way_idx");
+            for (int idx : e.applied.wayIdx)
                 j.value(idx);
             j.endArray();
         }

@@ -6,6 +6,7 @@
 
 #include "check/contract.hh"
 #include "common/log.hh"
+#include "model/knobs.hh"
 #include "trace/synthetic.hh"
 
 namespace coscale {
@@ -60,6 +61,15 @@ makeScaledConfig(double scale)
    }
    if (overridden)
        applyMemBackend(cfg, sel);
+   // CI's knob-partition leg turns on the LLC way dimension the same
+   // way; the System's own gate (ways >= 2 * cores) keeps it inert on
+   // geometries with no room to partition, such as the default
+   // 16-core/16-way server.
+   // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only env probe; no setenv in the process
+   if (const char *e = std::getenv("COSCALE_KNOB_LLC_WAYS");
+       e && *e && *e != '0') {
+       cfg.knobs.llcWays = true;
+   }
    return cfg;
 }
 
@@ -106,6 +116,16 @@ System::System(const SystemConfig &cfg_in, const std::vector<AppSpec> &apps)
    coreCfg.instrBudget = sched ? ~std::uint64_t(0) : cfg.instrBudget;
 
    cache = Llc(cfg.llc);
+   // The way-partition dimension needs room to move under the QoS
+   // floor; with fewer than two ways per core the gate stays closed
+   // and the system is byte-identical to a knob-free build.
+   if (cfg.knobs.llcWays && cfg.llc.ways >= 2 * cfg.numCores) {
+       cache.setShadowTracking(cfg.numCores);
+       // The even split is also the policies' performance reference
+       // (KnobSpace::baselinePartition), so both layers share the
+       // helper rather than each computing their own split.
+       cache.setPartition(evenWaySplit(cfg.llc.ways, cfg.numCores));
+   }
 
    MemCtrlConfig mcc;
    mcc.geom = cfg.geom;
@@ -211,7 +231,7 @@ System::syncQueue()
 void
 System::handleLlcAccess(Core &core, const CoreEvent &ev)
 {
-   LlcAccessResult res = cache.access(ev.addr, ev.write);
+   LlcAccessResult res = cache.access(ev.addr, ev.write, core.id());
    bool to_mem = false;
    if (res.hit) {
        core.completeHit(curTick, cache.hitLatency());
@@ -416,6 +436,13 @@ System::applyConfig(const FreqConfig &fc)
                            fc.chanIdx[static_cast<size_t>(c)], curTick);
        }
    }
+   // Way-mask updates are a register write in CAT-style hardware:
+   // no transition halt, resident lines migrate lazily on misses.
+   if (!fc.wayIdx.empty()) {
+       COSCALE_CHECK(static_cast<int>(fc.wayIdx.size()) == numCores(),
+                      "way decision size mismatch");
+       cache.setPartition(fc.wayIdx);
+   }
    // Transition halts moved every component's next-event tick.
    syncQueue();
 }
@@ -432,6 +459,8 @@ System::currentConfig() const
        for (int c = 0; c < mc.numChannels(); ++c)
            fc.chanIdx.push_back(mc.channelFrequencyIndex(c));
    }
+   if (cache.partitionActive())
+       fc.wayIdx = cache.partition();
    return fc;
 }
 
@@ -446,6 +475,10 @@ System::snapshot() const
    for (int c = 0; c < mc.numChannels(); ++c)
        s.memChannels.push_back(mc.channelCounters(c));
    s.llc = cache.counters();
+   if (cache.shadowTracking()) {
+       s.llcWayHits = cache.shadowHits();
+       s.llcShadowMiss = cache.shadowMisses();
+   }
    s.tick = curTick;
    return s;
 }
@@ -469,6 +502,38 @@ System::makeProfile(const CounterSnapshot &since) const
    prof.mem = perf.memProfile(mem_delta, elapsed, mc.busFreq(),
                               cfg.geom.channels, cfg.geom.totalRanks());
    prof.profiledMemIdx = mc.frequencyIndex();
+
+   // Way-partition snapshot: the shadow monitors' partition-
+   // independent miss curves, as per-instruction rates over the
+   // window. Absent (waysTotal == 0) when partitioning is off, which
+   // keeps the model on the legacy DVFS-only paths.
+   if (cache.partitionActive() && cache.shadowTracking()
+       && since.llcShadowMiss.size() == coreVec.size()) {
+       prof.waysTotal = cfg.llc.ways;
+       prof.wayFloor = cfg.knobs.wayFloor;
+       prof.profiledWayIdx = cache.partition();
+       const std::vector<std::uint64_t> &hits = cache.shadowHits();
+       const std::vector<std::uint64_t> &miss = cache.shadowMisses();
+       size_t ways = static_cast<size_t>(cfg.llc.ways);
+       for (size_t i = 0; i < coreVec.size(); ++i) {
+           std::uint64_t instrs =
+               coreVec[i].counters().tic - since.cores[i].tic;
+           if (instrs == 0)
+               continue;  // empty curve; the model falls back to 1.0
+           double inv = 1.0 / static_cast<double>(instrs);
+           CoreProfile &c = prof.cores[i];
+           c.wayHitsPerInstr.assign(ways, 0.0);
+           for (size_t d = 0; d < ways; ++d) {
+               c.wayHitsPerInstr[d] =
+                   static_cast<double>(hits[i * ways + d]
+                                       - since.llcWayHits[i * ways + d])
+                   * inv;
+           }
+           c.shadowMissPerInstr =
+               static_cast<double>(miss[i] - since.llcShadowMiss[i])
+               * inv;
+       }
+   }
 
    // Per-channel profiles (MultiScale extension) and core homing.
    for (int c = 0; c < mc.numChannels(); ++c) {

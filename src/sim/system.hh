@@ -37,6 +37,23 @@
 
 namespace coscale {
 
+/** Knob-space enablement (model/knobs.hh, DESIGN.md §13). */
+struct KnobConfig
+{
+    /**
+     * Expose the per-core LLC way-partition dimension: the System
+     * installs an even-split starting partition, enables the shadow
+     * monitors, and the profile carries the per-core miss curves —
+     * which puts the way dimension into makeKnobSpace() and the
+     * policies' search. Requires llc.ways >= 2 * numCores (the
+     * partition must leave room to move); silently inert otherwise,
+     * so enabling it on the default 16-core/16-way server changes
+     * nothing.
+     */
+    bool llcWays = false;
+    int wayFloor = 1;  //!< QoS floor: minimum ways per core
+};
+
 /** Everything needed to instantiate a System. */
 struct SystemConfig
 {
@@ -57,6 +74,9 @@ struct SystemConfig
      * from it by applyMemBackend(). Defaults to the paper's backend.
      */
     MemBackendSel memBackend;
+
+    /** Optional knob dimensions beyond DVFS (all off by default). */
+    KnobConfig knobs;
 
     Tick coreTransitionTicks = 30 * tickPerUs;
     bool ooo = false;
@@ -129,6 +149,9 @@ struct CounterSnapshot
     ChannelCounters mem;                    //!< aggregate
     std::vector<ChannelCounters> memChannels; //!< per channel
     LlcCounters llc;
+    /** Shadow-monitor counters (empty unless tracking is on). */
+    std::vector<std::uint64_t> llcWayHits;   //!< [core][depth]
+    std::vector<std::uint64_t> llcShadowMiss; //!< per core
     Tick tick = 0;
 };
 

@@ -333,4 +333,18 @@ expandMix(const WorkloadMix &mix, int num_cores,
     return specs;
 }
 
+void
+applyHotFootprints(std::vector<AppSpec> &apps,
+                   const std::vector<std::uint64_t> &footprints)
+{
+    COSCALE_CHECK(!footprints.empty(),
+                  "need at least one hot-footprint override");
+    for (size_t i = 0; i < apps.size(); ++i) {
+        std::uint64_t blocks = footprints[i % footprints.size()];
+        COSCALE_CHECK(blocks > 0, "hot footprint must be positive");
+        for (AppPhase &p : apps[i].phases)
+            p.hotBlocks = blocks;
+    }
+}
+
 } // namespace coscale

@@ -87,6 +87,18 @@ std::vector<WorkloadMix> mixesByClass(const std::string &wl_class);
 std::vector<AppSpec> expandMix(const WorkloadMix &mix, int num_cores,
                                std::uint64_t instr_budget);
 
+/**
+ * Override the hot working-set size of each expanded application:
+ * app i gets footprints[i % footprints.size()] blocks in every phase.
+ * Models SimPoints of the same programs with distinct resident sets
+ * (the way the MIX mixes override llcMpki), which is what makes a
+ * shared LLC contended heterogeneously — the regime cache-partition
+ * studies (bench_knob_dimensions) need. The catalogue's class
+ * defaults are untouched.
+ */
+void applyHotFootprints(std::vector<AppSpec> &apps,
+                        const std::vector<std::uint64_t> &footprints);
+
 } // namespace coscale
 
 #endif // COSCALE_WORKLOADS_SPEC_CATALOGUE_HH

@@ -425,6 +425,10 @@ faultConfig()
     // Pin the paper-default backend so the fixtures stay byte-identical
     // even under CI's COSCALE_MEM_SCHED/ROW_POLICY/DRAM_STANDARD leg.
     applyMemBackend(cfg, MemBackendSel{});
+    // Likewise pin the knob space: at 2 cores / 16 ways the LLC
+    // way-partition gate would open under COSCALE_KNOB_LLC_WAYS=1
+    // (CI's knob-partition leg) and change miss allocation.
+    cfg.knobs.llcWays = false;
     return cfg;
 }
 

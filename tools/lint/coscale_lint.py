@@ -174,6 +174,25 @@ RULES = {
         "exempt": ["src/cpu/core.hh", "src/cpu/core.cc",
                    "src/sim/system.cc"],
     },
+    "policy-knob-mutation": {
+        "desc": "direct knob mutation (setFrequency/setPartition/"
+                "setWayMask) from policy code",
+        "why": "policies decide; they do not actuate. A policy that "
+               "pokes Core::setFrequencyIndex, MemCtrl::setFrequency "
+               "or Llc::setPartition directly bypasses the runner's "
+               "requested-vs-granted reconciliation, the fault "
+               "injector's clamps, and the transition-latency "
+               "accounting — the knob-apply layer "
+               "(System::applyConfig) is the single sanctioned "
+               "actuation point.",
+        "hint": "return the desired KnobVector/FreqConfig from "
+                "Policy::decide() and let System::applyConfig "
+                "install it",
+        "exempt": [],
+        # Scoped: actuators outside policy code (the apply layer,
+        # the devices themselves) are legitimate callers.
+        "only": ["src/policy/"],
+    },
     # Meta-rules about the suppression mechanism itself.
     "bad-suppression": {
         "desc": "coscale-lint allow() without a justification",
@@ -340,6 +359,10 @@ BANNED_CALL_RULES = [
      re.compile(r"\b(setFrequencyIndex|setChannelFrequencyIndex)"
                 r"\s*\("),
      "'%s(' is a deleted MemCtrl compat shim"),
+    ("policy-knob-mutation",
+     re.compile(r"\b(setFrequency|setPartition|setWayMask|"
+                r"setShadowTracking)\s*\("),
+     "'%s(' actuates a knob directly from policy code"),
 ]
 
 BANNED_NAME_RULES = [
@@ -724,7 +747,14 @@ def run_clang_query(binary, build_dir, files):
 
 def is_exempt(rel, rule):
     """Exempt entries ending in '/' are directory prefixes; the rest
-    are exact repo-relative paths."""
+    are exact repo-relative paths. Rules with an `only` list apply
+    solely under those directory prefixes (plus the rule's own
+    fixture directory, so --self-test can exercise them without
+    tripping scoped rules on other rules' fixtures)."""
+    only = RULES[rule].get("only")
+    if only and not rel.startswith("tools/lint/fixtures/%s/" % rule) \
+            and not any(rel.startswith(p) for p in only):
+        return True
     for ex in RULES[rule]["exempt"]:
         if ex.endswith("/"):
             if rel.startswith(ex):

@@ -1,0 +1,23 @@
+// The sanctioned shape: a policy returns the knob vector it wants
+// and the runner hands it to System::applyConfig — the single
+// actuation point where reconciliation, fault clamps, and
+// transition latencies all live. Reading knob state is fine.
+#include "model/energy_model.hh"
+#include "policy/policy.hh"
+
+namespace coscale {
+
+FreqConfig
+policyOnlyDecides(const EnergyModel &em, const SystemProfile &profile,
+                  const FreqConfig &prev)
+{
+    FreqConfig want = prev;
+    if (!em.cores().empty())
+        want.coreIdx.assign(profile.cores.size(), 0);
+    // Way partitions travel the same road: fill want.wayIdx and let
+    // the apply layer install it.
+    want.wayIdx = prev.wayIdx;
+    return want;
+}
+
+} // namespace coscale

@@ -1,0 +1,20 @@
+// A policy that actuates knobs itself: every one of these calls
+// bypasses the runner's requested-vs-granted reconciliation, the
+// fault injector's clamps, and the transition-latency accounting.
+// (Per-core Core::setFrequencyIndex pokes from policy code are
+// caught by the memctrl-set-frequency-index rule, whose exemptions
+// never include src/policy/.)
+#include "cache/llc.hh"
+#include "memctrl/mem_ctrl.hh"
+
+namespace coscale {
+
+void
+policyPokesTheHardware(MemCtrl &mc, Llc &cache, Tick now)
+{
+    mc.setFrequency(ChannelSel::all(), 1, now);
+    cache.setPartition({8, 8});
+    cache.setShadowTracking(2);
+}
+
+} // namespace coscale
